@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the LDP mechanisms and the shuffle
+//! pipeline: randomization throughput and end-to-end protocol cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vr_ldp::{FrequencyMechanism, Grr, HadamardResponse, KSubset, Olh};
+
+fn bench_randomize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("randomize_d128");
+    let d = 128usize;
+    let eps0 = 2.0;
+    let grr = Grr::new(d, eps0);
+    let sub = KSubset::optimal(d, eps0);
+    let olh = Olh::optimal(d, eps0);
+    let had = HadamardResponse::new(d, eps0);
+    let mut rng = StdRng::seed_from_u64(1);
+    g.bench_function(BenchmarkId::new("grr", d), |b| {
+        b.iter(|| grr.randomize(black_box(17), &mut rng))
+    });
+    g.bench_function(BenchmarkId::new("ksubset", d), |b| {
+        b.iter(|| sub.randomize(black_box(17), &mut rng))
+    });
+    g.bench_function(BenchmarkId::new("olh", d), |b| {
+        b.iter(|| olh.randomize(black_box(17), &mut rng))
+    });
+    g.bench_function(BenchmarkId::new("hadamard", d), |b| {
+        b.iter(|| had.randomize(black_box(17), &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    let mech = Grr::new(32, 2.0);
+    let inputs: Vec<usize> = (0..10_000).map(|i| i % 32).collect();
+    g.bench_function("grr_10k_users_d32", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            vr_protocols::run_frequency_protocol(black_box(&mech), &inputs, &mut rng)
+                .estimates
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_randomize, bench_pipeline);
+criterion_main!(benches);

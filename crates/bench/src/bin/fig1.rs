@@ -1,0 +1,10 @@
+//! Figure 1: amplification of the subset-selection mechanism vs baselines.
+use vr_bench::figures::{emit_single_message_panel, SingleMessageMechanism::Subset};
+
+fn main() {
+    println!("=== Figure 1: subset selection mechanism ===");
+    emit_single_message_panel("fig1", "a", Subset, 10_000, 16, 1e-6);
+    emit_single_message_panel("fig1", "b", Subset, 100_000, 16, 1e-7);
+    emit_single_message_panel("fig1", "c", Subset, 10_000, 128, 1e-6);
+    emit_single_message_panel("fig1", "d", Subset, 100_000, 128, 1e-7);
+}

@@ -1,0 +1,10 @@
+//! Figure 2: amplification of the optimal local hash mechanism vs baselines.
+use vr_bench::figures::{emit_single_message_panel, SingleMessageMechanism::Olh};
+
+fn main() {
+    println!("=== Figure 2: optimal local hash mechanism ===");
+    emit_single_message_panel("fig2", "a", Olh, 10_000, 16, 1e-6);
+    emit_single_message_panel("fig2", "b", Olh, 100_000, 16, 1e-7);
+    emit_single_message_panel("fig2", "c", Olh, 10_000, 128, 1e-6);
+    emit_single_message_panel("fig2", "d", Olh, 100_000, 128, 1e-7);
+}

@@ -1,0 +1,14 @@
+//! Figure 3: extra amplification of the Cheu et al. multi-message protocol.
+use vr_bench::figures::{cheu_panel, emit_multi_message_panel};
+
+fn main() {
+    println!("=== Figure 3: Cheu et al. multi-message histogram protocol (f = 0.25) ===");
+    println!("panel a: n=1e4, d=16, delta=1e-6");
+    emit_multi_message_panel("fig3", "a", &cheu_panel(10_000, 16, 1e-6, 0.25));
+    println!("panel b: n=1e5, d=16, delta=1e-7");
+    emit_multi_message_panel("fig3", "b", &cheu_panel(100_000, 16, 1e-7, 0.25));
+    println!("panel c: n=1e4, d=128, delta=1e-6");
+    emit_multi_message_panel("fig3", "c", &cheu_panel(10_000, 128, 1e-6, 0.25));
+    println!("panel d: n=1e5, d=128, delta=1e-7");
+    emit_multi_message_panel("fig3", "d", &cheu_panel(100_000, 128, 1e-7, 0.25));
+}

@@ -1,0 +1,15 @@
+//! Figure 4: extra amplification of the balls-into-bins protocol with the
+//! caption population n = 32 ln(2/δ) d/(ε'² s).
+use vr_bench::figures::{balls_into_bins_panel, emit_multi_message_panel};
+
+fn main() {
+    println!("=== Figure 4: balls-into-bins protocol (delta = 1e-7) ===");
+    println!("panel a: d=16, s=1");
+    emit_multi_message_panel("fig4", "a", &balls_into_bins_panel(16, 1, 1e-7));
+    println!("panel b: d=16, s=4");
+    emit_multi_message_panel("fig4", "b", &balls_into_bins_panel(16, 4, 1e-7));
+    println!("panel c: d=128, s=1");
+    emit_multi_message_panel("fig4", "c", &balls_into_bins_panel(128, 1, 1e-7));
+    println!("panel d: d=128, s=4");
+    emit_multi_message_panel("fig4", "d", &balls_into_bins_panel(128, 4, 1e-7));
+}

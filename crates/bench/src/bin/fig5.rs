@@ -1,0 +1,10 @@
+//! Figure 5: parallel composition strategies for hierarchical range queries.
+use vr_bench::figures::emit_parallel_panel;
+
+fn main() {
+    println!("=== Figure 5: range queries — parallel composition ===");
+    emit_parallel_panel("a", 64, 10_000, 1e-6);
+    emit_parallel_panel("b", 64, 100_000, 1e-7);
+    emit_parallel_panel("c", 2048, 10_000, 1e-6);
+    emit_parallel_panel("d", 2048, 100_000, 1e-7);
+}

@@ -1,0 +1,5 @@
+//! Table 1: asymptotic amplification orders of prior analyses vs this work.
+fn main() {
+    println!("=== Table 1: asymptotic amplification orders (n=1e5, delta=1e-6) ===");
+    vr_bench::tables::table1().emit();
+}

@@ -1,0 +1,7 @@
+//! Table 2: variation-ratio parameters of eps0-LDP randomizers.
+fn main() {
+    for eps0 in [1.0, 3.0] {
+        println!("=== Table 2: variation-ratio parameters (eps0 = {eps0}, d = 128) ===");
+        vr_bench::tables::table2(eps0, 128).emit();
+    }
+}

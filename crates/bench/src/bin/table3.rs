@@ -1,0 +1,5 @@
+//! Table 3: metric-DP amplification parameters.
+fn main() {
+    println!("=== Table 3: metric local randomizers ===");
+    vr_bench::tables::table3().emit();
+}

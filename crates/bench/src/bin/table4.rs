@@ -1,0 +1,5 @@
+//! Table 4: multi-message protocol parameters.
+fn main() {
+    println!("=== Table 4: multi-message shuffle protocols ===");
+    vr_bench::tables::table4().emit();
+}

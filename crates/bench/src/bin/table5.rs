@@ -1,0 +1,14 @@
+//! Table 5: amplified epsilon and runtime of Algorithm 1 (delta = 0.01/n).
+use vr_bench::tables::{emit_table5, table5};
+
+fn main() {
+    println!("=== Table 5: Algorithm 1 runtime, general eps0-LDP randomizers ===");
+    // n = 1e8 included; the full scan covers the entire f64-representable
+    // support (see vr-core::accountant docs).
+    let cells = table5(
+        &[1.0, 3.0, 5.0, 7.0],
+        &[10_000, 1_000_000, 100_000_000],
+        &[20, 10],
+    );
+    emit_table5(&cells);
+}

@@ -1,0 +1,5 @@
+//! Table 6 (Appendix K): additional amplification parameters.
+fn main() {
+    println!("=== Table 6: additional eps0-LDP randomizers (eps0 = 1.0) ===");
+    vr_bench::tables::table6(1.0).emit();
+}

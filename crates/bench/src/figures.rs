@@ -1,0 +1,311 @@
+//! Experiment drivers regenerating Figures 1–5 of the paper.
+//!
+//! Every driver returns structured rows (so integration tests can assert the
+//! paper's qualitative claims) and the binaries print/emit them.
+
+use crate::output::{f, ResultTable};
+use vr_core::baselines::{
+    blanket_epsilon, blanket_epsilon_specific, clone_epsilon, efmrtt_epsilon, generic_gamma,
+    stronger_clone_epsilon, BlanketOptions, BlanketProfile,
+};
+use vr_core::multimessage::{BallsIntoBins, CheuZhilyaev};
+use vr_core::parallel::{grr_beta, hierarchical_range_query};
+use vr_core::{Accountant, SearchOptions, VariationRatio};
+use vr_ldp::{FrequencyMechanism, KSubset, Olh};
+
+/// The ε₀ sweep of Figures 1, 2 and 5.
+pub fn eps0_grid() -> Vec<f64> {
+    (1..=20).map(|i| 0.25 * i as f64).collect()
+}
+
+/// The global-budget sweep of Figures 3 and 4.
+pub fn budget_grid() -> Vec<f64> {
+    (1..=15).map(|i| 0.1 * i as f64).collect()
+}
+
+/// One point of a Figure 1/2 panel: amplification ratios `ε₀/ε` per method.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleMessagePoint {
+    /// Local budget ε₀.
+    pub eps0: f64,
+    /// This work (numerical variation-ratio accountant).
+    pub variation_ratio: f64,
+    /// Stronger clone (FMT'23), numerical.
+    pub stronger_clone: f64,
+    /// Clone (FMT'21), numerical.
+    pub clone: f64,
+    /// Privacy blanket with the mechanism's exact profile.
+    pub blanket_specific: f64,
+    /// Privacy blanket, generic envelope.
+    pub blanket_general: f64,
+    /// EFMRTT19 closed form.
+    pub efmrtt: f64,
+}
+
+/// Which Figure 1/2 mechanism to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SingleMessageMechanism {
+    /// k-subset selection (Figure 1).
+    Subset,
+    /// Optimal local hash (Figure 2).
+    Olh,
+}
+
+/// Compute one panel of Figure 1 (subset) or Figure 2 (OLH).
+pub fn single_message_panel(
+    mechanism: SingleMessageMechanism,
+    n: u64,
+    d: usize,
+    delta: f64,
+) -> Vec<SingleMessagePoint> {
+    let opts = SearchOptions::default();
+    eps0_grid()
+        .into_iter()
+        .map(|eps0| {
+            let (params, profile): (VariationRatio, Option<BlanketProfile>) = match mechanism {
+                SingleMessageMechanism::Subset => {
+                    let m = KSubset::optimal(d, eps0);
+                    (
+                        vr_ldp::AmplifiableMechanism::variation_ratio(&m),
+                        m.blanket_profile().ok(),
+                    )
+                }
+                SingleMessageMechanism::Olh => {
+                    let m = Olh::optimal(d, eps0);
+                    let rows = m.collapsed_distributions().expect("OLH rows");
+                    (
+                        vr_ldp::AmplifiableMechanism::variation_ratio(&m),
+                        BlanketProfile::from_rows(&rows, 0, 1).ok(),
+                    )
+                }
+            };
+            let ours = Accountant::new(params, n)
+                .expect("valid accountant")
+                .epsilon(delta, opts)
+                .expect("achievable");
+            let sc = stronger_clone_epsilon(eps0, n, delta, opts).expect("stronger clone");
+            let cl = clone_epsilon(eps0, n, delta, opts).expect("clone");
+            let bl_spec = profile
+                .and_then(|p| {
+                    blanket_epsilon_specific(&p, eps0, n, delta, BlanketOptions::default()).ok()
+                })
+                .unwrap_or(eps0);
+            let bl_gen =
+                blanket_epsilon(eps0, generic_gamma(eps0), n, delta, BlanketOptions::default())
+                    .unwrap_or(eps0);
+            let ef = efmrtt_epsilon(eps0, n, delta);
+            SingleMessagePoint {
+                eps0,
+                variation_ratio: eps0 / ours,
+                stronger_clone: eps0 / sc,
+                clone: eps0 / cl,
+                blanket_specific: eps0 / bl_spec,
+                blanket_general: eps0 / bl_gen,
+                efmrtt: eps0 / ef,
+            }
+        })
+        .collect()
+}
+
+/// Emit one panel as a [`ResultTable`].
+pub fn emit_single_message_panel(
+    fig: &str,
+    panel: &str,
+    mechanism: SingleMessageMechanism,
+    n: u64,
+    d: usize,
+    delta: f64,
+) -> Vec<SingleMessagePoint> {
+    let points = single_message_panel(mechanism, n, d, delta);
+    let mut t = ResultTable::new(
+        &format!("{fig}_{panel}"),
+        &[
+            "eps0",
+            "log2_ratio_variation_ratio",
+            "log2_ratio_stronger_clone",
+            "log2_ratio_clone",
+            "log2_ratio_blanket_specific",
+            "log2_ratio_blanket_general",
+            "log2_ratio_efmrtt19",
+        ],
+    );
+    for p in &points {
+        t.push_row(vec![
+            f(p.eps0),
+            f(p.variation_ratio.log2()),
+            f(p.stronger_clone.log2()),
+            f(p.clone.log2()),
+            f(p.blanket_specific.log2()),
+            f(p.blanket_general.log2()),
+            f(p.efmrtt.log2()),
+        ]);
+    }
+    println!(
+        "panel {panel}: n={n}, d={d}, delta={delta:e} — log2(amplification ratio eps0/eps)"
+    );
+    t.emit();
+    points
+}
+
+/// One point of a Figure 3/4 panel: extra amplification ratios `ε'/ε`.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiMessagePoint {
+    /// Global budget certified by the original designated analysis.
+    pub eps_prime: f64,
+    /// Extra ratio with the numerical variation-ratio bound.
+    pub numeric: f64,
+    /// Extra ratio with the Theorem 4.2 analytic bound (NaN when not
+    /// applicable).
+    pub analytic: f64,
+    /// Extra ratio with the Theorem 4.3 asymptotic bound (NaN when not
+    /// applicable).
+    pub asymptotic: f64,
+}
+
+/// Figure 3 panel: the Cheu–Zhilyaev protocol at fixed `n` users.
+pub fn cheu_panel(n_users: u64, d: u64, delta: f64, flip_prob: f64) -> Vec<MultiMessagePoint> {
+    let opts = SearchOptions::default();
+    budget_grid()
+        .into_iter()
+        .filter_map(|eps_prime| {
+            let proto =
+                CheuZhilyaev::for_target_budget(eps_prime, delta, n_users, flip_prob, d).ok()?;
+            let orig = proto.original_epsilon(delta).ok()?;
+            let params = proto.params().ok()?;
+            let n_eff = proto.effective_population();
+            let ours = Accountant::new(params, n_eff).ok()?.epsilon(delta, opts).ok()?;
+            let ana = vr_core::analytic::analytic_epsilon(&params, n_eff, delta)
+                .map(|e| orig / e)
+                .unwrap_or(f64::NAN);
+            let asy = vr_core::asymptotic::asymptotic_epsilon(&params, n_eff, delta)
+                .map(|e| orig / e)
+                .unwrap_or(f64::NAN);
+            Some(MultiMessagePoint {
+                eps_prime,
+                numeric: orig / ours,
+                analytic: ana,
+                asymptotic: asy,
+            })
+        })
+        .collect()
+}
+
+/// Figure 4 panel: balls-into-bins with the caption's population
+/// `n = 32·ln(2/δ)·d/(ε'²·s)`.
+pub fn balls_into_bins_panel(d: u64, s: u64, delta: f64) -> Vec<MultiMessagePoint> {
+    let opts = SearchOptions::default();
+    budget_grid()
+        .into_iter()
+        .filter_map(|eps_prime| {
+            let n = BallsIntoBins::population_for_budget(eps_prime, delta, d, s);
+            let proto = BallsIntoBins { n_users: n, bins: d, special: s };
+            let orig = proto.original_epsilon(delta).ok()?;
+            let params = proto.params().ok()?;
+            let n_eff = proto.effective_population();
+            let ours = Accountant::new(params, n_eff).ok()?.epsilon(delta, opts).ok()?;
+            let ana = vr_core::analytic::analytic_epsilon(&params, n_eff, delta)
+                .map(|e| orig / e)
+                .unwrap_or(f64::NAN);
+            let asy = vr_core::asymptotic::asymptotic_epsilon(&params, n_eff, delta)
+                .map(|e| orig / e)
+                .unwrap_or(f64::NAN);
+            Some(MultiMessagePoint {
+                eps_prime,
+                numeric: orig / ours,
+                analytic: ana,
+                asymptotic: asy,
+            })
+        })
+        .collect()
+}
+
+/// Emit a Figure 3/4 panel.
+pub fn emit_multi_message_panel(
+    fig: &str,
+    panel: &str,
+    points: &[MultiMessagePoint],
+) -> usize {
+    let mut t = ResultTable::new(
+        &format!("{fig}_{panel}"),
+        &["eps_prime", "log2_extra_numeric", "log2_extra_analytic", "log2_extra_asymptotic"],
+    );
+    for p in points {
+        t.push_row(vec![
+            f(p.eps_prime),
+            f(p.numeric.log2()),
+            f(p.analytic.log2()),
+            f(p.asymptotic.log2()),
+        ]);
+    }
+    t.emit();
+    points.len()
+}
+
+/// One point of a Figure 5 panel: amplification ratios `ε₀/ε` for the four
+/// composition strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelPoint {
+    /// Local budget ε₀.
+    pub eps0: f64,
+    /// Advanced parallel composition (Theorem 6.1).
+    pub advanced: f64,
+    /// Basic parallel composition (worst-case β).
+    pub basic: f64,
+    /// Separate cohorts, best per-cohort β.
+    pub separate_best: f64,
+    /// Separate cohorts, worst-case β.
+    pub separate_worst: f64,
+}
+
+/// Figure 5 panel: hierarchical range queries over `[0, d)` with `n` users.
+pub fn parallel_panel(d: u64, n: u64, delta: f64) -> Vec<ParallelPoint> {
+    let opts = SearchOptions::default();
+    eps0_grid()
+        .into_iter()
+        .map(|eps0| {
+            let w = hierarchical_range_query(eps0, d).expect("valid workload");
+            let adv = w.advanced_epsilon(n, delta, opts).expect("advanced");
+            let basic = w.basic_epsilon(n, delta, opts).expect("basic");
+            let e = eps0.exp();
+            let sep_best =
+                w.separate_epsilon(n, delta, grr_beta(eps0, d), opts).expect("separate");
+            let sep_worst = w
+                .separate_epsilon(n, delta, (e - 1.0) / (e + 1.0), opts)
+                .expect("separate worst");
+            ParallelPoint {
+                eps0,
+                advanced: eps0 / adv,
+                basic: eps0 / basic,
+                separate_best: eps0 / sep_best,
+                separate_worst: eps0 / sep_worst,
+            }
+        })
+        .collect()
+}
+
+/// Emit a Figure 5 panel.
+pub fn emit_parallel_panel(panel: &str, d: u64, n: u64, delta: f64) -> Vec<ParallelPoint> {
+    let points = parallel_panel(d, n, delta);
+    let mut t = ResultTable::new(
+        &format!("fig5_{panel}"),
+        &[
+            "eps0",
+            "log2_ratio_parallel_advanced",
+            "log2_ratio_parallel_basic",
+            "log2_ratio_separate_best",
+            "log2_ratio_separate_worst",
+        ],
+    );
+    for p in &points {
+        t.push_row(vec![
+            f(p.eps0),
+            f(p.advanced.log2()),
+            f(p.basic.log2()),
+            f(p.separate_best.log2()),
+            f(p.separate_worst.log2()),
+        ]);
+    }
+    println!("panel {panel}: d={d}, n={n}, delta={delta:e} — log2(amplification ratio)");
+    t.emit();
+    points
+}

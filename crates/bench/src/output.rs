@@ -1,0 +1,133 @@
+//! Aligned-text and CSV output for the experiment binaries. Every figure or
+//! table binary prints the paper's rows/series to stdout and mirrors them to
+//! `results/<name>.csv`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple column-oriented result sink.
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Create a sink with the given artifact name (used as the CSV stem) and
+    /// column headers.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of already-formatted cells.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(out, "{cell:>w$}  ");
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Print the table and write the CSV mirror under `results/`.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        let dir = results_dir();
+        if fs::create_dir_all(&dir).is_ok() {
+            let mut csv = self.header.join(",");
+            csv.push('\n');
+            for row in &self.rows {
+                csv.push_str(&row.join(","));
+                csv.push('\n');
+            }
+            let path = dir.join(format!("{}.csv", self.name));
+            if let Err(e) = fs::write(&path, csv) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[written {}]", path.display());
+            }
+        }
+    }
+}
+
+/// `results/` directory at the workspace root (falls back to CWD).
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => PathBuf::from(m).join("../..").join("results"),
+        Err(_) => PathBuf::from("results"),
+    }
+}
+
+/// Format a float with 4 significant-ish decimals for table cells.
+pub fn f(v: f64) -> String {
+    if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// `log₂(x)` formatted, mirroring the paper's y-axes.
+pub fn log2(v: f64) -> String {
+    f(v.log2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = ResultTable::new("unit-test", &["a", "bbbb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["100".into(), "2000000".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bbbb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = ResultTable::new("unit-test", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(f64::INFINITY), "inf");
+        assert_eq!(f(0.12345), "0.1235");
+        assert_eq!(f(1234.5), "1234.5");
+    }
+}

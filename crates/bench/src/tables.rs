@@ -1,0 +1,242 @@
+//! Experiment drivers regenerating Tables 1–6 of the paper.
+
+use crate::output::{f, ResultTable};
+use std::time::Instant;
+use vr_core::accountant::{Accountant, ScanMode, SearchOptions};
+use vr_core::asymptotic::table1_orders;
+use vr_core::metric::{laplace_beta, planar_laplace_beta};
+use vr_core::multimessage as mm;
+use vr_core::VariationRatio;
+use vr_ldp::*;
+
+/// Table 1: asymptotic amplification orders of the five analyses at sample
+/// budgets, with the variation-ratio instantiated at the k-subset β.
+pub fn table1() -> ResultTable {
+    let mut t = ResultTable::new(
+        "table1",
+        &["eps0", "EFMRTT19", "blanket", "clone", "stronger_clone", "variation_ratio(subset)"],
+    );
+    let n = 100_000;
+    let delta = 1e-6;
+    for eps0 in [0.5, 1.0, 2.0, 3.0, 5.0] {
+        let beta = KSubset::optimal(128, eps0).beta();
+        let row = table1_orders(eps0, beta, n, delta);
+        t.push_row(vec![
+            f(eps0),
+            f(row.efmrtt19),
+            f(row.blanket),
+            f(row.clone),
+            f(row.stronger_clone),
+            f(row.variation_ratio),
+        ]);
+    }
+    t
+}
+
+/// Table 2: variation-ratio parameters of the ε₀-LDP randomizers.
+pub fn table2(eps0: f64, d: usize) -> ResultTable {
+    let mut t = ResultTable::new("table2", &["randomizer", "p", "beta", "q"]);
+    let mut push = |name: &str, vr: VariationRatio| {
+        t.push_row(vec![name.to_string(), f(vr.p()), f(vr.beta()), f(vr.q())]);
+    };
+    push("general (worst case)", VariationRatio::ldp_worst_case(eps0).unwrap());
+    push("Laplace on [0,1]", BoundedLaplace::new(eps0).variation_ratio());
+    push("PrivUnit (c=0.25)", PrivUnit::new(16, 0.25, eps0).variation_ratio());
+    push(&format!("GRR on {d}"), Grr::new(d, eps0).variation_ratio());
+    push(&format!("binary RR on {d}"), BinaryRr::new(d, eps0).variation_ratio());
+    let ks = KSubset::optimal(d, eps0);
+    push(&format!("{}-subset on {d}", ks.k()), ks.variation_ratio());
+    let olh = Olh::optimal(d, eps0);
+    push(&format!("local hash l={}", olh.l()), olh.variation_ratio());
+    let hr = HadamardResponse::new(d, eps0);
+    push(
+        &format!("Hadamard (K={}, s={})", hr.k_cols(), hr.s()),
+        hr.variation_ratio(),
+    );
+    push(
+        &format!("sampling RAPPOR s=4 in {d}"),
+        SamplingRappor::new(d, 4, eps0).variation_ratio(),
+    );
+    let wheel = Wheel::recommended(d, 4, eps0, 7);
+    push("Wheel s=4", wheel.variation_ratio());
+    t
+}
+
+/// Table 3: metric-DP amplification parameters.
+pub fn table3() -> ResultTable {
+    let mut t = ResultTable::new(
+        "table3",
+        &["d01", "dmax", "beta_general", "beta_laplace_l1", "beta_planar_laplace_l2"],
+    );
+    for &(d01, dmax) in &[(0.5, 2.0), (1.0, 2.0), (1.0, 4.0), (2.0, 4.0), (3.0, 6.0)] {
+        let general = (d01f(d01).exp() - 1.0) / (d01f(d01).exp() + 1.0);
+        t.push_row(vec![
+            f(d01),
+            f(dmax),
+            f(general),
+            f(laplace_beta(d01)),
+            f(planar_laplace_beta(d01)),
+        ]);
+    }
+    t
+}
+
+fn d01f(x: f64) -> f64 {
+    x
+}
+
+/// Table 4: multi-message protocol parameters.
+pub fn table4() -> ResultTable {
+    let mut t = ResultTable::new("table4", &["protocol", "p", "beta", "q", "clone_prob_2r"]);
+    let mut push = |name: &str, vr: VariationRatio| {
+        t.push_row(vec![
+            name.to_string(),
+            f(vr.p()),
+            f(vr.beta()),
+            f(vr.q()),
+            f(vr.clone_probability()),
+        ]);
+    };
+    push("Balcer et al. coin p=0.25", mm::balcer_cheu_biased(0.25).unwrap());
+    push("Balcer et al. uniform coin", mm::balcer_cheu_uniform());
+    let cz = mm::CheuZhilyaev { n_users: 0, messages_per_user: 2, flip_prob: 0.25, domain: 16 };
+    push("Cheu et al. f=0.25", cz.params().unwrap());
+    push(
+        "balls-into-bins d=16 s=1",
+        mm::BallsIntoBins { n_users: 0, bins: 16, special: 1 }.params().unwrap(),
+    );
+    push("pureDUMP d=16", mm::pure_dump(16).unwrap());
+    push("mixDUMP f=0.1 d=16", mm::mix_dump(0.1, 16).unwrap());
+    t
+}
+
+/// One Table 5 cell: amplified ε and wall-clock time.
+#[derive(Debug, Clone, Copy)]
+pub struct Table5Cell {
+    /// Local budget.
+    pub eps0: f64,
+    /// Population.
+    pub n: u64,
+    /// Bisection iterations.
+    pub iterations: usize,
+    /// Amplified ε.
+    pub epsilon: f64,
+    /// Wall-clock seconds (full f64-precision scan).
+    pub seconds_full: f64,
+    /// Wall-clock seconds (truncated scan, tail 1e-14).
+    pub seconds_truncated: f64,
+}
+
+/// Table 5: ε and runtime of Algorithm 1 for general ε₀-LDP randomizers at
+/// `δ = 0.01/n`.
+pub fn table5(eps0s: &[f64], ns: &[u64], iterations: &[usize]) -> Vec<Table5Cell> {
+    let mut cells = Vec::new();
+    for &eps0 in eps0s {
+        let params = VariationRatio::ldp_worst_case(eps0).unwrap();
+        for &n in ns {
+            let delta = 0.01 / n as f64;
+            for &iters in iterations {
+                let acc = Accountant::new(params, n).unwrap();
+                let t0 = Instant::now();
+                let eps_full = acc
+                    .epsilon(delta, SearchOptions { iterations: iters, mode: ScanMode::Full })
+                    .unwrap();
+                let full_s = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let eps_tr = acc
+                    .epsilon(
+                        delta,
+                        SearchOptions {
+                            iterations: iters,
+                            mode: ScanMode::Truncated { tail_mass: 1e-14 },
+                        },
+                    )
+                    .unwrap();
+                let trunc_s = t1.elapsed().as_secs_f64();
+                assert!(
+                    (eps_full - eps_tr).abs() <= 1e-6 * eps_full.max(1e-12),
+                    "scan modes must agree: {eps_full} vs {eps_tr}"
+                );
+                cells.push(Table5Cell {
+                    eps0,
+                    n,
+                    iterations: iters,
+                    epsilon: eps_full,
+                    seconds_full: full_s,
+                    seconds_truncated: trunc_s,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Emit Table 5 cells.
+pub fn emit_table5(cells: &[Table5Cell]) {
+    let mut t = ResultTable::new(
+        "table5",
+        &["eps0", "n", "T", "epsilon", "time_full_s", "time_truncated_s"],
+    );
+    for c in cells {
+        t.push_row(vec![
+            f(c.eps0),
+            c.n.to_string(),
+            c.iterations.to_string(),
+            format!("{:.6}", c.epsilon),
+            format!("{:.4}", c.seconds_full),
+            format!("{:.4}", c.seconds_truncated),
+        ]);
+    }
+    t.emit();
+}
+
+/// Table 6 (Appendix K): additional parameters.
+pub fn table6(eps0: f64) -> ResultTable {
+    let mut t = ResultTable::new("table6", &["randomizer", "p", "beta", "q"]);
+    let mut push = |name: &str, vr: VariationRatio| {
+        t.push_row(vec![name.to_string(), f(vr.p()), f(vr.beta()), f(vr.q())]);
+    };
+    push("general (worst case)", VariationRatio::ldp_worst_case(eps0).unwrap());
+    push("Duchi et al. [-1,1]", DuchiScalar::new(eps0).variation_ratio());
+    push("Harmony [-1,1]^8", Harmony::new(8, eps0).variation_ratio());
+    push(
+        "PrivSet s=2 k=3 d=32",
+        PrivSet::new(32, 2, 3, eps0).variation_ratio(),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_betas_never_exceed_worst_case() {
+        let t = table2(1.0, 64);
+        let rendered = t.render();
+        assert!(rendered.contains("GRR"));
+        // Structural check only; numeric assertions live in vr-ldp.
+        assert!(rendered.lines().count() >= 10);
+    }
+
+    #[test]
+    fn table5_smoke_small() {
+        let cells = table5(&[1.0], &[10_000], &[10]);
+        assert_eq!(cells.len(), 1);
+        let c = cells[0];
+        assert!(c.epsilon > 0.0 && c.epsilon < 1.0);
+        assert!(c.seconds_truncated <= c.seconds_full + 0.5);
+    }
+
+    #[test]
+    fn table1_has_five_rows() {
+        assert_eq!(table1().render().lines().count(), 2 + 5);
+    }
+
+    #[test]
+    fn tables_3_4_6_render() {
+        assert!(table3().render().contains("0.5"));
+        assert!(table4().render().contains("pureDUMP"));
+        assert!(table6(1.0).render().contains("PrivSet"));
+    }
+}

@@ -1,0 +1,51 @@
+//! The closed-form amplification bound of Erlingsson, Feldman, Mironov,
+//! Raghunathan, Talwar & Thakurta, *"Amplification by shuffling: From local
+//! to central differential privacy via anonymity"* (SODA 2019), as quoted in
+//! Section 2 of the paper:
+//!
+//! `n` shuffled `ε₀`-LDP messages satisfy `(ε₀·√(144·ln(1/δ)/n), δ)`-DP.
+//!
+//! The original theorem assumes `ε₀ ≤ 1/2` and `n` large enough that the
+//! resulting ε is below `ε₀`; the paper's figures plot the formula across the
+//! whole `ε₀ ∈ [0.1, 5]` sweep, so [`efmrtt_epsilon`] returns the raw value
+//! and exposes the premise check separately.
+
+/// `ε = ε₀·√(144·ln(1/δ)/n)` — the EFMRTT19 closed form.
+pub fn efmrtt_epsilon(eps0: f64, n: u64, delta: f64) -> f64 {
+    assert!(eps0 > 0.0 && n > 0 && (0.0..1.0).contains(&delta) && delta > 0.0);
+    eps0 * (144.0 * (1.0 / delta).ln() / n as f64).sqrt()
+}
+
+/// Whether the original theorem's premises hold for these inputs
+/// (`ε₀ ≤ 1/2` and the bound is actually an amplification, ε < ε₀).
+pub fn efmrtt_premises_hold(eps0: f64, n: u64, delta: f64) -> bool {
+    eps0 <= 0.5 && efmrtt_epsilon(eps0, n, delta) < eps0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_numerics::is_close;
+
+    #[test]
+    fn formula_value() {
+        // eps0 = 0.5, n = 10^6, delta = 1e-6: 0.5 * sqrt(144 * ln(1e6)/1e6).
+        let expected = 0.5 * (144.0 * (1e6f64).ln() / 1e6).sqrt();
+        assert!(is_close(efmrtt_epsilon(0.5, 1_000_000, 1e-6), expected, 1e-12));
+    }
+
+    #[test]
+    fn scaling_in_n_and_delta() {
+        let e1 = efmrtt_epsilon(0.5, 10_000, 1e-6);
+        let e2 = efmrtt_epsilon(0.5, 40_000, 1e-6);
+        assert!(is_close(e1 / e2, 2.0, 1e-12), "inverse-sqrt(n) scaling");
+        assert!(efmrtt_epsilon(0.5, 10_000, 1e-9) > e1, "smaller delta is harder");
+    }
+
+    #[test]
+    fn premises() {
+        assert!(efmrtt_premises_hold(0.4, 1_000_000, 1e-6));
+        assert!(!efmrtt_premises_hold(1.0, 1_000_000, 1e-6)); // eps0 too large
+        assert!(!efmrtt_premises_hold(0.4, 100, 1e-6)); // n too small
+    }
+}

@@ -1,0 +1,153 @@
+//! Privacy curves: the full `δ(ε)` trade-off function of a shuffled
+//! mechanism, as produced by the variation-ratio accountant.
+//!
+//! Accounting tools downstream (plotting, comparison against Gaussian-DP
+//! fits, conversion to f-DP style reports) want the whole curve, not a
+//! single `(ε, δ)` point. A [`PrivacyCurve`] samples `δ(ε)` on a grid and
+//! offers interpolation-free *conservative* queries: `delta_at` returns the
+//! value at the nearest grid point ≤ ε (an upper bound by monotonicity),
+//! `epsilon_at` the nearest grid point with `δ(ε) ≤ δ`.
+
+use crate::accountant::{Accountant, ScanMode};
+use crate::error::{Error, Result};
+
+/// A sampled, monotone non-increasing privacy profile `ε ↦ δ(ε)`.
+#[derive(Debug, Clone)]
+pub struct PrivacyCurve {
+    eps: Vec<f64>,
+    delta: Vec<f64>,
+}
+
+impl PrivacyCurve {
+    /// Sample the accountant's `δ(ε)` on `points` equally spaced ε values in
+    /// `[0, eps_max]`.
+    pub fn sample(acc: &Accountant, eps_max: f64, points: usize, mode: ScanMode) -> Result<Self> {
+        if points < 2 {
+            return Err(Error::InvalidParameter("need at least two grid points".into()));
+        }
+        if !(eps_max > 0.0) || !eps_max.is_finite() {
+            return Err(Error::InvalidParameter(format!("invalid eps_max = {eps_max}")));
+        }
+        let step = eps_max / (points - 1) as f64;
+        let eps: Vec<f64> = (0..points).map(|i| step * i as f64).collect();
+        let delta: Vec<f64> = eps.iter().map(|&e| acc.delta(e, mode)).collect();
+        Ok(Self { eps, delta })
+    }
+
+    /// The sampled grid as `(ε, δ)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.eps.iter().copied().zip(self.delta.iter().copied())
+    }
+
+    /// Conservative `δ` at `eps`: the sampled value at the largest grid
+    /// point ≤ `eps` (valid upper bound since `δ(·)` is non-increasing).
+    pub fn delta_at(&self, eps: f64) -> f64 {
+        match self.eps.iter().rposition(|&e| e <= eps) {
+            Some(i) => self.delta[i],
+            None => 1.0, // eps below the grid start: no guarantee claimed
+        }
+    }
+
+    /// Conservative `ε` at `delta`: the smallest grid point whose sampled
+    /// `δ` is ≤ `delta`; `None` if the curve never gets there.
+    pub fn epsilon_at(&self, delta: f64) -> Option<f64> {
+        self.delta
+            .iter()
+            .position(|&d| d <= delta)
+            .map(|i| self.eps[i])
+    }
+
+    /// Hockey-stick divergence is an f-divergence: the curve must be convex
+    /// non-increasing. Returns the largest convexity violation on the grid
+    /// (≈ 0 up to numerical noise) — exposed for validation suites.
+    pub fn max_convexity_violation(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for w in self.delta.windows(3) {
+            // Midpoint above chord = concave kink.
+            let chord = 0.5 * (w[0] + w[2]);
+            worst = worst.max(w[1] - chord);
+        }
+        worst
+    }
+
+    /// Approximate the curve by the closest Gaussian-mechanism profile:
+    /// returns the `μ` of a Gaussian-DP mechanism whose `(ε, δ(ε))` passes
+    /// through the curve's point at the given ε (useful for quick f-DP
+    /// style summaries of a shuffled mechanism).
+    pub fn gaussian_mu_at(&self, eps: f64) -> Option<f64> {
+        let delta = self.delta_at(eps);
+        if !(0.0 < delta && delta < 1.0) {
+            return None;
+        }
+        // Gaussian mechanism: δ(ε) = Φ(−ε/μ + μ/2) − e^ε·Φ(−ε/μ − μ/2);
+        // bisection on μ (δ is increasing in μ for fixed ε ≥ 0).
+        let delta_of = |mu: f64| {
+            let phi = |x: f64| vr_numerics::erf::normal_cdf(x);
+            phi(-eps / mu + mu / 2.0) - eps.exp() * phi(-eps / mu - mu / 2.0)
+        };
+        let bracket = vr_numerics::search::bisect_monotone(
+            |mu| delta_of(mu) >= delta,
+            1e-6,
+            50.0,
+            60,
+        );
+        Some(bracket.feasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::VariationRatio;
+
+    fn curve() -> PrivacyCurve {
+        let vr = VariationRatio::ldp_worst_case(2.0).unwrap();
+        let acc = Accountant::new(vr, 10_000).unwrap();
+        PrivacyCurve::sample(&acc, 2.0, 64, ScanMode::default()).unwrap()
+    }
+
+    #[test]
+    fn curve_is_monotone_and_convexish() {
+        let c = curve();
+        let pts: Vec<(f64, f64)> = c.points().collect();
+        assert_eq!(pts.len(), 64);
+        for w in pts.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12, "curve not monotone");
+        }
+        assert!(
+            c.max_convexity_violation() < 1e-6,
+            "convexity violated by {}",
+            c.max_convexity_violation()
+        );
+    }
+
+    #[test]
+    fn conservative_queries() {
+        let c = curve();
+        // delta_at between grid points returns the left (larger) value.
+        let d1 = c.delta_at(0.1000001);
+        let d2 = c.delta_at(0.11);
+        assert!(d1 >= d2);
+        // epsilon_at inverts delta_at conservatively.
+        let eps = c.epsilon_at(1e-6).unwrap();
+        assert!(c.delta_at(eps) <= 1e-6);
+        assert!(c.epsilon_at(0.0).is_none() || c.delta_at(2.0) == 0.0);
+        assert_eq!(c.delta_at(-0.5), 1.0);
+    }
+
+    #[test]
+    fn gaussian_summary_is_sane() {
+        let c = curve();
+        let mu = c.gaussian_mu_at(0.5).unwrap();
+        // A strongly-amplified mechanism should look like a small-μ Gaussian.
+        assert!(mu > 0.0 && mu < 2.0, "mu = {mu}");
+    }
+
+    #[test]
+    fn invalid_grids_rejected() {
+        let vr = VariationRatio::ldp_worst_case(1.0).unwrap();
+        let acc = Accountant::new(vr, 100).unwrap();
+        assert!(PrivacyCurve::sample(&acc, 1.0, 1, ScanMode::default()).is_err());
+        assert!(PrivacyCurve::sample(&acc, 0.0, 8, ScanMode::default()).is_err());
+    }
+}

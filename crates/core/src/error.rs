@@ -1,0 +1,31 @@
+//! Error type shared by all accounting entry points.
+
+use std::fmt;
+
+/// Errors produced by the variation-ratio accounting APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A parameter violates its documented domain (e.g. `β > (p−1)/(p+1)`).
+    InvalidParameter(String),
+    /// A closed-form theorem's side conditions are not met for these inputs;
+    /// the numerical accountant should be used instead.
+    NotApplicable(String),
+    /// The requested `(ε, δ)` point is unachievable, e.g. `δ` is below the
+    /// irreducible failure mass of a multi-message protocol with `p = ∞`.
+    Unachievable(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::NotApplicable(msg) => write!(f, "bound not applicable: {msg}"),
+            Error::Unachievable(msg) => write!(f, "target not achievable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

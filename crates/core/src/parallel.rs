@@ -1,0 +1,217 @@
+//! Parallel composition in the shuffle model (Section 6 of the paper).
+//!
+//! Multi-query tasks let each user sample one query `k ~ P_k` and answer it
+//! with a full-budget `ε₀`-LDP base randomizer `M_k` (Algorithm 2). Since all
+//! users run the same composite randomizer, the whole population amplifies
+//! together:
+//!
+//! * **Basic composition** — account the composite with the worst-case
+//!   `β = (e^{ε₀}−1)/(e^{ε₀}+1)`.
+//! * **Advanced composition (Theorem 6.1)** — the composite's total variation
+//!   is bounded by the *expected* total variation of the base randomizers,
+//!   `β̄ = Σ_k P[k]·β_k`, which is dramatically smaller when the bases have
+//!   structured outputs (e.g. GRR over large domains).
+//! * **Separate cohorts** — the naive alternative that splits the population
+//!   into `K` cohorts, each amplifying alone with `n/K` users.
+//!
+//! [`hierarchical_range_query`] instantiates the Section 7.3 workload:
+//! domain `[1, d]`, `H = log₂ d` hierarchy levels, level `h` answered by
+//! generalized randomized response over `d/2^h` categories.
+
+use crate::accountant::{Accountant, SearchOptions};
+use crate::error::{Error, Result};
+use crate::params::VariationRatio;
+
+/// A parallel query workload: sampling probabilities and per-query total
+/// variation bounds of the base randomizers (all `ε₀`-LDP).
+#[derive(Debug, Clone)]
+pub struct ParallelWorkload {
+    eps0: f64,
+    /// `(probability, beta_k)` of each base randomizer.
+    components: Vec<(f64, f64)>,
+}
+
+impl ParallelWorkload {
+    /// Build a workload from `(P[k], β_k)` pairs. Probabilities must sum to 1
+    /// and each `β_k` must be a valid total variation bound for an
+    /// `ε₀`-LDP randomizer.
+    pub fn new(eps0: f64, components: Vec<(f64, f64)>) -> Result<Self> {
+        if !eps0.is_finite() || eps0 <= 0.0 {
+            return Err(Error::InvalidParameter(format!("eps0 must be positive, got {eps0}")));
+        }
+        if components.is_empty() {
+            return Err(Error::InvalidParameter("workload needs at least one query".into()));
+        }
+        let total: f64 = components.iter().map(|c| c.0).sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(Error::InvalidParameter(format!(
+                "query probabilities must sum to 1 (got {total})"
+            )));
+        }
+        let beta_max = (eps0.exp() - 1.0) / (eps0.exp() + 1.0);
+        for &(pk, bk) in &components {
+            if !(0.0..=1.0).contains(&pk) {
+                return Err(Error::InvalidParameter(format!("probability {pk} out of range")));
+            }
+            if !(0.0..=1.0).contains(&bk) || bk > beta_max + 1e-12 {
+                return Err(Error::InvalidParameter(format!(
+                    "beta_k = {bk} exceeds the eps0-LDP maximum {beta_max}"
+                )));
+            }
+        }
+        Ok(Self { eps0, components })
+    }
+
+    /// Uniform query selection over the given per-query betas.
+    pub fn uniform(eps0: f64, betas: &[f64]) -> Result<Self> {
+        let k = betas.len();
+        if k == 0 {
+            return Err(Error::InvalidParameter("workload needs at least one query".into()));
+        }
+        Self::new(eps0, betas.iter().map(|&b| (1.0 / k as f64, b)).collect())
+    }
+
+    /// Local budget of every base randomizer.
+    pub fn eps0(&self) -> f64 {
+        self.eps0
+    }
+
+    /// Number of parallel queries.
+    pub fn num_queries(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Theorem 6.1's expected total variation `β̄ = Σ_k P[k]·β_k`.
+    pub fn mean_beta(&self) -> f64 {
+        self.components.iter().map(|&(pk, bk)| pk * bk).sum()
+    }
+
+    /// Variation-ratio parameters under **advanced** parallel composition:
+    /// `(e^{ε₀}, β̄, e^{ε₀})`.
+    pub fn advanced_params(&self) -> Result<VariationRatio> {
+        VariationRatio::ldp_with_beta(self.eps0, self.mean_beta())
+    }
+
+    /// Variation-ratio parameters under **basic** parallel composition:
+    /// the worst case `(e^{ε₀}, (e^{ε₀}−1)/(e^{ε₀}+1), e^{ε₀})`.
+    pub fn basic_params(&self) -> Result<VariationRatio> {
+        VariationRatio::ldp_worst_case(self.eps0)
+    }
+
+    /// Amplified ε with the advanced composition for `n` users.
+    pub fn advanced_epsilon(&self, n: u64, delta: f64, opts: SearchOptions) -> Result<f64> {
+        Accountant::new(self.advanced_params()?, n)?.epsilon(delta, opts)
+    }
+
+    /// Amplified ε with the basic composition for `n` users.
+    pub fn basic_epsilon(&self, n: u64, delta: f64, opts: SearchOptions) -> Result<f64> {
+        Accountant::new(self.basic_params()?, n)?.epsilon(delta, opts)
+    }
+
+    /// Amplified ε of the **separate-cohorts** approach: `n/K` users amplify
+    /// each query alone with the given per-cohort β (`separate, best` uses
+    /// the smallest β_k; `separate, worst` uses the worst-case β).
+    pub fn separate_epsilon(
+        &self,
+        n: u64,
+        delta: f64,
+        beta: f64,
+        opts: SearchOptions,
+    ) -> Result<f64> {
+        let cohort = (n / self.num_queries() as u64).max(1);
+        let params = VariationRatio::ldp_with_beta(self.eps0, beta)?;
+        Accountant::new(params, cohort)?.epsilon(delta, opts)
+    }
+}
+
+/// The Section 7.3 hierarchical range-query workload over a categorical
+/// domain of size `d = 2^H`: each user uniformly picks a level
+/// `h ∈ [0, H−1]` and reports its block via GRR over `d/2^h` categories,
+/// whose total variation is `(e^{ε₀}−1)/(e^{ε₀} + d/2^h − 1)` (Table 2).
+pub fn hierarchical_range_query(eps0: f64, d: u64) -> Result<ParallelWorkload> {
+    if d < 2 || !d.is_power_of_two() {
+        return Err(Error::InvalidParameter(format!(
+            "domain size must be a power of two >= 2, got {d}"
+        )));
+    }
+    let h_levels = d.ilog2() as usize;
+    let e = eps0.exp();
+    let betas: Vec<f64> =
+        (0..h_levels).map(|h| (e - 1.0) / (e + (d >> h) as f64 - 1.0)).collect();
+    ParallelWorkload::uniform(eps0, &betas)
+}
+
+/// GRR total variation over `d` categories (Table 2 row), exposed for the
+/// `separate, best` curve of Figure 5.
+pub fn grr_beta(eps0: f64, d: u64) -> f64 {
+    let e = eps0.exp();
+    (e - 1.0) / (e + d as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_numerics::is_close;
+
+    #[test]
+    fn mean_beta_is_expectation() {
+        let w = ParallelWorkload::new(1.0, vec![(0.25, 0.1), (0.75, 0.3)]).unwrap();
+        assert!(is_close(w.mean_beta(), 0.25 * 0.1 + 0.75 * 0.3, 1e-15));
+    }
+
+    #[test]
+    fn advanced_beats_basic() {
+        let w = hierarchical_range_query(1.0, 64).unwrap();
+        let opts = SearchOptions::default();
+        let adv = w.advanced_epsilon(10_000, 1e-6, opts).unwrap();
+        let basic = w.basic_epsilon(10_000, 1e-6, opts).unwrap();
+        assert!(adv < basic, "advanced {adv} should beat basic {basic}");
+        // Figure 5 headline: large savings kick in at larger eps0 / domain,
+        // where β̄ is far below the worst case.
+        let w = hierarchical_range_query(0.5, 2048).unwrap();
+        let adv = w.advanced_epsilon(100_000, 1e-7, opts).unwrap();
+        let basic = w.basic_epsilon(100_000, 1e-7, opts).unwrap();
+        // β̄ ≈ 0.049 vs worst-case 0.245 here, so ε shrinks by ~√5.
+        assert!(adv < 0.7 * basic, "expected substantial savings: {adv} vs {basic}");
+    }
+
+    #[test]
+    fn parallel_beats_separate_cohorts() {
+        let d = 64u64;
+        let eps0 = 2.0;
+        let w = hierarchical_range_query(eps0, d).unwrap();
+        let opts = SearchOptions::default();
+        let n = 100_000;
+        let adv = w.advanced_epsilon(n, 1e-7, opts).unwrap();
+        let sep_best = w.separate_epsilon(n, 1e-7, grr_beta(eps0, d), opts).unwrap();
+        assert!(adv < sep_best, "parallel {adv} should beat separate {sep_best}");
+    }
+
+    #[test]
+    fn hierarchy_betas_match_table2() {
+        let eps0 = 1.0;
+        let d = 16u64;
+        let w = hierarchical_range_query(eps0, d).unwrap();
+        assert_eq!(w.num_queries(), 4);
+        let e = eps0.exp();
+        let expected: f64 = (0..4)
+            .map(|h| 0.25 * (e - 1.0) / (e + (d >> h) as f64 - 1.0))
+            .sum();
+        assert!(is_close(w.mean_beta(), expected, 1e-14));
+    }
+
+    #[test]
+    fn rejects_bad_workloads() {
+        assert!(ParallelWorkload::new(1.0, vec![]).is_err());
+        assert!(ParallelWorkload::new(1.0, vec![(0.5, 0.1)]).is_err()); // probs != 1
+        assert!(ParallelWorkload::new(1.0, vec![(1.0, 0.99)]).is_err()); // beta too big
+        assert!(hierarchical_range_query(1.0, 63).is_err());
+        assert!(hierarchical_range_query(1.0, 1).is_err());
+    }
+
+    #[test]
+    fn single_query_advanced_equals_its_beta() {
+        let w = ParallelWorkload::new(1.0, vec![(1.0, 0.2)]).unwrap();
+        assert!(is_close(w.advanced_params().unwrap().beta(), 0.2, 1e-15));
+    }
+}

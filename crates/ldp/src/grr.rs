@@ -1,0 +1,208 @@
+//! Generalized randomized response (GRR / k-ary randomized response) —
+//! Kairouz–Bonawitz–Ramage; Table 2 row "general randomized response".
+//!
+//! `P[y = x] = e^{ε}/(e^{ε}+d−1)`, every other category with probability
+//! `1/(e^{ε}+d−1)`. An *extremal-design* mechanism: every probability ratio
+//! is in `{1, e^{ε}, e^{−ε}}`, so the paper's upper bound is exactly tight
+//! for `d ≥ 3` (Section 5).
+
+use crate::traits::{AmplifiableMechanism, FrequencyMechanism, Report};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vr_core::VariationRatio;
+
+/// Generalized randomized response over `d ≥ 2` categories.
+#[derive(Debug, Clone, Copy)]
+pub struct Grr {
+    d: usize,
+    eps0: f64,
+}
+
+impl Grr {
+    /// Create GRR over `d` categories with budget `eps0`.
+    ///
+    /// # Panics
+    /// Panics if `d < 2` or `eps0` is not positive and finite.
+    pub fn new(d: usize, eps0: f64) -> Self {
+        assert!(d >= 2, "GRR needs at least 2 categories");
+        assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
+        Self { d, eps0 }
+    }
+
+    /// `P[y = x]`.
+    pub fn p_keep(&self) -> f64 {
+        let e = self.eps0.exp();
+        e / (e + self.d as f64 - 1.0)
+    }
+
+    /// `P[y = c]` for any `c ≠ x`.
+    pub fn p_switch(&self) -> f64 {
+        1.0 / (self.eps0.exp() + self.d as f64 - 1.0)
+    }
+
+    /// Table 2: `β = (e^{ε}−1)/(e^{ε}+d−1)`.
+    pub fn beta(&self) -> f64 {
+        let e = self.eps0.exp();
+        (e - 1.0) / (e + self.d as f64 - 1.0)
+    }
+}
+
+impl AmplifiableMechanism for Grr {
+    fn eps0(&self) -> f64 {
+        self.eps0
+    }
+
+    fn variation_ratio(&self) -> VariationRatio {
+        VariationRatio::ldp_with_beta(self.eps0, self.beta())
+            .expect("GRR beta is always within the LDP ceiling")
+    }
+}
+
+impl FrequencyMechanism for Grr {
+    fn domain_size(&self) -> usize {
+        self.d
+    }
+
+    fn randomize(&self, x: usize, rng: &mut StdRng) -> Report {
+        assert!(x < self.d, "input {x} outside domain [0, {})", self.d);
+        if rng.random_bool(self.p_keep()) {
+            Report::Category(x as u32)
+        } else {
+            // Uniform over the other d−1 categories.
+            let mut y = rng.random_range(0..self.d - 1);
+            if y >= x {
+                y += 1;
+            }
+            Report::Category(y as u32)
+        }
+    }
+
+    fn supports(&self, report: &Report, v: usize) -> bool {
+        matches!(report, Report::Category(c) if *c as usize == v)
+    }
+
+    fn support_probs(&self) -> (f64, f64) {
+        (self.p_keep(), self.p_switch())
+    }
+
+    fn collapsed_distributions(&self) -> Option<Vec<Vec<f64>>> {
+        let rows = (0..self.d)
+            .map(|x| {
+                (0..self.d)
+                    .map(|y| if y == x { self.p_keep() } else { self.p_switch() })
+                    .collect()
+            })
+            .collect();
+        Some(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vr_numerics::is_close;
+
+    #[test]
+    fn pmf_normalizes_and_is_ldp() {
+        for &(d, e0) in &[(2usize, 0.5f64), (8, 1.0), (128, 3.0)] {
+            let g = Grr::new(d, e0);
+            let total = g.p_keep() + (d - 1) as f64 * g.p_switch();
+            assert!(is_close(total, 1.0, 1e-12));
+            assert!(is_close(g.p_keep() / g.p_switch(), e0.exp(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn beta_is_exact_total_variation() {
+        let g = Grr::new(5, 1.3);
+        let rows = g.collapsed_distributions().unwrap();
+        let tv = vr_core::hockey_stick::total_variation(&rows[0], &rows[1]);
+        assert!(is_close(tv, g.beta(), 1e-12));
+    }
+
+    #[test]
+    fn beta_below_worst_case_for_d_gt_2() {
+        let e0 = 2.0f64;
+        let wc = (e0.exp() - 1.0) / (e0.exp() + 1.0);
+        assert!(is_close(Grr::new(2, e0).beta(), wc, 1e-12), "d=2 is the worst case");
+        for d in [3usize, 10, 100] {
+            assert!(Grr::new(d, e0).beta() < wc);
+        }
+    }
+
+    #[test]
+    fn sampler_matches_pmf() {
+        let g = Grr::new(6, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 120_000;
+        let mut counts = [0u64; 6];
+        for _ in 0..trials {
+            if let Report::Category(y) = g.randomize(2, &mut rng) {
+                counts[y as usize] += 1;
+            }
+        }
+        for (y, &c) in counts.iter().enumerate() {
+            let expected = if y == 2 { g.p_keep() } else { g.p_switch() };
+            let emp = c as f64 / trials as f64;
+            assert!((emp - expected).abs() < 6e-3, "y={y}: {emp} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn frequency_estimation_is_consistent() {
+        let g = Grr::new(4, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 60_000u64;
+        let truth = [0.4, 0.3, 0.2, 0.1];
+        let mut counts = vec![0u64; 4];
+        for i in 0..n {
+            // Deterministic inputs matching `truth` proportions.
+            let u = i as f64 / n as f64;
+            let x = if u < 0.4 {
+                0
+            } else if u < 0.7 {
+                1
+            } else if u < 0.9 {
+                2
+            } else {
+                3
+            };
+            let rep = g.randomize(x, &mut rng);
+            for (v, c) in counts.iter_mut().enumerate() {
+                if g.supports(&rep, v) {
+                    *c += 1;
+                }
+            }
+        }
+        let (pt, pf) = g.support_probs();
+        let est = crate::traits::estimate_frequencies(&counts, n, pt, pf);
+        for (e, t) in est.iter().zip(truth.iter()) {
+            assert!((e - t).abs() < 0.02, "estimate {e} vs truth {t}");
+        }
+    }
+
+    #[test]
+    fn extremal_probability_design() {
+        // All ratios must lie in {1, e^{ε}, e^{−ε}} — the Section 5 tightness
+        // criterion.
+        let g = Grr::new(7, 1.1);
+        let rows = g.collapsed_distributions().unwrap();
+        let e = 1.1f64.exp();
+        for a in 0..7 {
+            for b in 0..7 {
+                for (ya, yb) in rows[a].iter().zip(&rows[b]) {
+                    let ratio = ya / yb;
+                    let ok = [1.0, e, 1.0 / e].iter().any(|t| is_close(ratio, *t, 1e-9));
+                    assert!(ok, "ratio {ratio} not extremal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_domain() {
+        let _ = Grr::new(1, 1.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Hadamard response (Acharya, Sun & Zhang, 2018) — Table 2 rows
+//! "Hadamard response (K, s, B = 1)".
+//!
+//! Input `x` is associated with the `+1`-positions `C_x` of row `x+1` of the
+//! Sylvester Hadamard matrix `H_K` (`|C_x| = s = K/2`); the output is a
+//! column index `y ∈ [K]` drawn with probability proportional to `e^{ε}` for
+//! `y ∈ C_x` and `1` otherwise. Any two distinct rows overlap in exactly
+//! `K/2` positions, so `|C_x \ C_{x'}| = K/4` and the total variation is
+//! `β = (K/4)(e^{ε}−1)/Z = s(e^{ε}−1)/2 / (s·e^{ε} + K − s)` — the Table 2
+//! `B = 1` row. Extremal design ⇒ exactly tight amplification (Section 5).
+
+use crate::traits::{AmplifiableMechanism, FrequencyMechanism, Report};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vr_core::VariationRatio;
+
+/// Hadamard response over `d` values embedded into `K = 2^⌈log₂(d+1)⌉`
+/// columns.
+#[derive(Debug, Clone, Copy)]
+pub struct HadamardResponse {
+    d: usize,
+    k_cols: usize,
+    eps0: f64,
+}
+
+/// Entry `H[i][j] ∈ {+1, −1}` of the Sylvester Hadamard matrix:
+/// `+1` iff `popcount(i & j)` is even.
+fn hadamard_entry_positive(i: u64, j: u64) -> bool {
+    (i & j).count_ones().is_multiple_of(2)
+}
+
+impl HadamardResponse {
+    /// Create the mechanism for `d ≥ 2` values.
+    pub fn new(d: usize, eps0: f64) -> Self {
+        assert!(d >= 2, "need at least 2 values");
+        assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
+        let k_cols = (d + 1).next_power_of_two();
+        Self { d, k_cols, eps0 }
+    }
+
+    /// Output alphabet size `K`.
+    pub fn k_cols(&self) -> usize {
+        self.k_cols
+    }
+
+    /// Block size `s = K/2`.
+    pub fn s(&self) -> usize {
+        self.k_cols / 2
+    }
+
+    /// Normalizer `Z = s·e^{ε} + K − s`.
+    fn z(&self) -> f64 {
+        let s = self.s() as f64;
+        s * self.eps0.exp() + self.k_cols as f64 - s
+    }
+
+    /// Table 2 (B = 1): `β = s(e^{ε}−1)/2 / (s·e^{ε} + K − s)`.
+    pub fn beta(&self) -> f64 {
+        self.s() as f64 * (self.eps0.exp() - 1.0) / 2.0 / self.z()
+    }
+
+    /// Whether column `y` is in `C_x` (the boosted set of input `x`).
+    fn in_block(&self, x: usize, y: usize) -> bool {
+        hadamard_entry_positive((x + 1) as u64, y as u64)
+    }
+}
+
+impl AmplifiableMechanism for HadamardResponse {
+    fn eps0(&self) -> f64 {
+        self.eps0
+    }
+
+    fn variation_ratio(&self) -> VariationRatio {
+        VariationRatio::ldp_with_beta(self.eps0, self.beta())
+            .expect("Hadamard beta is always within the LDP ceiling")
+    }
+}
+
+impl FrequencyMechanism for HadamardResponse {
+    fn domain_size(&self) -> usize {
+        self.d
+    }
+
+    fn randomize(&self, x: usize, rng: &mut StdRng) -> Report {
+        assert!(x < self.d, "input {x} outside domain");
+        let s = self.s();
+        let in_prob = s as f64 * self.eps0.exp() / self.z();
+        let want_in = rng.random_bool(in_prob);
+        // Sample the j-th column (uniformly) among those with the desired
+        // membership; both classes have exactly K/2 members.
+        let target = rng.random_range(0..s);
+        let mut seen = 0usize;
+        for y in 0..self.k_cols {
+            if self.in_block(x, y) == want_in {
+                if seen == target {
+                    return Report::Hadamard(y as u32);
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("both membership classes have exactly K/2 columns");
+    }
+
+    fn supports(&self, report: &Report, v: usize) -> bool {
+        matches!(report, Report::Hadamard(y) if self.in_block(v, *y as usize))
+    }
+
+    fn support_probs(&self) -> (f64, f64) {
+        let s = self.s() as f64;
+        let e = self.eps0.exp();
+        let z = self.z();
+        // P[y ∈ C_v | x = v] = s·e^{ε}/Z; for u ≠ v the blocks overlap in
+        // exactly s/2 boosted positions: (s/2)(e^{ε}+1)/Z.
+        (s * e / z, s / 2.0 * (e + 1.0) / z)
+    }
+
+    /// Exact collapsed rows for the representative inputs `0, 1, 2` —
+    /// Hadamard rows `1, 2, 3`. Because `H₃ = H₁·H₂`, the three membership
+    /// bits collapse to the four sign patterns of `(H₁, H₂)` (each of exactly
+    /// `K/4` columns) with `H₃ = +1` iff the signs agree. Row 3 is the
+    /// *optimal blanket* for the pair `(row 1, row 2)`: it is uniformly
+    /// un-boosted on their whole differing region, which is exactly the
+    /// configuration under which Theorem 5.1's lower bound meets the upper
+    /// bound (extremal tightness). Requires `K ≥ 4` and `d ≥ 3`.
+    fn collapsed_distributions(&self) -> Option<Vec<Vec<f64>>> {
+        if self.k_cols < 4 || self.d < 3 {
+            return None;
+        }
+        let e = self.eps0.exp();
+        let z = self.z();
+        let class_size = (self.k_cols / 4) as f64;
+        // Classes indexed by (b1, b2) with bit = 1 meaning H = +1;
+        // b3 = [b1 == b2].
+        let mut rows = vec![vec![0.0; 4]; 3];
+        for (class, _) in (0..4usize).enumerate() {
+            let b1 = class & 1 == 1;
+            let b2 = class >> 1 & 1 == 1;
+            let b3 = b1 == b2;
+            for (row, &b) in rows.iter_mut().zip([b1, b2, b3].iter()) {
+                row[class] = if b { e } else { 1.0 } * class_size / z;
+            }
+        }
+        Some(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vr_numerics::is_close;
+
+    #[test]
+    fn block_sizes_and_overlaps() {
+        let m = HadamardResponse::new(10, 1.0);
+        let k = m.k_cols();
+        assert_eq!(k, 16);
+        for x in 0..10usize {
+            let cx: Vec<usize> = (0..k).filter(|&y| m.in_block(x, y)).collect();
+            assert_eq!(cx.len(), k / 2, "block of {x}");
+            for x2 in 0..x {
+                let overlap = cx.iter().filter(|&&y| m.in_block(x2, y)).count();
+                assert_eq!(overlap, k / 4, "overlap of {x} and {x2}");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_matches_direct_total_variation() {
+        let m = HadamardResponse::new(6, 1.4);
+        let k = m.k_cols();
+        let e = 1.4f64.exp();
+        let z = m.z();
+        let dist = |x: usize| -> Vec<f64> {
+            (0..k).map(|y| if m.in_block(x, y) { e / z } else { 1.0 / z }).collect()
+        };
+        let tv = vr_core::hockey_stick::total_variation(&dist(0), &dist(1));
+        assert!(is_close(tv, m.beta(), 1e-12), "{tv} vs {}", m.beta());
+    }
+
+    #[test]
+    fn sampler_matches_support_probs() {
+        let m = HadamardResponse::new(12, 1.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        let trials = 60_000;
+        let (mut st, mut sf) = (0u64, 0u64);
+        for _ in 0..trials {
+            let rep = m.randomize(5, &mut rng);
+            if m.supports(&rep, 5) {
+                st += 1;
+            }
+            if m.supports(&rep, 9) {
+                sf += 1;
+            }
+        }
+        let (pt, pf) = m.support_probs();
+        assert!(((st as f64 / trials as f64) - pt).abs() < 7e-3);
+        assert!(((sf as f64 / trials as f64) - pf).abs() < 7e-3);
+    }
+
+    #[test]
+    fn collapsed_rows_are_valid() {
+        let m = HadamardResponse::new(20, 1.0);
+        let rows = m.collapsed_distributions().unwrap();
+        for row in &rows {
+            let s: f64 = row.iter().sum();
+            assert!(is_close(s, 1.0, 1e-12));
+        }
+        let tv = vr_core::hockey_stick::total_variation(&rows[0], &rows[1]);
+        assert!(is_close(tv, m.beta(), 1e-12));
+    }
+
+    #[test]
+    fn extremal_design_ratios() {
+        let m = HadamardResponse::new(20, 1.2);
+        let rows = m.collapsed_distributions().unwrap();
+        let e = 1.2f64.exp();
+        for a in 0..rows.len() {
+            for b in 0..rows.len() {
+                for (ya, yb) in rows[a].iter().zip(&rows[b]) {
+                    let ratio = ya / yb;
+                    assert!(
+                        [1.0, e, 1.0 / e].iter().any(|t| is_close(ratio, *t, 1e-9)),
+                        "ratio {ratio} not extremal"
+                    );
+                }
+            }
+        }
+    }
+}

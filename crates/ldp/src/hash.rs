@@ -1,0 +1,58 @@
+//! Deterministic 64-bit mixing used to simulate per-user hash functions
+//! (optimal local hash, Wheel). SplitMix64 — tiny, well-distributed, and
+//! reproducible across runs, which the protocol simulations rely on.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a value `v` under per-user `seed` into `[0, buckets)`.
+pub fn hash_to_bucket(seed: u64, v: u64, buckets: u64) -> u64 {
+    assert!(buckets > 0);
+    splitmix64(seed ^ splitmix64(v)) % buckets
+}
+
+/// Hash a value `v` under `seed` to a point in `[0, 1)`.
+pub fn hash_to_unit(seed: u64, v: u64) -> f64 {
+    (splitmix64(seed ^ splitmix64(v)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_eq!(hash_to_bucket(7, 3, 16), hash_to_bucket(7, 3, 16));
+    }
+
+    #[test]
+    fn buckets_are_roughly_uniform() {
+        let buckets = 8u64;
+        let mut counts = vec![0u64; buckets as usize];
+        let trials = 80_000u64;
+        for v in 0..trials {
+            counts[hash_to_bucket(12345, v, buckets) as usize] += 1;
+        }
+        let expected = trials as f64 / buckets as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < 0.05 * expected,
+                "bucket {b}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_hash_in_range() {
+        for v in 0..1000 {
+            let u = hash_to_unit(99, v);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

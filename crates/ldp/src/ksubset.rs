@@ -1,0 +1,302 @@
+//! The k-subset mechanism (Wang et al. TPDS 2019; Ye–Barg IT 2018) — optimal
+//! discrete distribution estimation in the medium-privacy regime.
+//!
+//! The output is a size-`k` subset `S ⊆ [d]`, drawn with probability
+//! proportional to `e^{ε}` when `x ∈ S` and `1` otherwise. Table 2 row:
+//! `β = (e^{ε}−1)(C(d−1,k−1) − C(d−2,k−2)) / (e^{ε}C(d−1,k−1) + C(d−1,k))`.
+//! Extremal design (hence exactly tight amplification) for `k ≤ 2`.
+
+use crate::traits::{AmplifiableMechanism, FrequencyMechanism, Report};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vr_core::VariationRatio;
+use vr_numerics::ln_binomial;
+
+/// The k-subset mechanism over `d` categories.
+#[derive(Debug, Clone, Copy)]
+pub struct KSubset {
+    d: usize,
+    k: usize,
+    eps0: f64,
+}
+
+/// `C(n, k)` in f64, `0` outside the valid range (exact for the moderate
+/// arguments used in subset weight ratios).
+fn binom(n: i64, k: i64) -> f64 {
+    if k < 0 || n < 0 || k > n {
+        return 0.0;
+    }
+    ln_binomial(n as u64, k as u64).exp()
+}
+
+impl KSubset {
+    /// Create the mechanism; requires `1 ≤ k < d`.
+    pub fn new(d: usize, k: usize, eps0: f64) -> Self {
+        assert!(k >= 1 && k < d, "need 1 <= k < d (got k={k}, d={d})");
+        assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
+        Self { d, k, eps0 }
+    }
+
+    /// The paper's recommended cardinality `k = ⌈d/(e^{ε}+1)⌉` (utility-
+    /// optimal for distribution estimation).
+    pub fn optimal(d: usize, eps0: f64) -> Self {
+        let k = ((d as f64 / (eps0.exp() + 1.0)).ceil() as usize).clamp(1, d - 1);
+        Self::new(d, k, eps0)
+    }
+
+    /// Chosen subset cardinality.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Normalizer `Z = e^{ε}·C(d−1,k−1) + C(d−1,k)` (as a ratio base; all
+    /// probabilities below are relative to it).
+    fn z(&self) -> f64 {
+        let (d, k) = (self.d as i64, self.k as i64);
+        self.eps0.exp() * binom(d - 1, k - 1) + binom(d - 1, k)
+    }
+
+    /// `P[x ∈ S]` — the probability the true value is covered.
+    pub fn p_include(&self) -> f64 {
+        let (d, k) = (self.d as i64, self.k as i64);
+        self.eps0.exp() * binom(d - 1, k - 1) / self.z()
+    }
+
+    /// Table 2 total variation bound.
+    pub fn beta(&self) -> f64 {
+        let (d, k) = (self.d as i64, self.k as i64);
+        let e = self.eps0.exp();
+        (e - 1.0) * (binom(d - 1, k - 1) - binom(d - 2, k - 2)) / self.z()
+    }
+
+    /// Total-variation similarity `γ` of the blanket (Section 7.1):
+    /// `γ = C(d,k)/(e^{ε}C(d−1,k−1) + C(d−1,k))`.
+    pub fn gamma(&self) -> f64 {
+        let (d, k) = (self.d as i64, self.k as i64);
+        binom(d, k) / self.z()
+    }
+
+    /// Exact blanket profile for the privacy-blanket "specific" baseline:
+    /// victim pair rows over the 8 collapsed membership classes plus the
+    /// pointwise minimum envelope `env(class) = |class|/Z` (every individual
+    /// subset has minimum weight 1 because some input is always excluded).
+    pub fn blanket_profile(&self) -> vr_core::Result<vr_core::baselines::BlanketProfile> {
+        let rows = <Self as FrequencyMechanism>::collapsed_distributions(self)
+            .ok_or_else(|| {
+                vr_core::Error::NotApplicable("need d >= 4 for the collapsed profile".into())
+            })?;
+        let (d, k) = (self.d as i64, self.k as i64);
+        let z = self.z();
+        let envelope: Vec<f64> = (0..8u32)
+            .map(|class| {
+                let j = class.count_ones() as i64;
+                binom(d - 3, k - j) / z
+            })
+            .collect();
+        vr_core::baselines::BlanketProfile::from_parts(
+            rows[0].clone(),
+            rows[1].clone(),
+            envelope,
+        )
+    }
+}
+
+impl AmplifiableMechanism for KSubset {
+    fn eps0(&self) -> f64 {
+        self.eps0
+    }
+
+    fn variation_ratio(&self) -> VariationRatio {
+        VariationRatio::ldp_with_beta(self.eps0, self.beta())
+            .expect("subset beta is always within the LDP ceiling")
+    }
+}
+
+impl FrequencyMechanism for KSubset {
+    fn domain_size(&self) -> usize {
+        self.d
+    }
+
+    fn randomize(&self, x: usize, rng: &mut StdRng) -> Report {
+        assert!(x < self.d, "input {x} outside domain");
+        let include = rng.random_bool(self.p_include());
+        // Sample the remaining categories uniformly without replacement.
+        let need = if include { self.k - 1 } else { self.k };
+        let mut chosen = Vec::with_capacity(self.k);
+        if include {
+            chosen.push(x as u32);
+        }
+        // Reservoir over [0, d) \ {x}.
+        let mut seen = 0usize;
+        for v in 0..self.d {
+            if v == x {
+                continue;
+            }
+            let remaining_slots = need.saturating_sub(
+                chosen.len() - usize::from(include),
+            );
+            let remaining_pool = self.d - 1 - seen;
+            if remaining_slots > 0 && rng.random_range(0..remaining_pool) < remaining_slots {
+                chosen.push(v as u32);
+            }
+            seen += 1;
+        }
+        chosen.sort_unstable();
+        Report::Subset(chosen)
+    }
+
+    fn supports(&self, report: &Report, v: usize) -> bool {
+        matches!(report, Report::Subset(s) if s.binary_search(&(v as u32)).is_ok())
+    }
+
+    fn support_probs(&self) -> (f64, f64) {
+        let (d, k) = (self.d as i64, self.k as i64);
+        let e = self.eps0.exp();
+        let z = self.z();
+        let p_true = e * binom(d - 1, k - 1) / z;
+        let p_false = (e * binom(d - 2, k - 2) + binom(d - 2, k - 1)) / z;
+        (p_true, p_false)
+    }
+
+    /// Exact collapsed representation over membership patterns of four
+    /// representative inputs `{0, 1, 2, 3}` (8·2 = 16 classes would track
+    /// all four; three tracked plus one "generic other" row suffices and
+    /// keeps 8 classes): rows are inputs `0, 1, 2` and a generic untracked
+    /// input, classes are membership patterns `(0∈S, 1∈S, 2∈S)`. The minimum
+    /// over these four rows equals the minimum over all `d` inputs by
+    /// symmetry, so the matrix is valid for blanket profiles and lower
+    /// bounds. Requires `d ≥ 4`.
+    fn collapsed_distributions(&self) -> Option<Vec<Vec<f64>>> {
+        if self.d < 4 {
+            return None;
+        }
+        let (d, k) = (self.d as i64, self.k as i64);
+        let e = self.eps0.exp();
+        let z = self.z();
+        let mut rows = vec![vec![0.0; 8]; 4];
+        for class in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| class >> i & 1 == 1).collect();
+            let j = bits.iter().filter(|&&b| b).count() as i64;
+            // Tracked inputs 0..3: weight e^ε iff their bit is set.
+            let mult = binom(d - 3, k - j);
+            for (x, row) in rows.iter_mut().enumerate().take(3) {
+                let w = if bits[x] { e } else { 1.0 };
+                row[class as usize] = w * mult / z;
+            }
+            // Generic untracked input: split the class by its own membership.
+            rows[3][class as usize] =
+                (e * binom(d - 4, k - j - 1) + binom(d - 4, k - j)) / z;
+        }
+        Some(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vr_numerics::is_close;
+
+    #[test]
+    fn collapsed_rows_are_distributions() {
+        for &(d, k, e0) in &[(6usize, 2usize, 1.0f64), (16, 4, 2.0), (128, 20, 1.0)] {
+            let m = KSubset::new(d, k, e0);
+            let rows = m.collapsed_distributions().unwrap();
+            for (i, row) in rows.iter().enumerate() {
+                let s: f64 = row.iter().sum();
+                assert!(is_close(s, 1.0, 1e-9), "row {i} sums to {s} (d={d},k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_matches_collapsed_total_variation() {
+        for &(d, k, e0) in &[(8usize, 2usize, 1.5f64), (16, 5, 1.0), (64, 16, 2.0)] {
+            let m = KSubset::new(d, k, e0);
+            let rows = m.collapsed_distributions().unwrap();
+            let tv = vr_core::hockey_stick::total_variation(&rows[0], &rows[1]);
+            assert!(
+                is_close(tv, m.beta(), 1e-9),
+                "d={d} k={k}: collapsed TV {tv} vs table beta {}",
+                m.beta()
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_matches_blanket_profile() {
+        let m = KSubset::new(16, 4, 1.0);
+        let profile = m.blanket_profile().unwrap();
+        assert!(
+            is_close(profile.gamma(), m.gamma(), 1e-9),
+            "{} vs {}",
+            profile.gamma(),
+            m.gamma()
+        );
+        // Naive min-over-collapsed-rows would overestimate gamma — the
+        // envelope is the correction.
+        let rows = m.collapsed_distributions().unwrap();
+        let naive: f64 = (0..8)
+            .map(|c| rows.iter().map(|r| r[c]).fold(f64::INFINITY, f64::min))
+            .sum();
+        assert!(naive > m.gamma(), "naive {naive} vs true {}", m.gamma());
+    }
+
+    #[test]
+    fn max_ratio_is_eps0_ldp() {
+        let m = KSubset::new(12, 3, 1.7);
+        let rows = m.collapsed_distributions().unwrap();
+        for a in 0..3 {
+            for b in 0..3 {
+                let r = vr_core::hockey_stick::max_ratio(&rows[a], &rows[b]);
+                assert!(r <= 1.7f64.exp() + 1e-9, "ratio {r} violates LDP");
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_matches_support_probs() {
+        let m = KSubset::new(10, 3, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 60_000;
+        let x = 4usize;
+        let mut hit_true = 0u64;
+        let mut hit_false = 0u64;
+        for _ in 0..trials {
+            let rep = m.randomize(x, &mut rng);
+            if let Report::Subset(s) = &rep {
+                assert_eq!(s.len(), 3, "cardinality must be k");
+            }
+            if m.supports(&rep, x) {
+                hit_true += 1;
+            }
+            if m.supports(&rep, 7) {
+                hit_false += 1;
+            }
+        }
+        let (pt, pf) = m.support_probs();
+        assert!(((hit_true as f64 / trials as f64) - pt).abs() < 7e-3);
+        assert!(((hit_false as f64 / trials as f64) - pf).abs() < 7e-3);
+    }
+
+    #[test]
+    fn optimal_cardinality_shrinks_with_budget() {
+        assert!(KSubset::optimal(100, 0.5).k() >= KSubset::optimal(100, 3.0).k());
+        assert_eq!(KSubset::optimal(10, 5.0).k(), 1);
+    }
+
+    #[test]
+    fn beta_below_worst_case() {
+        let e0 = 1.0f64;
+        let wc = (e0.exp() - 1.0) / (e0.exp() + 1.0);
+        for &(d, k) in &[(16usize, 4usize), (128, 34), (16, 1)] {
+            assert!(KSubset::new(d, k, e0).beta() <= wc + 1e-12, "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k < d")]
+    fn rejects_bad_cardinality() {
+        let _ = KSubset::new(5, 5, 1.0);
+    }
+}

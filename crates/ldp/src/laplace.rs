@@ -1,0 +1,142 @@
+//! Laplace mechanisms: the bounded `ε`-LDP variant on `[0, 1]` (Table 2) and
+//! the ℓ1-metric variant on ℝ (Table 3).
+
+use crate::traits::AmplifiableMechanism;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vr_core::metric::laplace_metric_params;
+use vr_core::VariationRatio;
+
+/// Laplace mechanism for inputs in `[0, 1]`: adds `Lap(1/ε)` noise.
+/// Table 2: `β = 1 − e^{−ε/2}`.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedLaplace {
+    eps0: f64,
+}
+
+impl BoundedLaplace {
+    /// Create the mechanism with budget `eps0`.
+    pub fn new(eps0: f64) -> Self {
+        assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
+        Self { eps0 }
+    }
+
+    /// Table 2: `β = 1 − e^{−ε/2}`.
+    pub fn beta(&self) -> f64 {
+        -(-self.eps0 / 2.0).exp_m1()
+    }
+
+    /// Randomize a value in `[0, 1]`. The output is real-valued and already
+    /// unbiased, so the mean estimator is the sample average.
+    pub fn randomize(&self, x: f64, rng: &mut StdRng) -> f64 {
+        assert!((0.0..=1.0).contains(&x), "input must lie in [0,1]");
+        x + sample_laplace(1.0 / self.eps0, rng)
+    }
+}
+
+impl AmplifiableMechanism for BoundedLaplace {
+    fn eps0(&self) -> f64 {
+        self.eps0
+    }
+
+    fn variation_ratio(&self) -> VariationRatio {
+        VariationRatio::ldp_with_beta(self.eps0, self.beta())
+            .expect("Laplace beta is always within the LDP ceiling")
+    }
+}
+
+/// ℓ1-metric Laplace mechanism on ℝ with unit scale: inputs at distance
+/// `d01` are `(d01, 0)`-indistinguishable; Table 3 row 2.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricLaplace {
+    /// Noise scale `b` — the metric is `d_X(a, b) = |a − b|/b`.
+    pub scale: f64,
+}
+
+impl MetricLaplace {
+    /// Create with noise scale `scale > 0`.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite());
+        Self { scale }
+    }
+
+    /// Metric distance between two raw inputs.
+    pub fn distance(&self, a: f64, b: f64) -> f64 {
+        (a - b).abs() / self.scale
+    }
+
+    /// Randomize a real value.
+    pub fn randomize(&self, x: f64, rng: &mut StdRng) -> f64 {
+        x + sample_laplace(self.scale, rng)
+    }
+
+    /// Table 3 parameters for a pair at metric distance `d01`, with the
+    /// domain's maximum distance `dmax` bounding the blanket ratio.
+    pub fn metric_params(&self, d01: f64, dmax: f64) -> vr_core::Result<VariationRatio> {
+        laplace_metric_params(d01, dmax)
+    }
+}
+
+/// Draw one `Laplace(0, scale)` sample by inverse transform.
+pub fn sample_laplace(scale: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.random_range(-0.5..0.5);
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vr_numerics::is_close;
+
+    #[test]
+    fn beta_matches_core_closed_form() {
+        let m = BoundedLaplace::new(1.4);
+        assert!(is_close(m.beta(), vr_core::metric::laplace_beta(1.4), 1e-14));
+    }
+
+    #[test]
+    fn sampler_mean_and_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let scale = 0.7;
+        let n = 200_000;
+        let (mut sum, mut sum_abs) = (0.0, 0.0);
+        for _ in 0..n {
+            let v = sample_laplace(scale, &mut rng);
+            sum += v;
+            sum_abs += v.abs();
+        }
+        assert!((sum / n as f64).abs() < 0.01, "mean {}", sum / n as f64);
+        // E|Lap(b)| = b.
+        assert!(
+            (sum_abs / n as f64 - scale).abs() < 0.01,
+            "scale {}",
+            sum_abs / n as f64
+        );
+    }
+
+    #[test]
+    fn mean_estimation_is_unbiased() {
+        let m = BoundedLaplace::new(1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let truth = 0.37;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += m.randomize(truth, &mut rng);
+        }
+        assert!((acc / n as f64 - truth).abs() < 0.02);
+    }
+
+    #[test]
+    fn metric_params_scale_with_distance() {
+        let m = MetricLaplace::new(2.0);
+        assert!(is_close(m.distance(0.0, 4.0), 2.0, 1e-15));
+        let close_pair = m.metric_params(0.5, 4.0).unwrap();
+        let far_pair = m.metric_params(2.0, 4.0).unwrap();
+        assert!(close_pair.beta() < far_pair.beta());
+        assert!(close_pair.p() < far_pair.p());
+        // q is governed by dmax in both cases.
+        assert!(is_close(close_pair.q(), (4.0f64).exp(), 1e-12));
+    }
+}

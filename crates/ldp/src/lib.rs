@@ -1,0 +1,61 @@
+//! # vr-ldp — local randomizers with variation-ratio amplification parameters
+//!
+//! Every mechanism evaluated in the paper's Tables 2, 3 and 6, implemented as
+//! a working randomizer (sampler + estimator support) that knows its own
+//! amplification parameters `(p, β, q)`:
+//!
+//! | Table row | Type |
+//! |---|---|
+//! | general randomized response | [`Grr`] |
+//! | binary RR on d options | [`BinaryRr`] |
+//! | k-subset | [`KSubset`] |
+//! | local hash (OLH) | [`Olh`] |
+//! | Hadamard response | [`HadamardResponse`] |
+//! | sampling RAPPOR | [`SamplingRappor`] |
+//! | Wheel | [`Wheel`] |
+//! | Laplace on \[0,1\] | [`BoundedLaplace`] |
+//! | PrivUnit | [`PrivUnit`] |
+//! | ℓ1 Laplace (metric, Table 3) | [`MetricLaplace`] |
+//! | planar Laplace (metric, Table 3) | [`PlanarLaplace`] |
+//! | Duchi / Harmony (Table 6) | [`DuchiScalar`], [`Harmony`] |
+//! | k-subset exponential / PrivSet (Table 6) | [`PrivSet`] |
+//! | PCKV-GRR key-value collection (§5) | [`PckvGrr`] |
+//!
+//! Discrete frequency oracles implement [`FrequencyMechanism`] (a uniform
+//! report/support interface consumed by the shuffle pipeline in
+//! `vr-protocols`), and finite mechanisms expose exact collapsed pmf
+//! matrices for the lower-bound and blanket-baseline machinery of `vr-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary_rr;
+pub mod grr;
+pub mod hadamard;
+pub mod hash;
+pub mod ksubset;
+pub mod laplace;
+pub mod mean;
+pub mod olh;
+pub mod pckv;
+pub mod planar_laplace;
+pub mod privset;
+pub mod privunit;
+pub mod rappor;
+pub mod traits;
+pub mod wheel;
+
+pub use binary_rr::BinaryRr;
+pub use grr::Grr;
+pub use hadamard::HadamardResponse;
+pub use ksubset::KSubset;
+pub use laplace::{BoundedLaplace, MetricLaplace};
+pub use mean::{DuchiScalar, Harmony};
+pub use olh::Olh;
+pub use pckv::PckvGrr;
+pub use planar_laplace::PlanarLaplace;
+pub use privset::PrivSet;
+pub use privunit::PrivUnit;
+pub use rappor::SamplingRappor;
+pub use traits::{estimate_frequencies, AmplifiableMechanism, FrequencyMechanism, Report};
+pub use wheel::Wheel;

@@ -1,0 +1,161 @@
+//! Mean-estimation randomizers over `[−1, 1]^dim`: Duchi et al. (FOCS 2013)
+//! for one dimension and Harmony (Nguyên et al., 2016) for general
+//! dimensions — Table 6 rows.
+//!
+//! Both exhaust the full randomized-response privacy budget, so their
+//! pairwise total variation is the worst case `(e^{ε}−1)/(e^{ε}+1)`
+//! (Table 6) — the paper's example of utility-optimal mechanisms having the
+//! weakest amplification.
+
+use crate::traits::AmplifiableMechanism;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vr_core::VariationRatio;
+
+/// Duchi's one-dimensional mechanism for `x ∈ [−1, 1]`: report
+/// `±(e^{ε}+1)/(e^{ε}−1)` with a bias encoding `x`.
+#[derive(Debug, Clone, Copy)]
+pub struct DuchiScalar {
+    eps0: f64,
+}
+
+impl DuchiScalar {
+    /// Create with budget `eps0`.
+    pub fn new(eps0: f64) -> Self {
+        assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
+        Self { eps0 }
+    }
+
+    /// Output magnitude `(e^{ε}+1)/(e^{ε}−1)`.
+    pub fn magnitude(&self) -> f64 {
+        let e = self.eps0.exp();
+        (e + 1.0) / (e - 1.0)
+    }
+
+    /// Randomize `x ∈ [−1, 1]`; the output is an unbiased estimate of `x`.
+    pub fn randomize(&self, x: f64, rng: &mut StdRng) -> f64 {
+        assert!((-1.0..=1.0).contains(&x));
+        let e = self.eps0.exp();
+        // P[+M] = (x(e−1) + e + 1) / (2(e+1)): affine in x, ratio ≤ e^{ε}.
+        let p_plus = (x * (e - 1.0) + e + 1.0) / (2.0 * (e + 1.0));
+        if rng.random_bool(p_plus.clamp(0.0, 1.0)) {
+            self.magnitude()
+        } else {
+            -self.magnitude()
+        }
+    }
+}
+
+impl AmplifiableMechanism for DuchiScalar {
+    fn eps0(&self) -> f64 {
+        self.eps0
+    }
+
+    fn variation_ratio(&self) -> VariationRatio {
+        VariationRatio::ldp_worst_case(self.eps0).expect("worst case is valid")
+    }
+}
+
+/// Harmony for `x ∈ [−1, 1]^dim`: sample one coordinate, randomize its sign
+/// with full budget, scale by `dim` to stay unbiased.
+#[derive(Debug, Clone, Copy)]
+pub struct Harmony {
+    dim: usize,
+    eps0: f64,
+}
+
+impl Harmony {
+    /// Create with dimension `dim ≥ 1` and budget `eps0`.
+    pub fn new(dim: usize, eps0: f64) -> Self {
+        assert!(dim >= 1, "need dimension >= 1");
+        assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
+        Self { dim, eps0 }
+    }
+
+    /// Randomize a vector; the output is a one-hot-style unbiased estimate:
+    /// `(coordinate index, value)`.
+    pub fn randomize(&self, x: &[f64], rng: &mut StdRng) -> (usize, f64) {
+        assert_eq!(x.len(), self.dim);
+        let j = rng.random_range(0..self.dim);
+        let e = self.eps0.exp();
+        let xj = x[j].clamp(-1.0, 1.0);
+        let p_plus = (xj * (e - 1.0) + e + 1.0) / (2.0 * (e + 1.0));
+        let mag = self.dim as f64 * (e + 1.0) / (e - 1.0);
+        let v = if rng.random_bool(p_plus.clamp(0.0, 1.0)) { mag } else { -mag };
+        (j, v)
+    }
+
+    /// Aggregate reports into a mean estimate per coordinate.
+    pub fn estimate_mean(&self, reports: &[(usize, f64)]) -> Vec<f64> {
+        let mut acc = vec![0.0; self.dim];
+        for &(j, v) in reports {
+            acc[j] += v;
+        }
+        let n = reports.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+}
+
+impl AmplifiableMechanism for Harmony {
+    fn eps0(&self) -> f64 {
+        self.eps0
+    }
+
+    fn variation_ratio(&self) -> VariationRatio {
+        VariationRatio::ldp_worst_case(self.eps0).expect("worst case is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn duchi_is_unbiased() {
+        let m = DuchiScalar::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for &x in &[-0.8, 0.0, 0.55] {
+            let n = 150_000;
+            let mut acc = 0.0;
+            for _ in 0..n {
+                acc += m.randomize(x, &mut rng);
+            }
+            assert!((acc / n as f64 - x).abs() < 0.02, "x={x}: {}", acc / n as f64);
+        }
+    }
+
+    #[test]
+    fn duchi_worst_case_beta() {
+        let m = DuchiScalar::new(1.3);
+        let e = 1.3f64.exp();
+        let vr = m.variation_ratio();
+        assert!((vr.beta() - (e - 1.0) / (e + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmony_mean_estimation_is_unbiased() {
+        let m = Harmony::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let truth = [0.5, -0.25, 0.0];
+        let n = 200_000;
+        let reports: Vec<(usize, f64)> =
+            (0..n).map(|_| m.randomize(&truth, &mut rng)).collect();
+        let est = m.estimate_mean(&reports);
+        for (e, t) in est.iter().zip(truth.iter()) {
+            assert!((e - t).abs() < 0.05, "estimate {e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn duchi_ldp_ratio_is_exact() {
+        // P[+M | x=1] / P[+M | x=−1] = e^{ε} exactly.
+        let e = 1.7f64.exp();
+        let p_plus = |x: f64| (x * (e - 1.0) + e + 1.0) / (2.0 * (e + 1.0));
+        assert!((p_plus(1.0) / p_plus(-1.0) - e).abs() < 1e-12);
+        assert!(((1.0 - p_plus(-1.0)) / (1.0 - p_plus(1.0)) - e).abs() < 1e-12);
+    }
+}

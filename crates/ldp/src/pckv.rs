@@ -1,0 +1,178 @@
+//! PCKV-GRR (Gu et al., USENIX Security 2020) — locally private key–value
+//! collection. Listed in Section 5 of the paper among the extremal-design
+//! mechanisms whose shuffle amplification is exactly tight.
+//!
+//! A user holds one `(key, value)` pair with `key ∈ [d]`, `value ∈ [−1, 1]`.
+//! The value is first discretized to `±1` (probability `(1+v)/2` of `+1`),
+//! then the pair `(key, sign)` is perturbed by generalized randomized
+//! response over the `2d` composite symbols:
+//!
+//! * keep the true `(key, sign)` w.p. `a = e^{ε}/(e^{ε} + 2d − 1)`,
+//! * otherwise output one of the other `2d − 1` symbols uniformly.
+//!
+//! This is GRR over `2d` options, so all probability ratios lie in
+//! `{1, e^{ε}, e^{−ε}}` (extremal design) and the Table 2 GRR row applies
+//! with domain `2d`: `β = (e^{ε}−1)/(e^{ε}+2d−1)`.
+
+use crate::traits::AmplifiableMechanism;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vr_core::VariationRatio;
+
+/// PCKV-GRR over `d` keys.
+#[derive(Debug, Clone, Copy)]
+pub struct PckvGrr {
+    d: usize,
+    eps0: f64,
+}
+
+/// A perturbed key–value report: `(key, sign)` with `sign ∈ {−1, +1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvReport {
+    /// Reported key.
+    pub key: u32,
+    /// Reported discretized value sign (`true` = +1).
+    pub positive: bool,
+}
+
+impl PckvGrr {
+    /// Create the mechanism over `d ≥ 1` keys.
+    pub fn new(d: usize, eps0: f64) -> Self {
+        assert!(d >= 1, "need at least one key");
+        assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
+        Self { d, eps0 }
+    }
+
+    /// Keep probability `a = e^{ε}/(e^{ε} + 2d − 1)`.
+    pub fn p_keep(&self) -> f64 {
+        let e = self.eps0.exp();
+        e / (e + 2.0 * self.d as f64 - 1.0)
+    }
+
+    /// Table 2 GRR row at domain `2d`.
+    pub fn beta(&self) -> f64 {
+        let e = self.eps0.exp();
+        (e - 1.0) / (e + 2.0 * self.d as f64 - 1.0)
+    }
+
+    /// Randomize a `(key, value)` pair; `value ∈ [−1, 1]`.
+    pub fn randomize(&self, key: usize, value: f64, rng: &mut StdRng) -> KvReport {
+        assert!(key < self.d, "key {key} outside domain");
+        assert!((-1.0..=1.0).contains(&value), "value must lie in [-1, 1]");
+        let positive = rng.random_bool((1.0 + value) / 2.0);
+        let true_symbol = 2 * key + usize::from(positive);
+        let symbols = 2 * self.d;
+        let symbol = if rng.random_bool(self.p_keep()) {
+            true_symbol
+        } else {
+            let mut s = rng.random_range(0..symbols - 1);
+            if s >= true_symbol {
+                s += 1;
+            }
+            s
+        };
+        KvReport { key: (symbol / 2) as u32, positive: symbol % 2 == 1 }
+    }
+
+    /// Aggregate reports into per-key `(frequency, mean value)` estimates.
+    ///
+    /// Frequencies debias the GRR layer; means debias both the GRR and the
+    /// `±1` discretization layers, clamped into `[−1, 1]`.
+    pub fn estimate(&self, reports: &[KvReport], n: u64) -> Vec<(f64, f64)> {
+        let mut pos = vec![0u64; self.d];
+        let mut neg = vec![0u64; self.d];
+        for r in reports {
+            if r.positive {
+                pos[r.key as usize] += 1;
+            } else {
+                neg[r.key as usize] += 1;
+            }
+        }
+        let a = self.p_keep();
+        let b = (1.0 - a) / (2.0 * self.d as f64 - 1.0); // per wrong symbol
+        let nf = n as f64;
+        (0..self.d)
+            .map(|k| {
+                let n1 = pos[k] as f64;
+                let n2 = neg[k] as f64;
+                // E[n1 + n2] = n·f_k·a + n·f_k·b + n(1−f_k)·2b  (own symbol
+                // kept/flipped-within-key vs others landing here).
+                let f_k = ((n1 + n2) / nf - 2.0 * b) / (a - b);
+                // E[n1 − n2] = n·f_k·m_k·(a − b)  with m_k the signed mean.
+                let m_k = if f_k > 1e-9 {
+                    ((n1 - n2) / nf / (a - b) / f_k).clamp(-1.0, 1.0)
+                } else {
+                    0.0
+                };
+                (f_k, m_k)
+            })
+            .collect()
+    }
+}
+
+impl AmplifiableMechanism for PckvGrr {
+    fn eps0(&self) -> f64 {
+        self.eps0
+    }
+
+    fn variation_ratio(&self) -> VariationRatio {
+        VariationRatio::ldp_with_beta(self.eps0, self.beta())
+            .expect("PCKV beta is always within the LDP ceiling")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vr_numerics::is_close;
+
+    #[test]
+    fn beta_matches_grr_over_2d() {
+        let m = PckvGrr::new(16, 1.5);
+        let g = crate::grr::Grr::new(32, 1.5);
+        assert!(is_close(m.beta(), g.beta(), 1e-14));
+    }
+
+    #[test]
+    fn key_frequency_and_mean_estimation() {
+        let d = 8usize;
+        let m = PckvGrr::new(d, 3.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 200_000u64;
+        // Keys 0..3 uniformly; key k has mean value (k as f64)/4 − 0.5.
+        let reports: Vec<KvReport> = (0..n)
+            .map(|i| {
+                let key = (i % 4) as usize;
+                let value = key as f64 / 4.0 - 0.5;
+                m.randomize(key, value, &mut rng)
+            })
+            .collect();
+        let est = m.estimate(&reports, n);
+        for k in 0..4 {
+            let (f, v) = est[k];
+            assert!((f - 0.25).abs() < 0.02, "freq of key {k}: {f}");
+            let truth = k as f64 / 4.0 - 0.5;
+            assert!((v - truth).abs() < 0.1, "mean of key {k}: {v} vs {truth}");
+        }
+        for k in 4..d {
+            assert!(est[k].0.abs() < 0.02, "phantom key {k}: {}", est[k].0);
+        }
+    }
+
+    #[test]
+    fn amplification_uses_composite_domain() {
+        // Bigger key spaces shrink beta, improving amplification.
+        let small = PckvGrr::new(4, 1.0).variation_ratio();
+        let large = PckvGrr::new(64, 1.0).variation_ratio();
+        assert!(large.beta() < small.beta());
+    }
+
+    #[test]
+    #[should_panic(expected = "value must lie")]
+    fn rejects_out_of_range_values() {
+        let m = PckvGrr::new(4, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = m.randomize(0, 1.5, &mut rng);
+    }
+}

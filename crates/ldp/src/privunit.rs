@@ -1,0 +1,166 @@
+//! PrivUnit (Bhowmick et al., 2018) — `ε`-LDP release of unit vectors for
+//! private federated mean estimation; Table 2 row "PrivUnit mechanism with
+//! cap area c".
+//!
+//! The output direction is drawn from the spherical cap around the input
+//! (area fraction `c`) with boosted probability `c·e^{ε}/(c·e^{ε}+1−c)`, and
+//! uniformly from the complement otherwise. Table 2:
+//! `β = c(e^{ε}−1)/(c·e^{ε}+1−c)`; extremal design (hence exactly tight
+//! amplification) for `c ≤ 1/2`.
+
+use crate::traits::AmplifiableMechanism;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vr_core::VariationRatio;
+
+/// PrivUnit on the unit sphere `S^{dim−1}`.
+#[derive(Debug, Clone, Copy)]
+pub struct PrivUnit {
+    dim: usize,
+    cap_area: f64,
+    eps0: f64,
+}
+
+impl PrivUnit {
+    /// Create PrivUnit with cap area fraction `cap_area ∈ (0, 1)`.
+    pub fn new(dim: usize, cap_area: f64, eps0: f64) -> Self {
+        assert!(dim >= 2, "need dimension >= 2");
+        assert!((0.0..1.0).contains(&cap_area) && cap_area > 0.0, "cap area in (0,1)");
+        assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
+        Self { dim, cap_area, eps0 }
+    }
+
+    /// Table 2: `β = c(e^{ε}−1)/(c·e^{ε}+1−c)`.
+    pub fn beta(&self) -> f64 {
+        let e = self.eps0.exp();
+        self.cap_area * (e - 1.0) / (self.cap_area * e + 1.0 - self.cap_area)
+    }
+
+    /// Probability the output lands in the cap around the input.
+    pub fn p_cap(&self) -> f64 {
+        let e = self.eps0.exp();
+        self.cap_area * e / (self.cap_area * e + 1.0 - self.cap_area)
+    }
+
+    /// The cap's cosine threshold `t` such that the cap `{y : ⟨y, x⟩ ≥ t}`
+    /// has area fraction `cap_area`, found by bisection on the regularized
+    /// incomplete beta expression of the cap area.
+    pub fn cap_cosine_threshold(&self) -> f64 {
+        let target = self.cap_area;
+        let (mut lo, mut hi) = (-1.0f64, 1.0f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if cap_area_fraction(self.dim, mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Randomize a unit vector: rejection-sample a uniform direction in the
+    /// chosen region (cap or complement). Expected retries are `1/min(c,1−c)`.
+    pub fn randomize(&self, x: &[f64], rng: &mut StdRng) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim);
+        let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-6, "input must be a unit vector");
+        let t = self.cap_cosine_threshold();
+        let want_cap = rng.random_bool(self.p_cap());
+        loop {
+            let y = sample_sphere(self.dim, rng);
+            let dot: f64 = y.iter().zip(x).map(|(a, b)| a * b).sum();
+            if (dot >= t) == want_cap {
+                return y;
+            }
+        }
+    }
+}
+
+/// Fraction of the sphere's area with `⟨y, e₁⟩ ≥ t`:
+/// `I_{(1−t)/2}`-style via the incomplete beta `I_z((d−1)/2, (d−1)/2)`
+/// evaluated at `z = (1−t)/2`.
+fn cap_area_fraction(dim: usize, t: f64) -> f64 {
+    let a = (dim as f64 - 1.0) / 2.0;
+    vr_numerics::reg_inc_beta(a, a, ((1.0 - t) / 2.0).clamp(0.0, 1.0))
+}
+
+/// Uniform direction on `S^{dim−1}` by normalizing a Gaussian vector
+/// (Box–Muller from uniforms to avoid extra dependencies).
+fn sample_sphere(dim: usize, rng: &mut StdRng) -> Vec<f64> {
+    loop {
+        let mut v: Vec<f64> = (0..dim)
+            .map(|_| {
+                let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for x in &mut v {
+                *x /= norm;
+            }
+            return v;
+        }
+    }
+}
+
+impl AmplifiableMechanism for PrivUnit {
+    fn eps0(&self) -> f64 {
+        self.eps0
+    }
+
+    fn variation_ratio(&self) -> VariationRatio {
+        VariationRatio::ldp_with_beta(self.eps0, self.beta())
+            .expect("PrivUnit beta is always within the LDP ceiling")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vr_numerics::is_close;
+
+    #[test]
+    fn beta_below_worst_case_for_small_caps() {
+        let e0 = 2.0f64;
+        let wc = (e0.exp() - 1.0) / (e0.exp() + 1.0);
+        assert!(PrivUnit::new(16, 0.1, e0).beta() < wc);
+        // c = 1/2 reaches exactly the worst case.
+        assert!(is_close(PrivUnit::new(16, 0.5, e0).beta(), wc, 1e-12));
+    }
+
+    #[test]
+    fn cap_threshold_halves_sphere_at_half_area() {
+        let m = PrivUnit::new(8, 0.5, 1.0);
+        assert!(m.cap_cosine_threshold().abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_area_fraction_endpoints() {
+        assert!(is_close(cap_area_fraction(5, -1.0), 1.0, 1e-12));
+        assert!(is_close(cap_area_fraction(5, 1.0), 0.0, 1e-12));
+        assert!(is_close(cap_area_fraction(5, 0.0), 0.5, 1e-12));
+    }
+
+    #[test]
+    fn sampler_hits_cap_with_designed_probability() {
+        let m = PrivUnit::new(4, 0.25, 1.5);
+        let t = m.cap_cosine_threshold();
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = vec![1.0, 0.0, 0.0, 0.0];
+        let trials = 20_000;
+        let mut in_cap = 0u64;
+        for _ in 0..trials {
+            let y = m.randomize(&x, &mut rng);
+            if y[0] >= t {
+                in_cap += 1;
+            }
+            let norm: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+        assert!(((in_cap as f64 / trials as f64) - m.p_cap()).abs() < 0.012);
+    }
+}

@@ -1,0 +1,115 @@
+//! Common interfaces of the local randomizers.
+//!
+//! Every mechanism exposes its amplification interface
+//! ([`AmplifiableMechanism`]) — the Table 2/3/6 variation-ratio parameters —
+//! and, for the discrete frequency oracles, a uniform reporting/estimation
+//! interface ([`FrequencyMechanism`]) used by the shuffle-model pipeline in
+//! `vr-protocols`.
+
+use rand::rngs::StdRng;
+use vr_core::VariationRatio;
+
+/// A report emitted by a discrete frequency mechanism. One shared enum keeps
+/// the shuffle pipeline monomorphic across mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Report {
+    /// A single category (GRR, mixDUMP, balls-into-bins, …).
+    Category(u32),
+    /// A set of categories (k-subset, PrivSet).
+    Subset(Vec<u32>),
+    /// A hashed report: the user's hash seed plus the privatized bucket
+    /// (optimal local hash).
+    Hashed {
+        /// Per-user hash seed (public).
+        seed: u64,
+        /// Privatized bucket in `[0, l)`.
+        bucket: u32,
+    },
+    /// A bit vector packed into 64-bit words (RAPPOR-style).
+    Bits(Vec<u64>),
+    /// An index into the Hadamard output domain `[0, K)`.
+    Hadamard(u32),
+    /// A point on the unit circle `[0, 1)` (Wheel mechanism).
+    Wheel(f64),
+}
+
+/// A mechanism with known variation-ratio amplification parameters.
+pub trait AmplifiableMechanism {
+    /// The local privacy budget `ε₀` (for metric mechanisms: the budget at
+    /// the reference distance).
+    fn eps0(&self) -> f64;
+
+    /// Variation-ratio parameters `(p, β, q)` of Tables 2/3/4/6.
+    fn variation_ratio(&self) -> VariationRatio;
+}
+
+/// A discrete frequency oracle: randomizes a category and supports
+/// count-based unbiased frequency estimation.
+pub trait FrequencyMechanism: AmplifiableMechanism {
+    /// Input domain size `d`.
+    fn domain_size(&self) -> usize;
+
+    /// Randomize one input category.
+    fn randomize(&self, x: usize, rng: &mut StdRng) -> Report;
+
+    /// Whether `report` supports candidate value `v`.
+    fn supports(&self, report: &Report, v: usize) -> bool;
+
+    /// `(p_true, p_false)`: probability that a report supports `v` given the
+    /// input was `v` / was some other fixed value. Drives the unbiased
+    /// estimator `f̂_v = (c_v/n − p_false)/(p_true − p_false)`.
+    fn support_probs(&self) -> (f64, f64);
+
+    /// The collapsed conditional pmf matrix `rows[x][class]` over output
+    /// classes, when the mechanism admits a tractable finite representation
+    /// (used by lower bounds and the blanket-specific baseline). Classes may
+    /// merge symmetric outputs; pmf values must be exact.
+    fn collapsed_distributions(&self) -> Option<Vec<Vec<f64>>> {
+        None
+    }
+}
+
+/// Unbiased frequency estimation from per-value support counts.
+///
+/// Given `counts[v] = #reports supporting v` out of `n` reports and the
+/// mechanism's `(p_true, p_false)`, returns `f̂_v` estimates (unbiased; not
+/// clipped to the simplex, callers may post-process).
+pub fn estimate_frequencies(counts: &[u64], n: u64, p_true: f64, p_false: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one report");
+    assert!(
+        p_true > p_false,
+        "support probabilities must be separated (p_true={p_true}, p_false={p_false})"
+    );
+    let nf = n as f64;
+    counts
+        .iter()
+        .map(|&c| (c as f64 / nf - p_false) / (p_true - p_false))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_debiases_exact_expectations() {
+        // With counts exactly at their expectations the estimate is exact.
+        let n = 10_000u64;
+        let truth = [0.5, 0.3, 0.2];
+        let (pt, pf) = (0.7, 0.1);
+        let counts: Vec<u64> = truth
+            .iter()
+            .map(|&f| ((f * n as f64) * pt + ((1.0 - f) * n as f64) * pf).round() as u64)
+            .collect();
+        let est = estimate_frequencies(&counts, n, pt, pf);
+        for (e, t) in est.iter().zip(truth.iter()) {
+            assert!((e - t).abs() < 1e-3, "{e} vs {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "separated")]
+    fn estimator_rejects_degenerate_probs() {
+        estimate_frequencies(&[1, 2], 3, 0.5, 0.5);
+    }
+}

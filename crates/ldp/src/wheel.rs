@@ -1,0 +1,212 @@
+//! The Wheel mechanism (Wang et al., VLDB 2020) for set-valued data —
+//! Table 2 row "Wheel on s in d options with length p".
+//!
+//! Every value is hashed to a point on the unit circle; the user's `s` items
+//! define arcs of length `p` starting at their hash points, and the report is
+//! a point `t ∈ [0, 1)` drawn with density proportional to `e^{ε}` on the arc
+//! union and `1` elsewhere. When the arcs are disjoint the arc union has
+//! measure `s·p`, giving the Table 2 total variation
+//! `β = s·p(e^{ε}−1)/(s·p·e^{ε} + 1 − s·p)` for a worst-case (disjoint) input
+//! pair. Extremal design for `p ≥ 1/(2s)` (Section 5).
+
+use crate::hash::hash_to_unit;
+use crate::traits::{AmplifiableMechanism, FrequencyMechanism, Report};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vr_core::VariationRatio;
+
+/// Wheel mechanism for itemsets of size `s` over `d` values with arc length
+/// `p`.
+#[derive(Debug, Clone)]
+pub struct Wheel {
+    d: usize,
+    s: usize,
+    arc: f64,
+    eps0: f64,
+    seed: u64,
+}
+
+impl Wheel {
+    /// Create the mechanism; `arc ∈ (0, 1/s]` keeps the arc union a proper
+    /// subset of the circle.
+    pub fn new(d: usize, s: usize, arc: f64, eps0: f64, seed: u64) -> Self {
+        assert!(d >= 2 && s >= 1 && s <= d, "invalid (d={d}, s={s})");
+        assert!(arc > 0.0 && arc * s as f64 <= 1.0, "arc length out of range");
+        assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
+        Self { d, s, arc, eps0, seed }
+    }
+
+    /// The paper's recommended arc length `p = 1/(s(e^{ε}+1))`-order choice,
+    /// clamped into the valid range.
+    pub fn recommended(d: usize, s: usize, eps0: f64, seed: u64) -> Self {
+        let arc = (1.0 / (s as f64 * (eps0.exp() + 1.0))).min(1.0 / s as f64);
+        Self::new(d, s, arc, eps0, seed)
+    }
+
+    /// Arc start of value `v`.
+    fn arc_start(&self, v: usize) -> f64 {
+        hash_to_unit(self.seed, v as u64)
+    }
+
+    /// Whether point `t` lies on the arc of value `v` (mod 1).
+    fn on_arc(&self, t: f64, v: usize) -> bool {
+        let start = self.arc_start(v);
+        let delta = (t - start).rem_euclid(1.0);
+        delta < self.arc
+    }
+
+    /// Measure of the arc union of an itemset (arcs may overlap).
+    fn union_measure(&self, items: &[usize]) -> f64 {
+        // Exact sweep over arc endpoints (s is small).
+        let mut intervals: Vec<(f64, f64)> = Vec::with_capacity(2 * items.len());
+        for &v in items {
+            let a = self.arc_start(v);
+            let b = a + self.arc;
+            if b <= 1.0 {
+                intervals.push((a, b));
+            } else {
+                intervals.push((a, 1.0));
+                intervals.push((0.0, b - 1.0));
+            }
+        }
+        intervals.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        let mut total = 0.0;
+        let mut cur: Option<(f64, f64)> = None;
+        for (a, b) in intervals {
+            match cur {
+                None => cur = Some((a, b)),
+                Some((ca, cb)) => {
+                    if a <= cb {
+                        cur = Some((ca, cb.max(b)));
+                    } else {
+                        total += cb - ca;
+                        cur = Some((a, b));
+                    }
+                }
+            }
+        }
+        if let Some((ca, cb)) = cur {
+            total += cb - ca;
+        }
+        total
+    }
+
+    /// Table 2: `β = s·p(e^{ε}−1)/(s·p·e^{ε} + 1 − s·p)` (worst-case
+    /// disjoint-arc pair).
+    pub fn beta(&self) -> f64 {
+        let sp = self.s as f64 * self.arc;
+        let e = self.eps0.exp();
+        sp * (e - 1.0) / (sp * e + 1.0 - sp)
+    }
+
+    /// Randomize an itemset (indices into `[0, d)`); the single-item
+    /// [`FrequencyMechanism::randomize`] delegates here.
+    pub fn randomize_set(&self, items: &[usize], rng: &mut StdRng) -> Report {
+        assert!(!items.is_empty() && items.len() <= self.s);
+        let union = self.union_measure(items);
+        let e = self.eps0.exp();
+        let z = union * e + 1.0 - union;
+        let on_union = rng.random_bool(union * e / z);
+        // Rejection sampling of the position: cheap because both classes
+        // have measure bounded away from 0 for valid parameters.
+        loop {
+            let t: f64 = rng.random_range(0.0..1.0);
+            let hit = items.iter().any(|&v| self.on_arc(t, v));
+            if hit == on_union {
+                return Report::Wheel(t);
+            }
+        }
+    }
+}
+
+impl AmplifiableMechanism for Wheel {
+    fn eps0(&self) -> f64 {
+        self.eps0
+    }
+
+    fn variation_ratio(&self) -> VariationRatio {
+        VariationRatio::ldp_with_beta(self.eps0, self.beta())
+            .expect("Wheel beta is always within the LDP ceiling")
+    }
+}
+
+impl FrequencyMechanism for Wheel {
+    fn domain_size(&self) -> usize {
+        self.d
+    }
+
+    fn randomize(&self, x: usize, rng: &mut StdRng) -> Report {
+        self.randomize_set(&[x], rng)
+    }
+
+    fn supports(&self, report: &Report, v: usize) -> bool {
+        matches!(report, Report::Wheel(t) if self.on_arc(*t, v))
+    }
+
+    fn support_probs(&self) -> (f64, f64) {
+        // Single-item reports: arc measure `p`, density e^{ε}/Z on the arc.
+        let p = self.arc;
+        let e = self.eps0.exp();
+        let z = p * e + 1.0 - p;
+        // A non-matching value's arc is (approximately, over the hash
+        // randomness) disjoint: expected support probability `p` (density 1
+        // off-arc, e^{ε} on the overlap fraction p) ⇒ p·(p·e^{ε}+(1−p))/Z.
+        (p * e / z, p * (p * e + 1.0 - p) / z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vr_numerics::is_close;
+
+    #[test]
+    fn beta_reaches_worst_case_when_arcs_cover_half() {
+        // sp = 1/2 at eps0 with e^{ε}: β = (e−1)/(e+1) — the global worst
+        // case, as the paper notes for utility-exhausting mechanisms.
+        let e0 = 1.0f64;
+        let w = Wheel::new(100, 1, 0.5, e0, 7);
+        let wc = (e0.exp() - 1.0) / (e0.exp() + 1.0);
+        assert!(is_close(w.beta(), wc, 1e-12));
+    }
+
+    #[test]
+    fn beta_shrinks_with_arc_length() {
+        let a = Wheel::new(100, 2, 0.02, 1.0, 7);
+        let b = Wheel::new(100, 2, 0.1, 1.0, 7);
+        assert!(a.beta() < b.beta());
+    }
+
+    #[test]
+    fn union_measure_handles_overlap_and_wrap() {
+        let w = Wheel::new(50, 3, 0.2, 1.0, 123);
+        // A single item's union is exactly the arc length.
+        assert!(is_close(w.union_measure(&[5]), 0.2, 1e-12));
+        // Union of all items is at most s·p and at least p.
+        let u = w.union_measure(&[1, 2, 3]);
+        assert!((0.2 - 1e-12..=0.6 + 1e-12).contains(&u));
+    }
+
+    #[test]
+    fn sampler_respects_arc_boost() {
+        let w = Wheel::new(64, 1, 0.1, 2.0, 99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 40_000;
+        let mut on = 0u64;
+        for _ in 0..trials {
+            let rep = w.randomize(9, &mut rng);
+            if w.supports(&rep, 9) {
+                on += 1;
+            }
+        }
+        let (pt, _) = w.support_probs();
+        assert!(((on as f64 / trials as f64) - pt).abs() < 7e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arc length")]
+    fn rejects_oversized_arcs() {
+        let _ = Wheel::new(10, 4, 0.3, 1.0, 0);
+    }
+}

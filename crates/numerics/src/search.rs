@@ -1,0 +1,123 @@
+//! Root bracketing / bisection over monotone predicates.
+//!
+//! Algorithm 1 and Algorithm 3 of the paper binary-search the amplified ε over
+//! a monotone feasibility predicate (`Delta(ε) ≤ δ` is monotone because the
+//! hockey-stick divergence is non-increasing in ε). These helpers implement
+//! that machinery once, with the two return conventions the paper needs:
+//! the *feasible* end (a valid upper bound, Algorithm 1 returns `ε_H`) and the
+//! *infeasible* end (a valid lower bound, Algorithm 3 returns `ε_L`).
+
+/// Result of a bisection run over a monotone predicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    /// Largest examined point where the predicate was false
+    /// (or the initial `lo` if it was never false).
+    pub infeasible: f64,
+    /// Smallest examined point where the predicate was true
+    /// (or the initial `hi` if it was never true).
+    pub feasible: f64,
+}
+
+/// Bisect a monotone predicate on `[lo, hi]`: `pred` must be false-then-true
+/// as its argument increases. Performs exactly `iters` predicate evaluations
+/// and returns the final bracket.
+///
+/// If `pred(lo)` already holds, callers will observe `feasible` collapsing to
+/// (near) `lo`; if `pred(hi)` fails everywhere, `feasible` stays at `hi` —
+/// both behaviours match the paper's Algorithms 1 and 3, which simply return
+/// the corresponding bracket end after `T` iterations.
+pub fn bisect_monotone<F: FnMut(f64) -> bool>(
+    mut pred: F,
+    lo: f64,
+    hi: f64,
+    iters: usize,
+) -> Bracket {
+    assert!(lo <= hi, "bisect_monotone requires lo <= hi ({lo} > {hi})");
+    let mut infeasible = lo;
+    let mut feasible = hi;
+    for _ in 0..iters {
+        let mid = 0.5 * (infeasible + feasible);
+        if pred(mid) {
+            feasible = mid;
+        } else {
+            infeasible = mid;
+        }
+    }
+    Bracket { infeasible, feasible }
+}
+
+/// Find an upper bracket for a monotone predicate by exponential growth:
+/// starting at `start`, doubles until `pred` holds or the value exceeds
+/// `max`. Returns `None` if no feasible point ≤ `max` is found.
+///
+/// This replaces the `ε_H = log p` initialisation of Algorithm 1 when
+/// `p = +∞` (multi-message protocols, Table 4).
+pub fn exponential_upper_bracket<F: FnMut(f64) -> bool>(
+    mut pred: F,
+    start: f64,
+    max: f64,
+) -> Option<f64> {
+    assert!(start > 0.0 && max >= start);
+    let mut x = start;
+    loop {
+        if pred(x) {
+            return Some(x);
+        }
+        if x >= max {
+            return None;
+        }
+        x = (x * 2.0).min(max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::is_close_abs;
+
+    #[test]
+    fn bisection_converges_to_threshold() {
+        // pred(x) = x >= π.
+        let b = bisect_monotone(|x| x >= std::f64::consts::PI, 0.0, 10.0, 60);
+        assert!(is_close_abs(b.feasible, std::f64::consts::PI, 1e-12));
+        assert!(is_close_abs(b.infeasible, std::f64::consts::PI, 1e-12));
+        assert!(b.infeasible <= std::f64::consts::PI);
+        assert!(b.feasible >= std::f64::consts::PI);
+    }
+
+    #[test]
+    fn bisection_all_feasible() {
+        let b = bisect_monotone(|_| true, 0.0, 8.0, 20);
+        assert!(b.feasible < 1e-4);
+        assert_eq!(b.infeasible, 0.0);
+    }
+
+    #[test]
+    fn bisection_none_feasible() {
+        let b = bisect_monotone(|_| false, 0.0, 8.0, 20);
+        assert_eq!(b.feasible, 8.0);
+        assert!(b.infeasible > 8.0 - 1e-3);
+    }
+
+    #[test]
+    fn fixed_iteration_budget_is_respected() {
+        let mut count = 0usize;
+        let _ = bisect_monotone(
+            |x| {
+                count += 1;
+                x > 1.0
+            },
+            0.0,
+            2.0,
+            17,
+        );
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn exponential_bracket_finds_point() {
+        let hi = exponential_upper_bracket(|x| x >= 37.0, 1.0, 1e6).unwrap();
+        assert!((37.0..=64.0).contains(&hi));
+        assert!(exponential_upper_bracket(|x| x >= 1e9, 1.0, 100.0).is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! Accuracy metrics for protocol evaluations.
+
+/// Mean squared error between an estimate vector and the ground truth.
+pub fn mse(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), truth.len());
+    assert!(!estimate.is_empty());
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum::<f64>()
+        / estimate.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), truth.len());
+    assert!(!estimate.is_empty());
+    estimate.iter().zip(truth).map(|(e, t)| (e - t).abs()).sum::<f64>()
+        / estimate.len() as f64
+}
+
+/// Maximum absolute error (ℓ∞).
+pub fn max_error(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), truth.len());
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Exact frequency histogram of an input assignment over `[0, d)`.
+pub fn true_frequencies(inputs: &[usize], d: usize) -> Vec<f64> {
+    let mut counts = vec![0u64; d];
+    for &x in inputs {
+        counts[x] += 1;
+    }
+    counts.iter().map(|&c| c as f64 / inputs.len() as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_on_identical_vectors_are_zero() {
+        let v = [0.2, 0.5, 0.3];
+        assert_eq!(mse(&v, &v), 0.0);
+        assert_eq!(mae(&v, &v), 0.0);
+        assert_eq!(max_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn metric_values() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 0.0];
+        assert!((mse(&a, &b) - 0.5).abs() < 1e-15);
+        assert!((mae(&a, &b) - 0.5).abs() < 1e-15);
+        assert!((max_error(&a, &b) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn true_frequencies_normalize() {
+        let f = true_frequencies(&[0, 0, 1, 2], 4);
+        assert_eq!(f, vec![0.5, 0.25, 0.25, 0.0]);
+    }
+}

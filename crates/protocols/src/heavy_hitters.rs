@@ -1,0 +1,170 @@
+//! Heavy-hitter identification in the shuffle model over a large flat
+//! domain — one of the parallel-composition applications the paper's
+//! Section 6 motivates (heavy hitter estimation [10, 67, 87]).
+//!
+//! The protocol is prefix-tree based (TreeHist/PEM style): the domain
+//! `[0, 2^bits)` is explored level by level; each user is assigned (via their
+//! index) to one tree level and reports the prefix of their value at that
+//! level through GRR over the level's prefix alphabet, with the *full* local
+//! budget. Because level assignment is data-independent, the whole
+//! population's reports amplify together under the advanced parallel
+//! composition (Theorem 6.1), exactly like the range-query workload.
+//!
+//! The analyzer walks the tree: at each level it keeps the candidate
+//! prefixes whose estimated frequency exceeds the threshold, then extends
+//! them by one bit.
+
+use rand::rngs::StdRng;
+use vr_core::parallel::ParallelWorkload;
+use vr_core::Result;
+use vr_ldp::{FrequencyMechanism, Grr, Report};
+
+/// A heavy-hitter report: tree level plus randomized prefix at that level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixReport {
+    /// Tree level (prefix length in bits, 1-based).
+    pub level: u8,
+    /// Randomized prefix value at that level.
+    pub prefix: u32,
+}
+
+/// Prefix-tree heavy-hitter protocol over `[0, 2^bits)`.
+#[derive(Debug, Clone)]
+pub struct HeavyHitterProtocol {
+    bits: usize,
+    eps0: f64,
+    mechanisms: Vec<Grr>,
+}
+
+impl HeavyHitterProtocol {
+    /// Create a protocol over a `bits`-bit domain (`2 ≤ bits ≤ 24`).
+    pub fn new(bits: usize, eps0: f64) -> Self {
+        assert!((2..=24).contains(&bits), "bits must be in [2, 24]");
+        let mechanisms =
+            (1..=bits).map(|l| Grr::new(1usize << l, eps0)).collect();
+        Self { bits, eps0, mechanisms }
+    }
+
+    /// Number of tree levels (= `bits`).
+    pub fn levels(&self) -> usize {
+        self.bits
+    }
+
+    /// The Theorem 6.1 workload of this protocol: uniform level choice,
+    /// per-level GRR β over `2^level` prefixes.
+    pub fn workload(&self) -> Result<ParallelWorkload> {
+        let e = self.eps0.exp();
+        let betas: Vec<f64> = (1..=self.bits)
+            .map(|l| (e - 1.0) / (e + (1u64 << l) as f64 - 1.0))
+            .collect();
+        ParallelWorkload::uniform(self.eps0, &betas)
+    }
+
+    /// Randomize one user's value; `user_index` determines the (public,
+    /// data-independent) level assignment.
+    pub fn randomize(&self, x: u32, user_index: u64, rng: &mut StdRng) -> PrefixReport {
+        assert!((x as u64) < (1u64 << self.bits), "value outside domain");
+        let level = (user_index % self.bits as u64) as usize + 1;
+        let prefix = (x >> (self.bits - level)) as usize;
+        let Report::Category(c) = self.mechanisms[level - 1].randomize(prefix, rng) else {
+            unreachable!("GRR emits categories")
+        };
+        PrefixReport { level: level as u8, prefix: c }
+    }
+
+    /// Identify values whose frequency estimate exceeds `threshold`.
+    /// Returns `(value, estimated frequency)` pairs sorted by frequency.
+    pub fn identify(&self, reports: &[PrefixReport], threshold: f64) -> Vec<(u32, f64)> {
+        // Bucket reports per level.
+        let mut per_level: Vec<Vec<u32>> = vec![Vec::new(); self.bits];
+        for r in reports {
+            per_level[r.level as usize - 1].push(r.prefix);
+        }
+        // Frequency of a specific prefix at a level, debiased.
+        let freq = |level: usize, prefix: u32| -> f64 {
+            let msgs = &per_level[level - 1];
+            if msgs.is_empty() {
+                return 0.0;
+            }
+            let count = msgs.iter().filter(|&&p| p == prefix).count() as u64;
+            let (pt, pf) = self.mechanisms[level - 1].support_probs();
+            (count as f64 / msgs.len() as f64 - pf) / (pt - pf)
+        };
+        let mut candidates: Vec<u32> = vec![0, 1]; // level-1 prefixes
+        for level in 1..=self.bits {
+            candidates.retain(|&p| freq(level, p) >= threshold);
+            if level < self.bits {
+                candidates =
+                    candidates.iter().flat_map(|&p| [p << 1, (p << 1) | 1]).collect();
+            }
+        }
+        let mut out: Vec<(u32, f64)> =
+            candidates.into_iter().map(|v| (v, freq(self.bits, v))).collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_planted_heavy_hitters() {
+        let bits = 10usize; // domain of 1024 values
+        let proto = HeavyHitterProtocol::new(bits, 4.0);
+        let n = 300_000u64;
+        // Plant: value 713 at 30%, value 42 at 20%, the rest uniform noise.
+        // The value draw must be independent of the user index, which also
+        // determines the (public) level assignment.
+        let mut rng = StdRng::seed_from_u64(3);
+        let reports: Vec<PrefixReport> = (0..n)
+            .map(|i| {
+                use rand::RngExt;
+                let x = match rng.random_range(0..10u32) {
+                    0..=2 => 713u32,
+                    3..=4 => 42,
+                    _ => rng.random_range(0..1024u32),
+                };
+                proto.randomize(x, i, &mut rng)
+            })
+            .collect();
+        let hits = proto.identify(&reports, 0.1);
+        let values: Vec<u32> = hits.iter().map(|h| h.0).collect();
+        assert!(values.contains(&713), "missed 713 in {values:?}");
+        assert!(values.contains(&42), "missed 42 in {values:?}");
+        assert!(hits.len() <= 4, "too many false positives: {hits:?}");
+        // Frequencies roughly match the plant.
+        let f713 = hits.iter().find(|h| h.0 == 713).unwrap().1;
+        assert!((f713 - 0.3).abs() < 0.06, "f(713) = {f713}");
+    }
+
+    #[test]
+    fn workload_amplifies_with_whole_population() {
+        use vr_core::accountant::SearchOptions;
+        let proto = HeavyHitterProtocol::new(16, 2.0);
+        let w = proto.workload().unwrap();
+        assert_eq!(w.num_queries(), 16);
+        let adv = w.advanced_epsilon(1_000_000, 1e-9, SearchOptions::default()).unwrap();
+        let basic = w.basic_epsilon(1_000_000, 1e-9, SearchOptions::default()).unwrap();
+        assert!(adv < basic, "advanced {adv} vs basic {basic}");
+    }
+
+    #[test]
+    fn level_assignment_is_deterministic_in_user_index() {
+        let proto = HeavyHitterProtocol::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = proto.randomize(5, 3, &mut rng);
+        let b = proto.randomize(200, 3, &mut rng);
+        assert_eq!(a.level, b.level);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn rejects_out_of_domain_values() {
+        let proto = HeavyHitterProtocol::new(4, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = proto.randomize(16, 0, &mut rng);
+    }
+}

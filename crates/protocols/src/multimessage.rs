@@ -1,0 +1,380 @@
+//! Working simulators for the multi-message shuffle protocols of Table 4:
+//! Cheu–Zhilyaev histograms, balls-into-bins, pureDUMP/mixDUMP, and the
+//! Balcer–Cheu binary sums. Each simulator produces the actual message
+//! multiset and an unbiased analyzer, and knows its amplification parameters
+//! through `vr_core::multimessage`.
+
+use crate::shuffler::shuffle_in_place;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vr_core::multimessage as mm;
+use vr_core::{Result, VariationRatio};
+
+/// Cheu–Zhilyaev histogram protocol simulator: every user submits the
+/// bitwise-RR encoding of their one-hot vector plus `m − 1` blanket messages
+/// (bitwise RR of the zero vector).
+#[derive(Debug, Clone, Copy)]
+pub struct CheuZhilyaevProtocol {
+    /// Protocol configuration (also carries the amplification parameters).
+    pub config: mm::CheuZhilyaev,
+}
+
+impl CheuZhilyaevProtocol {
+    /// Amplification parameters and effective population of the instance.
+    pub fn amplification(&self) -> Result<(VariationRatio, u64)> {
+        Ok((self.config.params()?, self.config.effective_population()))
+    }
+
+    /// Run the protocol; returns the shuffled multiset of d-bit messages.
+    pub fn run(&self, inputs: &[usize], rng: &mut StdRng) -> Vec<Vec<bool>> {
+        let d = self.config.domain as usize;
+        let f = self.config.flip_prob;
+        let mut messages = Vec::with_capacity(
+            inputs.len() * self.config.messages_per_user as usize,
+        );
+        for &x in inputs {
+            assert!(x < d);
+            messages.push(rr_bits(d, Some(x), f, rng));
+            for _ in 1..self.config.messages_per_user {
+                messages.push(rr_bits(d, None, f, rng));
+            }
+        }
+        shuffle_in_place(&mut messages, rng);
+        messages
+    }
+
+    /// Unbiased histogram estimate from the shuffled messages:
+    /// `E[count_v] = n(1−2f)·f_v + n·m·f` ⇒ debias accordingly.
+    pub fn analyze(&self, messages: &[Vec<bool>], n_users: u64) -> Vec<f64> {
+        let d = self.config.domain as usize;
+        let f = self.config.flip_prob;
+        let m = self.config.messages_per_user as f64;
+        let n = n_users as f64;
+        let mut counts = vec![0u64; d];
+        for msg in messages {
+            for (v, &bit) in msg.iter().enumerate() {
+                if bit {
+                    counts[v] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .map(|&c| (c as f64 - n * m * f) / (n * (1.0 - 2.0 * f)))
+            .collect()
+    }
+}
+
+fn rr_bits(d: usize, one_hot: Option<usize>, f: f64, rng: &mut StdRng) -> Vec<bool> {
+    (0..d)
+        .map(|v| {
+            let bit = one_hot == Some(v);
+            if rng.random_bool(f) {
+                !bit
+            } else {
+                bit
+            }
+        })
+        .collect()
+}
+
+/// Balls-into-bins frequency estimation (Luo–Wang–Yi): each user throws one
+/// real ball into one of the `s` special bins of their value and one blanket
+/// ball into a uniform bin.
+#[derive(Debug, Clone, Copy)]
+pub struct BallsIntoBinsProtocol {
+    /// Protocol configuration / amplification parameters.
+    pub config: mm::BallsIntoBins,
+    /// Domain size (values are hashed onto special bins).
+    pub domain: usize,
+    /// Public hash seed for the special-bin layout.
+    pub seed: u64,
+}
+
+impl BallsIntoBinsProtocol {
+    /// The `j`-th special bin of value `v`.
+    fn special_bin(&self, v: usize, j: u64) -> usize {
+        (vr_ldp::hash::hash_to_bucket(
+            self.seed ^ j.wrapping_mul(0x9E37_79B9),
+            v as u64,
+            self.config.bins,
+        )) as usize
+    }
+
+    /// Run: emits `2n` bin indices (one real + one blanket per user).
+    pub fn run(&self, inputs: &[usize], rng: &mut StdRng) -> Vec<u32> {
+        let bins = self.config.bins as usize;
+        let s = self.config.special;
+        let mut messages = Vec::with_capacity(inputs.len() * 2);
+        for &x in inputs {
+            assert!(x < self.domain);
+            let j = rng.random_range(0..s);
+            messages.push(self.special_bin(x, j) as u32);
+            messages.push(rng.random_range(0..bins) as u32);
+        }
+        shuffle_in_place(&mut messages, rng);
+        messages
+    }
+
+    /// Unbiased frequency estimate of value `v` from bin counts.
+    pub fn analyze(&self, messages: &[u32], n_users: u64, v: usize) -> f64 {
+        let s = self.config.special;
+        let bins = self.config.bins as f64;
+        let special: std::collections::HashSet<usize> =
+            (0..s).map(|j| self.special_bin(v, j)).collect();
+        let hits =
+            messages.iter().filter(|&&b| special.contains(&(b as usize))).count() as f64;
+        let n = n_users as f64;
+        // E[hits] = n·f_v + (collisions of other users' real balls)
+        //         + n·(|special|/bins)   [blanket balls]
+        // Other values' special bins overlap uniformly: rate |special|/bins.
+        let cover = special.len() as f64 / bins;
+        (hits - n * cover - n * (1.0 - 0.0) * cover) / (n * (1.0 - cover))
+    }
+}
+
+/// pureDUMP (Li et al.): each user sends their true bin plus `dummies`
+/// uniform dummy bins.
+#[derive(Debug, Clone, Copy)]
+pub struct PureDumpProtocol {
+    /// Number of bins `d`.
+    pub bins: usize,
+    /// Dummy messages per user.
+    pub dummies: u64,
+}
+
+impl PureDumpProtocol {
+    /// Table 4 amplification parameters (`p = ∞`, `β = 1`, `q = d`) and the
+    /// effective population (total dummies + 1).
+    pub fn amplification(&self, n_users: u64) -> Result<(VariationRatio, u64)> {
+        Ok((mm::pure_dump(self.bins as u64)?, n_users * self.dummies + 1))
+    }
+
+    /// Run: `n(1 + dummies)` bin indices.
+    pub fn run(&self, inputs: &[usize], rng: &mut StdRng) -> Vec<u32> {
+        let mut messages = Vec::with_capacity(inputs.len() * (1 + self.dummies as usize));
+        for &x in inputs {
+            assert!(x < self.bins);
+            messages.push(x as u32);
+            for _ in 0..self.dummies {
+                messages.push(rng.random_range(0..self.bins) as u32);
+            }
+        }
+        shuffle_in_place(&mut messages, rng);
+        messages
+    }
+
+    /// Unbiased histogram estimate.
+    pub fn analyze(&self, messages: &[u32], n_users: u64) -> Vec<f64> {
+        let mut counts = vec![0u64; self.bins];
+        for &m in messages {
+            counts[m as usize] += 1;
+        }
+        let n = n_users as f64;
+        let dummy_rate = self.dummies as f64 / self.bins as f64;
+        counts.iter().map(|&c| (c as f64 - n * dummy_rate) / n).collect()
+    }
+}
+
+/// mixDUMP (Li et al.): GRR-perturbed real message plus uniform dummies.
+#[derive(Debug, Clone, Copy)]
+pub struct MixDumpProtocol {
+    /// Number of bins `d`.
+    pub bins: usize,
+    /// GRR flip probability `f` (probability of *not* reporting the truth).
+    pub flip_prob: f64,
+    /// Dummy messages per user.
+    pub dummies: u64,
+}
+
+impl MixDumpProtocol {
+    /// Table 4 amplification parameters; effective population counts the
+    /// dummies as the blanket.
+    pub fn amplification(&self, n_users: u64) -> Result<(VariationRatio, u64)> {
+        Ok((
+            mm::mix_dump(self.flip_prob, self.bins as u64)?,
+            n_users * self.dummies + 1,
+        ))
+    }
+
+    /// Run the protocol.
+    pub fn run(&self, inputs: &[usize], rng: &mut StdRng) -> Vec<u32> {
+        let mut messages = Vec::with_capacity(inputs.len() * (1 + self.dummies as usize));
+        for &x in inputs {
+            assert!(x < self.bins);
+            let keep = !rng.random_bool(self.flip_prob);
+            let real = if keep {
+                x
+            } else {
+                let mut y = rng.random_range(0..self.bins - 1);
+                if y >= x {
+                    y += 1;
+                }
+                y
+            };
+            messages.push(real as u32);
+            for _ in 0..self.dummies {
+                messages.push(rng.random_range(0..self.bins) as u32);
+            }
+        }
+        shuffle_in_place(&mut messages, rng);
+        messages
+    }
+
+    /// Unbiased histogram estimate (GRR debias + dummy subtraction).
+    pub fn analyze(&self, messages: &[u32], n_users: u64) -> Vec<f64> {
+        let d = self.bins as f64;
+        let mut counts = vec![0u64; self.bins];
+        for &m in messages {
+            counts[m as usize] += 1;
+        }
+        let n = n_users as f64;
+        let p_keep = 1.0 - self.flip_prob;
+        let p_switch = self.flip_prob / (d - 1.0);
+        let dummy_rate = self.dummies as f64 / d;
+        counts
+            .iter()
+            .map(|&c| {
+                let real = c as f64 - n * dummy_rate;
+                (real / n - p_switch) / (p_keep - p_switch)
+            })
+            .collect()
+    }
+}
+
+/// Balcer–Cheu style binary summation: each user sends their bit plus one
+/// blanket coin `Bern(coin)`.
+#[derive(Debug, Clone, Copy)]
+pub struct BinarySumProtocol {
+    /// Blanket coin bias (1/2 for the uniform-coin variant).
+    pub coin: f64,
+}
+
+impl BinarySumProtocol {
+    /// Table 4 amplification parameters; blanket = one coin per user.
+    pub fn amplification(&self, n_users: u64) -> Result<(VariationRatio, u64)> {
+        let params = if (self.coin - 0.5).abs() < 1e-12 {
+            mm::balcer_cheu_uniform()
+        } else {
+            mm::balcer_cheu_biased(self.coin)?
+        };
+        Ok((params, n_users))
+    }
+
+    /// Run: `2n` bits.
+    pub fn run(&self, inputs: &[bool], rng: &mut StdRng) -> Vec<bool> {
+        let mut messages = Vec::with_capacity(inputs.len() * 2);
+        for &b in inputs {
+            messages.push(b);
+            messages.push(rng.random_bool(self.coin));
+        }
+        shuffle_in_place(&mut messages, rng);
+        messages
+    }
+
+    /// Unbiased sum estimate.
+    pub fn analyze(&self, messages: &[bool], n_users: u64) -> f64 {
+        let ones = messages.iter().filter(|&&b| b).count() as f64;
+        ones - n_users as f64 * self.coin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn inputs_with_weights(n: usize, weights: &[f64]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n);
+        for (v, &w) in weights.iter().enumerate() {
+            out.extend(std::iter::repeat_n(v, (w * n as f64).round() as usize));
+        }
+        out.truncate(n);
+        out
+    }
+
+    #[test]
+    fn cheu_zhilyaev_histogram_is_unbiased() {
+        let proto = CheuZhilyaevProtocol {
+            config: mm::CheuZhilyaev {
+                n_users: 4_000,
+                messages_per_user: 3,
+                flip_prob: 0.2,
+                domain: 4,
+            },
+        };
+        let weights = [0.4, 0.3, 0.2, 0.1];
+        let inputs = inputs_with_weights(4_000, &weights);
+        let mut rng = StdRng::seed_from_u64(11);
+        let msgs = proto.run(&inputs, &mut rng);
+        assert_eq!(msgs.len(), 4_000 * 3);
+        let est = proto.analyze(&msgs, 4_000);
+        for (e, t) in est.iter().zip(weights.iter()) {
+            assert!((e - t).abs() < 0.03, "{e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn pure_dump_histogram_is_unbiased() {
+        let proto = PureDumpProtocol { bins: 8, dummies: 3 };
+        let weights = [0.3, 0.25, 0.15, 0.1, 0.08, 0.06, 0.04, 0.02];
+        let inputs = inputs_with_weights(20_000, &weights);
+        let mut rng = StdRng::seed_from_u64(3);
+        let msgs = proto.run(&inputs, &mut rng);
+        let est = proto.analyze(&msgs, 20_000);
+        for (e, t) in est.iter().zip(weights.iter()) {
+            assert!((e - t).abs() < 0.02, "{e} vs {t}");
+        }
+        let (params, n_eff) = proto.amplification(20_000).unwrap();
+        assert_eq!(n_eff, 60_001);
+        assert_eq!(params.q(), 8.0);
+    }
+
+    #[test]
+    fn mix_dump_histogram_is_unbiased() {
+        let proto = MixDumpProtocol { bins: 6, flip_prob: 0.3, dummies: 2 };
+        let weights = [0.35, 0.25, 0.2, 0.1, 0.06, 0.04];
+        let inputs = inputs_with_weights(30_000, &weights);
+        let mut rng = StdRng::seed_from_u64(8);
+        let msgs = proto.run(&inputs, &mut rng);
+        let est = proto.analyze(&msgs, 30_000);
+        for (e, t) in est.iter().zip(weights.iter()) {
+            assert!((e - t).abs() < 0.02, "{e} vs {t}");
+        }
+    }
+
+    #[test]
+    fn binary_sum_is_unbiased() {
+        let proto = BinarySumProtocol { coin: 0.5 };
+        let inputs: Vec<bool> = (0..10_000).map(|i| i % 5 == 0).collect();
+        let truth = inputs.iter().filter(|&&b| b).count() as f64;
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut acc = 0.0;
+        let reps = 40;
+        for _ in 0..reps {
+            let msgs = proto.run(&inputs, &mut rng);
+            acc += proto.analyze(&msgs, 10_000);
+        }
+        let est = acc / reps as f64;
+        assert!((est - truth).abs() < 60.0, "{est} vs {truth}");
+        let (params, _) = proto.amplification(10_000).unwrap();
+        assert_eq!(params.q(), 2.0);
+    }
+
+    #[test]
+    fn balls_into_bins_estimates_heavy_value() {
+        let proto = BallsIntoBinsProtocol {
+            config: mm::BallsIntoBins { n_users: 30_000, bins: 64, special: 2 },
+            domain: 50,
+            seed: 99,
+        };
+        // 60% of users hold value 7; the rest uniform.
+        let mut inputs = vec![7usize; 18_000];
+        inputs.extend((0..12_000).map(|i| i % 50));
+        let mut rng = StdRng::seed_from_u64(10);
+        let msgs = proto.run(&inputs, &mut rng);
+        let est = proto.analyze(&msgs, 30_000, 7);
+        let truth = 18_000.0 / 30_000.0 + 12_000.0 / 50.0 / 30_000.0;
+        assert!((est - truth).abs() < 0.05, "{est} vs {truth}");
+    }
+}

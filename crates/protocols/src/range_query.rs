@@ -1,0 +1,185 @@
+//! Private range queries in the shuffle model (Section 7.3 of the paper):
+//! hierarchical decomposition of a categorical domain `[0, d)` with
+//! `d = 2^H`, answered by the parallel local randomizer of Algorithm 2
+//! (every user uniformly samples a hierarchy level and reports its block via
+//! full-budget GRR).
+//!
+//! The privacy side is `vr_core::parallel::hierarchical_range_query`
+//! (basic vs advanced composition); this module is the matching *utility*
+//! substrate: report generation, per-level frequency estimation, canonical
+//! range decomposition and query answering.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vr_core::parallel::{hierarchical_range_query, ParallelWorkload};
+use vr_core::Result;
+use vr_ldp::{FrequencyMechanism, Grr, Report};
+
+/// A user report: the sampled hierarchy level and the GRR-randomized block
+/// index at that level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelReport {
+    /// Hierarchy level `h ∈ [0, H)`; level `h` has `d/2^h` blocks of size
+    /// `2^h`.
+    pub level: u8,
+    /// Randomized block index at that level.
+    pub block: u32,
+}
+
+/// The hierarchical range-query protocol.
+#[derive(Debug, Clone)]
+pub struct RangeQueryProtocol {
+    d: usize,
+    levels: usize,
+    eps0: f64,
+    mechanisms: Vec<Grr>,
+}
+
+impl RangeQueryProtocol {
+    /// Create the protocol over a power-of-two domain `d = 2^H ≥ 4`.
+    pub fn new(d: usize, eps0: f64) -> Self {
+        assert!(d >= 4 && d.is_power_of_two(), "domain must be a power of two >= 4");
+        let levels = d.ilog2() as usize;
+        let mechanisms = (0..levels).map(|h| Grr::new(d >> h, eps0)).collect();
+        Self { d, levels, eps0, mechanisms }
+    }
+
+    /// Number of hierarchy levels `H = log₂ d`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The privacy workload (Theorem 6.1 accounting) of this protocol.
+    pub fn workload(&self) -> Result<ParallelWorkload> {
+        hierarchical_range_query(self.eps0, self.d as u64)
+    }
+
+    /// Algorithm 2: sample a level uniformly, answer it with full budget.
+    pub fn randomize(&self, x: usize, rng: &mut StdRng) -> LevelReport {
+        assert!(x < self.d);
+        let level = rng.random_range(0..self.levels);
+        let block = x >> level;
+        let Report::Category(c) = self.mechanisms[level].randomize(block, rng) else {
+            unreachable!("GRR emits categories")
+        };
+        LevelReport { level: level as u8, block: c }
+    }
+
+    /// Estimate all block frequencies per level from shuffled reports.
+    /// Returns `freq[h][k] ≈ P[x ∈ block k of level h]`.
+    pub fn estimate_levels(&self, reports: &[LevelReport]) -> Vec<Vec<f64>> {
+        let mut per_level: Vec<Vec<u64>> =
+            (0..self.levels).map(|h| vec![0u64; self.d >> h]).collect();
+        let mut level_counts = vec![0u64; self.levels];
+        for r in reports {
+            let h = r.level as usize;
+            per_level[h][r.block as usize] += 1;
+            level_counts[h] += 1;
+        }
+        per_level
+            .iter()
+            .enumerate()
+            .map(|(h, counts)| {
+                let n_h = level_counts[h].max(1);
+                let (pt, pf) = self.mechanisms[h].support_probs();
+                vr_ldp::estimate_frequencies(counts, n_h, pt, pf)
+            })
+            .collect()
+    }
+
+    /// Canonical decomposition of the inclusive range `[lo, hi]` into
+    /// maximal aligned blocks; returns `(level, block)` pairs.
+    pub fn decompose(&self, lo: usize, hi: usize) -> Vec<(usize, usize)> {
+        assert!(lo <= hi && hi < self.d, "invalid range [{lo}, {hi}]");
+        let mut nodes = Vec::new();
+        let mut l = lo;
+        while l <= hi {
+            // Largest level h (within the hierarchy) such that the block
+            // starting at l is aligned and fits into [l, hi].
+            let mut h = 0usize;
+            while h + 1 < self.levels {
+                let size = 1usize << (h + 1);
+                if l.is_multiple_of(size) && l + size - 1 <= hi {
+                    h += 1;
+                } else {
+                    break;
+                }
+            }
+            nodes.push((h, l >> h));
+            l += 1 << h;
+        }
+        nodes
+    }
+
+    /// Answer a range query from level estimates.
+    pub fn answer(&self, estimates: &[Vec<f64>], lo: usize, hi: usize) -> f64 {
+        self.decompose(lo, hi)
+            .into_iter()
+            .map(|(h, k)| estimates[h][k])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decomposition_covers_exactly() {
+        let p = RangeQueryProtocol::new(64, 1.0);
+        for (lo, hi) in [(0usize, 63usize), (5, 37), (13, 13), (32, 63), (1, 62)] {
+            let nodes = p.decompose(lo, hi);
+            let mut covered = [false; 64];
+            for (h, k) in &nodes {
+                let size = 1usize << h;
+                for flag in covered.iter_mut().skip(k * size).take(size) {
+                    assert!(!*flag, "double cover");
+                    *flag = true;
+                }
+            }
+            for (v, &c) in covered.iter().enumerate() {
+                assert_eq!(c, (lo..=hi).contains(&v), "coverage mismatch at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_is_logarithmic() {
+        let p = RangeQueryProtocol::new(1024, 1.0);
+        for (lo, hi) in [(1usize, 1022usize), (100, 900), (511, 513)] {
+            let nodes = p.decompose(lo, hi);
+            assert!(
+                nodes.len() <= 2 * 10,
+                "range [{lo},{hi}] used {} nodes",
+                nodes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_range_queries_are_accurate() {
+        let d = 16usize;
+        let p = RangeQueryProtocol::new(d, 3.0);
+        // Population concentrated on [4, 7].
+        let n = 120_000usize;
+        let inputs: Vec<usize> = (0..n).map(|i| 4 + i % 4).collect();
+        let mut rng = StdRng::seed_from_u64(77);
+        let reports: Vec<LevelReport> =
+            inputs.iter().map(|&x| p.randomize(x, &mut rng)).collect();
+        let est = p.estimate_levels(&reports);
+        let q = p.answer(&est, 4, 7);
+        assert!((q - 1.0).abs() < 0.05, "mass on [4,7] should be ~1, got {q}");
+        let q = p.answer(&est, 8, 15);
+        assert!(q.abs() < 0.05, "mass on [8,15] should be ~0, got {q}");
+        let q = p.answer(&est, 4, 5);
+        assert!((q - 0.5).abs() < 0.05, "mass on [4,5] should be ~1/2, got {q}");
+    }
+
+    #[test]
+    fn workload_matches_protocol_shape() {
+        let p = RangeQueryProtocol::new(64, 1.0);
+        let w = p.workload().unwrap();
+        assert_eq!(w.num_queries(), p.levels());
+    }
+}

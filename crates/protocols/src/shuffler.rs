@@ -1,0 +1,62 @@
+//! The shuffler `S`: a uniformly random permutation of the message vector
+//! (Section 3.1 of the paper). In the trust model, this is the only party
+//! between users and analyzer; simulation-wise it is a Fisher–Yates pass.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Uniformly permute `messages` in place (Fisher–Yates).
+pub fn shuffle_in_place<T>(messages: &mut [T], rng: &mut StdRng) {
+    let n = messages.len();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        messages.swap(i, j);
+    }
+}
+
+/// Convenience: shuffle by value.
+pub fn shuffle<T>(mut messages: Vec<T>, rng: &mut StdRng) -> Vec<T> {
+    shuffle_in_place(&mut messages, rng);
+    messages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_multiset() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v: Vec<u32> = (0..100).collect();
+        let mut s = shuffle(v.clone(), &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, v);
+    }
+
+    #[test]
+    fn permutations_are_uniform_for_three_items() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 60_000;
+        for _ in 0..trials {
+            let s = shuffle(vec![0u8, 1, 2], &mut rng);
+            *counts.entry(s).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (perm, c) in counts {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - 1.0 / 6.0).abs() < 0.01,
+                "permutation {perm:?} frequency {freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_trivial_sizes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(shuffle(Vec::<u8>::new(), &mut rng).is_empty());
+        assert_eq!(shuffle(vec![7u8], &mut rng), vec![7]);
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end private frequency estimation in the shuffle model.
+//!
+//! 50 000 simulated users hold a skewed categorical value; we run four
+//! different local randomizers through randomize → shuffle → analyze, compare
+//! their estimation error, and print the central `(ε, δ)`-DP that the
+//! variation-ratio accountant certifies for each — the utility/privacy
+//! trade-off table a practitioner would build before deployment.
+//!
+//! Run with: `cargo run --release --example frequency_estimation`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shuffle_amplification::prelude::*;
+use shuffle_amplification::protocols::accuracy::{mse, true_frequencies};
+
+fn zipf_inputs(n: usize, d: usize, skew: f64) -> Vec<usize> {
+    let weights: Vec<f64> = (1..=d).map(|r| 1.0 / (r as f64).powf(skew)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut inputs = Vec::with_capacity(n);
+    for (v, w) in weights.iter().enumerate() {
+        let count = (w / total * n as f64).round() as usize;
+        inputs.extend(std::iter::repeat_n(v, count));
+    }
+    inputs.truncate(n);
+    while inputs.len() < n {
+        inputs.push(0);
+    }
+    inputs
+}
+
+fn main() {
+    let n = 50_000usize;
+    let d = 32usize;
+    let eps0 = 2.0;
+    let delta = 1e-8;
+    let inputs = zipf_inputs(n, d, 1.2);
+    let truth = true_frequencies(&inputs, d);
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    println!("Frequency estimation over d = {d} values, n = {n}, eps0 = {eps0}\n");
+    println!(
+        "{:>22} | {:>12} | {:>14} | {:>12}",
+        "mechanism", "MSE", "amplified eps", "vs worst-case"
+    );
+    println!("{}", "-".repeat(70));
+
+    let worst_case_eps = Accountant::new(
+        VariationRatio::ldp_worst_case(eps0).unwrap(),
+        n as u64,
+    )
+    .unwrap()
+    .epsilon_default(delta)
+    .unwrap();
+
+    macro_rules! evaluate {
+        ($name:expr, $mech:expr) => {{
+            let mech = $mech;
+            let run = run_frequency_protocol(&mech, &inputs, &mut rng);
+            let err = mse(&run.estimates, &truth);
+            let eps = amplified_epsilon(&mech, n as u64, delta).unwrap();
+            println!(
+                "{:>22} | {:>12.3e} | {:>14.4} | {:>11.0}%",
+                $name,
+                err,
+                eps,
+                100.0 * (1.0 - eps / worst_case_eps)
+            );
+        }};
+    }
+
+    evaluate!("GRR", Grr::new(d, eps0));
+    evaluate!("k-subset (optimal k)", KSubset::optimal(d, eps0));
+    evaluate!("OLH (optimal l)", Olh::optimal(d, eps0));
+    evaluate!("Hadamard response", HadamardResponse::new(d, eps0));
+    evaluate!("binary RR", BinaryRr::new(d, eps0));
+
+    println!(
+        "\nworst-case accounting would certify eps = {worst_case_eps:.4}; the per-\
+         mechanism variation-ratio bounds above are strictly tighter, at\n\
+         identical utility — the 'free' budget the paper's framework recovers."
+    );
+}

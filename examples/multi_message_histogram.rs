@@ -1,0 +1,72 @@
+//! Multi-message shuffle protocols: run the Cheu–Zhilyaev and pureDUMP
+//! histogram protocols, estimate a distribution, and compare the privacy
+//! certified by the original designated analyses against the unified
+//! variation-ratio re-analysis (Table 4 + Figures 3–4 of the paper).
+//!
+//! Run with: `cargo run --release --example multi_message_histogram`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shuffle_amplification::core::multimessage::CheuZhilyaev;
+use shuffle_amplification::prelude::*;
+use shuffle_amplification::protocols::accuracy::{mse, true_frequencies};
+use shuffle_amplification::protocols::multimessage::{CheuZhilyaevProtocol, PureDumpProtocol};
+
+fn main() {
+    let n_users = 20_000u64;
+    let d = 16u64;
+    let delta = 1e-8;
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Skewed population.
+    let inputs: Vec<usize> =
+        (0..n_users as usize).map(|i| (i % 7).min(d as usize - 1)).collect();
+    let truth = true_frequencies(&inputs, d as usize);
+
+    // --- Cheu–Zhilyaev ----------------------------------------------------
+    let config = CheuZhilyaev {
+        n_users,
+        messages_per_user: 4, // 3 blanket messages each
+        flip_prob: 0.25,
+        domain: d,
+    };
+    let proto = CheuZhilyaevProtocol { config };
+    let messages = proto.run(&inputs, &mut rng);
+    let est = proto.analyze(&messages, n_users);
+    let (params, n_eff) = proto.amplification().unwrap();
+    let ours = Accountant::new(params, n_eff)
+        .unwrap()
+        .epsilon_default(delta)
+        .unwrap();
+    let orig = config.original_epsilon(delta);
+
+    println!("Cheu–Zhilyaev histogram (f = 0.25, {} msgs/user):", config.messages_per_user);
+    println!("  messages shuffled:   {}", messages.len());
+    println!("  estimation MSE:      {:.3e}", mse(&est, &truth));
+    println!("  designated analysis: eps' = {orig:?}");
+    println!("  variation-ratio:     eps  = {ours:.4}");
+    if let Ok(o) = orig {
+        println!(
+            "  -> unified analysis certifies {:.1}x more privacy for the same run\n",
+            o / ours
+        );
+    }
+
+    // --- pureDUMP ---------------------------------------------------------
+    let dump = PureDumpProtocol { bins: d as usize, dummies: 3 };
+    let messages = dump.run(&inputs, &mut rng);
+    let est = dump.analyze(&messages, n_users);
+    let (params, n_eff) = dump.amplification(n_users).unwrap();
+    let eps = Accountant::new(params, n_eff)
+        .unwrap()
+        .epsilon_default(delta)
+        .unwrap();
+    println!("pureDUMP (3 uniform dummies/user):");
+    println!("  messages shuffled:   {}", messages.len());
+    println!("  estimation MSE:      {:.3e}", mse(&est, &truth));
+    println!("  variation-ratio:     eps = {eps:.4} at delta = {delta:e}");
+    println!(
+        "  (p = ∞, β = 1, q = d: privacy comes entirely from the dummy blanket —\n\
+         the accountant handles unbounded victim ratios through the same API)"
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: how much central privacy does shuffling buy?
+//!
+//! One accountant call answers the deployment question of the shuffle model:
+//! "if every user runs an `ε₀`-LDP randomizer and a shuffler hides message
+//! origins, what `(ε, δ)`-DP does the collected batch satisfy?"
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use shuffle_amplification::prelude::*;
+
+fn main() {
+    let n = 100_000u64; // population
+    let delta = 1e-8;
+
+    println!("Shuffle-model privacy amplification (n = {n}, delta = {delta:e})\n");
+    println!("{:>6} | {:>22} | {:>22} | {:>10}", "eps0", "worst-case randomizer", "GRR over 64 options", "savings");
+    println!("{}", "-".repeat(72));
+
+    for eps0 in [0.5, 1.0, 2.0, 3.0, 4.0] {
+        // Any eps0-LDP randomizer: worst-case total variation.
+        let generic = VariationRatio::ldp_worst_case(eps0).unwrap();
+        let eps_generic = Accountant::new(generic, n)
+            .unwrap()
+            .epsilon_default(delta)
+            .unwrap();
+
+        // A specific mechanism: GRR over 64 options has a much smaller
+        // pairwise total variation (Table 2), hence stronger amplification.
+        let grr = Grr::new(64, eps0);
+        let eps_grr = Accountant::new(grr.variation_ratio(), n)
+            .unwrap()
+            .epsilon_default(delta)
+            .unwrap();
+
+        println!(
+            "{eps0:>6.1} | {:>12.4} ({:>5.1}x) | {:>12.4} ({:>5.1}x) | {:>9.0}%",
+            eps_generic,
+            eps0 / eps_generic,
+            eps_grr,
+            eps0 / eps_grr,
+            100.0 * (1.0 - eps_grr / eps_generic),
+        );
+    }
+
+    println!("\nReading the table: a local budget of eps0 = 2.0 becomes central");
+    println!("(0.028, 1e-8)-DP after shuffling for the worst-case randomizer, and");
+    println!("mechanism-aware accounting (the paper's contribution) tightens that");
+    println!("by another ~30-60% for structured mechanisms like GRR.");
+
+    // The closed forms are one call away as well:
+    let vr = VariationRatio::ldp_worst_case(1.0).unwrap();
+    let analytic = analytic_epsilon(&vr, n, delta);
+    let asymptotic = asymptotic_epsilon(&vr, n, delta);
+    println!("\nClosed forms at eps0 = 1.0: analytic (Thm 4.2) = {analytic:?},");
+    println!("asymptotic (Thm 4.3) = {asymptotic:?} — both looser than the");
+    println!("numerical accountant, by design.");
+}

@@ -1,0 +1,77 @@
+//! Privacy planning for hierarchical range queries (the Section 7.3
+//! workload): compare the budgets certified by the *advanced* parallel
+//! composition (Theorem 6.1), the basic composition, and the naive
+//! separate-cohorts design — then actually run the protocol and answer
+//! range queries.
+//!
+//! Run with: `cargo run --release --example range_query_planner`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shuffle_amplification::core::parallel::grr_beta;
+use shuffle_amplification::prelude::*;
+use shuffle_amplification::protocols::LevelReport;
+
+fn main() {
+    // The paper's regime (Figure 5): large domain, so separate cohorts get
+    // starved (n/log2(d) users each) while parallel composition amplifies
+    // with the whole population.
+    let d = 1024u64;
+    let n = 50_000u64;
+    let eps0 = 2.0;
+    let delta = 1e-9;
+
+    println!("Range queries over [0, {d}) with n = {n} users, eps0 = {eps0}\n");
+
+    // --- privacy planning -------------------------------------------------
+    let workload = hierarchical_range_query(eps0, d).unwrap();
+    let opts = SearchOptions::default();
+    let advanced = workload.advanced_epsilon(n, delta, opts).unwrap();
+    let basic = workload.basic_epsilon(n, delta, opts).unwrap();
+    let separate_best = workload
+        .separate_epsilon(n, delta, grr_beta(eps0, d), opts)
+        .unwrap();
+    let e = eps0.exp();
+    let separate_worst = workload
+        .separate_epsilon(n, delta, (e - 1.0) / (e + 1.0), opts)
+        .unwrap();
+
+    println!("central (eps, {delta:e})-DP by composition strategy:");
+    println!("  advanced parallel (Thm 6.1): {advanced:.4}");
+    println!("  basic parallel:              {basic:.4}");
+    println!("  separate cohorts (best):     {separate_best:.4}");
+    println!("  separate cohorts (worst):    {separate_worst:.4}");
+    println!(
+        "  -> advanced composition saves {:.0}% vs basic and {:.0}% vs the separate\n\
+         design's actual guarantee (its worst cohort always answers the 2-option\n\
+         level at worst-case beta with only n/H = {} users; 'separate best' is\n\
+         the unattainable luckiest-cohort optimum shown for reference)\n",
+        100.0 * (1.0 - advanced / basic),
+        100.0 * (1.0 - advanced / separate_worst),
+        n / workload.num_queries() as u64
+    );
+
+    // --- run the actual protocol ------------------------------------------
+    // Population: a bimodal distribution with mass around 100 and 800.
+    let inputs: Vec<usize> = (0..n as usize)
+        .map(|i| if i % 2 == 0 { 96 + i % 32 } else { 784 + i % 32 })
+        .collect();
+    let protocol = RangeQueryProtocol::new(d as usize, eps0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let reports: Vec<LevelReport> =
+        inputs.iter().map(|&x| protocol.randomize(x, &mut rng)).collect();
+    let estimates = protocol.estimate_levels(&reports);
+
+    println!("range query answers (truth vs estimate):");
+    for (lo, hi) in [(96usize, 127usize), (784, 815), (0, 511), (256, 767)] {
+        let truth = inputs.iter().filter(|&&x| (lo..=hi).contains(&x)).count() as f64
+            / inputs.len() as f64;
+        let est = protocol.answer(&estimates, lo, hi);
+        println!("  P[x in [{lo:>3}, {hi:>3}]] = {truth:.4}  ~  {est:.4}");
+    }
+    println!(
+        "\nEvery user answered exactly one uniformly-sampled hierarchy level with\n\
+         the full eps0 budget (Algorithm 2); the shuffled batch satisfies the\n\
+         advanced-composition bound above."
+    );
+}

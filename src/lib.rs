@@ -1,0 +1,58 @@
+//! # shuffle-amplification
+//!
+//! Tight privacy-amplification accounting for the **shuffle model of
+//! differential privacy**, implementing the *variation-ratio reduction* of
+//! Wang et al., *"Privacy Amplification via Shuffling: Unified, Simplified,
+//! and Tightened"* (VLDB 2024), together with the local randomizers,
+//! baselines and shuffle protocols needed to reproduce the paper end to end.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use shuffle_amplification::prelude::*;
+//!
+//! // 100k users each run generalized randomized response over 64 options
+//! // with a local budget of eps0 = 2.0; their messages are shuffled.
+//! let mechanism = Grr::new(64, 2.0);
+//! let accountant = Accountant::new(mechanism.variation_ratio(), 100_000).unwrap();
+//! let eps = accountant.epsilon_default(1e-8).unwrap();
+//! assert!(eps < 0.1); // central privacy amplified ~40x below eps0
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`core`] (re-export of `vr-core`) — the variation-ratio framework:
+//!   the `(p, β, q)` parameterization, the Õ(n) hockey-stick accountant
+//!   (Theorem 4.8 / Algorithm 1), closed forms (Theorems 4.2–4.3), lower
+//!   bounds (Section 5), parallel composition (Theorem 6.1), metric-DP and
+//!   multi-message parameters (Tables 3–4), prior-work baselines, and a
+//!   Rényi-DP extension.
+//! * [`ldp`] (re-export of `vr-ldp`) — working local randomizers for every
+//!   row of Tables 2/3/6 with samplers and estimators.
+//! * [`protocols`] (re-export of `vr-protocols`) — shuffler, end-to-end
+//!   pipelines, multi-message protocol simulators, hierarchical range
+//!   queries, and exact tiny-n ground-truth divergences.
+//! * [`numerics`] (re-export of `vr-numerics`) — the special-function kernel
+//!   (regularized incomplete beta/gamma, binomials, bounds, quadrature).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vr_core as core;
+pub use vr_ldp as ldp;
+pub use vr_numerics as numerics;
+pub use vr_protocols as protocols;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use vr_core::accountant::{Accountant, ScanMode, SearchOptions};
+    pub use vr_core::analytic::analytic_epsilon;
+    pub use vr_core::asymptotic::asymptotic_epsilon;
+    pub use vr_core::parallel::{hierarchical_range_query, ParallelWorkload};
+    pub use vr_core::params::VariationRatio;
+    pub use vr_ldp::{
+        AmplifiableMechanism, BinaryRr, BoundedLaplace, FrequencyMechanism, Grr,
+        HadamardResponse, KSubset, Olh, PlanarLaplace, Report,
+    };
+    pub use vr_protocols::{amplified_epsilon, run_frequency_protocol, RangeQueryProtocol};
+}

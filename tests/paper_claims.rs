@@ -1,0 +1,116 @@
+//! Integration tests asserting the paper's headline experimental claims on
+//! the actual figure drivers (shape reproduction, Section 7).
+
+use vr_bench::figures::{
+    balls_into_bins_panel, cheu_panel, parallel_panel, single_message_panel,
+    SingleMessageMechanism,
+};
+
+#[test]
+fn figure1_curve_ordering_and_savings() {
+    // Figure 1(a): n = 1e4, d = 16, δ = 1e-6.
+    let pts = single_message_panel(SingleMessageMechanism::Subset, 10_000, 16, 1e-6);
+    assert!(pts.len() >= 15);
+    let mut savings = Vec::new();
+    for p in &pts {
+        // Variation-ratio is the top curve.
+        assert!(
+            p.variation_ratio >= p.stronger_clone - 1e-9,
+            "eps0={}: vr {} below stronger clone {}",
+            p.eps0,
+            p.variation_ratio,
+            p.stronger_clone
+        );
+        assert!(p.stronger_clone >= p.clone - 1e-9);
+        assert!(p.variation_ratio >= p.blanket_general);
+        assert!(p.variation_ratio >= p.efmrtt);
+        savings.push(1.0 - p.stronger_clone / p.variation_ratio);
+    }
+    // Section 7.1's headline: up to ~30% budget savings vs the best
+    // existing bound somewhere on the sweep.
+    let max_saving = savings.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max_saving > 0.2,
+        "expected >20% peak savings vs stronger clone, got {max_saving:.3}"
+    );
+}
+
+#[test]
+fn figure2_olh_is_tight_and_beats_baselines() {
+    let pts = single_message_panel(SingleMessageMechanism::Olh, 10_000, 16, 1e-6);
+    for p in &pts {
+        assert!(p.variation_ratio >= p.stronger_clone - 1e-9, "eps0={}", p.eps0);
+        assert!(p.variation_ratio >= p.blanket_specific - 1e-9, "eps0={}", p.eps0);
+    }
+}
+
+#[test]
+fn figure3_multi_message_extra_amplification() {
+    // Figure 3(a)-style: the unified analysis certifies at least ~2x more
+    // privacy than the designated analysis (paper: ~75% savings ⇒ 4x; our
+    // reconstruction of the designated analysis is conservative, so require
+    // 2x across the sweep and 3x somewhere).
+    let pts = cheu_panel(10_000, 16, 1e-6, 0.25);
+    assert!(!pts.is_empty());
+    for p in &pts {
+        assert!(p.numeric > 1.8, "eps'={}: extra ratio only {}", p.eps_prime, p.numeric);
+        // The closed forms are looser than the numerical bound but must
+        // remain consistent (ratios smaller than numeric).
+        if p.analytic.is_finite() {
+            assert!(p.analytic <= p.numeric + 1e-9);
+        }
+        if p.asymptotic.is_finite() {
+            assert!(p.asymptotic <= p.numeric + 1e-9);
+        }
+    }
+    let best = pts.iter().map(|p| p.numeric).fold(0.0, f64::max);
+    assert!(best > 3.0, "expected >3x extra amplification somewhere, got {best:.2}");
+}
+
+#[test]
+fn figure4_balls_into_bins_extra_amplification() {
+    let pts = balls_into_bins_panel(16, 1, 1e-7);
+    assert!(!pts.is_empty());
+    for p in &pts {
+        assert!(
+            p.numeric > 1.2,
+            "eps'={}: extra ratio only {}",
+            p.eps_prime,
+            p.numeric
+        );
+    }
+}
+
+#[test]
+fn figure5_composition_ordering() {
+    let pts = parallel_panel(64, 10_000, 1e-6);
+    for p in &pts {
+        // Advanced >= basic >= separate-worst, for every eps0.
+        assert!(p.advanced >= p.basic - 1e-9, "eps0={}", p.eps0);
+        assert!(p.basic >= p.separate_worst - 1e-9, "eps0={}", p.eps0);
+        // Separate-best is an optimistic reference; advanced must beat the
+        // separate design's actual guarantee by a wide margin.
+        assert!(
+            p.advanced > 1.5 * p.separate_worst,
+            "eps0={}: advanced {} vs separate-worst {}",
+            p.eps0,
+            p.advanced,
+            p.separate_worst
+        );
+    }
+}
+
+#[test]
+fn table5_epsilons_shrink_like_inverse_sqrt_n() {
+    let cells = vr_bench::tables::table5(&[3.0], &[10_000, 1_000_000], &[20]);
+    assert_eq!(cells.len(), 2);
+    // δ = 0.01/n tightens with n, so ε shrinks a bit faster than √100 = 10x;
+    // the paper's Table 5 shows 0.227 → 0.0255 (8.9x) for the same setting.
+    let ratio = cells[0].epsilon / cells[1].epsilon;
+    assert!(
+        (5.0..14.0).contains(&ratio),
+        "scaling off: {} -> {} (ratio {ratio:.2})",
+        cells[0].epsilon,
+        cells[1].epsilon
+    );
+}

@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) over the accounting APIs: the invariants
+//! must hold for arbitrary valid parameters, not just the paper's grid.
+
+use proptest::prelude::*;
+use shuffle_amplification::core::accountant::{Accountant, ScanMode, SearchOptions};
+use shuffle_amplification::core::mixture::DominatingPair;
+use shuffle_amplification::core::VariationRatio;
+
+/// Strategy: valid (p, beta, q) triples with finite p.
+fn vr_strategy() -> impl Strategy<Value = VariationRatio> {
+    (1.05f64..50.0, 0.01f64..0.99, 1.0f64..50.0).prop_filter_map(
+        "valid variation-ratio triple",
+        |(p, beta_frac, q)| {
+            let beta = beta_frac * (p - 1.0) / (p + 1.0);
+            VariationRatio::new(p, beta, q).ok().filter(|vr| vr.r() <= 0.5)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn delta_is_monotone_in_epsilon(vr in vr_strategy(), n in 2u64..20_000) {
+        let acc = Accountant::new(vr, n).unwrap();
+        let mut prev = f64::INFINITY;
+        for i in 0..8 {
+            let eps = 0.15 * i as f64;
+            let d = acc.delta(eps, ScanMode::default());
+            prop_assert!(d <= prev + 1e-12, "not monotone at eps={eps}: {d} > {prev}");
+            prop_assert!((0.0..=1.0).contains(&d));
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn delta_at_zero_never_exceeds_beta(vr in vr_strategy(), n in 2u64..20_000) {
+        // TV of the shuffled outputs cannot exceed the per-user TV bound.
+        let acc = Accountant::new(vr, n).unwrap();
+        prop_assert!(acc.delta(0.0, ScanMode::Full) <= vr.beta() + 1e-9);
+    }
+
+    #[test]
+    fn formula_matches_pair_enumeration(vr in vr_strategy(), n in 2u64..16) {
+        let acc = Accountant::new(vr, n).unwrap();
+        let dp = DominatingPair::new(vr, n);
+        let entries = dp.enumerate(-1.0);
+        let p: Vec<f64> = entries.iter().map(|e| e.2).collect();
+        let q: Vec<f64> = entries.iter().map(|e| e.3).collect();
+        for i in 0..4 {
+            let eps = 0.3 * i as f64;
+            let exact =
+                shuffle_amplification::core::hockey_stick::hockey_stick_symmetric(&p, &q, eps);
+            let formula = acc.delta(eps, ScanMode::Full);
+            prop_assert!(
+                (formula - exact).abs() <= 1e-8,
+                "pair mismatch at eps={eps}: {formula} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_search_returns_feasible_point(
+        vr in vr_strategy(),
+        n in 100u64..100_000,
+        delta_exp in 3u32..9,
+    ) {
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let acc = Accountant::new(vr, n).unwrap();
+        let eps = acc.epsilon(delta, SearchOptions::default()).unwrap();
+        prop_assert!(eps >= 0.0 && eps <= vr.epsilon_limit() + 1e-12);
+        prop_assert!(
+            acc.delta(eps, ScanMode::default()) <= delta * (1.0 + 1e-9),
+            "returned epsilon is not feasible"
+        );
+    }
+
+    #[test]
+    fn amplification_never_hurts(vr in vr_strategy(), n in 2u64..50_000) {
+        // The shuffled guarantee is never worse than the local one.
+        let acc = Accountant::new(vr, n).unwrap();
+        let eps = acc.epsilon_default(1e-6).unwrap();
+        prop_assert!(eps <= vr.epsilon_limit() + 1e-9);
+    }
+
+    #[test]
+    fn truncated_scan_upper_bounds_full_scan(vr in vr_strategy(), n in 100u64..50_000) {
+        let acc = Accountant::new(vr, n).unwrap();
+        for i in 0..4 {
+            let eps = 0.2 * i as f64;
+            let full = acc.delta(eps, ScanMode::Full);
+            let trunc = acc.delta(eps, ScanMode::Truncated { tail_mass: 1e-12 });
+            prop_assert!(trunc >= full - 1e-15);
+            prop_assert!(trunc - full <= 1e-12 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn pair_pmfs_are_distributions(vr in vr_strategy(), n in 1u64..12) {
+        let dp = DominatingPair::new(vr, n);
+        let sum_p: f64 = dp.enumerate(-1.0).iter().map(|e| e.2).sum();
+        prop_assert!((sum_p - 1.0).abs() < 1e-9, "P mass = {sum_p}");
+    }
+
+    #[test]
+    fn more_users_never_reduce_privacy(vr in vr_strategy(), n in 100u64..10_000) {
+        let delta = 1e-6;
+        let e1 = Accountant::new(vr, n).unwrap().epsilon_default(delta).unwrap();
+        let e2 = Accountant::new(vr, n * 4).unwrap().epsilon_default(delta).unwrap();
+        prop_assert!(e2 <= e1 + 1e-9, "n={n}: eps grew from {e1} to {e2}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grr_beta_is_exact_tv(d in 2usize..64, eps0 in 0.2f64..4.0) {
+        use shuffle_amplification::ldp::{FrequencyMechanism, Grr};
+        let g = Grr::new(d, eps0);
+        let rows = g.collapsed_distributions().unwrap();
+        let tv = shuffle_amplification::core::hockey_stick::total_variation(&rows[0], &rows[1]);
+        prop_assert!((tv - g.beta()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mechanism_rows_are_stochastic_and_ldp(
+        d in 4usize..40,
+        k_frac in 0.1f64..0.9,
+        eps0 in 0.2f64..3.0,
+    ) {
+        use shuffle_amplification::ldp::{FrequencyMechanism, KSubset};
+        let k = ((d as f64 * k_frac) as usize).clamp(1, d - 1);
+        let m = KSubset::new(d, k, eps0);
+        let rows = m.collapsed_distributions().unwrap();
+        for row in &rows {
+            let s: f64 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8, "row mass {s}");
+        }
+        let ratio =
+            shuffle_amplification::core::hockey_stick::max_ratio(&rows[0], &rows[1]);
+        prop_assert!(ratio <= eps0.exp() * (1.0 + 1e-9), "LDP violated: {ratio}");
+    }
+}
