@@ -22,7 +22,10 @@ fn bench_epsilon_search(c: &mut Criterion) {
                 b.iter(|| {
                     acc.epsilon(
                         black_box(delta),
-                        SearchOptions { iterations: 20, mode: ScanMode::Full },
+                        SearchOptions {
+                            iterations: 20,
+                            mode: ScanMode::Full,
+                        },
                     )
                     .unwrap()
                 })
@@ -54,7 +57,10 @@ fn bench_iteration_ablation(c: &mut Criterion) {
             b.iter(|| {
                 acc.epsilon(
                     black_box(1e-8),
-                    SearchOptions { iterations: t, mode: ScanMode::default() },
+                    SearchOptions {
+                        iterations: t,
+                        mode: ScanMode::default(),
+                    },
                 )
                 .unwrap()
             })
@@ -79,8 +85,7 @@ fn bench_baselines(c: &mut Criterion) {
     let opts = SearchOptions::default();
     g.bench_function("stronger_clone", |b| {
         b.iter(|| {
-            vr_core::baselines::stronger_clone_epsilon(black_box(2.0), 100_000, 1e-7, opts)
-                .unwrap()
+            vr_core::baselines::stronger_clone_epsilon(black_box(2.0), 100_000, 1e-7, opts).unwrap()
         })
     });
     g.bench_function("blanket_generic", |b| {

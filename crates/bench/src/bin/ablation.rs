@@ -18,17 +18,30 @@ fn main() {
     println!("=== Ablation 1: truncation tail mass (n = {n}, eps0 = 2, delta = {delta:e}) ===");
     let mut t = ResultTable::new("ablation_tail_mass", &["tail_mass", "epsilon", "time_s"]);
     let reference = acc
-        .epsilon(delta, SearchOptions { iterations: 40, mode: ScanMode::Full })
+        .epsilon(
+            delta,
+            SearchOptions {
+                iterations: 40,
+                mode: ScanMode::Full,
+            },
+        )
         .unwrap();
     for tail in [1e-6, 1e-10, 1e-14, 1e-18] {
         let t0 = Instant::now();
         let eps = acc
             .epsilon(
                 delta,
-                SearchOptions { iterations: 40, mode: ScanMode::Truncated { tail_mass: tail } },
+                SearchOptions {
+                    iterations: 40,
+                    mode: ScanMode::Truncated { tail_mass: tail },
+                },
             )
             .unwrap();
-        t.push_row(vec![format!("{tail:e}"), format!("{eps:.8}"), f(t0.elapsed().as_secs_f64())]);
+        t.push_row(vec![
+            format!("{tail:e}"),
+            format!("{eps:.8}"),
+            f(t0.elapsed().as_secs_f64()),
+        ]);
     }
     t.push_row(vec!["full".into(), format!("{reference:.8}"), "-".into()]);
     t.emit();
@@ -40,11 +53,23 @@ fn main() {
     println!("=== Ablation 2: bisection depth T ===");
     let mut t = ResultTable::new("ablation_bisection", &["T", "epsilon", "rel_slack_vs_T48"]);
     let exact = acc
-        .epsilon(delta, SearchOptions { iterations: 48, mode: ScanMode::default() })
+        .epsilon(
+            delta,
+            SearchOptions {
+                iterations: 48,
+                mode: ScanMode::default(),
+            },
+        )
         .unwrap();
     for iters in [5usize, 10, 20, 30, 40] {
         let eps = acc
-            .epsilon(delta, SearchOptions { iterations: iters, mode: ScanMode::default() })
+            .epsilon(
+                delta,
+                SearchOptions {
+                    iterations: iters,
+                    mode: ScanMode::default(),
+                },
+            )
             .unwrap();
         t.push_row(vec![
             iters.to_string(),

@@ -90,9 +90,14 @@ pub fn single_message_panel(
                     blanket_epsilon_specific(&p, eps0, n, delta, BlanketOptions::default()).ok()
                 })
                 .unwrap_or(eps0);
-            let bl_gen =
-                blanket_epsilon(eps0, generic_gamma(eps0), n, delta, BlanketOptions::default())
-                    .unwrap_or(eps0);
+            let bl_gen = blanket_epsilon(
+                eps0,
+                generic_gamma(eps0),
+                n,
+                delta,
+                BlanketOptions::default(),
+            )
+            .unwrap_or(eps0);
             let ef = efmrtt_epsilon(eps0, n, delta);
             SingleMessagePoint {
                 eps0,
@@ -140,9 +145,7 @@ pub fn emit_single_message_panel(
             f(p.efmrtt.log2()),
         ]);
     }
-    println!(
-        "panel {panel}: n={n}, d={d}, delta={delta:e} — log2(amplification ratio eps0/eps)"
-    );
+    println!("panel {panel}: n={n}, d={d}, delta={delta:e} — log2(amplification ratio eps0/eps)");
     t.emit();
     points
 }
@@ -173,7 +176,10 @@ pub fn cheu_panel(n_users: u64, d: u64, delta: f64, flip_prob: f64) -> Vec<Multi
             let orig = proto.original_epsilon(delta).ok()?;
             let params = proto.params().ok()?;
             let n_eff = proto.effective_population();
-            let ours = Accountant::new(params, n_eff).ok()?.epsilon(delta, opts).ok()?;
+            let ours = Accountant::new(params, n_eff)
+                .ok()?
+                .epsilon(delta, opts)
+                .ok()?;
             let ana = vr_core::analytic::analytic_epsilon(&params, n_eff, delta)
                 .map(|e| orig / e)
                 .unwrap_or(f64::NAN);
@@ -198,11 +204,18 @@ pub fn balls_into_bins_panel(d: u64, s: u64, delta: f64) -> Vec<MultiMessagePoin
         .into_iter()
         .filter_map(|eps_prime| {
             let n = BallsIntoBins::population_for_budget(eps_prime, delta, d, s);
-            let proto = BallsIntoBins { n_users: n, bins: d, special: s };
+            let proto = BallsIntoBins {
+                n_users: n,
+                bins: d,
+                special: s,
+            };
             let orig = proto.original_epsilon(delta).ok()?;
             let params = proto.params().ok()?;
             let n_eff = proto.effective_population();
-            let ours = Accountant::new(params, n_eff).ok()?.epsilon(delta, opts).ok()?;
+            let ours = Accountant::new(params, n_eff)
+                .ok()?
+                .epsilon(delta, opts)
+                .ok()?;
             let ana = vr_core::analytic::analytic_epsilon(&params, n_eff, delta)
                 .map(|e| orig / e)
                 .unwrap_or(f64::NAN);
@@ -220,14 +233,15 @@ pub fn balls_into_bins_panel(d: u64, s: u64, delta: f64) -> Vec<MultiMessagePoin
 }
 
 /// Emit a Figure 3/4 panel.
-pub fn emit_multi_message_panel(
-    fig: &str,
-    panel: &str,
-    points: &[MultiMessagePoint],
-) -> usize {
+pub fn emit_multi_message_panel(fig: &str, panel: &str, points: &[MultiMessagePoint]) -> usize {
     let mut t = ResultTable::new(
         &format!("{fig}_{panel}"),
-        &["eps_prime", "log2_extra_numeric", "log2_extra_analytic", "log2_extra_asymptotic"],
+        &[
+            "eps_prime",
+            "log2_extra_numeric",
+            "log2_extra_analytic",
+            "log2_extra_asymptotic",
+        ],
     );
     for p in points {
         t.push_row(vec![
@@ -267,8 +281,9 @@ pub fn parallel_panel(d: u64, n: u64, delta: f64) -> Vec<ParallelPoint> {
             let adv = w.advanced_epsilon(n, delta, opts).expect("advanced");
             let basic = w.basic_epsilon(n, delta, opts).expect("basic");
             let e = eps0.exp();
-            let sep_best =
-                w.separate_epsilon(n, delta, grr_beta(eps0, d), opts).expect("separate");
+            let sep_best = w
+                .separate_epsilon(n, delta, grr_beta(eps0, d), opts)
+                .expect("separate");
             let sep_worst = w
                 .separate_epsilon(n, delta, (e - 1.0) / (e + 1.0), opts)
                 .expect("separate worst");

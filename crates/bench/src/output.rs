@@ -56,29 +56,82 @@ impl ResultTable {
         out
     }
 
-    /// Print the table and write the CSV mirror under `results/`.
+    /// The CSV serialization of the header and rows (RFC 4180 quoting:
+    /// fields containing commas, quotes, or newlines are quoted — several
+    /// tables have labels like `Laplace on [0,1]`).
+    pub fn to_csv(&self) -> String {
+        let mut csv = String::new();
+        for line in std::iter::once(&self.header).chain(&self.rows) {
+            let mut first = true;
+            for cell in line {
+                if !first {
+                    csv.push(',');
+                }
+                first = false;
+                push_csv_field(&mut csv, cell);
+            }
+            csv.push('\n');
+        }
+        csv
+    }
+
+    /// Print the table and write the CSV mirror under [`results_dir`],
+    /// creating the directory if needed. IO problems are reported as
+    /// warnings on stderr — a missing or read-only `results/` never aborts
+    /// an experiment run.
     pub fn emit(&self) {
         println!("{}", self.render());
         let dir = results_dir();
-        if fs::create_dir_all(&dir).is_ok() {
-            let mut csv = self.header.join(",");
-            csv.push('\n');
-            for row in &self.rows {
-                csv.push_str(&row.join(","));
-                csv.push('\n');
-            }
-            let path = dir.join(format!("{}.csv", self.name));
-            if let Err(e) = fs::write(&path, csv) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                println!("[written {}]", path.display());
-            }
+        match self.emit_to(&dir) {
+            Ok(path) => println!("[written {}]", path.display()),
+            Err(e) => eprintln!(
+                "warning: could not write {}.csv under {}: {e}",
+                self.name,
+                dir.display()
+            ),
         }
+    }
+
+    /// Write the CSV mirror into `dir` (created, with parents, if absent)
+    /// and return the file path.
+    pub fn emit_to(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        // Canonicalize for readable "[written ...]" lines (the workspace
+        // root is reached via `crates/bench/../..`).
+        let dir = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+        let path = dir.join(format!("{}.csv", self.name));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
     }
 }
 
-/// `results/` directory at the workspace root (falls back to CWD).
-fn results_dir() -> PathBuf {
+/// Append `field` to `out`, quoting per RFC 4180 when it contains a comma,
+/// quote, or line break.
+fn push_csv_field(out: &mut String, field: &str) {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Directory CSV artifacts land in: `$VR_RESULTS_DIR` if set, otherwise
+/// `results/` at the workspace root (falling back to the current directory
+/// when not running under cargo). The directory need not exist yet;
+/// [`ResultTable::emit`] creates it on first write.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("VR_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
     match std::env::var("CARGO_MANIFEST_DIR") {
         Ok(m) => PathBuf::from(m).join("../..").join("results"),
@@ -129,5 +182,60 @@ mod tests {
         assert_eq!(f(f64::INFINITY), "inf");
         assert_eq!(f(0.12345), "0.1235");
         assert_eq!(f(1234.5), "1234.5");
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas_and_quotes() {
+        let mut t = ResultTable::new("quoting", &["label", "v"]);
+        t.push_row(vec!["Laplace on [0,1]".into(), "2.5".into()]);
+        t.push_row(vec!["say \"hi\"".into(), "1".into()]);
+        assert_eq!(
+            t.to_csv(),
+            "label,v\n\"Laplace on [0,1]\",2.5\n\"say \"\"hi\"\"\",1\n"
+        );
+        // Every line must parse back to exactly two fields.
+        for line in t.to_csv().lines() {
+            let mut fields = 0;
+            let mut in_quotes = false;
+            for c in line.chars() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => fields += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(fields, 1, "line {line:?} should have one separator");
+        }
+    }
+
+    #[test]
+    fn emit_to_creates_missing_directories() {
+        let mut t = ResultTable::new("emit-test", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        // A fresh, nested, not-yet-existing target (mimics a fresh checkout
+        // with no results/ directory).
+        let dir = std::env::temp_dir()
+            .join(format!("vr-bench-emit-{}", std::process::id()))
+            .join("nested")
+            .join("results");
+        assert!(!dir.exists());
+        let path = t.emit_to(&dir).expect("emit_to must create the directory");
+        let csv = fs::read_to_string(&path).unwrap();
+        assert_eq!(csv, "x,y\n1,2\n");
+        assert_eq!(csv, t.to_csv());
+        // Writing again into the now-existing directory also succeeds.
+        t.push_row(vec!["3".into(), "4".into()]);
+        t.emit_to(&dir).unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "x,y\n1,2\n3,4\n");
+        let _ = fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn results_dir_is_workspace_relative_or_overridden() {
+        let d = results_dir();
+        match std::env::var("VR_RESULTS_DIR") {
+            Ok(o) if !o.is_empty() => assert_eq!(d, PathBuf::from(o)),
+            _ => assert_eq!(d.file_name().unwrap(), "results"),
+        }
     }
 }

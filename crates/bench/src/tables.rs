@@ -14,7 +14,14 @@ use vr_ldp::*;
 pub fn table1() -> ResultTable {
     let mut t = ResultTable::new(
         "table1",
-        &["eps0", "EFMRTT19", "blanket", "clone", "stronger_clone", "variation_ratio(subset)"],
+        &[
+            "eps0",
+            "EFMRTT19",
+            "blanket",
+            "clone",
+            "stronger_clone",
+            "variation_ratio(subset)",
+        ],
     );
     let n = 100_000;
     let delta = 1e-6;
@@ -39,11 +46,23 @@ pub fn table2(eps0: f64, d: usize) -> ResultTable {
     let mut push = |name: &str, vr: VariationRatio| {
         t.push_row(vec![name.to_string(), f(vr.p()), f(vr.beta()), f(vr.q())]);
     };
-    push("general (worst case)", VariationRatio::ldp_worst_case(eps0).unwrap());
-    push("Laplace on [0,1]", BoundedLaplace::new(eps0).variation_ratio());
-    push("PrivUnit (c=0.25)", PrivUnit::new(16, 0.25, eps0).variation_ratio());
+    push(
+        "general (worst case)",
+        VariationRatio::ldp_worst_case(eps0).unwrap(),
+    );
+    push(
+        "Laplace on [0,1]",
+        BoundedLaplace::new(eps0).variation_ratio(),
+    );
+    push(
+        "PrivUnit (c=0.25)",
+        PrivUnit::new(16, 0.25, eps0).variation_ratio(),
+    );
     push(&format!("GRR on {d}"), Grr::new(d, eps0).variation_ratio());
-    push(&format!("binary RR on {d}"), BinaryRr::new(d, eps0).variation_ratio());
+    push(
+        &format!("binary RR on {d}"),
+        BinaryRr::new(d, eps0).variation_ratio(),
+    );
     let ks = KSubset::optimal(d, eps0);
     push(&format!("{}-subset on {d}", ks.k()), ks.variation_ratio());
     let olh = Olh::optimal(d, eps0);
@@ -66,7 +85,13 @@ pub fn table2(eps0: f64, d: usize) -> ResultTable {
 pub fn table3() -> ResultTable {
     let mut t = ResultTable::new(
         "table3",
-        &["d01", "dmax", "beta_general", "beta_laplace_l1", "beta_planar_laplace_l2"],
+        &[
+            "d01",
+            "dmax",
+            "beta_general",
+            "beta_laplace_l1",
+            "beta_planar_laplace_l2",
+        ],
     );
     for &(d01, dmax) in &[(0.5, 2.0), (1.0, 2.0), (1.0, 4.0), (2.0, 4.0), (3.0, 6.0)] {
         let general = (d01f(d01).exp() - 1.0) / (d01f(d01).exp() + 1.0);
@@ -97,13 +122,27 @@ pub fn table4() -> ResultTable {
             f(vr.clone_probability()),
         ]);
     };
-    push("Balcer et al. coin p=0.25", mm::balcer_cheu_biased(0.25).unwrap());
+    push(
+        "Balcer et al. coin p=0.25",
+        mm::balcer_cheu_biased(0.25).unwrap(),
+    );
     push("Balcer et al. uniform coin", mm::balcer_cheu_uniform());
-    let cz = mm::CheuZhilyaev { n_users: 0, messages_per_user: 2, flip_prob: 0.25, domain: 16 };
+    let cz = mm::CheuZhilyaev {
+        n_users: 0,
+        messages_per_user: 2,
+        flip_prob: 0.25,
+        domain: 16,
+    };
     push("Cheu et al. f=0.25", cz.params().unwrap());
     push(
         "balls-into-bins d=16 s=1",
-        mm::BallsIntoBins { n_users: 0, bins: 16, special: 1 }.params().unwrap(),
+        mm::BallsIntoBins {
+            n_users: 0,
+            bins: 16,
+            special: 1,
+        }
+        .params()
+        .unwrap(),
     );
     push("pureDUMP d=16", mm::pure_dump(16).unwrap());
     push("mixDUMP f=0.1 d=16", mm::mix_dump(0.1, 16).unwrap());
@@ -139,7 +178,13 @@ pub fn table5(eps0s: &[f64], ns: &[u64], iterations: &[usize]) -> Vec<Table5Cell
                 let acc = Accountant::new(params, n).unwrap();
                 let t0 = Instant::now();
                 let eps_full = acc
-                    .epsilon(delta, SearchOptions { iterations: iters, mode: ScanMode::Full })
+                    .epsilon(
+                        delta,
+                        SearchOptions {
+                            iterations: iters,
+                            mode: ScanMode::Full,
+                        },
+                    )
                     .unwrap();
                 let full_s = t0.elapsed().as_secs_f64();
                 let t1 = Instant::now();
@@ -175,7 +220,14 @@ pub fn table5(eps0s: &[f64], ns: &[u64], iterations: &[usize]) -> Vec<Table5Cell
 pub fn emit_table5(cells: &[Table5Cell]) {
     let mut t = ResultTable::new(
         "table5",
-        &["eps0", "n", "T", "epsilon", "time_full_s", "time_truncated_s"],
+        &[
+            "eps0",
+            "n",
+            "T",
+            "epsilon",
+            "time_full_s",
+            "time_truncated_s",
+        ],
     );
     for c in cells {
         t.push_row(vec![
@@ -196,8 +248,14 @@ pub fn table6(eps0: f64) -> ResultTable {
     let mut push = |name: &str, vr: VariationRatio| {
         t.push_row(vec![name.to_string(), f(vr.p()), f(vr.beta()), f(vr.q())]);
     };
-    push("general (worst case)", VariationRatio::ldp_worst_case(eps0).unwrap());
-    push("Duchi et al. [-1,1]", DuchiScalar::new(eps0).variation_ratio());
+    push(
+        "general (worst case)",
+        VariationRatio::ldp_worst_case(eps0).unwrap(),
+    );
+    push(
+        "Duchi et al. [-1,1]",
+        DuchiScalar::new(eps0).variation_ratio(),
+    );
     push("Harmony [-1,1]^8", Harmony::new(8, eps0).variation_ratio());
     push(
         "PrivSet s=2 k=3 d=32",

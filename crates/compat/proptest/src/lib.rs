@@ -1,0 +1,364 @@
+//! Hermetic, dependency-free subset of the `proptest` property-testing API.
+//!
+//! The build environment has no registry access, so the workspace pins
+//! `proptest` to this in-tree implementation covering the surface used by
+//! `tests/property_based.rs`:
+//!
+//! * [`Strategy`] with `prop_filter_map` / `prop_filter` / `prop_map`,
+//! * range strategies (`1.05f64..50.0`, `2u64..20_000`, ...) and tuples of
+//!   strategies,
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`) and
+//!   [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Differences from registry proptest: generation is uniform rather than
+//! bias-toward-edge-cases, and failing inputs are *reported* (value printed
+//! in the panic message via `prop_assert!`'s formatting) but not shrunk.
+//! Each test function draws from a generator seeded by the hash of its full
+//! module path, so runs are deterministic and independent of execution
+//! order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleRange, SeedableRng};
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted input tuples each test body runs on.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+///
+/// `generate` returns `None` when a filter rejects the draw; the driver
+/// retries with fresh randomness (up to a global rejection budget).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value, or `None` on filter rejection.
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Map accepted draws through `f`; `None` results are rejections.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            reason,
+        }
+    }
+
+    /// Keep only draws satisfying `pred`.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            pred,
+            reason,
+        }
+    }
+
+    /// Transform every draw through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    #[allow(dead_code)]
+    reason: &'static str,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        (self.f)(self.inner.generate(rng)?)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    #[allow(dead_code)]
+    reason: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Always produces clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Uniform strategy over the half-open ranges supported by the in-tree
+/// `rand` shim (`u32`, `u64`, `usize`, `f64`).
+impl<T> Strategy for Range<T>
+where
+    T: Copy,
+    Range<T>: SampleRange<Output = T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> Option<T> {
+        Some(rng.random_range(self.clone()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+
+/// Driver state for one property-test function (used by the [`proptest!`]
+/// expansion; not part of the public mirror API).
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+    cases_done: u32,
+    cases_target: u32,
+    rejections: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl TestRunner {
+    /// Runner seeded deterministically from the test's full path.
+    pub fn new(config: &ProptestConfig, test_path: &str) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(fnv1a(test_path.as_bytes())),
+            cases_done: 0,
+            cases_target: config.cases,
+            rejections: 0,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Whether more accepted cases are needed.
+    pub fn more(&self) -> bool {
+        self.cases_done < self.cases_target
+    }
+
+    /// Draw from `strategy`, counting rejections against a global budget so
+    /// an over-restrictive filter fails loudly instead of spinning forever.
+    pub fn draw<S: Strategy>(&mut self, strategy: &S) -> Option<S::Value> {
+        match strategy.generate(&mut self.rng) {
+            Some(v) => Some(v),
+            None => {
+                self.rejections += 1;
+                assert!(
+                    self.rejections < 65_536 + 4_096 * self.cases_target as u64,
+                    "proptest strategy rejected too many draws \
+                     ({} rejections for {} accepted cases)",
+                    self.rejections,
+                    self.cases_done,
+                );
+                None
+            }
+        }
+    }
+
+    /// Record one accepted, executed case.
+    pub fn case_ok(&mut self) {
+        self.cases_done += 1;
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` for every accepted generated input.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut runner = $crate::TestRunner::new(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            while runner.more() {
+                $(
+                    let $arg = match runner.draw(&($strategy)) {
+                        Some(v) => v,
+                        None => continue,
+                    };
+                )+
+                runner.case_ok();
+                $body
+            }
+        }
+    )*};
+}
+
+/// Assert inside a [`proptest!`] body (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u64> {
+        (2u64..100).prop_filter_map("even", |x| if x % 2 == 0 { Some(x) } else { None })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn filter_map_only_yields_accepted(x in small_even(), y in 0.25f64..0.75) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!((0.25..0.75).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn tuples_generate_componentwise(t in (1u32..5, 0.0f64..1.0, 1usize..3)) {
+            prop_assert!((1..5).contains(&t.0));
+            prop_assert!((0.0..1.0).contains(&t.1));
+            prop_assert!((1..3).contains(&t.2));
+            prop_assert_eq!(t.2 * 2 / 2, t.2);
+        }
+    }
+
+    #[test]
+    fn usize_range_covers_domain() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = 1usize..3;
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[Strategy::generate(&s, &mut rng).unwrap()] = true;
+        }
+        assert!(!seen[0] && seen[1] && seen[2]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Hermetic, dependency-free subset of the `rand` crate API.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace pins `rand` to this in-tree implementation
+//! (see `[workspace.dependencies]` in the root manifest). It covers exactly
+//! the surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a small, fast, seedable generator
+//!   (xoshiro256++ seeded via SplitMix64),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`RngExt::random_range`] over integer and float ranges, and
+//! * [`RngExt::random_bool`].
+//!
+//! The generator is *not* cryptographically secure; it exists so samplers,
+//! simulators and property tests are deterministic and reproducible. All
+//! uses in this workspace are Monte-Carlo simulation and test-input
+//! generation, never security-critical randomness.
+//!
+//! Migrating to registry `rand` is **not** a drop-in manifest swap: there
+//! the trait is named `Rng` (this workspace imports `rand::RngExt`; the
+//! [`Rng`] alias here covers only the other direction), and registry
+//! `StdRng` is a different generator, so seed-pinned Monte-Carlo
+//! tolerances would need re-checking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A generator that can be instantiated from a numeric seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed. Equal seeds give equal streams.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// seed expansion. Passes BigCrush-style smoke statistics far beyond
+    /// what Monte-Carlo protocol simulation needs, and is an order of
+    /// magnitude faster than a cryptographic generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_u64_impl()
+        }
+    }
+}
+
+/// Extension methods every generator exposes: ranged sampling and coins.
+///
+/// (In registry `rand` these live on `Rng`; the workspace imports the trait
+/// by this name, and the method set matches `rand` 0.9.)
+pub trait RngExt {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn random_f64(&mut self) -> f64 {
+        // Top 53 bits scaled by 2^-53: the standard uniform-double recipe.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Sample uniformly from `range`. Supports `Range` / `RangeInclusive`
+    /// over the integer types used in the workspace and `Range<f64>`.
+    ///
+    /// Panics if the range is empty.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            true
+        } else if p <= 0.0 || p.is_nan() {
+            false
+        } else {
+            self.random_f64() < p
+        }
+    }
+}
+
+/// Registry `rand` exposes these methods on a trait named `Rng`; provide
+/// that spelling too so both `rand::Rng` and `rand::RngExt` bounds work.
+pub use RngExt as Rng;
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample from `self`.
+    fn sample<G: RngExt>(self, rng: &mut G) -> Self::Output;
+}
+
+/// Uniform integer in `[0, span)` by widening multiply (Lemire reduction
+/// without the rejection step; bias is < 2^-64 * span, negligible for the
+/// simulation workloads here).
+fn below(rng: &mut impl RngExt, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<G: RngExt>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + below(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<G: RngExt>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                if start == 0 as $t && end == <$t>::MAX {
+                    // Full domain: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                let span = (end - start) as u64 + 1;
+                start + below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<G: RngExt>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let v = self.start + (self.end - self.start) * rng.random_f64();
+        // Guard against round-up to the exclusive endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0usize..=4);
+            assert!(y <= 4);
+            let f = rng.random_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let g = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!(g > 0.0 && g < 1.0);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_hits_high_bit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut high = false;
+        for _ in 0..64 {
+            high |= rng.random_range(0..u64::MAX) > u64::MAX / 2;
+        }
+        assert!(high);
+    }
+
+    #[test]
+    fn bool_frequency_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean: f64 = (0..100_000).map(|_| rng.random_f64()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+}

@@ -80,7 +80,10 @@ pub struct SearchOptions {
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        Self { iterations: 40, mode: ScanMode::default() }
+        Self {
+            iterations: 40,
+            mode: ScanMode::default(),
+        }
     }
 }
 
@@ -115,8 +118,29 @@ impl Accountant {
     /// Upper bound on `D_{e^ε}(S∘R(X) ‖ S∘R(X'))` — Theorem 4.8 evaluated in
     /// the requested scan mode. By the symmetry of the dominating pair this
     /// simultaneously bounds both divergence directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative or NaN; use [`Accountant::try_delta`] to
+    /// get an [`Error`] instead when `eps` comes from user input.
     pub fn delta(&self, eps: f64, mode: ScanMode) -> f64 {
-        assert!(eps >= 0.0 && !eps.is_nan(), "epsilon must be non-negative");
+        self.try_delta(eps, mode)
+            .expect("epsilon must be non-negative")
+    }
+
+    /// Fallible form of [`Accountant::delta`]: rejects negative or NaN `eps`
+    /// with [`Error::InvalidParameter`] instead of panicking.
+    pub fn try_delta(&self, eps: f64, mode: ScanMode) -> Result<f64> {
+        if eps.is_nan() || eps < 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "epsilon must be non-negative (got {eps})"
+            )));
+        }
+        Ok(self.delta_unchecked(eps, mode))
+    }
+
+    /// Theorem 4.8 kernel; `eps` is already validated.
+    fn delta_unchecked(&self, eps: f64, mode: ScanMode) -> f64 {
         if self.vr.is_degenerate() {
             return 0.0;
         }
@@ -203,7 +227,9 @@ impl Accountant {
         // Each dropped c-term is at most coef_p0·1 ≤ pα ≤ 1, so crediting the
         // (exactly measured) missing mass keeps the result an upper bound;
         // dropped negative terms only make the bound looser, never invalid.
-        let neglected = (1.0 - scanned_mass).max(0.0).min(neglected_budget.max(1e-300));
+        let neglected = (1.0 - scanned_mass)
+            .max(0.0)
+            .min(neglected_budget.max(1e-300));
         (acc + neglected).clamp(0.0, 1.0)
     }
 
@@ -213,12 +239,14 @@ impl Accountant {
     /// `(ε, δ)` guarantee.
     pub fn epsilon(&self, delta: f64, opts: SearchOptions) -> Result<f64> {
         if !(0.0..=1.0).contains(&delta) {
-            return Err(Error::InvalidParameter(format!("delta must be in [0,1], got {delta}")));
+            return Err(Error::InvalidParameter(format!(
+                "delta must be in [0,1], got {delta}"
+            )));
         }
         if self.vr.is_degenerate() {
             return Ok(0.0);
         }
-        if self.delta(0.0, opts.mode) <= delta {
+        if self.delta_unchecked(0.0, opts.mode) <= delta {
             return Ok(0.0);
         }
         let eps_hi = if self.vr.p().is_finite() {
@@ -227,7 +255,11 @@ impl Accountant {
             // p = ∞: no a-priori ceiling; bracket exponentially. If even a
             // huge ε cannot push the divergence below δ, the target is
             // unachievable (δ is below the irreducible exposed mass).
-            match exponential_upper_bracket(|e| self.delta(e, opts.mode) <= delta, 1.0, 256.0) {
+            match exponential_upper_bracket(
+                |e| self.delta_unchecked(e, opts.mode) <= delta,
+                1.0,
+                256.0,
+            ) {
                 Some(hi) => hi,
                 None => {
                     return Err(Error::Unachievable(format!(
@@ -238,8 +270,12 @@ impl Accountant {
                 }
             }
         };
-        let bracket =
-            bisect_monotone(|e| self.delta(e, opts.mode) <= delta, 0.0, eps_hi, opts.iterations);
+        let bracket = bisect_monotone(
+            |e| self.delta_unchecked(e, opts.mode) <= delta,
+            0.0,
+            eps_hi,
+            opts.iterations,
+        );
         Ok(bracket.feasible)
     }
 
@@ -343,7 +379,9 @@ mod tests {
         let eps = 0.2;
         let mut prev = f64::INFINITY;
         for n in [10u64, 100, 1_000, 10_000, 100_000] {
-            let d = Accountant::new(params, n).unwrap().delta(eps, ScanMode::default());
+            let d = Accountant::new(params, n)
+                .unwrap()
+                .delta(eps, ScanMode::default());
             assert!(d < prev, "delta not decreasing at n={n}: {d} vs {prev}");
             prev = d;
         }
@@ -408,7 +446,10 @@ mod tests {
         let delta = 1e-6;
         let mut prev = f64::INFINITY;
         for n in [100u64, 1_000, 10_000, 100_000] {
-            let eps = Accountant::new(params, n).unwrap().epsilon_default(delta).unwrap();
+            let eps = Accountant::new(params, n)
+                .unwrap()
+                .epsilon_default(delta)
+                .unwrap();
             assert!(eps < prev, "amplification should improve with n (n={n})");
             prev = eps;
         }
@@ -450,7 +491,10 @@ mod tests {
         let params = VariationRatio::ldp_worst_case(1.0).unwrap();
         let acc = Accountant::new(params, 1_000_000).unwrap();
         let eps = acc.epsilon_default(1e-8).unwrap();
-        assert!(eps > 0.0 && eps < 0.05, "expected strong amplification, got {eps}");
+        assert!(
+            eps > 0.0 && eps < 0.05,
+            "expected strong amplification, got {eps}"
+        );
     }
 
     #[test]
@@ -460,5 +504,19 @@ mod tests {
         let acc = Accountant::new(params, 10).unwrap();
         assert!(acc.epsilon(-0.1, SearchOptions::default()).is_err());
         assert!(acc.epsilon(1.5, SearchOptions::default()).is_err());
+        assert!(acc.epsilon(f64::NAN, SearchOptions::default()).is_err());
+    }
+
+    #[test]
+    fn try_delta_rejects_bad_epsilon_without_panicking() {
+        let acc = Accountant::new(vr(2.0, 0.1, 2.0), 10).unwrap();
+        for bad in [-1e-9, -3.0, f64::NAN, f64::NEG_INFINITY] {
+            let err = acc.try_delta(bad, ScanMode::default()).unwrap_err();
+            assert!(matches!(err, Error::InvalidParameter(_)), "eps={bad}");
+        }
+        let ok = acc.try_delta(0.3, ScanMode::default()).unwrap();
+        assert_eq!(ok, acc.delta(0.3, ScanMode::default()));
+        // +inf epsilon is a valid (if useless) query: divergence is 0.
+        assert_eq!(acc.try_delta(f64::INFINITY, ScanMode::Full).unwrap(), 0.0);
     }
 }

@@ -28,10 +28,14 @@ use crate::params::VariationRatio;
 /// [`crate::Accountant`] instead — it is always applicable and tighter).
 pub fn analytic_epsilon(vr: &VariationRatio, n: u64, delta: f64) -> Result<f64> {
     if !(0.0 < delta && delta < 1.0) {
-        return Err(Error::InvalidParameter(format!("delta must be in (0,1), got {delta}")));
+        return Err(Error::InvalidParameter(format!(
+            "delta must be in (0,1), got {delta}"
+        )));
     }
     if n < 2 {
-        return Err(Error::NotApplicable("need n >= 2 for clone concentration".into()));
+        return Err(Error::NotApplicable(
+            "need n >= 2 for clone concentration".into(),
+        ));
     }
     if vr.is_degenerate() {
         return Ok(0.0);
@@ -59,7 +63,11 @@ pub fn analytic_epsilon(vr: &VariationRatio, n: u64, delta: f64) -> Result<f64> 
 
     // Condition (i): coefficient of C in the denominator of F must be >= 0:
     // (p+1)α/2 − (1−α−pα)·r/(1−2r) >= 0 (p = ∞ safe via α + pα).
-    let tail_rate = if rest == 0.0 { 0.0 } else { rest * r / (1.0 - 2.0 * r) };
+    let tail_rate = if rest == 0.0 {
+        0.0
+    } else {
+        rest * r / (1.0 - 2.0 * r)
+    };
     if (alpha + p_alpha) / 2.0 - tail_rate < 0.0 {
         return Err(Error::NotApplicable(
             "denominator coefficient condition of Theorem 4.2 fails".into(),
@@ -121,7 +129,11 @@ mod tests {
         // The closed form must be a valid (looser) upper bound: at the ε it
         // returns, the numerical Delta must be <= δ.
         for &(p, beta, q) in &[
-            ((1.0f64).exp(), ((1.0f64).exp() - 1.0) / ((1.0f64).exp() + 1.0), (1.0f64).exp()),
+            (
+                (1.0f64).exp(),
+                ((1.0f64).exp() - 1.0) / ((1.0f64).exp() + 1.0),
+                (1.0f64).exp(),
+            ),
             (f64::INFINITY, 0.8, 4.0),
             (f64::INFINITY, 1.0, 8.0),
         ] {
@@ -152,7 +164,10 @@ mod tests {
         let n = 1_000_000;
         let delta = 1e-7;
         let analytic = analytic_epsilon(&vr, n, delta).unwrap();
-        let numerical = Accountant::new(vr, n).unwrap().epsilon_default(delta).unwrap();
+        let numerical = Accountant::new(vr, n)
+            .unwrap()
+            .epsilon_default(delta)
+            .unwrap();
         assert!(
             analytic >= numerical,
             "closed form should not beat the exact accountant: {analytic} < {numerical}"

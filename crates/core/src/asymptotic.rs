@@ -15,7 +15,9 @@ use crate::params::VariationRatio;
 /// otherwise). `p = ∞` is handled through `(1+p)β/(p−1) → β` (i.e. `α + pα`).
 pub fn asymptotic_epsilon(vr: &VariationRatio, n: u64, delta: f64) -> Result<f64> {
     if !(0.0 < delta && delta < 1.0) {
-        return Err(Error::InvalidParameter(format!("delta must be in (0,1), got {delta}")));
+        return Err(Error::InvalidParameter(format!(
+            "delta must be in (0,1), got {delta}"
+        )));
     }
     if vr.is_degenerate() {
         return Ok(0.0);
@@ -90,8 +92,13 @@ mod tests {
             let n = 2_000_000;
             let delta = 1e-7;
             let eps = asymptotic_epsilon(&vr, n, delta).unwrap();
-            let d = Accountant::new(vr, n).unwrap().delta(eps, ScanMode::default());
-            assert!(d <= delta * 1.0001, "eps0={eps0}: Delta({eps}) = {d:e} > {delta:e}");
+            let d = Accountant::new(vr, n)
+                .unwrap()
+                .delta(eps, ScanMode::default());
+            assert!(
+                d <= delta * 1.0001,
+                "eps0={eps0}: Delta({eps}) = {d:e} > {delta:e}"
+            );
         }
     }
 
@@ -101,7 +108,10 @@ mod tests {
         let n = 1_000_000;
         let delta = 1e-7;
         let asym = asymptotic_epsilon(&vr, n, delta).unwrap();
-        let num = Accountant::new(vr, n).unwrap().epsilon_default(delta).unwrap();
+        let num = Accountant::new(vr, n)
+            .unwrap()
+            .epsilon_default(delta)
+            .unwrap();
         assert!(asym >= num);
     }
 

@@ -61,7 +61,10 @@ pub struct BlanketOptions {
 
 impl Default for BlanketOptions {
     fn default() -> Self {
-        Self { bound: BlanketBound::Best, iterations: 40 }
+        Self {
+            bound: BlanketBound::Best,
+            iterations: 40,
+        }
     }
 }
 
@@ -94,11 +97,15 @@ impl BlanketProfile {
     /// folded in) — only the pmf values matter.
     pub fn from_rows(rows: &[Vec<f64>], x0: usize, x1: usize) -> Result<Self> {
         if rows.is_empty() || x0 >= rows.len() || x1 >= rows.len() || x0 == x1 {
-            return Err(Error::InvalidParameter("need distinct valid input indices".into()));
+            return Err(Error::InvalidParameter(
+                "need distinct valid input indices".into(),
+            ));
         }
         let m = rows[0].len();
         if rows.iter().any(|r| r.len() != m) {
-            return Err(Error::InvalidParameter("rows must share one output domain".into()));
+            return Err(Error::InvalidParameter(
+                "rows must share one output domain".into(),
+            ));
         }
         let mut min_row = vec![f64::INFINITY; m];
         for row in rows {
@@ -121,7 +128,12 @@ impl BlanketProfile {
                 ));
             }
         }
-        Ok(Self { p0: rows[x0].clone(), p1: rows[x1].clone(), omega, gamma })
+        Ok(Self {
+            p0: rows[x0].clone(),
+            p1: rows[x1].clone(),
+            omega,
+            gamma,
+        })
     }
 
     /// Build a profile from the victim pair and an **explicit pointwise
@@ -155,7 +167,12 @@ impl BlanketProfile {
             }
         }
         let omega: Vec<f64> = envelope.iter().map(|&v| v / gamma).collect();
-        Ok(Self { p0, p1, omega, gamma })
+        Ok(Self {
+            p0,
+            p1,
+            omega,
+            gamma,
+        })
     }
 
     /// Blanket similarity γ.
@@ -180,7 +197,11 @@ impl BlanketProfile {
             m2 += w * z * z;
         }
         let mean = 1.0 - ee;
-        ((zmax).max(0.0), (zmax - zmin).max(0.0), (m2 - mean * mean).max(0.0))
+        (
+            (zmax).max(0.0),
+            (zmax - zmin).max(0.0),
+            (m2 - mean * mean).max(0.0),
+        )
     }
 }
 
@@ -223,7 +244,9 @@ pub fn blanket_epsilon_specific(
     opts: BlanketOptions,
 ) -> Result<f64> {
     if !(0.0 < delta && delta < 1.0) {
-        return Err(Error::InvalidParameter(format!("delta must be in (0,1), got {delta}")));
+        return Err(Error::InvalidParameter(format!(
+            "delta must be in (0,1), got {delta}"
+        )));
     }
     if n < 2 {
         return Ok(eps0);
@@ -259,8 +282,7 @@ fn delta_div(eps0: f64, m_plus_one: f64, eps: f64, bound: BlanketBound) -> f64 {
     let width = (e0 - 1.0 / e0) * (1.0 + ee);
     let hoeffding = || {
         let point = zmax * hoeffding_tail(m_plus_one, width, m_plus_one * drift);
-        let integral =
-            hoeffding_positive_part_integral(m_plus_one, width, drift) / m_plus_one;
+        let integral = hoeffding_positive_part_integral(m_plus_one, width, drift) / m_plus_one;
         point.min(integral)
     };
     let bennett = || {
@@ -292,13 +314,19 @@ pub fn blanket_epsilon(
     opts: BlanketOptions,
 ) -> Result<f64> {
     if !eps0.is_finite() || eps0 <= 0.0 {
-        return Err(Error::InvalidParameter(format!("eps0 must be positive, got {eps0}")));
+        return Err(Error::InvalidParameter(format!(
+            "eps0 must be positive, got {eps0}"
+        )));
     }
     if !(0.0 < gamma && gamma <= 1.0) {
-        return Err(Error::InvalidParameter(format!("gamma must be in (0,1], got {gamma}")));
+        return Err(Error::InvalidParameter(format!(
+            "gamma must be in (0,1], got {gamma}"
+        )));
     }
     if !(0.0 < delta && delta < 1.0) {
-        return Err(Error::InvalidParameter(format!("delta must be in (0,1), got {delta}")));
+        return Err(Error::InvalidParameter(format!(
+            "delta must be in (0,1), got {delta}"
+        )));
     }
     if n < 2 {
         return Ok(eps0); // no other users: only the local guarantee remains
@@ -327,9 +355,14 @@ mod tests {
     #[test]
     fn amplifies_below_local_budget() {
         let eps0 = 1.0;
-        let eps =
-            blanket_epsilon(eps0, generic_gamma(eps0), 100_000, 1e-7, BlanketOptions::default())
-                .unwrap();
+        let eps = blanket_epsilon(
+            eps0,
+            generic_gamma(eps0),
+            100_000,
+            1e-7,
+            BlanketOptions::default(),
+        )
+        .unwrap();
         assert!(eps < eps0, "no amplification: {eps}");
         assert!(eps > 0.0);
     }
@@ -339,9 +372,14 @@ mod tests {
         let eps0 = 2.0f64;
         let n = 100_000;
         let delta = 1e-7;
-        let generic =
-            blanket_epsilon(eps0, generic_gamma(eps0), n, delta, BlanketOptions::default())
-                .unwrap();
+        let generic = blanket_epsilon(
+            eps0,
+            generic_gamma(eps0),
+            n,
+            delta,
+            BlanketOptions::default(),
+        )
+        .unwrap();
         // GRR over 8 options: blanket is uniform, gamma = d/(e^{eps0}+d−1).
         let d = 8usize;
         let e = eps0.exp();
@@ -359,8 +397,7 @@ mod tests {
             1e-12
         ));
         let specific =
-            blanket_epsilon_specific(&profile, eps0, n, delta, BlanketOptions::default())
-                .unwrap();
+            blanket_epsilon_specific(&profile, eps0, n, delta, BlanketOptions::default()).unwrap();
         assert!(
             specific < generic,
             "specific profile should help: {specific} vs {generic}"
@@ -385,7 +422,10 @@ mod tests {
             g,
             n,
             delta,
-            BlanketOptions { bound: BlanketBound::Hoeffding, iterations: 40 },
+            BlanketOptions {
+                bound: BlanketBound::Hoeffding,
+                iterations: 40,
+            },
         )
         .unwrap();
         let b = blanket_epsilon(
@@ -393,11 +433,17 @@ mod tests {
             g,
             n,
             delta,
-            BlanketOptions { bound: BlanketBound::Bennett, iterations: 40 },
+            BlanketOptions {
+                bound: BlanketBound::Bennett,
+                iterations: 40,
+            },
         )
         .unwrap();
         let best = blanket_epsilon(eps0, g, n, delta, BlanketOptions::default()).unwrap();
-        assert!(best <= h + 1e-9 && best <= b + 1e-9, "best={best} h={h} b={b}");
+        assert!(
+            best <= h + 1e-9 && best <= b + 1e-9,
+            "best={best} h={h} b={b}"
+        );
     }
 
     #[test]
@@ -417,8 +463,14 @@ mod tests {
             eps0
         );
         assert_eq!(
-            blanket_epsilon(eps0, generic_gamma(eps0), 1, 1e-6, BlanketOptions::default())
-                .unwrap(),
+            blanket_epsilon(
+                eps0,
+                generic_gamma(eps0),
+                1,
+                1e-6,
+                BlanketOptions::default()
+            )
+            .unwrap(),
             eps0
         );
     }

@@ -87,7 +87,10 @@ mod tests {
         // Subset-selection-like beta, far below worst case:
         let beta = 0.1;
         let vr = VariationRatio::ldp_with_beta(eps0, beta).unwrap();
-        let ours = Accountant::new(vr, n).unwrap().epsilon(delta, opts).unwrap();
+        let ours = Accountant::new(vr, n)
+            .unwrap()
+            .epsilon(delta, opts)
+            .unwrap();
         assert!(ours < sc, "tight beta must help: {ours} vs {sc}");
     }
 

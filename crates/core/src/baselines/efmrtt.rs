@@ -31,7 +31,11 @@ mod tests {
     fn formula_value() {
         // eps0 = 0.5, n = 10^6, delta = 1e-6: 0.5 * sqrt(144 * ln(1e6)/1e6).
         let expected = 0.5 * (144.0 * (1e6f64).ln() / 1e6).sqrt();
-        assert!(is_close(efmrtt_epsilon(0.5, 1_000_000, 1e-6), expected, 1e-12));
+        assert!(is_close(
+            efmrtt_epsilon(0.5, 1_000_000, 1e-6),
+            expected,
+            1e-12
+        ));
     }
 
     #[test]
@@ -39,7 +43,10 @@ mod tests {
         let e1 = efmrtt_epsilon(0.5, 10_000, 1e-6);
         let e2 = efmrtt_epsilon(0.5, 40_000, 1e-6);
         assert!(is_close(e1 / e2, 2.0, 1e-12), "inverse-sqrt(n) scaling");
-        assert!(efmrtt_epsilon(0.5, 10_000, 1e-9) > e1, "smaller delta is harder");
+        assert!(
+            efmrtt_epsilon(0.5, 10_000, 1e-9) > e1,
+            "smaller delta is harder"
+        );
     }
 
     #[test]

@@ -23,10 +23,15 @@ impl PrivacyCurve {
     /// `[0, eps_max]`.
     pub fn sample(acc: &Accountant, eps_max: f64, points: usize, mode: ScanMode) -> Result<Self> {
         if points < 2 {
-            return Err(Error::InvalidParameter("need at least two grid points".into()));
+            return Err(Error::InvalidParameter(
+                "need at least two grid points".into(),
+            ));
         }
-        if !(eps_max > 0.0) || !eps_max.is_finite() {
-            return Err(Error::InvalidParameter(format!("invalid eps_max = {eps_max}")));
+        let valid = eps_max.is_finite() && eps_max > 0.0;
+        if !valid {
+            return Err(Error::InvalidParameter(format!(
+                "invalid eps_max = {eps_max}"
+            )));
         }
         let step = eps_max / (points - 1) as f64;
         let eps: Vec<f64> = (0..points).map(|i| step * i as f64).collect();
@@ -85,12 +90,8 @@ impl PrivacyCurve {
             let phi = |x: f64| vr_numerics::erf::normal_cdf(x);
             phi(-eps / mu + mu / 2.0) - eps.exp() * phi(-eps / mu - mu / 2.0)
         };
-        let bracket = vr_numerics::search::bisect_monotone(
-            |mu| delta_of(mu) >= delta,
-            1e-6,
-            50.0,
-            60,
-        );
+        let bracket =
+            vr_numerics::search::bisect_monotone(|mu| delta_of(mu) >= delta, 1e-6, 50.0, 60);
         Some(bracket.feasible)
     }
 }

@@ -55,7 +55,9 @@ pub fn max_ratio(p: &[f64], q: &[f64]) -> f64 {
 /// upper-biased value after `iters` halvings of the bracket.
 pub fn epsilon_for_delta(p: &[f64], q: &[f64], delta: f64, iters: usize) -> Result<f64> {
     if !(0.0..=1.0).contains(&delta) {
-        return Err(Error::InvalidParameter(format!("delta must be in [0,1], got {delta}")));
+        return Err(Error::InvalidParameter(format!(
+            "delta must be in [0,1], got {delta}"
+        )));
     }
     if hockey_stick_symmetric(p, q, 0.0) <= delta {
         return Ok(0.0);
@@ -166,6 +168,9 @@ mod tests {
         let q = [0.9, 0.0, 0.1];
         assert!(epsilon_for_delta(&p, &q, 0.05, 60).is_err());
         let eps = epsilon_for_delta(&p, &q, 0.15, 60).unwrap();
-        assert!(eps < 1e-6, "disjoint mass below delta needs no epsilon, got {eps}");
+        assert!(
+            eps < 1e-6,
+            "disjoint mass below delta needs no epsilon, got {eps}"
+        );
     }
 }

@@ -87,7 +87,12 @@ impl LowerBoundParams {
                 "expected blanket ratios must be >= 1 (q0 = {q0}, q1 = {q1})"
             )));
         }
-        Ok(Self { p0, beta, q0: q0.max(1.0), q1: q1.max(1.0) })
+        Ok(Self {
+            p0,
+            beta,
+            q0: q0.max(1.0),
+            q1: q1.max(1.0),
+        })
     }
 
     /// Theorem 5.1's worst-case blanket choice: among `candidates`, pick the
@@ -282,7 +287,9 @@ impl LowerBoundAccountant {
 
     fn bisect(&self, delta: f64, iterations: usize) -> Result<vr_numerics::search::Bracket> {
         if !(0.0..=1.0).contains(&delta) {
-            return Err(Error::InvalidParameter(format!("delta must be in [0,1], got {delta}")));
+            return Err(Error::InvalidParameter(format!(
+                "delta must be in [0,1], got {delta}"
+            )));
         }
         let hi = if self.params.p0.is_finite() {
             self.params.p0.ln()
@@ -300,7 +307,12 @@ impl LowerBoundAccountant {
                 }
             }
         };
-        Ok(bisect_monotone(|e| self.delta_max(e) <= delta, 0.0, hi, iterations))
+        Ok(bisect_monotone(
+            |e| self.delta_max(e) <= delta,
+            0.0,
+            hi,
+            iterations,
+        ))
     }
 }
 
@@ -315,7 +327,9 @@ mod tests {
     fn grr_row(d: usize, eps0: f64, input: usize) -> Vec<f64> {
         let e = eps0.exp();
         let denom = e + d as f64 - 1.0;
-        (0..d).map(|y| if y == input { e / denom } else { 1.0 / denom }).collect()
+        (0..d)
+            .map(|y| if y == input { e / denom } else { 1.0 / denom })
+            .collect()
     }
 
     #[test]
@@ -327,7 +341,11 @@ mod tests {
             LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
         let e = eps0.exp();
         assert!(is_close(params.p0, e, 1e-12), "p0 = {}", params.p0);
-        assert!(is_close(params.beta, (e - 1.0) / (e + d as f64 - 1.0), 1e-12));
+        assert!(is_close(
+            params.beta,
+            (e - 1.0) / (e + d as f64 - 1.0),
+            1e-12
+        ));
         // The worst blanket is any third input: q0 = q1 = e^{eps0}.
         assert!(idx >= 2, "blanket must avoid the differing inputs");
         assert!(is_close(params.q0, e, 1e-12));
@@ -346,12 +364,17 @@ mod tests {
         let beta = (e - 1.0) / (e + d as f64 - 1.0);
         let upper = Accountant::new(VariationRatio::ldp_with_beta(eps0, beta).unwrap(), n)
             .unwrap()
-            .epsilon(delta, SearchOptions { iterations: 48, mode: ScanMode::Full })
+            .epsilon(
+                delta,
+                SearchOptions {
+                    iterations: 48,
+                    mode: ScanMode::Full,
+                },
+            )
             .unwrap();
 
         let rows: Vec<Vec<f64>> = (0..d).map(|x| grr_row(d, eps0, x)).collect();
-        let (params, _) =
-            LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
+        let (params, _) = LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
         let lower = LowerBoundAccountant::new(params, n)
             .unwrap()
             .epsilon_lower(delta, 48)
@@ -374,12 +397,13 @@ mod tests {
         let eps0 = 1.0f64;
         let rows: Vec<Vec<f64>> = (0..d).map(|x| grr_row(d, eps0, x)).collect();
         // With d = 2 both candidates are the differing inputs themselves.
-        let (params, _) =
-            LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
+        let (params, _) = LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
         let n = 2_000;
         let delta = 1e-6;
-        let lower =
-            LowerBoundAccountant::new(params, n).unwrap().epsilon_lower(delta, 40).unwrap();
+        let lower = LowerBoundAccountant::new(params, n)
+            .unwrap()
+            .epsilon_lower(delta, 40)
+            .unwrap();
         let e = eps0.exp();
         let beta = (e - 1.0) / (e + 1.0);
         let upper = Accountant::new(VariationRatio::ldp_with_beta(eps0, beta).unwrap(), n)
@@ -392,8 +416,7 @@ mod tests {
     #[test]
     fn divergences_monotone_decreasing_in_eps() {
         let rows: Vec<Vec<f64>> = (0..5).map(|x| grr_row(5, 1.2, x)).collect();
-        let (params, _) =
-            LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
+        let (params, _) = LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
         let acc = LowerBoundAccountant::new(params, 500).unwrap();
         let mut prev = f64::INFINITY;
         for i in 0..20 {
@@ -408,8 +431,7 @@ mod tests {
     fn symmetric_pair_has_equal_directions() {
         // q0 = q1 makes the pair symmetric: both directions must agree.
         let rows: Vec<Vec<f64>> = (0..6).map(|x| grr_row(6, 1.0, x)).collect();
-        let (params, _) =
-            LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
+        let (params, _) = LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
         let acc = LowerBoundAccountant::new(params, 300).unwrap();
         for eps in [0.0, 0.1, 0.4] {
             let (a, b) = acc.delta(eps);
@@ -426,8 +448,7 @@ mod tests {
     #[test]
     fn invalid_population_rejected() {
         let rows: Vec<Vec<f64>> = (0..4).map(|x| grr_row(4, 1.0, x)).collect();
-        let (params, _) =
-            LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
+        let (params, _) = LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
         assert!(LowerBoundAccountant::new(params, 0).is_err());
     }
 }

@@ -141,7 +141,10 @@ mod tests {
             assert!(b > prev, "not monotone at d01={d}");
             assert!(b < 1.0);
             let general = (d.exp() - 1.0) / (d.exp() + 1.0);
-            assert!(b < general, "planar Laplace must beat worst case at d01={d}");
+            assert!(
+                b < general,
+                "planar Laplace must beat worst case at d01={d}"
+            );
             prev = b;
         }
     }
@@ -163,8 +166,7 @@ mod tests {
     fn our_clone_probability_dominates_prior() {
         for &(d01, dmax) in &[(0.5, 1.0), (1.0, 2.0), (2.0, 2.0), (1.0, 5.0)] {
             assert!(
-                metric_clone_probability(d01, dmax)
-                    >= prior_metric_clone_probability(dmax) - 1e-15,
+                metric_clone_probability(d01, dmax) >= prior_metric_clone_probability(dmax) - 1e-15,
                 "d01={d01} dmax={dmax}"
             );
         }

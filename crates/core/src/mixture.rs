@@ -16,7 +16,6 @@
 //! accountant in [`crate::accountant`] never enumerates it.
 
 use crate::params::VariationRatio;
-use rand::RngExt as _;
 use vr_numerics::Binomial;
 
 /// Explicit representation of the dominating pair for a given population `n`.

@@ -60,7 +60,9 @@ impl CheuZhilyaev {
     /// touches two coordinates, composed basically with `δ_c = δ/2`.
     pub fn original_epsilon(&self, delta: f64) -> Result<f64> {
         if !(0.0 < delta && delta < 1.0) {
-            return Err(Error::InvalidParameter(format!("delta must be in (0,1), got {delta}")));
+            return Err(Error::InvalidParameter(format!(
+                "delta must be in (0,1), got {delta}"
+            )));
         }
         let lambda = 2.0 * self.flip_prob * self.blanket_messages() as f64;
         let delta_c = delta / 2.0;
@@ -84,7 +86,9 @@ impl CheuZhilyaev {
         domain: u64,
     ) -> Result<Self> {
         if eps_prime.is_nan() || eps_prime <= 0.0 {
-            return Err(Error::InvalidParameter("target budget must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "target budget must be positive".into(),
+            ));
         }
         let delta_c = delta / 2.0;
         let l = (4.0 / delta_c).ln();
@@ -135,7 +139,9 @@ impl BallsIntoBins {
     /// `n = 32·ln(2/δ)·d/(ε'²·s)`:  `ε'(n) = √(32·ln(2/δ)·d/(n·s))`.
     pub fn original_epsilon(&self, delta: f64) -> Result<f64> {
         if !(0.0 < delta && delta < 1.0) {
-            return Err(Error::InvalidParameter(format!("delta must be in (0,1), got {delta}")));
+            return Err(Error::InvalidParameter(format!(
+                "delta must be in (0,1), got {delta}"
+            )));
         }
         Ok((32.0 * (2.0 / delta).ln() * self.bins as f64
             / (self.n_users as f64 * self.special as f64))
@@ -145,8 +151,8 @@ impl BallsIntoBins {
     /// The population at which the original analysis certifies `eps_prime`
     /// (the Figure 4 configuration).
     pub fn population_for_budget(eps_prime: f64, delta: f64, bins: u64, special: u64) -> u64 {
-        (32.0 * (2.0 / delta).ln() * bins as f64 / (eps_prime * eps_prime * special as f64))
-            .ceil() as u64
+        (32.0 * (2.0 / delta).ln() * bins as f64 / (eps_prime * eps_prime * special as f64)).ceil()
+            as u64
     }
 }
 
@@ -154,7 +160,9 @@ impl BallsIntoBins {
 /// (Table 4 row 1): `p = +∞`, `β = 1`, `q = max(1/coin, 1/(1−coin))`.
 pub fn balcer_cheu_biased(coin: f64) -> Result<VariationRatio> {
     if !(0.0 < coin && coin < 1.0) {
-        return Err(Error::InvalidParameter(format!("coin must be in (0,1), got {coin}")));
+        return Err(Error::InvalidParameter(format!(
+            "coin must be in (0,1), got {coin}"
+        )));
     }
     VariationRatio::new(f64::INFINITY, 1.0, (1.0 / coin).max(1.0 / (1.0 - coin)))
 }
@@ -200,8 +208,12 @@ mod tests {
 
     #[test]
     fn cheu_zhilyaev_table4_row() {
-        let proto =
-            CheuZhilyaev { n_users: 1000, messages_per_user: 5, flip_prob: 0.25, domain: 16 };
+        let proto = CheuZhilyaev {
+            n_users: 1000,
+            messages_per_user: 5,
+            flip_prob: 0.25,
+            domain: 16,
+        };
         let vr = proto.params().unwrap();
         assert!(is_close(vr.p(), 9.0, 1e-12)); // (0.75/0.25)^2
         assert!(is_close(vr.beta(), 0.5, 1e-12));
@@ -222,7 +234,10 @@ mod tests {
             let proto =
                 CheuZhilyaev::for_target_budget(eps_prime, delta, 10_000, 0.25, 16).unwrap();
             let orig = proto.original_epsilon(delta).unwrap();
-            assert!(orig <= eps_prime * 1.05, "inversion broke: {orig} vs {eps_prime}");
+            assert!(
+                orig <= eps_prime * 1.05,
+                "inversion broke: {orig} vs {eps_prime}"
+            );
             let ours = Accountant::new(proto.params().unwrap(), proto.effective_population())
                 .unwrap()
                 .epsilon_default(delta)
@@ -241,7 +256,11 @@ mod tests {
         let delta = 1e-7;
         let eps_prime = 1.0;
         let n = BallsIntoBins::population_for_budget(eps_prime, delta, 16, 1);
-        let proto = BallsIntoBins { n_users: n, bins: 16, special: 1 };
+        let proto = BallsIntoBins {
+            n_users: n,
+            bins: 16,
+            special: 1,
+        };
         let orig = proto.original_epsilon(delta).unwrap();
         assert!(is_close(orig, eps_prime, 1e-3), "caption inversion: {orig}");
         let ours = Accountant::new(proto.params().unwrap(), proto.effective_population())
@@ -278,17 +297,37 @@ mod tests {
 
     #[test]
     fn invalid_configurations_rejected() {
-        let proto =
-            CheuZhilyaev { n_users: 10, messages_per_user: 2, flip_prob: 0.6, domain: 4 };
+        let proto = CheuZhilyaev {
+            n_users: 10,
+            messages_per_user: 2,
+            flip_prob: 0.6,
+            domain: 4,
+        };
         assert!(proto.params().is_err());
-        assert!(BallsIntoBins { n_users: 10, bins: 4, special: 3 }.params().is_err());
-        assert!(BallsIntoBins { n_users: 10, bins: 4, special: 0 }.params().is_err());
+        assert!(BallsIntoBins {
+            n_users: 10,
+            bins: 4,
+            special: 3
+        }
+        .params()
+        .is_err());
+        assert!(BallsIntoBins {
+            n_users: 10,
+            bins: 4,
+            special: 0
+        }
+        .params()
+        .is_err());
     }
 
     #[test]
     fn original_analysis_needs_enough_blanket() {
-        let proto =
-            CheuZhilyaev { n_users: 10, messages_per_user: 2, flip_prob: 0.1, domain: 4 };
+        let proto = CheuZhilyaev {
+            n_users: 10,
+            messages_per_user: 2,
+            flip_prob: 0.1,
+            domain: 4,
+        };
         assert!(matches!(
             proto.original_epsilon(1e-6),
             Err(Error::NotApplicable(_))

@@ -37,10 +37,14 @@ impl ParallelWorkload {
     /// `ε₀`-LDP randomizer.
     pub fn new(eps0: f64, components: Vec<(f64, f64)>) -> Result<Self> {
         if !eps0.is_finite() || eps0 <= 0.0 {
-            return Err(Error::InvalidParameter(format!("eps0 must be positive, got {eps0}")));
+            return Err(Error::InvalidParameter(format!(
+                "eps0 must be positive, got {eps0}"
+            )));
         }
         if components.is_empty() {
-            return Err(Error::InvalidParameter("workload needs at least one query".into()));
+            return Err(Error::InvalidParameter(
+                "workload needs at least one query".into(),
+            ));
         }
         let total: f64 = components.iter().map(|c| c.0).sum();
         if (total - 1.0).abs() > 1e-9 {
@@ -51,7 +55,9 @@ impl ParallelWorkload {
         let beta_max = (eps0.exp() - 1.0) / (eps0.exp() + 1.0);
         for &(pk, bk) in &components {
             if !(0.0..=1.0).contains(&pk) {
-                return Err(Error::InvalidParameter(format!("probability {pk} out of range")));
+                return Err(Error::InvalidParameter(format!(
+                    "probability {pk} out of range"
+                )));
             }
             if !(0.0..=1.0).contains(&bk) || bk > beta_max + 1e-12 {
                 return Err(Error::InvalidParameter(format!(
@@ -66,7 +72,9 @@ impl ParallelWorkload {
     pub fn uniform(eps0: f64, betas: &[f64]) -> Result<Self> {
         let k = betas.len();
         if k == 0 {
-            return Err(Error::InvalidParameter("workload needs at least one query".into()));
+            return Err(Error::InvalidParameter(
+                "workload needs at least one query".into(),
+            ));
         }
         Self::new(eps0, betas.iter().map(|&b| (1.0 / k as f64, b)).collect())
     }
@@ -136,8 +144,9 @@ pub fn hierarchical_range_query(eps0: f64, d: u64) -> Result<ParallelWorkload> {
     }
     let h_levels = d.ilog2() as usize;
     let e = eps0.exp();
-    let betas: Vec<f64> =
-        (0..h_levels).map(|h| (e - 1.0) / (e + (d >> h) as f64 - 1.0)).collect();
+    let betas: Vec<f64> = (0..h_levels)
+        .map(|h| (e - 1.0) / (e + (d >> h) as f64 - 1.0))
+        .collect();
     ParallelWorkload::uniform(eps0, &betas)
 }
 
@@ -172,7 +181,10 @@ mod tests {
         let adv = w.advanced_epsilon(100_000, 1e-7, opts).unwrap();
         let basic = w.basic_epsilon(100_000, 1e-7, opts).unwrap();
         // β̄ ≈ 0.049 vs worst-case 0.245 here, so ε shrinks by ~√5.
-        assert!(adv < 0.7 * basic, "expected substantial savings: {adv} vs {basic}");
+        assert!(
+            adv < 0.7 * basic,
+            "expected substantial savings: {adv} vs {basic}"
+        );
     }
 
     #[test]
@@ -183,8 +195,13 @@ mod tests {
         let opts = SearchOptions::default();
         let n = 100_000;
         let adv = w.advanced_epsilon(n, 1e-7, opts).unwrap();
-        let sep_best = w.separate_epsilon(n, 1e-7, grr_beta(eps0, d), opts).unwrap();
-        assert!(adv < sep_best, "parallel {adv} should beat separate {sep_best}");
+        let sep_best = w
+            .separate_epsilon(n, 1e-7, grr_beta(eps0, d), opts)
+            .unwrap();
+        assert!(
+            adv < sep_best,
+            "parallel {adv} should beat separate {sep_best}"
+        );
     }
 
     #[test]

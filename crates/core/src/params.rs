@@ -43,13 +43,21 @@ impl VariationRatio {
                 "q must be finite and >= 1 (got {q})"
             )));
         }
-        let beta_max = if p.is_finite() { (p - 1.0) / (p + 1.0) } else { 1.0 };
+        let beta_max = if p.is_finite() {
+            (p - 1.0) / (p + 1.0)
+        } else {
+            1.0
+        };
         if !(0.0..=1.0).contains(&beta) || beta > beta_max + 1e-12 {
             return Err(Error::InvalidParameter(format!(
                 "beta must be in [0, (p-1)/(p+1)] = [0, {beta_max}] (got {beta})"
             )));
         }
-        let vr = Self { p, beta: beta.min(beta_max), q };
+        let vr = Self {
+            p,
+            beta: beta.min(beta_max),
+            q,
+        };
         if vr.r() > 0.5 + 1e-12 {
             return Err(Error::InvalidParameter(format!(
                 "clone probability 2r = {} exceeds 1 (r must be <= 1/2); \

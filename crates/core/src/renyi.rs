@@ -32,7 +32,9 @@ use vr_numerics::Binomial;
 /// shuffled executions on neighboring datasets, via the dominating pair.
 pub fn renyi_divergence(vr: &VariationRatio, n: u64, lambda: f64) -> Result<f64> {
     if !lambda.is_finite() || lambda <= 1.0 {
-        return Err(Error::InvalidParameter(format!("lambda must be in (1, ∞), got {lambda}")));
+        return Err(Error::InvalidParameter(format!(
+            "lambda must be in (1, ∞), got {lambda}"
+        )));
     }
     if n == 0 {
         return Err(Error::InvalidParameter("population n must be >= 1".into()));
@@ -105,7 +107,9 @@ pub fn composed_epsilon(
     lambdas: &[f64],
 ) -> Result<f64> {
     if lambdas.is_empty() {
-        return Err(Error::InvalidParameter("need at least one Rényi order".into()));
+        return Err(Error::InvalidParameter(
+            "need at least one Rényi order".into(),
+        ));
     }
     let mut best = f64::INFINITY;
     for &lambda in lambdas {
@@ -197,9 +201,18 @@ mod tests {
         let n = 10_000;
         let delta = 1e-6;
         let via_rdp = composed_epsilon(&vr, n, 1, delta, &default_lambda_grid()).unwrap();
-        let direct = Accountant::new(vr, n).unwrap().epsilon_default(delta).unwrap();
-        assert!(via_rdp >= direct * 0.99, "RDP route cannot beat the exact accountant");
-        assert!(via_rdp < direct * 30.0, "RDP route should be loosely comparable");
+        let direct = Accountant::new(vr, n)
+            .unwrap()
+            .epsilon_default(delta)
+            .unwrap();
+        assert!(
+            via_rdp >= direct * 0.99,
+            "RDP route cannot beat the exact accountant"
+        );
+        assert!(
+            via_rdp < direct * 30.0,
+            "RDP route should be loosely comparable"
+        );
     }
 
     #[test]

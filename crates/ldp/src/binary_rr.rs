@@ -63,7 +63,11 @@ impl FrequencyMechanism for BinaryRr {
         let mut bits = vec![0u64; words];
         for v in 0..self.d {
             let bit_is_one = v == x;
-            let reported = if rng.random_bool(keep) { bit_is_one } else { !bit_is_one };
+            let reported = if rng.random_bool(keep) {
+                bit_is_one
+            } else {
+                !bit_is_one
+            };
             if reported {
                 bits[v / 64] |= 1 << (v % 64);
             }

@@ -89,7 +89,13 @@ impl FrequencyMechanism for Grr {
         let rows = (0..self.d)
             .map(|x| {
                 (0..self.d)
-                    .map(|y| if y == x { self.p_keep() } else { self.p_switch() })
+                    .map(|y| {
+                        if y == x {
+                            self.p_keep()
+                        } else {
+                            self.p_switch()
+                        }
+                    })
                     .collect()
             })
             .collect();
@@ -125,7 +131,10 @@ mod tests {
     fn beta_below_worst_case_for_d_gt_2() {
         let e0 = 2.0f64;
         let wc = (e0.exp() - 1.0) / (e0.exp() + 1.0);
-        assert!(is_close(Grr::new(2, e0).beta(), wc, 1e-12), "d=2 is the worst case");
+        assert!(
+            is_close(Grr::new(2, e0).beta(), wc, 1e-12),
+            "d=2 is the worst case"
+        );
         for d in [3usize, 10, 100] {
             assert!(Grr::new(d, e0).beta() < wc);
         }

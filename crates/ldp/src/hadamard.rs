@@ -172,7 +172,9 @@ mod tests {
         let e = 1.4f64.exp();
         let z = m.z();
         let dist = |x: usize| -> Vec<f64> {
-            (0..k).map(|y| if m.in_block(x, y) { e / z } else { 1.0 / z }).collect()
+            (0..k)
+                .map(|y| if m.in_block(x, y) { e / z } else { 1.0 / z })
+                .collect()
         };
         let tv = vr_core::hockey_stick::total_variation(&dist(0), &dist(1));
         assert!(is_close(tv, m.beta(), 1e-12), "{tv} vs {}", m.beta());

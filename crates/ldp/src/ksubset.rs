@@ -81,8 +81,8 @@ impl KSubset {
     /// pointwise minimum envelope `env(class) = |class|/Z` (every individual
     /// subset has minimum weight 1 because some input is always excluded).
     pub fn blanket_profile(&self) -> vr_core::Result<vr_core::baselines::BlanketProfile> {
-        let rows = <Self as FrequencyMechanism>::collapsed_distributions(self)
-            .ok_or_else(|| {
+        let rows =
+            <Self as FrequencyMechanism>::collapsed_distributions(self).ok_or_else(|| {
                 vr_core::Error::NotApplicable("need d >= 4 for the collapsed profile".into())
             })?;
         let (d, k) = (self.d as i64, self.k as i64);
@@ -93,11 +93,7 @@ impl KSubset {
                 binom(d - 3, k - j) / z
             })
             .collect();
-        vr_core::baselines::BlanketProfile::from_parts(
-            rows[0].clone(),
-            rows[1].clone(),
-            envelope,
-        )
+        vr_core::baselines::BlanketProfile::from_parts(rows[0].clone(), rows[1].clone(), envelope)
     }
 }
 
@@ -132,9 +128,7 @@ impl FrequencyMechanism for KSubset {
             if v == x {
                 continue;
             }
-            let remaining_slots = need.saturating_sub(
-                chosen.len() - usize::from(include),
-            );
+            let remaining_slots = need.saturating_sub(chosen.len() - usize::from(include));
             let remaining_pool = self.d - 1 - seen;
             if remaining_slots > 0 && rng.random_range(0..remaining_pool) < remaining_slots {
                 chosen.push(v as u32);
@@ -184,8 +178,7 @@ impl FrequencyMechanism for KSubset {
                 row[class as usize] = w * mult / z;
             }
             // Generic untracked input: split the class by its own membership.
-            rows[3][class as usize] =
-                (e * binom(d - 4, k - j - 1) + binom(d - 4, k - j)) / z;
+            rows[3][class as usize] = (e * binom(d - 4, k - j - 1) + binom(d - 4, k - j)) / z;
         }
         Some(rows)
     }

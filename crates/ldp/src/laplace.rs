@@ -92,7 +92,11 @@ mod tests {
     #[test]
     fn beta_matches_core_closed_form() {
         let m = BoundedLaplace::new(1.4);
-        assert!(is_close(m.beta(), vr_core::metric::laplace_beta(1.4), 1e-14));
+        assert!(is_close(
+            m.beta(),
+            vr_core::metric::laplace_beta(1.4),
+            1e-14
+        ));
     }
 
     #[test]

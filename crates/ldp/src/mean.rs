@@ -81,7 +81,11 @@ impl Harmony {
         let xj = x[j].clamp(-1.0, 1.0);
         let p_plus = (xj * (e - 1.0) + e + 1.0) / (2.0 * (e + 1.0));
         let mag = self.dim as f64 * (e + 1.0) / (e - 1.0);
-        let v = if rng.random_bool(p_plus.clamp(0.0, 1.0)) { mag } else { -mag };
+        let v = if rng.random_bool(p_plus.clamp(0.0, 1.0)) {
+            mag
+        } else {
+            -mag
+        };
         (j, v)
     }
 
@@ -124,7 +128,11 @@ mod tests {
             for _ in 0..n {
                 acc += m.randomize(x, &mut rng);
             }
-            assert!((acc / n as f64 - x).abs() < 0.02, "x={x}: {}", acc / n as f64);
+            assert!(
+                (acc / n as f64 - x).abs() < 0.02,
+                "x={x}: {}",
+                acc / n as f64
+            );
         }
     }
 
@@ -142,8 +150,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let truth = [0.5, -0.25, 0.0];
         let n = 200_000;
-        let reports: Vec<(usize, f64)> =
-            (0..n).map(|_| m.randomize(&truth, &mut rng)).collect();
+        let reports: Vec<(usize, f64)> = (0..n).map(|_| m.randomize(&truth, &mut rng)).collect();
         let est = m.estimate_mean(&reports);
         for (e, t) in est.iter().zip(truth.iter()) {
             assert!((e - t).abs() < 0.05, "estimate {e} vs {t}");

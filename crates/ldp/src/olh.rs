@@ -89,7 +89,10 @@ impl FrequencyMechanism for Olh {
             }
             b
         };
-        Report::Hashed { seed, bucket: bucket as u32 }
+        Report::Hashed {
+            seed,
+            bucket: bucket as u32,
+        }
     }
 
     fn supports(&self, report: &Report, v: usize) -> bool {

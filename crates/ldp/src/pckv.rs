@@ -71,7 +71,10 @@ impl PckvGrr {
             }
             s
         };
-        KvReport { key: (symbol / 2) as u32, positive: symbol % 2 == 1 }
+        KvReport {
+            key: (symbol / 2) as u32,
+            positive: symbol % 2 == 1,
+        }
     }
 
     /// Aggregate reports into per-key `(frequency, mean value)` estimates.
@@ -149,14 +152,13 @@ mod tests {
             })
             .collect();
         let est = m.estimate(&reports, n);
-        for k in 0..4 {
-            let (f, v) = est[k];
+        for (k, &(f, v)) in est.iter().enumerate().take(4) {
             assert!((f - 0.25).abs() < 0.02, "freq of key {k}: {f}");
             let truth = k as f64 / 4.0 - 0.5;
             assert!((v - truth).abs() < 0.1, "mean of key {k}: {v} vs {truth}");
         }
-        for k in 4..d {
-            assert!(est[k].0.abs() < 0.02, "phantom key {k}: {}", est[k].0);
+        for (k, &(f, _)) in est.iter().enumerate().take(d).skip(4) {
+            assert!(f.abs() < 0.02, "phantom key {k}: {f}");
         }
     }
 

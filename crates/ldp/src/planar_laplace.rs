@@ -55,7 +55,8 @@ impl AmplifiableMechanism for PlanarLaplace {
     }
 
     fn variation_ratio(&self) -> VariationRatio {
-        self.metric_params(1.0, 1.0).expect("unit-distance parameters are valid")
+        self.metric_params(1.0, 1.0)
+            .expect("unit-distance parameters are valid")
     }
 }
 
@@ -75,7 +76,11 @@ mod tests {
             acc += (x * x + y * y).sqrt();
         }
         // E[r] = 2 for Gamma(2, 1).
-        assert!((acc / n as f64 - 2.0).abs() < 0.02, "mean radius {}", acc / n as f64);
+        assert!(
+            (acc / n as f64 - 2.0).abs() < 0.02,
+            "mean radius {}",
+            acc / n as f64
+        );
     }
 
     #[test]
@@ -99,7 +104,10 @@ mod tests {
         }
         let emp = (p0_left as f64 - p1_left as f64) / n as f64;
         let beta = vr_core::metric::planar_laplace_beta(d);
-        assert!((emp - beta).abs() < 5e-3, "empirical {emp} vs integral {beta}");
+        assert!(
+            (emp - beta).abs() < 5e-3,
+            "empirical {emp} vs integral {beta}"
+        );
     }
 
     #[test]

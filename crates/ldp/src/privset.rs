@@ -33,7 +33,10 @@ impl PrivSet {
     /// Create the mechanism; requires `s ≥ 1`, `k ≥ 1`, `2s + k ≤ d` so the
     /// Table 6 expression has its full generality.
     pub fn new(d: usize, s: usize, k: usize, eps0: f64) -> Self {
-        assert!(s >= 1 && k >= 1 && 2 * s + k <= d, "invalid (d={d}, s={s}, k={k})");
+        assert!(
+            s >= 1 && k >= 1 && 2 * s + k <= d,
+            "invalid (d={d}, s={s}, k={k})"
+        );
         assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
         Self { d, s, k, eps0 }
     }
@@ -68,8 +71,9 @@ impl PrivSet {
         let j = if !hit {
             0
         } else {
-            let weights: Vec<f64> =
-                (1..=s.min(k)).map(|j| binom(s, j) * binom(d - s, k - j)).collect();
+            let weights: Vec<f64> = (1..=s.min(k))
+                .map(|j| binom(s, j) * binom(d - s, k - j))
+                .collect();
             let total: f64 = weights.iter().sum();
             let mut u = rng.random_range(0.0..total);
             let mut chosen = 1usize;
@@ -85,8 +89,7 @@ impl PrivSet {
         // j items from S, k − j from the complement.
         let mut out: Vec<u32> = Vec::with_capacity(self.k);
         out.extend(sample_without_replacement(items, j, rng));
-        let complement: Vec<usize> =
-            (0..self.d).filter(|v| !items.contains(v)).collect();
+        let complement: Vec<usize> = (0..self.d).filter(|v| !items.contains(v)).collect();
         out.extend(sample_without_replacement(&complement, self.k - j, rng));
         out.sort_unstable();
         out
@@ -159,9 +162,10 @@ mod tests {
         // Classes by (T∩S ≠ ∅, T∩S' ≠ ∅): counts via inclusion-exclusion.
         let miss_s = binom(d - s, k);
         let miss_both = binom(d - 2 * s, k);
-        let only_s_prime = miss_s - miss_both; // hits S' but not S
+        // `only_s_prime` counts draws hitting S' but not S.
         // TV = Σ_T max(0, P_S(T) − P_S'(T)): differs only on the
         // "exactly one of S, S' hit" classes: (e−1)/Z each, count only_s'.
+        let only_s_prime = miss_s - miss_both;
         let tv = (e - 1.0) * only_s_prime / z;
         assert!(is_close(tv, m.beta(), 1e-12), "{tv} vs {}", m.beta());
     }

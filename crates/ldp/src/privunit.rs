@@ -25,9 +25,16 @@ impl PrivUnit {
     /// Create PrivUnit with cap area fraction `cap_area ∈ (0, 1)`.
     pub fn new(dim: usize, cap_area: f64, eps0: f64) -> Self {
         assert!(dim >= 2, "need dimension >= 2");
-        assert!((0.0..1.0).contains(&cap_area) && cap_area > 0.0, "cap area in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&cap_area) && cap_area > 0.0,
+            "cap area in (0,1)"
+        );
         assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
-        Self { dim, cap_area, eps0 }
+        Self {
+            dim,
+            cap_area,
+            eps0,
+        }
     }
 
     /// Table 2: `β = c(e^{ε}−1)/(c·e^{ε}+1−c)`.

@@ -110,7 +110,11 @@ mod tests {
     fn table2_beta_value() {
         let m = SamplingRappor::new(100, 4, 2.0);
         let h = 1.0f64.exp();
-        assert!(is_close(m.beta(), 4.0 * (h - 1.0) / (100.0 * (h + 1.0)), 1e-12));
+        assert!(is_close(
+            m.beta(),
+            4.0 * (h - 1.0) / (100.0 * (h + 1.0)),
+            1e-12
+        ));
         // Far below the worst case: strong amplification.
         let wc = (2.0f64.exp() - 1.0) / (2.0f64.exp() + 1.0);
         assert!(m.beta() < wc / 10.0);

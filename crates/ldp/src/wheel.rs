@@ -31,9 +31,18 @@ impl Wheel {
     /// subset of the circle.
     pub fn new(d: usize, s: usize, arc: f64, eps0: f64, seed: u64) -> Self {
         assert!(d >= 2 && s >= 1 && s <= d, "invalid (d={d}, s={s})");
-        assert!(arc > 0.0 && arc * s as f64 <= 1.0, "arc length out of range");
+        assert!(
+            arc > 0.0 && arc * s as f64 <= 1.0,
+            "arc length out of range"
+        );
         assert!(eps0 > 0.0 && eps0.is_finite(), "invalid eps0 = {eps0}");
-        Self { d, s, arc, eps0, seed }
+        Self {
+            d,
+            s,
+            arc,
+            eps0,
+            seed,
+        }
     }
 
     /// The paper's recommended arc length `p = 1/(s(e^{ε}+1))`-order choice,

@@ -28,8 +28,14 @@ const SWITCH_TO_QUADRATURE: f64 = 3000.0;
 /// # Panics
 /// Panics on `a <= 0`, `b <= 0`, or `x` outside `[0, 1]`.
 pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "reg_inc_beta requires a, b > 0 (a={a}, b={b})");
-    assert!((0.0..=1.0).contains(&x), "reg_inc_beta requires x in [0,1], got {x}");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "reg_inc_beta requires a, b > 0 (a={a}, b={b})"
+    );
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "reg_inc_beta requires x in [0,1], got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -147,11 +153,11 @@ fn beta_quadrature(a: f64, b: f64, x: f64) -> f64 {
     // ln = 1.5·ln s − 0.5·ln a − 0.5·ln b − 0.5·ln 2π
     //      + stirlerr(s) − stirlerr(a) − stirlerr(b),  s = a + b.
     let s = a + b;
-    let ln_prefactor = 1.5 * s.ln() - 0.5 * a.ln() - 0.5 * b.ln()
-        - 0.5 * (2.0 * std::f64::consts::PI).ln()
-        + crate::gamma::stirlerr(s)
-        - crate::gamma::stirlerr(a)
-        - crate::gamma::stirlerr(b);
+    let ln_prefactor =
+        1.5 * s.ln() - 0.5 * a.ln() - 0.5 * b.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+            + crate::gamma::stirlerr(s)
+            - crate::gamma::stirlerr(a)
+            - crate::gamma::stirlerr(b);
     let ans = sum * span * ln_prefactor.exp();
     if above {
         (1.0 - ans).clamp(0.0, 1.0)

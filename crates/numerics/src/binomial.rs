@@ -88,7 +88,9 @@ impl Binomial {
         }
         let x = k as f64;
         let nx = (self.n - k) as f64;
-        let lc = stirlerr(n) - stirlerr(x) - stirlerr(nx)
+        let lc = stirlerr(n)
+            - stirlerr(x)
+            - stirlerr(nx)
             - bd0(x, n * self.p)
             - bd0(nx, n * (1.0 - self.p));
         lc + 0.5 * (n / (2.0 * std::f64::consts::PI * x * nx)).ln()
@@ -222,7 +224,10 @@ impl Binomial {
     /// anchored at the in-range mode (one `ln_pmf` evaluation), which is both
     /// fast and free of cumulative drift across the peak.
     pub fn weights_in(&self, lo: u64, hi: u64) -> Vec<f64> {
-        assert!(lo <= hi && hi <= self.n, "invalid weight range [{lo}, {hi}]");
+        assert!(
+            lo <= hi && hi <= self.n,
+            "invalid weight range [{lo}, {hi}]"
+        );
         let len = (hi - lo + 1) as usize;
         let mut w = vec![0.0; len];
         if self.p == 0.0 {
@@ -256,7 +261,6 @@ impl Binomial {
         w
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -133,7 +133,11 @@ mod tests {
     fn positive_part_integral_sane() {
         // Zero drift: integral reduces to w√(nπ/8).
         let v = hoeffding_positive_part_integral(100.0, 2.0, 0.0);
-        assert!(is_close(v, 2.0 * (100.0 * std::f64::consts::PI / 8.0).sqrt(), 1e-12));
+        assert!(is_close(
+            v,
+            2.0 * (100.0 * std::f64::consts::PI / 8.0).sqrt(),
+            1e-12
+        ));
         // Larger drift shrinks the bound.
         assert!(
             hoeffding_positive_part_integral(100.0, 2.0, 1.0)

@@ -144,7 +144,10 @@ const GAMMA_MAX_ITER: usize = 100_000;
 ///
 /// `P(a, 0) = 0`, `P(a, ∞) = 1`; monotonically increasing in `x`.
 pub fn reg_inc_gamma_p(a: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && x >= 0.0, "reg_inc_gamma_p requires a > 0, x >= 0");
+    assert!(
+        a > 0.0 && x >= 0.0,
+        "reg_inc_gamma_p requires a > 0, x >= 0"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -157,7 +160,10 @@ pub fn reg_inc_gamma_p(a: f64, x: f64) -> f64 {
 
 /// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
 pub fn reg_inc_gamma_q(a: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && x >= 0.0, "reg_inc_gamma_q requires a > 0, x >= 0");
+    assert!(
+        a > 0.0 && x >= 0.0,
+        "reg_inc_gamma_q requires a > 0, x >= 0"
+    );
     if x == 0.0 {
         return 1.0;
     }
@@ -313,7 +319,11 @@ mod tests {
             assert!(is_close(reg_inc_gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-13));
         }
         // P(1/2, x) = erf(√x); spot value from mpmath: P(0.5, 2.0).
-        assert!(is_close(reg_inc_gamma_p(0.5, 2.0), 0.954_499_736_103_642, 1e-12));
+        assert!(is_close(
+            reg_inc_gamma_p(0.5, 2.0),
+            0.954_499_736_103_642,
+            1e-12
+        ));
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub fn bisect_monotone<F: FnMut(f64) -> bool>(
             infeasible = mid;
         }
     }
-    Bracket { infeasible, feasible }
+    Bracket {
+        infeasible,
+        feasible,
+    }
 }
 
 /// Find an upper bracket for a monotone predicate by exponential growth:

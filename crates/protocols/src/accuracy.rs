@@ -16,7 +16,11 @@ pub fn mse(estimate: &[f64], truth: &[f64]) -> f64 {
 pub fn mae(estimate: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(estimate.len(), truth.len());
     assert!(!estimate.is_empty());
-    estimate.iter().zip(truth).map(|(e, t)| (e - t).abs()).sum::<f64>()
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs())
+        .sum::<f64>()
         / estimate.len() as f64
 }
 
@@ -36,7 +40,10 @@ pub fn true_frequencies(inputs: &[usize], d: usize) -> Vec<f64> {
     for &x in inputs {
         counts[x] += 1;
     }
-    counts.iter().map(|&c| c as f64 / inputs.len() as f64).collect()
+    counts
+        .iter()
+        .map(|&c| c as f64 / inputs.len() as f64)
+        .collect()
 }
 
 #[cfg(test)]

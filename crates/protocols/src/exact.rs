@@ -24,8 +24,7 @@ pub fn histogram_distribution(per_user: &[Vec<f64>]) -> HashMap<Vec<u16>, f64> {
     let mut states: HashMap<Vec<u16>, f64> = HashMap::new();
     states.insert(vec![0u16; m], 1.0);
     for row in per_user {
-        let mut next: HashMap<Vec<u16>, f64> =
-            HashMap::with_capacity(states.len() * 2);
+        let mut next: HashMap<Vec<u16>, f64> = HashMap::with_capacity(states.len() * 2);
         for (hist, prob) in &states {
             for (class, &p) in row.iter().enumerate() {
                 if p == 0.0 {
@@ -66,8 +65,7 @@ pub fn exact_shuffled_divergence(
     let ee = eps.exp();
     let mut d01 = 0.0;
     let mut d10 = 0.0;
-    let keys: std::collections::HashSet<&Vec<u16>> =
-        dist0.keys().chain(dist1.keys()).collect();
+    let keys: std::collections::HashSet<&Vec<u16>> = dist0.keys().chain(dist1.keys()).collect();
     for key in keys {
         let p = dist0.get(key).copied().unwrap_or(0.0);
         let q = dist1.get(key).copied().unwrap_or(0.0);
@@ -87,7 +85,11 @@ mod tests {
 
     #[test]
     fn histogram_distribution_normalizes() {
-        let rows = vec![vec![0.5, 0.3, 0.2], vec![0.1, 0.6, 0.3], vec![0.2, 0.2, 0.6]];
+        let rows = vec![
+            vec![0.5, 0.3, 0.2],
+            vec![0.1, 0.6, 0.3],
+            vec![0.2, 0.2, 0.6],
+        ];
         let dist = histogram_distribution(&rows);
         let total: f64 = dist.values().sum();
         assert!(is_close(total, 1.0, 1e-12));
@@ -170,7 +172,10 @@ mod tests {
             exact > bound,
             "expected the documented gap to appear: exact {exact:e} vs bound {bound:e}"
         );
-        assert!(exact <= bound * 1.10, "gap grew beyond the pinned 10%: {exact:e} vs {bound:e}");
+        assert!(
+            exact <= bound * 1.10,
+            "gap grew beyond the pinned 10%: {exact:e} vs {bound:e}"
+        );
 
         // Case 2: GRR d = 4 even with hostile (blanket-valued) other users.
         let g = Grr::new(4, 1.0);
@@ -183,7 +188,10 @@ mod tests {
             exact > bound,
             "expected the documented gap to appear: exact {exact:e} vs bound {bound:e}"
         );
-        assert!(exact <= bound * 1.20, "gap grew beyond the pinned 20%: {exact:e} vs {bound:e}");
+        assert!(
+            exact <= bound * 1.20,
+            "gap grew beyond the pinned 20%: {exact:e} vs {bound:e}"
+        );
 
         // At the worst-case β the reduction is the original stronger clone
         // (no victim-common component) and must dominate everywhere.

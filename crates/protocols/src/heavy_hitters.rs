@@ -40,9 +40,12 @@ impl HeavyHitterProtocol {
     /// Create a protocol over a `bits`-bit domain (`2 ≤ bits ≤ 24`).
     pub fn new(bits: usize, eps0: f64) -> Self {
         assert!((2..=24).contains(&bits), "bits must be in [2, 24]");
-        let mechanisms =
-            (1..=bits).map(|l| Grr::new(1usize << l, eps0)).collect();
-        Self { bits, eps0, mechanisms }
+        let mechanisms = (1..=bits).map(|l| Grr::new(1usize << l, eps0)).collect();
+        Self {
+            bits,
+            eps0,
+            mechanisms,
+        }
     }
 
     /// Number of tree levels (= `bits`).
@@ -69,7 +72,10 @@ impl HeavyHitterProtocol {
         let Report::Category(c) = self.mechanisms[level - 1].randomize(prefix, rng) else {
             unreachable!("GRR emits categories")
         };
-        PrefixReport { level: level as u8, prefix: c }
+        PrefixReport {
+            level: level as u8,
+            prefix: c,
+        }
     }
 
     /// Identify values whose frequency estimate exceeds `threshold`.
@@ -94,12 +100,16 @@ impl HeavyHitterProtocol {
         for level in 1..=self.bits {
             candidates.retain(|&p| freq(level, p) >= threshold);
             if level < self.bits {
-                candidates =
-                    candidates.iter().flat_map(|&p| [p << 1, (p << 1) | 1]).collect();
+                candidates = candidates
+                    .iter()
+                    .flat_map(|&p| [p << 1, (p << 1) | 1])
+                    .collect();
             }
         }
-        let mut out: Vec<(u32, f64)> =
-            candidates.into_iter().map(|v| (v, freq(self.bits, v))).collect();
+        let mut out: Vec<(u32, f64)> = candidates
+            .into_iter()
+            .map(|v| (v, freq(self.bits, v)))
+            .collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         out
     }
@@ -146,8 +156,12 @@ mod tests {
         let proto = HeavyHitterProtocol::new(16, 2.0);
         let w = proto.workload().unwrap();
         assert_eq!(w.num_queries(), 16);
-        let adv = w.advanced_epsilon(1_000_000, 1e-9, SearchOptions::default()).unwrap();
-        let basic = w.basic_epsilon(1_000_000, 1e-9, SearchOptions::default()).unwrap();
+        let adv = w
+            .advanced_epsilon(1_000_000, 1e-9, SearchOptions::default())
+            .unwrap();
+        let basic = w
+            .basic_epsilon(1_000_000, 1e-9, SearchOptions::default())
+            .unwrap();
         assert!(adv < basic, "advanced {adv} vs basic {basic}");
     }
 

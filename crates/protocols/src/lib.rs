@@ -27,7 +27,7 @@ pub mod pipeline;
 pub mod range_query;
 pub mod shuffler;
 
-pub use pipeline::{amplified_epsilon, analyze, run_frequency_protocol, ProtocolRun};
 pub use heavy_hitters::HeavyHitterProtocol;
+pub use pipeline::{amplified_epsilon, analyze, run_frequency_protocol, ProtocolRun};
 pub use range_query::{LevelReport, RangeQueryProtocol};
 pub use shuffler::{shuffle, shuffle_in_place};

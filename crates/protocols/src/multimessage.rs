@@ -29,9 +29,8 @@ impl CheuZhilyaevProtocol {
     pub fn run(&self, inputs: &[usize], rng: &mut StdRng) -> Vec<Vec<bool>> {
         let d = self.config.domain as usize;
         let f = self.config.flip_prob;
-        let mut messages = Vec::with_capacity(
-            inputs.len() * self.config.messages_per_user as usize,
-        );
+        let mut messages =
+            Vec::with_capacity(inputs.len() * self.config.messages_per_user as usize);
         for &x in inputs {
             assert!(x < d);
             messages.push(rr_bits(d, Some(x), f, rng));
@@ -122,8 +121,10 @@ impl BallsIntoBinsProtocol {
         let bins = self.config.bins as f64;
         let special: std::collections::HashSet<usize> =
             (0..s).map(|j| self.special_bin(v, j)).collect();
-        let hits =
-            messages.iter().filter(|&&b| special.contains(&(b as usize))).count() as f64;
+        let hits = messages
+            .iter()
+            .filter(|&&b| special.contains(&(b as usize)))
+            .count() as f64;
         let n = n_users as f64;
         // E[hits] = n·f_v + (collisions of other users' real balls)
         //         + n·(|special|/bins)   [blanket balls]
@@ -172,7 +173,10 @@ impl PureDumpProtocol {
         }
         let n = n_users as f64;
         let dummy_rate = self.dummies as f64 / self.bins as f64;
-        counts.iter().map(|&c| (c as f64 - n * dummy_rate) / n).collect()
+        counts
+            .iter()
+            .map(|&c| (c as f64 - n * dummy_rate) / n)
+            .collect()
     }
 }
 
@@ -316,7 +320,10 @@ mod tests {
 
     #[test]
     fn pure_dump_histogram_is_unbiased() {
-        let proto = PureDumpProtocol { bins: 8, dummies: 3 };
+        let proto = PureDumpProtocol {
+            bins: 8,
+            dummies: 3,
+        };
         let weights = [0.3, 0.25, 0.15, 0.1, 0.08, 0.06, 0.04, 0.02];
         let inputs = inputs_with_weights(20_000, &weights);
         let mut rng = StdRng::seed_from_u64(3);
@@ -332,7 +339,11 @@ mod tests {
 
     #[test]
     fn mix_dump_histogram_is_unbiased() {
-        let proto = MixDumpProtocol { bins: 6, flip_prob: 0.3, dummies: 2 };
+        let proto = MixDumpProtocol {
+            bins: 6,
+            flip_prob: 0.3,
+            dummies: 2,
+        };
         let weights = [0.35, 0.25, 0.2, 0.1, 0.06, 0.04];
         let inputs = inputs_with_weights(30_000, &weights);
         let mut rng = StdRng::seed_from_u64(8);
@@ -364,7 +375,11 @@ mod tests {
     #[test]
     fn balls_into_bins_estimates_heavy_value() {
         let proto = BallsIntoBinsProtocol {
-            config: mm::BallsIntoBins { n_users: 30_000, bins: 64, special: 2 },
+            config: mm::BallsIntoBins {
+                n_users: 30_000,
+                bins: 64,
+                special: 2,
+            },
             domain: 50,
             seed: 99,
         };

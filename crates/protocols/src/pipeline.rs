@@ -24,11 +24,16 @@ pub fn run_frequency_protocol<M: FrequencyMechanism>(
     rng: &mut StdRng,
 ) -> ProtocolRun {
     assert!(!inputs.is_empty(), "need at least one user");
-    let mut messages: Vec<Report> =
-        inputs.iter().map(|&x| mechanism.randomize(x, rng)).collect();
+    let mut messages: Vec<Report> = inputs
+        .iter()
+        .map(|&x| mechanism.randomize(x, rng))
+        .collect();
     shuffle_in_place(&mut messages, rng);
     let estimates = analyze(mechanism, &messages);
-    ProtocolRun { messages, estimates }
+    ProtocolRun {
+        messages,
+        estimates,
+    }
 }
 
 /// The analyzer `A`: support counting plus debiasing. Exposed separately so
@@ -49,11 +54,7 @@ pub fn analyze<M: FrequencyMechanism>(mechanism: &M, messages: &[Report]) -> Vec
 
 /// End-to-end privacy statement for a pipeline run: the amplified `(ε, δ)`
 /// of the shuffled messages per the variation-ratio accountant.
-pub fn amplified_epsilon<M: FrequencyMechanism>(
-    mechanism: &M,
-    n: u64,
-    delta: f64,
-) -> Result<f64> {
+pub fn amplified_epsilon<M: FrequencyMechanism>(mechanism: &M, n: u64, delta: f64) -> Result<f64> {
     Accountant::new(mechanism.variation_ratio(), n)?.epsilon(delta, SearchOptions::default())
 }
 
@@ -108,8 +109,10 @@ mod tests {
         let mech = Grr::new(4, 1.0);
         let inputs = synthetic_inputs(2_000, &[0.4, 0.3, 0.2, 0.1]);
         let mut rng = StdRng::seed_from_u64(5);
-        let unshuffled: Vec<Report> =
-            inputs.iter().map(|&x| mech.randomize(x, &mut rng)).collect();
+        let unshuffled: Vec<Report> = inputs
+            .iter()
+            .map(|&x| mech.randomize(x, &mut rng))
+            .collect();
         let est_a = analyze(&mech, &unshuffled);
         let shuffled = crate::shuffler::shuffle(unshuffled, &mut rng);
         let est_b = analyze(&mech, &shuffled);
@@ -120,6 +123,9 @@ mod tests {
     fn amplification_statement_is_available() {
         let mech = Grr::new(16, 1.0);
         let eps = amplified_epsilon(&mech, 100_000, 1e-8).unwrap();
-        assert!(eps < 0.06, "GRR-16 at n=1e5 should amplify strongly, got {eps}");
+        assert!(
+            eps < 0.06,
+            "GRR-16 at n=1e5 should amplify strongly, got {eps}"
+        );
     }
 }

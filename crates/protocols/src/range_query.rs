@@ -38,10 +38,18 @@ pub struct RangeQueryProtocol {
 impl RangeQueryProtocol {
     /// Create the protocol over a power-of-two domain `d = 2^H ≥ 4`.
     pub fn new(d: usize, eps0: f64) -> Self {
-        assert!(d >= 4 && d.is_power_of_two(), "domain must be a power of two >= 4");
+        assert!(
+            d >= 4 && d.is_power_of_two(),
+            "domain must be a power of two >= 4"
+        );
         let levels = d.ilog2() as usize;
         let mechanisms = (0..levels).map(|h| Grr::new(d >> h, eps0)).collect();
-        Self { d, levels, eps0, mechanisms }
+        Self {
+            d,
+            levels,
+            eps0,
+            mechanisms,
+        }
     }
 
     /// Number of hierarchy levels `H = log₂ d`.
@@ -62,7 +70,10 @@ impl RangeQueryProtocol {
         let Report::Category(c) = self.mechanisms[level].randomize(block, rng) else {
             unreachable!("GRR emits categories")
         };
-        LevelReport { level: level as u8, block: c }
+        LevelReport {
+            level: level as u8,
+            block: c,
+        }
     }
 
     /// Estimate all block frequencies per level from shuffled reports.
@@ -165,15 +176,20 @@ mod tests {
         let n = 120_000usize;
         let inputs: Vec<usize> = (0..n).map(|i| 4 + i % 4).collect();
         let mut rng = StdRng::seed_from_u64(77);
-        let reports: Vec<LevelReport> =
-            inputs.iter().map(|&x| p.randomize(x, &mut rng)).collect();
+        let reports: Vec<LevelReport> = inputs.iter().map(|&x| p.randomize(x, &mut rng)).collect();
         let est = p.estimate_levels(&reports);
         let q = p.answer(&est, 4, 7);
-        assert!((q - 1.0).abs() < 0.05, "mass on [4,7] should be ~1, got {q}");
+        assert!(
+            (q - 1.0).abs() < 0.05,
+            "mass on [4,7] should be ~1, got {q}"
+        );
         let q = p.answer(&est, 8, 15);
         assert!(q.abs() < 0.05, "mass on [8,15] should be ~0, got {q}");
         let q = p.answer(&est, 4, 5);
-        assert!((q - 0.5).abs() < 0.05, "mass on [4,5] should be ~1/2, got {q}");
+        assert!(
+            (q - 0.5).abs() < 0.05,
+            "mass on [4,5] should be ~1/2, got {q}"
+        );
     }
 
     #[test]

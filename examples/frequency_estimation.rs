@@ -44,13 +44,10 @@ fn main() {
     );
     println!("{}", "-".repeat(70));
 
-    let worst_case_eps = Accountant::new(
-        VariationRatio::ldp_worst_case(eps0).unwrap(),
-        n as u64,
-    )
-    .unwrap()
-    .epsilon_default(delta)
-    .unwrap();
+    let worst_case_eps = Accountant::new(VariationRatio::ldp_worst_case(eps0).unwrap(), n as u64)
+        .unwrap()
+        .epsilon_default(delta)
+        .unwrap();
 
     macro_rules! evaluate {
         ($name:expr, $mech:expr) => {{

@@ -62,7 +62,10 @@ fn main() {
     let prior = prior_metric_clone_probability(dmax);
     println!("\nclone probability driving the amplification:");
     println!("  prior metric analysis: {prior:.3e}");
-    println!("  this framework:        {ours:.3e}  ({:.2}x)", ours / prior);
+    println!(
+        "  this framework:        {ours:.3e}  ({:.2}x)",
+        ours / prior
+    );
 
     // Demonstrate the mechanism itself.
     let mut rng = StdRng::seed_from_u64(5);

@@ -19,8 +19,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(99);
 
     // Skewed population.
-    let inputs: Vec<usize> =
-        (0..n_users as usize).map(|i| (i % 7).min(d as usize - 1)).collect();
+    let inputs: Vec<usize> = (0..n_users as usize)
+        .map(|i| (i % 7).min(d as usize - 1))
+        .collect();
     let truth = true_frequencies(&inputs, d as usize);
 
     // --- Cheu–Zhilyaev ----------------------------------------------------
@@ -40,7 +41,10 @@ fn main() {
         .unwrap();
     let orig = config.original_epsilon(delta);
 
-    println!("Cheu–Zhilyaev histogram (f = 0.25, {} msgs/user):", config.messages_per_user);
+    println!(
+        "Cheu–Zhilyaev histogram (f = 0.25, {} msgs/user):",
+        config.messages_per_user
+    );
     println!("  messages shuffled:   {}", messages.len());
     println!("  estimation MSE:      {:.3e}", mse(&est, &truth));
     println!("  designated analysis: eps' = {orig:?}");
@@ -53,7 +57,10 @@ fn main() {
     }
 
     // --- pureDUMP ---------------------------------------------------------
-    let dump = PureDumpProtocol { bins: d as usize, dummies: 3 };
+    let dump = PureDumpProtocol {
+        bins: d as usize,
+        dummies: 3,
+    };
     let messages = dump.run(&inputs, &mut rng);
     let est = dump.analyze(&messages, n_users);
     let (params, n_eff) = dump.amplification(n_users).unwrap();

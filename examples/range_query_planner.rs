@@ -54,18 +54,26 @@ fn main() {
     // --- run the actual protocol ------------------------------------------
     // Population: a bimodal distribution with mass around 100 and 800.
     let inputs: Vec<usize> = (0..n as usize)
-        .map(|i| if i % 2 == 0 { 96 + i % 32 } else { 784 + i % 32 })
+        .map(|i| {
+            if i % 2 == 0 {
+                96 + i % 32
+            } else {
+                784 + i % 32
+            }
+        })
         .collect();
     let protocol = RangeQueryProtocol::new(d as usize, eps0);
     let mut rng = StdRng::seed_from_u64(7);
-    let reports: Vec<LevelReport> =
-        inputs.iter().map(|&x| protocol.randomize(x, &mut rng)).collect();
+    let reports: Vec<LevelReport> = inputs
+        .iter()
+        .map(|&x| protocol.randomize(x, &mut rng))
+        .collect();
     let estimates = protocol.estimate_levels(&reports);
 
     println!("range query answers (truth vs estimate):");
     for (lo, hi) in [(96usize, 127usize), (784, 815), (0, 511), (256, 767)] {
-        let truth = inputs.iter().filter(|&&x| (lo..=hi).contains(&x)).count() as f64
-            / inputs.len() as f64;
+        let truth =
+            inputs.iter().filter(|&&x| (lo..=hi).contains(&x)).count() as f64 / inputs.len() as f64;
         let est = protocol.answer(&estimates, lo, hi);
         println!("  P[x in [{lo:>3}, {hi:>3}]] = {truth:.4}  ~  {est:.4}");
     }

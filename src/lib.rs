@@ -51,8 +51,8 @@ pub mod prelude {
     pub use vr_core::parallel::{hierarchical_range_query, ParallelWorkload};
     pub use vr_core::params::VariationRatio;
     pub use vr_ldp::{
-        AmplifiableMechanism, BinaryRr, BoundedLaplace, FrequencyMechanism, Grr,
-        HadamardResponse, KSubset, Olh, PlanarLaplace, Report,
+        AmplifiableMechanism, BinaryRr, BoundedLaplace, FrequencyMechanism, Grr, HadamardResponse,
+        KSubset, Olh, PlanarLaplace, Report,
     };
     pub use vr_protocols::{amplified_epsilon, run_frequency_protocol, RangeQueryProtocol};
 }

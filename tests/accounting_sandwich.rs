@@ -10,17 +10,25 @@ use shuffle_amplification::ldp::{
     AmplifiableMechanism, FrequencyMechanism, Grr, HadamardResponse, KSubset, Olh,
 };
 
-const TIGHT_OPTS: SearchOptions = SearchOptions { iterations: 48, mode: ScanMode::Full };
+const TIGHT_OPTS: SearchOptions = SearchOptions {
+    iterations: 48,
+    mode: ScanMode::Full,
+};
 
 /// Run the sandwich for a finite mechanism: Algorithm 3's lower bound must
 /// not exceed Algorithm 1's upper bound; `tight` additionally asserts they
 /// coincide (extremal-design mechanisms, Section 5).
 fn sandwich(rows: &[Vec<f64>], eps0: f64, beta: f64, n: u64, delta: f64, tight: bool) {
-    let params =
-        shuffle_amplification::core::VariationRatio::ldp_with_beta(eps0, beta).unwrap();
-    let upper = Accountant::new(params, n).unwrap().epsilon(delta, TIGHT_OPTS).unwrap();
+    let params = shuffle_amplification::core::VariationRatio::ldp_with_beta(eps0, beta).unwrap();
+    let upper = Accountant::new(params, n)
+        .unwrap()
+        .epsilon(delta, TIGHT_OPTS)
+        .unwrap();
     let (lb_params, _) = LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], rows).unwrap();
-    let lower = LowerBoundAccountant::new(lb_params, n).unwrap().epsilon_lower(delta, 48).unwrap();
+    let lower = LowerBoundAccountant::new(lb_params, n)
+        .unwrap()
+        .epsilon_lower(delta, 48)
+        .unwrap();
     assert!(
         lower <= upper + 1e-9,
         "sandwich violated: lower {lower} > upper {upper}"
@@ -77,12 +85,24 @@ fn variation_ratio_is_the_tightest_upper_bound() {
     let delta = 1e-7;
     let opts = SearchOptions::default();
     let m = KSubset::optimal(d, eps0);
-    let ours = Accountant::new(m.variation_ratio(), n).unwrap().epsilon(delta, opts).unwrap();
+    let ours = Accountant::new(m.variation_ratio(), n)
+        .unwrap()
+        .epsilon(delta, opts)
+        .unwrap();
     let sc = stronger_clone_epsilon(eps0, n, delta, opts).unwrap();
     let cl = clone_epsilon(eps0, n, delta, opts).unwrap();
-    let bl = blanket_epsilon(eps0, generic_gamma(eps0), n, delta, BlanketOptions::default())
-        .unwrap();
-    assert!(ours < sc && sc < cl, "ordering broke: ours={ours} sc={sc} clone={cl}");
+    let bl = blanket_epsilon(
+        eps0,
+        generic_gamma(eps0),
+        n,
+        delta,
+        BlanketOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        ours < sc && sc < cl,
+        "ordering broke: ours={ours} sc={sc} clone={cl}"
+    );
     assert!(ours < bl, "ours={ours} must beat generic blanket {bl}");
     // Headline claim of Section 7.1: ~30% budget savings vs the best
     // existing bound.
@@ -97,14 +117,26 @@ fn closed_forms_are_valid_but_looser() {
     let vr = shuffle_amplification::core::VariationRatio::ldp_worst_case(1.0).unwrap();
     let n = 1_000_000;
     let delta = 1e-7;
-    let numeric = Accountant::new(vr, n).unwrap().epsilon_default(delta).unwrap();
+    let numeric = Accountant::new(vr, n)
+        .unwrap()
+        .epsilon_default(delta)
+        .unwrap();
     let analytic = shuffle_amplification::core::analytic::analytic_epsilon(&vr, n, delta).unwrap();
     let asymptotic =
         shuffle_amplification::core::asymptotic::asymptotic_epsilon(&vr, n, delta).unwrap();
-    assert!(numeric <= analytic, "numeric {numeric} vs analytic {analytic}");
-    assert!(numeric <= asymptotic, "numeric {numeric} vs asymptotic {asymptotic}");
+    assert!(
+        numeric <= analytic,
+        "numeric {numeric} vs analytic {analytic}"
+    );
+    assert!(
+        numeric <= asymptotic,
+        "numeric {numeric} vs asymptotic {asymptotic}"
+    );
     // The analytic bound is the tighter closed form (Section 7.2).
-    assert!(analytic <= asymptotic * 1.05, "analytic {analytic} vs asymptotic {asymptotic}");
+    assert!(
+        analytic <= asymptotic * 1.05,
+        "analytic {analytic} vs asymptotic {asymptotic}"
+    );
 }
 
 #[test]
@@ -122,8 +154,10 @@ fn upper_via_expected_ratios_tightens_non_extremal_mechanisms() {
         .epsilon(delta, TIGHT_OPTS)
         .unwrap();
     let (lb, _) = LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
-    let refined_upper =
-        LowerBoundAccountant::new(lb, n).unwrap().epsilon_upper(delta, 48).unwrap();
+    let refined_upper = LowerBoundAccountant::new(lb, n)
+        .unwrap()
+        .epsilon_upper(delta, 48)
+        .unwrap();
     assert!(
         refined_upper <= generic_upper + 1e-9,
         "refined {refined_upper} vs generic {generic_upper}"

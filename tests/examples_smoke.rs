@@ -1,0 +1,95 @@
+//! Smoke test: every example under `examples/` must build *and run to
+//! completion* so the quickstart surface can't silently rot. `cargo test`
+//! compiles all examples before executing integration tests, so the binaries
+//! are next to this test's executable; if a binary is absent (e.g. a
+//! filtered `cargo test --test examples_smoke` invocation), the test falls
+//! back to `cargo run --example`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "frequency_estimation",
+    "metric_location",
+    "multi_message_histogram",
+    "range_query_planner",
+];
+
+/// `target/<profile>/examples/` resolved from this test binary's location
+/// (`target/<profile>/deps/<test>-<hash>`).
+fn examples_dir() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    Some(exe.parent()?.parent()?.join("examples"))
+}
+
+fn run_example(name: &str) -> std::process::Output {
+    let direct = examples_dir().map(|d| d.join(name));
+    match direct {
+        Some(bin) if bin.is_file() => Command::new(&bin)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display())),
+        _ => {
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+            Command::new(cargo)
+                .args(["run", "--quiet", "--example", name])
+                .env(
+                    "VR_RESULTS_DIR",
+                    std::env::temp_dir().join("vr-example-smoke"),
+                )
+                .output()
+                .unwrap_or_else(|e| panic!("failed to spawn cargo run --example {name}: {e}"))
+        }
+    }
+}
+
+#[test]
+fn all_examples_run_successfully() {
+    for name in EXAMPLES {
+        let out = run_example(name);
+        assert!(
+            out.status.success(),
+            "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "example `{name}` printed nothing — examples must demonstrate output"
+        );
+    }
+}
+
+#[test]
+fn smoke_list_covers_every_example_on_disk() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "rs").then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        listed, on_disk,
+        "examples/ and the smoke-test EXAMPLES list are out of sync"
+    );
+}
+
+#[test]
+fn quickstart_reports_amplification() {
+    let out = run_example("quickstart");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The quickstart's whole point is an amplified central epsilon; make
+    // sure the closing narrative (computed, not hardcoded) survives
+    // refactors.
+    assert!(
+        text.contains("-DP after shuffling"),
+        "quickstart output lost its amplification narrative:\n{text}"
+    );
+}

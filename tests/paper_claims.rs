@@ -2,8 +2,7 @@
 //! the actual figure drivers (shape reproduction, Section 7).
 
 use vr_bench::figures::{
-    balls_into_bins_panel, cheu_panel, parallel_panel, single_message_panel,
-    SingleMessageMechanism,
+    balls_into_bins_panel, cheu_panel, parallel_panel, single_message_panel, SingleMessageMechanism,
 };
 
 #[test]
@@ -39,8 +38,16 @@ fn figure1_curve_ordering_and_savings() {
 fn figure2_olh_is_tight_and_beats_baselines() {
     let pts = single_message_panel(SingleMessageMechanism::Olh, 10_000, 16, 1e-6);
     for p in &pts {
-        assert!(p.variation_ratio >= p.stronger_clone - 1e-9, "eps0={}", p.eps0);
-        assert!(p.variation_ratio >= p.blanket_specific - 1e-9, "eps0={}", p.eps0);
+        assert!(
+            p.variation_ratio >= p.stronger_clone - 1e-9,
+            "eps0={}",
+            p.eps0
+        );
+        assert!(
+            p.variation_ratio >= p.blanket_specific - 1e-9,
+            "eps0={}",
+            p.eps0
+        );
     }
 }
 
@@ -53,7 +60,12 @@ fn figure3_multi_message_extra_amplification() {
     let pts = cheu_panel(10_000, 16, 1e-6, 0.25);
     assert!(!pts.is_empty());
     for p in &pts {
-        assert!(p.numeric > 1.8, "eps'={}: extra ratio only {}", p.eps_prime, p.numeric);
+        assert!(
+            p.numeric > 1.8,
+            "eps'={}: extra ratio only {}",
+            p.eps_prime,
+            p.numeric
+        );
         // The closed forms are looser than the numerical bound but must
         // remain consistent (ratios smaller than numeric).
         if p.analytic.is_finite() {
@@ -64,7 +76,10 @@ fn figure3_multi_message_extra_amplification() {
         }
     }
     let best = pts.iter().map(|p| p.numeric).fold(0.0, f64::max);
-    assert!(best > 3.0, "expected >3x extra amplification somewhere, got {best:.2}");
+    assert!(
+        best > 3.0,
+        "expected >3x extra amplification somewhere, got {best:.2}"
+    );
 }
 
 #[test]

@@ -12,7 +12,9 @@ fn vr_strategy() -> impl Strategy<Value = VariationRatio> {
         "valid variation-ratio triple",
         |(p, beta_frac, q)| {
             let beta = beta_frac * (p - 1.0) / (p + 1.0);
-            VariationRatio::new(p, beta, q).ok().filter(|vr| vr.r() <= 0.5)
+            VariationRatio::new(p, beta, q)
+                .ok()
+                .filter(|vr| vr.r() <= 0.5)
         },
     )
 }
