@@ -4,13 +4,11 @@
 //! paper's qualitative claims) and the binaries print/emit them.
 
 use crate::output::{f, ResultTable};
-use vr_core::baselines::{
-    blanket_epsilon, blanket_epsilon_specific, clone_epsilon, efmrtt_epsilon, generic_gamma,
-    stronger_clone_epsilon, BlanketOptions, BlanketProfile,
-};
+use vr_core::baselines::BlanketProfile;
+use vr_core::bound::{names, BoundRegistry};
 use vr_core::multimessage::{BallsIntoBins, CheuZhilyaev};
 use vr_core::parallel::{grr_beta, hierarchical_range_query};
-use vr_core::{Accountant, SearchOptions, VariationRatio};
+use vr_core::{SearchOptions, VariationRatio};
 use vr_ldp::{FrequencyMechanism, KSubset, Olh};
 
 /// The ε₀ sweep of Figures 1, 2 and 5.
@@ -52,13 +50,18 @@ pub enum SingleMessageMechanism {
 }
 
 /// Compute one panel of Figure 1 (subset) or Figure 2 (OLH).
+///
+/// All curves are drawn from one [`BoundRegistry::single_message`] per grid
+/// point: the drivers no longer wire each bound's bespoke API, they iterate
+/// the engine. A bound that is missing or inapplicable at a point falls back
+/// to the local guarantee `ε₀` (amplification ratio 1), matching the paper's
+/// plotting convention.
 pub fn single_message_panel(
     mechanism: SingleMessageMechanism,
     n: u64,
     d: usize,
     delta: f64,
 ) -> Vec<SingleMessagePoint> {
-    let opts = SearchOptions::default();
     eps0_grid()
         .into_iter()
         .map(|eps0| {
@@ -79,34 +82,22 @@ pub fn single_message_panel(
                     )
                 }
             };
-            let ours = Accountant::new(params, n)
-                .expect("valid accountant")
-                .epsilon(delta, opts)
-                .expect("achievable");
-            let sc = stronger_clone_epsilon(eps0, n, delta, opts).expect("stronger clone");
-            let cl = clone_epsilon(eps0, n, delta, opts).expect("clone");
-            let bl_spec = profile
-                .and_then(|p| {
-                    blanket_epsilon_specific(&p, eps0, n, delta, BlanketOptions::default()).ok()
-                })
-                .unwrap_or(eps0);
-            let bl_gen = blanket_epsilon(
-                eps0,
-                generic_gamma(eps0),
-                n,
-                delta,
-                BlanketOptions::default(),
-            )
-            .unwrap_or(eps0);
-            let ef = efmrtt_epsilon(eps0, n, delta);
+            let registry = BoundRegistry::single_message(params, eps0, profile, n)
+                .expect("valid single-message registry");
+            let eps_of = |name: &str| {
+                registry
+                    .get(name)
+                    .and_then(|b| b.epsilon(delta).ok())
+                    .unwrap_or(eps0)
+            };
             SingleMessagePoint {
                 eps0,
-                variation_ratio: eps0 / ours,
-                stronger_clone: eps0 / sc,
-                clone: eps0 / cl,
-                blanket_specific: eps0 / bl_spec,
-                blanket_general: eps0 / bl_gen,
-                efmrtt: eps0 / ef,
+                variation_ratio: eps0 / eps_of(names::VARIATION_RATIO),
+                stronger_clone: eps0 / eps_of(names::STRONGER_CLONE),
+                clone: eps0 / eps_of(names::CLONE),
+                blanket_specific: eps0 / eps_of(names::BLANKET_SPECIFIC),
+                blanket_general: eps0 / eps_of(names::BLANKET_GENERIC),
+                efmrtt: eps0 / eps_of(names::EFMRTT19),
             }
         })
         .collect()
@@ -165,9 +156,35 @@ pub struct MultiMessagePoint {
     pub asymptotic: f64,
 }
 
+/// One Figure 3/4 point from the engine's upper-bound registry: the extra
+/// amplification ratio of every registered bound against the designated
+/// analysis' `orig` (NaN where a closed form is not applicable).
+fn multi_message_point(
+    eps_prime: f64,
+    orig: f64,
+    params: VariationRatio,
+    n_eff: u64,
+    delta: f64,
+) -> Option<MultiMessagePoint> {
+    let registry = BoundRegistry::upper_bounds(params, n_eff).ok()?;
+    let ratio_of = |name: &str| {
+        registry
+            .get(name)
+            .and_then(|b| b.epsilon(delta).ok())
+            .map(|e| orig / e)
+            .unwrap_or(f64::NAN)
+    };
+    let numeric = ratio_of(names::NUMERICAL);
+    numeric.is_finite().then_some(MultiMessagePoint {
+        eps_prime,
+        numeric,
+        analytic: ratio_of(names::ANALYTIC),
+        asymptotic: ratio_of(names::ASYMPTOTIC),
+    })
+}
+
 /// Figure 3 panel: the Cheu–Zhilyaev protocol at fixed `n` users.
 pub fn cheu_panel(n_users: u64, d: u64, delta: f64, flip_prob: f64) -> Vec<MultiMessagePoint> {
-    let opts = SearchOptions::default();
     budget_grid()
         .into_iter()
         .filter_map(|eps_prime| {
@@ -175,23 +192,7 @@ pub fn cheu_panel(n_users: u64, d: u64, delta: f64, flip_prob: f64) -> Vec<Multi
                 CheuZhilyaev::for_target_budget(eps_prime, delta, n_users, flip_prob, d).ok()?;
             let orig = proto.original_epsilon(delta).ok()?;
             let params = proto.params().ok()?;
-            let n_eff = proto.effective_population();
-            let ours = Accountant::new(params, n_eff)
-                .ok()?
-                .epsilon(delta, opts)
-                .ok()?;
-            let ana = vr_core::analytic::analytic_epsilon(&params, n_eff, delta)
-                .map(|e| orig / e)
-                .unwrap_or(f64::NAN);
-            let asy = vr_core::asymptotic::asymptotic_epsilon(&params, n_eff, delta)
-                .map(|e| orig / e)
-                .unwrap_or(f64::NAN);
-            Some(MultiMessagePoint {
-                eps_prime,
-                numeric: orig / ours,
-                analytic: ana,
-                asymptotic: asy,
-            })
+            multi_message_point(eps_prime, orig, params, proto.effective_population(), delta)
         })
         .collect()
 }
@@ -199,7 +200,6 @@ pub fn cheu_panel(n_users: u64, d: u64, delta: f64, flip_prob: f64) -> Vec<Multi
 /// Figure 4 panel: balls-into-bins with the caption's population
 /// `n = 32·ln(2/δ)·d/(ε'²·s)`.
 pub fn balls_into_bins_panel(d: u64, s: u64, delta: f64) -> Vec<MultiMessagePoint> {
-    let opts = SearchOptions::default();
     budget_grid()
         .into_iter()
         .filter_map(|eps_prime| {
@@ -211,23 +211,7 @@ pub fn balls_into_bins_panel(d: u64, s: u64, delta: f64) -> Vec<MultiMessagePoin
             };
             let orig = proto.original_epsilon(delta).ok()?;
             let params = proto.params().ok()?;
-            let n_eff = proto.effective_population();
-            let ours = Accountant::new(params, n_eff)
-                .ok()?
-                .epsilon(delta, opts)
-                .ok()?;
-            let ana = vr_core::analytic::analytic_epsilon(&params, n_eff, delta)
-                .map(|e| orig / e)
-                .unwrap_or(f64::NAN);
-            let asy = vr_core::asymptotic::asymptotic_epsilon(&params, n_eff, delta)
-                .map(|e| orig / e)
-                .unwrap_or(f64::NAN);
-            Some(MultiMessagePoint {
-                eps_prime,
-                numeric: orig / ours,
-                analytic: ana,
-                asymptotic: asy,
-            })
+            multi_message_point(eps_prime, orig, params, proto.effective_population(), delta)
         })
         .collect()
 }

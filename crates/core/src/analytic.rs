@@ -18,15 +18,61 @@
 //! `(p+1)α/2 − (1−α−pα)·r/(1−2r) ≥ 0` ensures `F` is decreasing past the
 //! threshold `C*`, and `Ω ≥ C*` places the conditioned count past it.
 
+use crate::bound::{delta_from_epsilon, names, AmplificationBound, Validity};
 use crate::error::{Error, Result};
 use crate::params::VariationRatio;
 
-/// Closed-form `(ε, δ)` amplification bound of Theorem 4.2.
+/// Theorem 4.2 as an [`AmplificationBound`]: the closed form bound to one
+/// workload `(p, β, q, n)`, queryable on both axes (`delta` inverts the
+/// native `epsilon(δ)` conservatively via [`delta_from_epsilon`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyticBound {
+    vr: VariationRatio,
+    n: u64,
+}
+
+impl AnalyticBound {
+    /// Bind the closed form to a workload.
+    pub fn new(vr: VariationRatio, n: u64) -> Self {
+        Self { vr, n }
+    }
+}
+
+impl AmplificationBound for AnalyticBound {
+    fn name(&self) -> &str {
+        names::ANALYTIC
+    }
+
+    fn validity(&self) -> Validity {
+        Validity {
+            eps_ceiling: self.vr.epsilon_limit(),
+            // Side conditions (i)/(ii) and the Ω > 0 requirement may reject
+            // queries well inside the nominal (ε, δ) domain.
+            conditional: true,
+        }
+    }
+
+    fn delta(&self, eps: f64) -> Result<f64> {
+        delta_from_epsilon(eps, |delta| self.epsilon(delta))
+    }
+
+    fn epsilon(&self, delta: f64) -> Result<f64> {
+        epsilon_thm42(&self.vr, self.n, delta)
+    }
+}
+
+/// Closed-form `(ε, δ)` amplification bound of Theorem 4.2 — the thin
+/// free-function wrapper over [`AnalyticBound`].
 ///
 /// Returns the amplified ε, or [`Error::NotApplicable`] when the theorem's
 /// side conditions fail for these parameters (use the numerical
 /// [`crate::Accountant`] instead — it is always applicable and tighter).
 pub fn analytic_epsilon(vr: &VariationRatio, n: u64, delta: f64) -> Result<f64> {
+    AnalyticBound::new(*vr, n).epsilon(delta)
+}
+
+/// Theorem 4.2 kernel (Appendix F algebra).
+fn epsilon_thm42(vr: &VariationRatio, n: u64, delta: f64) -> Result<f64> {
     if !(0.0 < delta && delta < 1.0) {
         return Err(Error::InvalidParameter(format!(
             "delta must be in (0,1), got {delta}"
@@ -192,6 +238,25 @@ mod tests {
             analytic_epsilon(&vr, 50, 1e-6),
             Err(Error::NotApplicable(_))
         ));
+    }
+
+    #[test]
+    fn bound_adapter_matches_free_function_and_inverts() {
+        let vr = VariationRatio::ldp_worst_case(1.0).unwrap();
+        let n = 1_000_000;
+        let b = AnalyticBound::new(vr, n);
+        for delta in [1e-5, 1e-7, 1e-9] {
+            assert_eq!(
+                b.epsilon(delta).unwrap().to_bits(),
+                analytic_epsilon(&vr, n, delta).unwrap().to_bits()
+            );
+        }
+        assert!(b.validity().conditional);
+        // delta(ε) is a valid conservative inversion: ε(δ(ε)) ≤ ε.
+        let eps = b.epsilon(1e-7).unwrap();
+        let d = b.delta(eps).unwrap();
+        assert!(d <= 1e-7 * 1.001, "inverted delta {d:e} too large");
+        assert!(b.epsilon(d).unwrap() <= eps);
     }
 
     #[test]

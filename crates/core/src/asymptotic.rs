@@ -1,10 +1,50 @@
 //! Theorem 4.3 — the succinct asymptotic amplification bound, and the
 //! `Õ(√(β(p−1)q/(p·n)))` order-of-magnitude formula used in Table 1.
 
+use crate::bound::{delta_from_epsilon, names, AmplificationBound, Validity};
 use crate::error::{Error, Result};
 use crate::params::VariationRatio;
 
-/// Closed-form `(ε, δ)` bound of Theorem 4.3:
+/// Theorem 4.3 as an [`AmplificationBound`]: the succinct closed form bound
+/// to one workload, with `delta` answered by conservative inversion of the
+/// native `epsilon(δ)` (see [`delta_from_epsilon`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AsymptoticBound {
+    vr: VariationRatio,
+    n: u64,
+}
+
+impl AsymptoticBound {
+    /// Bind the closed form to a workload.
+    pub fn new(vr: VariationRatio, n: u64) -> Self {
+        Self { vr, n }
+    }
+}
+
+impl AmplificationBound for AsymptoticBound {
+    fn name(&self) -> &str {
+        names::ASYMPTOTIC
+    }
+
+    fn validity(&self) -> Validity {
+        Validity {
+            eps_ceiling: self.vr.epsilon_limit(),
+            // Requires n ≥ 8·ln(2/δ)/r.
+            conditional: true,
+        }
+    }
+
+    fn delta(&self, eps: f64) -> Result<f64> {
+        delta_from_epsilon(eps, |delta| self.epsilon(delta))
+    }
+
+    fn epsilon(&self, delta: f64) -> Result<f64> {
+        epsilon_thm43(&self.vr, self.n, delta)
+    }
+}
+
+/// Closed-form `(ε, δ)` bound of Theorem 4.3 — the thin free-function
+/// wrapper over [`AsymptoticBound`]:
 ///
 /// ```text
 /// ε = ln(1 + β / ((1−v)(1+p)β/(p−1) + v) · (√(32·ln(4/δ)/(r(n−1))) + 4/(r·n)))
@@ -14,6 +54,11 @@ use crate::params::VariationRatio;
 /// valid when `n ≥ 8·ln(2/δ)/r` (returned as [`Error::NotApplicable`]
 /// otherwise). `p = ∞` is handled through `(1+p)β/(p−1) → β` (i.e. `α + pα`).
 pub fn asymptotic_epsilon(vr: &VariationRatio, n: u64, delta: f64) -> Result<f64> {
+    AsymptoticBound::new(*vr, n).epsilon(delta)
+}
+
+/// Theorem 4.3 kernel.
+fn epsilon_thm43(vr: &VariationRatio, n: u64, delta: f64) -> Result<f64> {
     if !(0.0 < delta && delta < 1.0) {
         return Err(Error::InvalidParameter(format!(
             "delta must be in (0,1), got {delta}"
@@ -113,6 +158,26 @@ mod tests {
             .epsilon_default(delta)
             .unwrap();
         assert!(asym >= num);
+    }
+
+    #[test]
+    fn bound_adapter_matches_free_function_and_inverts() {
+        let vr = VariationRatio::ldp_worst_case(1.0).unwrap();
+        let n = 2_000_000;
+        let b = AsymptoticBound::new(vr, n);
+        for delta in [1e-5, 1e-7] {
+            assert_eq!(
+                b.epsilon(delta).unwrap().to_bits(),
+                asymptotic_epsilon(&vr, n, delta).unwrap().to_bits()
+            );
+        }
+        let eps = b.epsilon(1e-7).unwrap();
+        let d = b.delta(eps).unwrap();
+        assert!(b.epsilon(d).unwrap() <= eps, "inversion must be feasible");
+        // Below the applicability threshold the inversion degrades to the
+        // trivial δ = 1 instead of erroring out.
+        let tiny = AsymptoticBound::new(vr, 10);
+        assert_eq!(tiny.delta(0.5).unwrap(), 1.0);
     }
 
     #[test]

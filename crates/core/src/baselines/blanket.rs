@@ -34,10 +34,121 @@
 //! mechanism's true γ); it is *not* a transcription of their formulas — see
 //! DESIGN.md §4. Every bound returned here is valid in its own right.
 
+use crate::bound::{delta_from_epsilon, names, AmplificationBound, Validity};
 use crate::error::{Error, Result};
 use vr_numerics::bounds::{bennett_tail, hoeffding_positive_part_integral, hoeffding_tail};
 use vr_numerics::search::bisect_monotone;
 use vr_numerics::Binomial;
+
+/// The generic privacy-blanket analysis on the unified engine: the universal
+/// `γ = e^{−ε₀}` envelope for an arbitrary `ε₀`-LDP randomizer, or an
+/// explicit mechanism-specific `γ` via [`GenericBlanketBound::with_gamma`].
+/// `delta` inverts the native `epsilon(δ)` conservatively.
+#[derive(Debug, Clone, Copy)]
+pub struct GenericBlanketBound {
+    eps0: f64,
+    gamma: f64,
+    n: u64,
+    opts: BlanketOptions,
+}
+
+impl GenericBlanketBound {
+    /// Generic blanket with `γ = e^{−ε₀}`.
+    pub fn new(eps0: f64, n: u64, opts: BlanketOptions) -> Result<Self> {
+        Self::with_gamma(eps0, generic_gamma(eps0), n, opts)
+    }
+
+    /// Generic blanket with an explicit total-variation similarity `γ`.
+    pub fn with_gamma(eps0: f64, gamma: f64, n: u64, opts: BlanketOptions) -> Result<Self> {
+        if !eps0.is_finite() || eps0 <= 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "eps0 must be positive, got {eps0}"
+            )));
+        }
+        if !(0.0 < gamma && gamma <= 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "gamma must be in (0,1], got {gamma}"
+            )));
+        }
+        Ok(Self {
+            eps0,
+            gamma,
+            n,
+            opts,
+        })
+    }
+}
+
+impl AmplificationBound for GenericBlanketBound {
+    fn name(&self) -> &str {
+        names::BLANKET_GENERIC
+    }
+
+    fn validity(&self) -> Validity {
+        Validity {
+            // The bisection is capped at ε₀ — the local guarantee itself.
+            eps_ceiling: self.eps0,
+            conditional: false,
+        }
+    }
+
+    fn delta(&self, eps: f64) -> Result<f64> {
+        delta_from_epsilon(eps, |delta| self.epsilon(delta))
+    }
+
+    fn epsilon(&self, delta: f64) -> Result<f64> {
+        epsilon_generic(self.eps0, self.gamma, self.n, delta, self.opts)
+    }
+}
+
+/// The mechanism-specific privacy-blanket analysis on the unified engine:
+/// exact blanket `γ` and exact loss-variable statistics from a
+/// [`BlanketProfile`].
+#[derive(Debug, Clone)]
+pub struct SpecificBlanketBound {
+    profile: BlanketProfile,
+    eps0: f64,
+    n: u64,
+    opts: BlanketOptions,
+}
+
+impl SpecificBlanketBound {
+    /// Bind the specific blanket analysis to a workload.
+    pub fn new(profile: BlanketProfile, eps0: f64, n: u64, opts: BlanketOptions) -> Result<Self> {
+        if !eps0.is_finite() || eps0 <= 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "eps0 must be positive, got {eps0}"
+            )));
+        }
+        Ok(Self {
+            profile,
+            eps0,
+            n,
+            opts,
+        })
+    }
+}
+
+impl AmplificationBound for SpecificBlanketBound {
+    fn name(&self) -> &str {
+        names::BLANKET_SPECIFIC
+    }
+
+    fn validity(&self) -> Validity {
+        Validity {
+            eps_ceiling: self.eps0,
+            conditional: false,
+        }
+    }
+
+    fn delta(&self, eps: f64) -> Result<f64> {
+        delta_from_epsilon(eps, |delta| self.epsilon(delta))
+    }
+
+    fn epsilon(&self, delta: f64) -> Result<f64> {
+        epsilon_specific(&self.profile, self.eps0, self.n, delta, self.opts)
+    }
+}
 
 /// Which concentration inequality bounds the privacy-loss sum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,8 +346,20 @@ fn delta_div_specific(
 }
 
 /// The "specific" privacy-blanket bound: like [`blanket_epsilon`] but with
-/// the mechanism's exact blanket γ and exact loss-variable statistics.
+/// the mechanism's exact blanket γ and exact loss-variable statistics —
+/// the thin free-function wrapper over [`SpecificBlanketBound`].
 pub fn blanket_epsilon_specific(
+    profile: &BlanketProfile,
+    eps0: f64,
+    n: u64,
+    delta: f64,
+    opts: BlanketOptions,
+) -> Result<f64> {
+    SpecificBlanketBound::new(profile.clone(), eps0, n, opts)?.epsilon(delta)
+}
+
+/// Step 1 + 2 + 3 of the derivation with exact per-mechanism statistics.
+fn epsilon_specific(
     profile: &BlanketProfile,
     eps0: f64,
     n: u64,
@@ -301,7 +424,8 @@ fn delta_div(eps0: f64, m_plus_one: f64, eps: f64, bound: BlanketBound) -> f64 {
 
 /// Privacy-blanket amplification bound: the smallest ε (up to bisection
 /// resolution) such that `n` shuffled `ε₀`-LDP messages with blanket
-/// probability `gamma` are `(ε, δ)`-DP under this analysis.
+/// probability `gamma` are `(ε, δ)`-DP under this analysis — the thin
+/// free-function wrapper over [`GenericBlanketBound`].
 ///
 /// Use [`generic_gamma`] for arbitrary randomizers or the mechanism-specific
 /// total-variation similarity (e.g. `γ_subset`, `γ_OLH` from Section 7.1 of
@@ -313,16 +437,11 @@ pub fn blanket_epsilon(
     delta: f64,
     opts: BlanketOptions,
 ) -> Result<f64> {
-    if !eps0.is_finite() || eps0 <= 0.0 {
-        return Err(Error::InvalidParameter(format!(
-            "eps0 must be positive, got {eps0}"
-        )));
-    }
-    if !(0.0 < gamma && gamma <= 1.0) {
-        return Err(Error::InvalidParameter(format!(
-            "gamma must be in (0,1], got {gamma}"
-        )));
-    }
+    GenericBlanketBound::with_gamma(eps0, gamma, n, opts)?.epsilon(delta)
+}
+
+/// Steps 1 + 2 + 3 with the universal loss envelope.
+fn epsilon_generic(eps0: f64, gamma: f64, n: u64, delta: f64, opts: BlanketOptions) -> Result<f64> {
     if !(0.0 < delta && delta < 1.0) {
         return Err(Error::InvalidParameter(format!(
             "delta must be in (0,1), got {delta}"
@@ -473,6 +592,48 @@ mod tests {
             .unwrap(),
             eps0
         );
+    }
+
+    #[test]
+    fn bound_adapters_match_free_functions() {
+        let eps0 = 1.5;
+        let n = 50_000;
+        let opts = BlanketOptions::default();
+        let g = GenericBlanketBound::new(eps0, n, opts).unwrap();
+        for delta in [1e-4, 1e-7] {
+            assert_eq!(
+                g.epsilon(delta).unwrap().to_bits(),
+                blanket_epsilon(eps0, generic_gamma(eps0), n, delta, opts)
+                    .unwrap()
+                    .to_bits()
+            );
+        }
+        assert_eq!(g.name(), crate::bound::names::BLANKET_GENERIC);
+        assert!((g.validity().eps_ceiling - eps0).abs() < 1e-15);
+        // delta inversion yields a feasible claim.
+        let eps = g.epsilon(1e-6).unwrap();
+        let d = g.delta(eps).unwrap();
+        assert!(g.epsilon(d).unwrap() <= eps);
+
+        // Specific profile: GRR over 6 options.
+        let dsz = 6usize;
+        let e = 2.0f64.exp();
+        let rows: Vec<Vec<f64>> = (0..dsz)
+            .map(|x| {
+                (0..dsz)
+                    .map(|y| if y == x { e } else { 1.0 } / (e + dsz as f64 - 1.0))
+                    .collect()
+            })
+            .collect();
+        let profile = BlanketProfile::from_rows(&rows, 0, 1).unwrap();
+        let s = SpecificBlanketBound::new(profile.clone(), 2.0, n, opts).unwrap();
+        assert_eq!(
+            s.epsilon(1e-7).unwrap().to_bits(),
+            blanket_epsilon_specific(&profile, 2.0, n, 1e-7, opts)
+                .unwrap()
+                .to_bits()
+        );
+        assert_eq!(s.name(), crate::bound::names::BLANKET_SPECIFIC);
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //! numerical machinery is required, and the resulting curves are the exact
 //! numerical versions of the originals' dominating pairs.
 
-use crate::accountant::{Accountant, SearchOptions};
+use crate::accountant::{NumericalBound, SearchOptions};
+use crate::bound::{names, AmplificationBound};
 use crate::error::Result;
 use crate::params::VariationRatio;
 
@@ -39,14 +40,30 @@ pub fn stronger_clone_params(eps0: f64) -> Result<VariationRatio> {
     VariationRatio::ldp_worst_case(eps0)
 }
 
-/// Numerical `(ε, δ)` amplification bound of the FMT'21 clone reduction.
-pub fn clone_epsilon(eps0: f64, n: u64, delta: f64, opts: SearchOptions) -> Result<f64> {
-    Accountant::new(clone_params(eps0)?, n)?.epsilon(delta, opts)
+/// The FMT'21 clone reduction on the unified engine: the variation-ratio
+/// accountant at [`clone_params`], registered as
+/// [`names::CLONE`].
+pub fn clone_bound(eps0: f64, n: u64, opts: SearchOptions) -> Result<NumericalBound> {
+    NumericalBound::named(names::CLONE, clone_params(eps0)?, n, opts)
 }
 
-/// Numerical `(ε, δ)` amplification bound of the FMT'23 stronger clone.
+/// The FMT'23 stronger clone on the unified engine: the variation-ratio
+/// accountant at [`stronger_clone_params`], registered as
+/// [`names::STRONGER_CLONE`].
+pub fn stronger_clone_bound(eps0: f64, n: u64, opts: SearchOptions) -> Result<NumericalBound> {
+    NumericalBound::named(names::STRONGER_CLONE, stronger_clone_params(eps0)?, n, opts)
+}
+
+/// Numerical `(ε, δ)` amplification bound of the FMT'21 clone reduction —
+/// the thin free-function wrapper over [`clone_bound`].
+pub fn clone_epsilon(eps0: f64, n: u64, delta: f64, opts: SearchOptions) -> Result<f64> {
+    clone_bound(eps0, n, opts)?.epsilon(delta)
+}
+
+/// Numerical `(ε, δ)` amplification bound of the FMT'23 stronger clone —
+/// the thin free-function wrapper over [`stronger_clone_bound`].
 pub fn stronger_clone_epsilon(eps0: f64, n: u64, delta: f64, opts: SearchOptions) -> Result<f64> {
-    Accountant::new(stronger_clone_params(eps0)?, n)?.epsilon(delta, opts)
+    stronger_clone_bound(eps0, n, opts)?.epsilon(delta)
 }
 
 #[cfg(test)]

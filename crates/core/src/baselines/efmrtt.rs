@@ -10,10 +10,67 @@
 //! whole `ε₀ ∈ [0.1, 5]` sweep, so [`efmrtt_epsilon`] returns the raw value
 //! and exposes the premise check separately.
 
-/// `ε = ε₀·√(144·ln(1/δ)/n)` — the EFMRTT19 closed form.
+use crate::bound::{check_eps, names, AmplificationBound, Validity};
+use crate::error::{Error, Result};
+
+/// EFMRTT19 on the unified engine. The closed form is invertible in both
+/// directions, so `delta` needs no numerical inversion:
+/// `δ(ε) = exp(−n·ε²/(144·ε₀²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct EfmrttBound {
+    eps0: f64,
+    n: u64,
+}
+
+impl EfmrttBound {
+    /// Bind the closed form to a workload (`ε₀ > 0`, `n ≥ 1`).
+    pub fn new(eps0: f64, n: u64) -> Result<Self> {
+        if !eps0.is_finite() || eps0 <= 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "eps0 must be positive and finite (got {eps0})"
+            )));
+        }
+        if n == 0 {
+            return Err(Error::InvalidParameter("population n must be >= 1".into()));
+        }
+        Ok(Self { eps0, n })
+    }
+}
+
+impl AmplificationBound for EfmrttBound {
+    fn name(&self) -> &str {
+        names::EFMRTT19
+    }
+
+    fn validity(&self) -> Validity {
+        // The formula never certifies δ = 0, and (as plotted in the paper's
+        // figures) is evaluated even where the original premises fail.
+        Validity::unconditional()
+    }
+
+    fn delta(&self, eps: f64) -> Result<f64> {
+        check_eps(eps)?;
+        // ε = ε₀·√(144·ln(1/δ)/n)  ⇔  δ = exp(−n·ε²/(144·ε₀²)).
+        Ok((-(self.n as f64) * eps * eps / (144.0 * self.eps0 * self.eps0)).exp())
+    }
+
+    fn epsilon(&self, delta: f64) -> Result<f64> {
+        if !(0.0 < delta && delta < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "delta must be in (0,1), got {delta}"
+            )));
+        }
+        Ok(self.eps0 * (144.0 * (1.0 / delta).ln() / self.n as f64).sqrt())
+    }
+}
+
+/// `ε = ε₀·√(144·ln(1/δ)/n)` — the EFMRTT19 closed form, as the thin
+/// free-function wrapper over [`EfmrttBound`].
 pub fn efmrtt_epsilon(eps0: f64, n: u64, delta: f64) -> f64 {
     assert!(eps0 > 0.0 && n > 0 && (0.0..1.0).contains(&delta) && delta > 0.0);
-    eps0 * (144.0 * (1.0 / delta).ln() / n as f64).sqrt()
+    EfmrttBound::new(eps0, n)
+        .and_then(|b| b.epsilon(delta))
+        .expect("arguments validated by the assert above")
 }
 
 /// Whether the original theorem's premises hold for these inputs
@@ -47,6 +104,22 @@ mod tests {
             efmrtt_epsilon(0.5, 10_000, 1e-9) > e1,
             "smaller delta is harder"
         );
+    }
+
+    #[test]
+    fn bound_adapter_round_trips() {
+        let b = EfmrttBound::new(0.5, 1_000_000).unwrap();
+        for delta in [1e-4, 1e-6, 1e-9] {
+            let eps = b.epsilon(delta).unwrap();
+            assert!(is_close(eps, efmrtt_epsilon(0.5, 1_000_000, delta), 1e-12));
+            // Closed-form inversion: δ(ε(δ)) = δ.
+            assert!(is_close(b.delta(eps).unwrap(), delta, 1e-10));
+        }
+        assert!(EfmrttBound::new(0.0, 100).is_err());
+        assert!(EfmrttBound::new(1.0, 0).is_err());
+        assert!(b.epsilon(0.0).is_err());
+        assert!(b.delta(-1.0).is_err());
+        assert_eq!(b.delta(0.0).unwrap(), 1.0);
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //!   (Balle–Bell–Gascón–Nissim, CRYPTO 2019), re-derived from first
 //!   principles (see the module docs for the derivation; this is a
 //!   reconstruction, not a transcription — recorded in DESIGN.md §4).
+//!
+//! Every baseline is exposed both as an
+//! [`AmplificationBound`](crate::bound::AmplificationBound) adapter
+//! (registered by [`crate::bound::BoundRegistry::ldp_baselines`]) and as the
+//! original free functions, which are now thin wrappers over the adapters.
 
 pub mod blanket;
 pub mod clone;
@@ -16,7 +21,10 @@ pub mod efmrtt;
 
 pub use blanket::{
     blanket_epsilon, blanket_epsilon_specific, generic_gamma, BlanketBound, BlanketOptions,
-    BlanketProfile,
+    BlanketProfile, GenericBlanketBound, SpecificBlanketBound,
 };
-pub use clone::{clone_epsilon, stronger_clone_epsilon};
-pub use efmrtt::efmrtt_epsilon;
+pub use clone::{
+    clone_bound, clone_epsilon, clone_params, stronger_clone_bound, stronger_clone_epsilon,
+    stronger_clone_params,
+};
+pub use efmrtt::{efmrtt_epsilon, efmrtt_premises_hold, EfmrttBound};

@@ -1,0 +1,516 @@
+//! The unified bound engine: one [`AmplificationBound`] trait in front of
+//! every amplification analysis in the crate.
+//!
+//! The paper's whole pitch is *unification* — the variation-ratio reduction
+//! subsumes the clone reduction and the privacy blanket as parameter
+//! mappings. This module is the code-level counterpart: every upper bound
+//! (the Õ(n) accountant of Theorem 4.8, the closed forms of Theorems 4.2 and
+//! 4.3, the Rényi route, the prior-work baselines) and the Section 5 lower
+//! bound answer the same two queries behind one object-safe trait:
+//!
+//! * `delta(ε)` — the certified `δ` at privacy level `ε`, and
+//! * `epsilon(δ)` — the certified `ε` at failure probability `δ`,
+//!
+//! so curve samplers, figure/table drivers, pipelines, planners and future
+//! serving backends can all be written once against `&dyn
+//! AmplificationBound`. The engine adds two combinators:
+//!
+//! * [`BestOf`] — the pointwise-tightest of a set of valid upper bounds
+//!   (itself a valid upper bound, since each member is), and
+//! * [`BoundRegistry`] — an ordered, name-addressable collection used by the
+//!   figure/table drivers and the protocol pipeline instead of hand-wiring
+//!   each bound's bespoke API.
+//!
+//! Closed forms that natively answer only `epsilon(δ)` get their `delta(ε)`
+//! through [`delta_from_epsilon`], a conservative inversion over a log-δ
+//! bisection: the returned δ always satisfies `epsilon(δ) ≤ ε`, hence
+//! `(ε, δ)`-DP holds whenever the underlying bound is valid.
+
+use crate::accountant::{NumericalBound, SearchOptions};
+use crate::analytic::AnalyticBound;
+use crate::asymptotic::AsymptoticBound;
+use crate::baselines::{
+    clone_bound, stronger_clone_bound, BlanketOptions, BlanketProfile, EfmrttBound,
+    GenericBlanketBound, SpecificBlanketBound,
+};
+use crate::error::{Error, Result};
+use crate::params::VariationRatio;
+use vr_numerics::search::bisect_monotone;
+
+/// Stable registry names of the built-in bounds, so call sites address
+/// registry entries without string typos.
+pub mod names {
+    /// Theorem 4.8 / Algorithm 1 with the caller's own `(p, β, q)`.
+    pub const NUMERICAL: &str = "numerical";
+    /// Same accountant, registered under the figure legend's name when the
+    /// parameters come from a concrete mechanism (Figures 1–2).
+    pub const VARIATION_RATIO: &str = "variation-ratio";
+    /// Theorem 4.2 closed form.
+    pub const ANALYTIC: &str = "analytic";
+    /// Theorem 4.3 closed form.
+    pub const ASYMPTOTIC: &str = "asymptotic";
+    /// Rényi-divergence accounting + Mironov conversion.
+    pub const RENYI: &str = "renyi";
+    /// Clone reduction (Feldman–McMillan–Talwar, FOCS 2021).
+    pub const CLONE: &str = "clone";
+    /// Stronger clone reduction (SODA 2023).
+    pub const STRONGER_CLONE: &str = "stronger-clone";
+    /// Privacy blanket with the generic `γ = e^{−ε₀}` envelope.
+    pub const BLANKET_GENERIC: &str = "blanket-generic";
+    /// Privacy blanket with the mechanism's exact profile.
+    pub const BLANKET_SPECIFIC: &str = "blanket-specific";
+    /// EFMRTT19 closed form.
+    pub const EFMRTT19: &str = "efmrtt19";
+    /// Section 5 / Algorithm 3 lower bound.
+    pub const LOWER: &str = "lower";
+}
+
+/// Whether a bound certifies privacy (upper bound on the divergence) or
+/// refutes it (lower bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// `delta`/`epsilon` over-approximate the true trade-off: every returned
+    /// pair is a valid `(ε, δ)`-DP guarantee.
+    Upper,
+    /// `delta`/`epsilon` under-approximate the true trade-off: no `(ε, δ)`
+    /// strictly below the returned values is achievable (Section 5).
+    Lower,
+}
+
+/// Validity domain of a bound, advertised so planners can pick applicable
+/// bounds without probing them query by query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Validity {
+    /// `ε` at and beyond which the bound certifies `δ(ε) = 0` (`ln p` for
+    /// finite `p`; `+∞` when the bound never reaches zero).
+    pub eps_ceiling: f64,
+    /// Whether queries inside the nominal `(ε, δ)` domain may still fail
+    /// with [`Error::NotApplicable`] / [`Error::Unachievable`] (closed forms
+    /// with side conditions, multi-message protocols with irreducible mass).
+    pub conditional: bool,
+}
+
+impl Validity {
+    /// A bound applicable at every `(ε, δ)` with no zero-divergence ceiling.
+    pub fn unconditional() -> Self {
+        Validity {
+            eps_ceiling: f64::INFINITY,
+            conditional: false,
+        }
+    }
+}
+
+/// A privacy-amplification bound for one fixed workload (randomizer
+/// parameters + population), queryable along both axes of the `(ε, δ)`
+/// trade-off.
+///
+/// Implementations bind all workload parameters at construction, so a
+/// `&dyn AmplificationBound` is a pure function of the query point — safe to
+/// share across threads (the trait requires `Send + Sync`), which is what
+/// lets [`crate::PrivacyCurve::sample`] evaluate grid points in parallel.
+pub trait AmplificationBound: Send + Sync {
+    /// Short stable identifier (see [`names`]).
+    fn name(&self) -> &str;
+
+    /// Upper or lower bound (default: upper).
+    fn kind(&self) -> BoundKind {
+        BoundKind::Upper
+    }
+
+    /// The advertised validity domain.
+    fn validity(&self) -> Validity;
+
+    /// The certified `δ` at privacy level `eps` (for [`BoundKind::Lower`]:
+    /// a lower bound on the achievable `δ`).
+    fn delta(&self, eps: f64) -> Result<f64>;
+
+    /// The certified `ε` at failure probability `delta` (for
+    /// [`BoundKind::Lower`]: a lower bound on the achievable `ε`).
+    fn epsilon(&self, delta: f64) -> Result<f64>;
+}
+
+/// Validate an `ε` query argument shared by every implementation.
+pub(crate) fn check_eps(eps: f64) -> Result<()> {
+    if eps.is_nan() || eps < 0.0 {
+        return Err(Error::InvalidParameter(format!(
+            "epsilon must be non-negative (got {eps})"
+        )));
+    }
+    Ok(())
+}
+
+/// Conservative `δ(ε)` for bounds that natively answer only `ε(δ)`: the
+/// smallest `δ` on a 60-step log-scale bisection with `epsilon(δ) ≤ ε`.
+///
+/// Any query error (`NotApplicable`, `Unachievable`, …) counts as
+/// *infeasible at that δ*; if even `δ ≈ 1` is infeasible the trivial bound
+/// `δ = 1` is returned, so the result is always a valid claim whenever the
+/// underlying `ε(δ)` is.
+pub fn delta_from_epsilon(eps: f64, eps_of_delta: impl Fn(f64) -> Result<f64>) -> Result<f64> {
+    check_eps(eps)?;
+    // log10(δ) bisection over δ ∈ [1e-18, ~1).
+    const LOG_LO: f64 = -18.0;
+    const LOG_HI: f64 = -1e-9;
+    let feasible = |t: f64| matches!(eps_of_delta(10f64.powf(t)), Ok(e) if e <= eps);
+    if !feasible(LOG_HI) {
+        return Ok(1.0);
+    }
+    if feasible(LOG_LO) {
+        return Ok(10f64.powf(LOG_LO));
+    }
+    let bracket = bisect_monotone(feasible, LOG_LO, LOG_HI, 60);
+    Ok(10f64.powf(bracket.feasible).min(1.0))
+}
+
+/// The pointwise minimum of a set of **upper** bounds: answers every query
+/// with the tightest member that is applicable there. Since each member is a
+/// valid `(ε, δ)` guarantee on its own, the composite is one too — and never
+/// looser than any member.
+pub struct BestOf {
+    name: String,
+    members: Vec<Box<dyn AmplificationBound>>,
+}
+
+impl BestOf {
+    /// Build the composite. Rejects an empty member set and
+    /// [`BoundKind::Lower`] members (minimizing over a lower bound would
+    /// produce an invalid guarantee).
+    pub fn new(name: impl Into<String>, members: Vec<Box<dyn AmplificationBound>>) -> Result<Self> {
+        if members.is_empty() {
+            return Err(Error::InvalidParameter(
+                "BestOf needs at least one member bound".into(),
+            ));
+        }
+        if let Some(lower) = members.iter().find(|m| m.kind() == BoundKind::Lower) {
+            return Err(Error::InvalidParameter(format!(
+                "BestOf member `{}` is a lower bound; only upper bounds compose soundly",
+                lower.name()
+            )));
+        }
+        Ok(Self {
+            name: name.into(),
+            members,
+        })
+    }
+
+    /// The member bounds, in registration order.
+    pub fn members(&self) -> impl Iterator<Item = &dyn AmplificationBound> {
+        self.members.iter().map(Box::as_ref)
+    }
+
+    /// The member winning the `δ(ε)` query, with its value.
+    pub fn winner_delta(&self, eps: f64) -> Result<(&str, f64)> {
+        self.winner(|m| m.delta(eps))
+    }
+
+    /// The member winning the `ε(δ)` query, with its value.
+    pub fn winner_epsilon(&self, delta: f64) -> Result<(&str, f64)> {
+        self.winner(|m| m.epsilon(delta))
+    }
+
+    fn winner(
+        &self,
+        query: impl Fn(&dyn AmplificationBound) -> Result<f64>,
+    ) -> Result<(&str, f64)> {
+        let mut best: Option<(&str, f64)> = None;
+        let mut last_err = None;
+        for m in self.members() {
+            match query(m) {
+                Ok(v) if best.as_ref().is_none_or(|&(_, b)| v < b) => best = Some((m.name(), v)),
+                Ok(_) => {}
+                Err(e) => last_err = Some(e),
+            }
+        }
+        best.ok_or_else(|| {
+            last_err.unwrap_or_else(|| {
+                Error::NotApplicable("no member bound applicable to this query".into())
+            })
+        })
+    }
+}
+
+impl AmplificationBound for BestOf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn validity(&self) -> Validity {
+        Validity {
+            eps_ceiling: self
+                .members()
+                .map(|m| m.validity().eps_ceiling)
+                .fold(f64::INFINITY, f64::min),
+            // The composite answers whenever any member does.
+            conditional: self.members().all(|m| m.validity().conditional),
+        }
+    }
+
+    fn delta(&self, eps: f64) -> Result<f64> {
+        check_eps(eps)?;
+        self.winner_delta(eps).map(|(_, v)| v)
+    }
+
+    fn epsilon(&self, delta: f64) -> Result<f64> {
+        self.winner_epsilon(delta).map(|(_, v)| v)
+    }
+}
+
+impl std::fmt::Debug for BestOf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BestOf")
+            .field("name", &self.name)
+            .field(
+                "members",
+                &self
+                    .members()
+                    .map(|m| m.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// An ordered, name-addressable collection of bounds for one workload — the
+/// single seam the figure/table drivers, the protocol pipeline and the
+/// examples drive instead of hand-wiring each bound's bespoke API.
+#[derive(Default)]
+pub struct BoundRegistry {
+    entries: Vec<Box<dyn AmplificationBound>>,
+}
+
+impl BoundRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a bound (registration order is preserved by [`Self::iter`]).
+    pub fn register(&mut self, bound: Box<dyn AmplificationBound>) -> &mut Self {
+        self.entries.push(bound);
+        self
+    }
+
+    /// Number of registered bounds.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate the bounds in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn AmplificationBound> {
+        self.entries.iter().map(Box::as_ref)
+    }
+
+    /// Look up a bound by its registry name.
+    pub fn get(&self, name: &str) -> Option<&dyn AmplificationBound> {
+        self.iter().find(|b| b.name() == name)
+    }
+
+    /// Query every bound's `ε(δ)` in registration order.
+    pub fn epsilons(&self, delta: f64) -> Vec<(String, Result<f64>)> {
+        self.iter()
+            .map(|b| (b.name().to_string(), b.epsilon(delta)))
+            .collect()
+    }
+
+    /// Query every bound's `δ(ε)` in registration order.
+    pub fn deltas(&self, eps: f64) -> Vec<(String, Result<f64>)> {
+        self.iter()
+            .map(|b| (b.name().to_string(), b.delta(eps)))
+            .collect()
+    }
+
+    /// Consume the registry into a [`BestOf`] over its **upper** bounds
+    /// (lower bounds are dropped — they do not compose into a guarantee).
+    pub fn into_best_of(self, name: impl Into<String>) -> Result<BestOf> {
+        BestOf::new(
+            name,
+            self.entries
+                .into_iter()
+                .filter(|b| b.kind() == BoundKind::Upper)
+                .collect(),
+        )
+    }
+
+    /// The canonical upper-bound set for arbitrary `(p, β, q)` parameters:
+    /// the numerical accountant (always applicable) plus the Theorem 4.2 and
+    /// 4.3 closed forms (side-conditioned).
+    pub fn upper_bounds(vr: VariationRatio, n: u64) -> Result<Self> {
+        let mut r = Self::new();
+        r.register(Box::new(NumericalBound::new(vr, n)?));
+        r.register(Box::new(AnalyticBound::new(vr, n)));
+        r.register(Box::new(AsymptoticBound::new(vr, n)));
+        Ok(r)
+    }
+
+    /// The prior-work baseline set for a generic `ε₀`-LDP randomizer
+    /// (the comparison curves of Figures 1–2).
+    pub fn ldp_baselines(eps0: f64, n: u64) -> Result<Self> {
+        let opts = SearchOptions::default();
+        let mut r = Self::new();
+        r.register(Box::new(stronger_clone_bound(eps0, n, opts)?));
+        r.register(Box::new(clone_bound(eps0, n, opts)?));
+        r.register(Box::new(GenericBlanketBound::new(
+            eps0,
+            n,
+            BlanketOptions::default(),
+        )?));
+        r.register(Box::new(EfmrttBound::new(eps0, n)?));
+        Ok(r)
+    }
+
+    /// The full Figure 1/2 single-message comparison: this work's accountant
+    /// on the mechanism's exact `(p, β, q)` (as [`names::VARIATION_RATIO`]),
+    /// every LDP baseline, and — when a [`BlanketProfile`] is available —
+    /// the mechanism-specific blanket.
+    pub fn single_message(
+        vr: VariationRatio,
+        eps0: f64,
+        profile: Option<BlanketProfile>,
+        n: u64,
+    ) -> Result<Self> {
+        let mut r = Self::new();
+        r.register(Box::new(NumericalBound::named(
+            names::VARIATION_RATIO,
+            vr,
+            n,
+            SearchOptions::default(),
+        )?));
+        for b in Self::ldp_baselines(eps0, n)?.entries {
+            r.register(b);
+        }
+        if let Some(p) = profile {
+            r.register(Box::new(SpecificBlanketBound::new(
+                p,
+                eps0,
+                n,
+                BlanketOptions::default(),
+            )?));
+        }
+        Ok(r)
+    }
+}
+
+impl std::fmt::Debug for BoundRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.iter().map(|b| b.name().to_string()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accountant::Accountant;
+
+    fn wc(eps0: f64) -> VariationRatio {
+        VariationRatio::ldp_worst_case(eps0).unwrap()
+    }
+
+    #[test]
+    fn registry_is_ordered_and_addressable() {
+        let r = BoundRegistry::upper_bounds(wc(1.0), 10_000).unwrap();
+        let order: Vec<&str> = r.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            order,
+            vec![names::NUMERICAL, names::ANALYTIC, names::ASYMPTOTIC]
+        );
+        assert!(r.get(names::NUMERICAL).is_some());
+        assert!(r.get("nonsense").is_none());
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn best_of_picks_the_tightest_member() {
+        let n = 1_000_000;
+        let delta = 1e-7;
+        let vr = wc(1.0);
+        let direct = Accountant::new(vr, n)
+            .unwrap()
+            .epsilon_default(delta)
+            .unwrap();
+        let best = BoundRegistry::upper_bounds(vr, n)
+            .unwrap()
+            .into_best_of("best")
+            .unwrap();
+        let (winner, eps) = best.winner_epsilon(delta).unwrap();
+        // The numerical accountant is the tightest of the three here.
+        assert_eq!(winner, names::NUMERICAL);
+        assert!((eps - direct).abs() <= 1e-12);
+        for m in best.members() {
+            if let Ok(e) = m.epsilon(delta) {
+                assert!(eps <= e + 1e-12, "best looser than {}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn best_of_skips_inapplicable_members() {
+        // Tiny n: analytic + asymptotic are NotApplicable, numerical answers.
+        let best = BoundRegistry::upper_bounds(wc(1.0), 50)
+            .unwrap()
+            .into_best_of("best")
+            .unwrap();
+        let (winner, _) = best.winner_epsilon(1e-6).unwrap();
+        assert_eq!(winner, names::NUMERICAL);
+    }
+
+    #[test]
+    fn best_of_rejects_empty_and_lower_members() {
+        assert!(BestOf::new("b", Vec::new()).is_err());
+        struct FakeLower;
+        impl AmplificationBound for FakeLower {
+            fn name(&self) -> &str {
+                "fake"
+            }
+            fn kind(&self) -> BoundKind {
+                BoundKind::Lower
+            }
+            fn validity(&self) -> Validity {
+                Validity::unconditional()
+            }
+            fn delta(&self, _: f64) -> Result<f64> {
+                Ok(0.0)
+            }
+            fn epsilon(&self, _: f64) -> Result<f64> {
+                Ok(0.0)
+            }
+        }
+        assert!(BestOf::new("b", vec![Box::new(FakeLower)]).is_err());
+    }
+
+    #[test]
+    fn delta_inversion_is_a_valid_claim() {
+        // Invert a known closed form and check the defining property.
+        let b = EfmrttBound::new(0.5, 1_000_000).unwrap();
+        for eps in [0.05, 0.1, 0.4] {
+            let d = delta_from_epsilon(eps, |delta| b.epsilon(delta)).unwrap();
+            assert!((0.0..=1.0).contains(&d));
+            if d < 1.0 {
+                assert!(b.epsilon(d).unwrap() <= eps, "inversion broke at eps={eps}");
+            }
+        }
+        assert!(delta_from_epsilon(-1.0, Ok).is_err());
+    }
+
+    #[test]
+    fn single_message_registry_has_the_figure_curves() {
+        let r = BoundRegistry::single_message(wc(1.0), 1.0, None, 10_000).unwrap();
+        for name in [
+            names::VARIATION_RATIO,
+            names::STRONGER_CLONE,
+            names::CLONE,
+            names::BLANKET_GENERIC,
+            names::EFMRTT19,
+        ] {
+            assert!(r.get(name).is_some(), "missing {name}");
+        }
+        assert!(r.get(names::BLANKET_SPECIFIC).is_none());
+    }
+}

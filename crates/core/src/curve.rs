@@ -1,5 +1,5 @@
 //! Privacy curves: the full `δ(ε)` trade-off function of a shuffled
-//! mechanism, as produced by the variation-ratio accountant.
+//! mechanism, as produced by any [`AmplificationBound`].
 //!
 //! Accounting tools downstream (plotting, comparison against Gaussian-DP
 //! fits, conversion to f-DP style reports) want the whole curve, not a
@@ -7,8 +7,19 @@
 //! offers interpolation-free *conservative* queries: `delta_at` returns the
 //! value at the nearest grid point ≤ ε (an upper bound by monotonicity),
 //! `epsilon_at` the nearest grid point with `δ(ε) ≤ δ`.
+//!
+//! [`PrivacyCurve::sample`] takes any `&dyn AmplificationBound` and
+//! evaluates the grid points **in parallel** (`vr_numerics::par::par_map`,
+//! scoped `std::thread`s): bounds bind their workload at construction, so
+//! each grid point is an independent pure query and the sampled values are
+//! bit-identical to [`PrivacyCurve::sample_sequential`]. For the numerical
+//! accountant, sample through a [`crate::accountant::NumericalBound`] (or
+//! the [`PrivacyCurve::sample_accountant`] convenience): its memoized
+//! [`crate::accountant::DeltaEvaluator`] builds the outer binomial table
+//! once for the whole grid instead of once per point.
 
-use crate::accountant::{Accountant, ScanMode};
+use crate::accountant::{Accountant, NumericalBound, ScanMode, SearchOptions};
+use crate::bound::AmplificationBound;
 use crate::error::{Error, Result};
 
 /// A sampled, monotone non-increasing privacy profile `ε ↦ δ(ε)`.
@@ -19,24 +30,68 @@ pub struct PrivacyCurve {
 }
 
 impl PrivacyCurve {
-    /// Sample the accountant's `δ(ε)` on `points` equally spaced ε values in
-    /// `[0, eps_max]`.
-    pub fn sample(acc: &Accountant, eps_max: f64, points: usize, mode: ScanMode) -> Result<Self> {
+    /// Sample the bound's `δ(ε)` on `points` equally spaced ε values in
+    /// `[0, eps_max]`, evaluating grid points in parallel. Query errors
+    /// (invalid parameters, unachievable targets) are propagated instead of
+    /// aborting the process.
+    pub fn sample(bound: &dyn AmplificationBound, eps_max: f64, points: usize) -> Result<Self> {
+        let eps = Self::grid(eps_max, points)?;
+        let delta = vr_numerics::par::par_map(&eps, |&e| bound.delta(e))
+            .into_iter()
+            .collect::<Result<Vec<f64>>>()?;
+        Ok(Self { eps, delta })
+    }
+
+    /// [`PrivacyCurve::sample`] without worker threads — same grid, same
+    /// queries, bit-identical values. Exists as the reference path for
+    /// parallel-sampling equivalence checks (and for callers embedded in an
+    /// outer parallelism layer of their own).
+    pub fn sample_sequential(
+        bound: &dyn AmplificationBound,
+        eps_max: f64,
+        points: usize,
+    ) -> Result<Self> {
+        let eps = Self::grid(eps_max, points)?;
+        let delta = eps
+            .iter()
+            .map(|&e| bound.delta(e))
+            .collect::<Result<Vec<f64>>>()?;
+        Ok(Self { eps, delta })
+    }
+
+    /// Sample an [`Accountant`]'s curve at the given scan mode: builds one
+    /// memoized [`crate::accountant::NumericalBound`] for the whole grid and
+    /// delegates to [`PrivacyCurve::sample`].
+    pub fn sample_accountant(
+        acc: &Accountant,
+        eps_max: f64,
+        points: usize,
+        mode: ScanMode,
+    ) -> Result<Self> {
+        let bound = NumericalBound::with_options(
+            *acc.params(),
+            acc.n(),
+            SearchOptions {
+                mode,
+                ..SearchOptions::default()
+            },
+        )?;
+        Self::sample(&bound, eps_max, points)
+    }
+
+    fn grid(eps_max: f64, points: usize) -> Result<Vec<f64>> {
         if points < 2 {
             return Err(Error::InvalidParameter(
                 "need at least two grid points".into(),
             ));
         }
-        let valid = eps_max.is_finite() && eps_max > 0.0;
-        if !valid {
+        if !(eps_max.is_finite() && eps_max > 0.0) {
             return Err(Error::InvalidParameter(format!(
                 "invalid eps_max = {eps_max}"
             )));
         }
         let step = eps_max / (points - 1) as f64;
-        let eps: Vec<f64> = (0..points).map(|i| step * i as f64).collect();
-        let delta: Vec<f64> = eps.iter().map(|&e| acc.delta(e, mode)).collect();
-        Ok(Self { eps, delta })
+        Ok((0..points).map(|i| step * i as f64).collect())
     }
 
     /// The sampled grid as `(ε, δ)` pairs.
@@ -101,10 +156,13 @@ mod tests {
     use super::*;
     use crate::params::VariationRatio;
 
-    fn curve() -> PrivacyCurve {
+    fn acc() -> Accountant {
         let vr = VariationRatio::ldp_worst_case(2.0).unwrap();
-        let acc = Accountant::new(vr, 10_000).unwrap();
-        PrivacyCurve::sample(&acc, 2.0, 64, ScanMode::default()).unwrap()
+        Accountant::new(vr, 10_000).unwrap()
+    }
+
+    fn curve() -> PrivacyCurve {
+        PrivacyCurve::sample_accountant(&acc(), 2.0, 64, ScanMode::default()).unwrap()
     }
 
     #[test]
@@ -120,6 +178,43 @@ mod tests {
             "convexity violated by {}",
             c.max_convexity_violation()
         );
+    }
+
+    #[test]
+    fn parallel_and_sequential_sampling_agree_bitwise() {
+        let bound = NumericalBound::new(*acc().params(), 10_000).unwrap();
+        let par = PrivacyCurve::sample(&bound, 1.5, 48).unwrap();
+        let seq = PrivacyCurve::sample_sequential(&bound, 1.5, 48).unwrap();
+        for ((e1, d1), (e2, d2)) in par.points().zip(seq.points()) {
+            assert_eq!(e1.to_bits(), e2.to_bits());
+            assert_eq!(d1.to_bits(), d2.to_bits());
+        }
+    }
+
+    #[test]
+    fn curve_tracks_the_exact_accountant() {
+        // The fast memoized scan behind sampling stays within its documented
+        // envelope of the exact one-shot path at every grid point.
+        let a = acc();
+        let c = curve();
+        for (eps, d) in c.points().step_by(7) {
+            let exact = a.try_delta(eps, ScanMode::default()).unwrap();
+            assert!(d >= exact, "sampled {d:e} below exact {exact:e} at {eps}");
+            assert!(d - exact <= 2.5e-13, "sampled {d:e} far from {exact:e}");
+        }
+    }
+
+    #[test]
+    fn sampling_any_bound_works() {
+        // A closed-form bound through the same interface.
+        use crate::baselines::EfmrttBound;
+        let b = EfmrttBound::new(0.5, 1_000_000).unwrap();
+        let c = PrivacyCurve::sample(&b, 1.0, 32).unwrap();
+        let pts: Vec<(f64, f64)> = c.points().collect();
+        assert_eq!(pts[0].1, 1.0, "δ(0) = 1 for the EFMRTT form");
+        for w in pts.windows(2) {
+            assert!(w[1].1 <= w[0].1, "closed-form curve not monotone");
+        }
     }
 
     #[test]
@@ -145,10 +240,14 @@ mod tests {
     }
 
     #[test]
-    fn invalid_grids_rejected() {
+    fn invalid_grids_and_arguments_rejected() {
         let vr = VariationRatio::ldp_worst_case(1.0).unwrap();
-        let acc = Accountant::new(vr, 100).unwrap();
-        assert!(PrivacyCurve::sample(&acc, 1.0, 1, ScanMode::default()).is_err());
-        assert!(PrivacyCurve::sample(&acc, 0.0, 8, ScanMode::default()).is_err());
+        let a = Accountant::new(vr, 100).unwrap();
+        assert!(PrivacyCurve::sample_accountant(&a, 1.0, 1, ScanMode::default()).is_err());
+        assert!(PrivacyCurve::sample_accountant(&a, 0.0, 8, ScanMode::default()).is_err());
+        assert!(PrivacyCurve::sample_accountant(&a, f64::NAN, 8, ScanMode::default()).is_err());
+        assert!(
+            PrivacyCurve::sample_accountant(&a, f64::INFINITY, 8, ScanMode::default()).is_err()
+        );
     }
 }

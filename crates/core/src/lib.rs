@@ -28,7 +28,7 @@
 //! |---|---|
 //! | §4 properties, Lemma 4.4 quantities | [`params`] |
 //! | Thm 4.7 dominating pair | [`mixture`] |
-//! | Thm 4.1/4.8 + Algorithm 1 | [`accountant`] |
+//! | Thm 4.1/4.8 + Algorithm 1, memoized [`accountant::DeltaEvaluator`] | [`accountant`] |
 //! | Thm 4.2 analytic bound | [`analytic`] |
 //! | Thm 4.3 asymptotic bound | [`asymptotic`] |
 //! | §5 lower bounds (Thm 5.1, Prop I.1, Alg. 3) | [`lower`] |
@@ -37,7 +37,16 @@
 //! | Table 4 multi-message parameters | [`multimessage`] |
 //! | Figures 1–2 baselines | [`baselines`] |
 //! | Rényi-DP extension of Thm 4.7 | [`renyi`] |
-//! | δ(ε) privacy profiles | [`curve`] |
+//! | δ(ε) privacy profiles (parallel sampling) | [`curve`] |
+//! | unified bound engine (trait, `BestOf`, registry) | [`bound`] |
+//!
+//! The [`bound`] engine is the crate's single seam over every analysis: each
+//! upper/lower bound above implements [`bound::AmplificationBound`], so curve
+//! samplers, figure drivers, pipelines and future backends query any of them
+//! — or the [`bound::BestOf`] composite over a [`bound::BoundRegistry`] —
+//! through one `delta(ε)`/`epsilon(δ)` interface. The legacy free functions
+//! (`analytic_epsilon`, `blanket_epsilon`, `clone_epsilon`, …) remain as thin
+//! wrappers over the trait implementations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +55,7 @@ pub mod accountant;
 pub mod analytic;
 pub mod asymptotic;
 pub mod baselines;
+pub mod bound;
 pub mod curve;
 pub mod error;
 pub mod hockey_stick;
@@ -57,7 +67,8 @@ pub mod parallel;
 pub mod params;
 pub mod renyi;
 
-pub use accountant::{Accountant, ScanMode, SearchOptions};
+pub use accountant::{Accountant, DeltaEvaluator, NumericalBound, ScanMode, SearchOptions};
+pub use bound::{AmplificationBound, BestOf, BoundKind, BoundRegistry, Validity};
 pub use curve::PrivacyCurve;
 pub use error::{Error, Result};
 pub use mixture::DominatingPair;

@@ -16,6 +16,7 @@
 //! `per-mechanism upper bounds` for randomizers that are not exactly tight
 //! under Theorem 4.7 (Appendix I, last paragraph).
 
+use crate::bound::{check_eps, names, AmplificationBound, BoundKind, Validity};
 use crate::error::{Error, Result};
 use vr_numerics::search::bisect_monotone;
 use vr_numerics::Binomial;
@@ -186,7 +187,11 @@ impl LowerBoundAccountant {
     /// The outer binomial scan is truncated to the mass-(1 − 1e-15) support
     /// *without* crediting the neglected mass, so both values are (slight)
     /// under-estimates — exactly the safe direction for a lower bound.
-    pub fn delta(&self, eps: f64) -> (f64, f64) {
+    ///
+    /// (Named distinctly from the single-valued
+    /// [`AmplificationBound::delta`], which returns the max of the two
+    /// directions.)
+    pub fn delta_directions(&self, eps: f64) -> (f64, f64) {
         assert!(eps >= 0.0 && !eps.is_nan());
         let p = &self.params;
         let alpha = p.alpha();
@@ -266,7 +271,7 @@ impl LowerBoundAccountant {
 
     /// `max` of the two directions (the quantity bisected by Algorithm 3).
     pub fn delta_max(&self, eps: f64) -> f64 {
-        let (a, b) = self.delta(eps);
+        let (a, b) = self.delta_directions(eps);
         a.max(b)
     }
 
@@ -313,6 +318,44 @@ impl LowerBoundAccountant {
             hi,
             iterations,
         ))
+    }
+}
+
+/// Default Algorithm-3 bisection depth used by the trait surface (matches
+/// [`crate::accountant::SearchOptions::default`]).
+const LOWER_BOUND_ITERATIONS: usize = 40;
+
+/// The Section 5 machinery on the unified engine: a [`BoundKind::Lower`]
+/// bound whose `delta`/`epsilon` under-approximate the achievable trade-off
+/// (`delta` is the max of the two divergence directions of Proposition I.1;
+/// `epsilon` is Algorithm 3's infeasible bracket end at depth 40).
+impl AmplificationBound for LowerBoundAccountant {
+    fn name(&self) -> &str {
+        names::LOWER
+    }
+
+    fn kind(&self) -> BoundKind {
+        BoundKind::Lower
+    }
+
+    fn validity(&self) -> Validity {
+        Validity {
+            eps_ceiling: if self.params.p0.is_finite() {
+                self.params.p0.ln()
+            } else {
+                f64::INFINITY
+            },
+            conditional: !self.params.p0.is_finite(),
+        }
+    }
+
+    fn delta(&self, eps: f64) -> Result<f64> {
+        check_eps(eps)?;
+        Ok(self.delta_max(eps))
+    }
+
+    fn epsilon(&self, delta: f64) -> Result<f64> {
+        self.epsilon_lower(delta, LOWER_BOUND_ITERATIONS)
     }
 }
 
@@ -434,9 +477,28 @@ mod tests {
         let (params, _) = LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
         let acc = LowerBoundAccountant::new(params, 300).unwrap();
         for eps in [0.0, 0.1, 0.4] {
-            let (a, b) = acc.delta(eps);
+            let (a, b) = acc.delta_directions(eps);
             assert!(is_close(a, b, 1e-9), "asymmetric at eps={eps}: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn trait_surface_matches_legacy_methods() {
+        let rows: Vec<Vec<f64>> = (0..6).map(|x| grr_row(6, 1.0, x)).collect();
+        let (params, _) = LowerBoundParams::with_worst_blanket(&rows[0], &rows[1], &rows).unwrap();
+        let acc = LowerBoundAccountant::new(params, 500).unwrap();
+        use crate::bound::AmplificationBound;
+        assert_eq!(acc.kind(), crate::bound::BoundKind::Lower);
+        assert_eq!(acc.name(), crate::bound::names::LOWER);
+        assert_eq!(
+            AmplificationBound::delta(&acc, 0.2).unwrap().to_bits(),
+            acc.delta_max(0.2).to_bits()
+        );
+        assert_eq!(
+            AmplificationBound::epsilon(&acc, 1e-6).unwrap().to_bits(),
+            acc.epsilon_lower(1e-6, 40).unwrap().to_bits()
+        );
+        assert!(AmplificationBound::delta(&acc, -0.5).is_err());
     }
 
     #[test]

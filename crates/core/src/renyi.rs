@@ -24,9 +24,82 @@
 //! [`renyi_divergence`] returns `+∞` for them; hockey-stick accounting via
 //! [`crate::Accountant`] is the right tool there.
 
+use crate::bound::{delta_from_epsilon, names, AmplificationBound, Validity};
 use crate::error::{Error, Result};
 use crate::params::VariationRatio;
 use vr_numerics::Binomial;
+
+/// The Rényi accounting route as an [`AmplificationBound`]: `rounds`
+/// adaptive shuffle executions composed at a grid of Rényi orders, converted
+/// back to `(ε, δ)`-DP with the best order per query. `delta` inverts the
+/// native `epsilon(δ)` conservatively.
+#[derive(Debug, Clone)]
+pub struct RenyiBound {
+    vr: VariationRatio,
+    n: u64,
+    rounds: u32,
+    lambdas: Vec<f64>,
+}
+
+impl RenyiBound {
+    /// Rényi bound over [`default_lambda_grid`].
+    pub fn new(vr: VariationRatio, n: u64, rounds: u32) -> Result<Self> {
+        Self::with_lambdas(vr, n, rounds, default_lambda_grid())
+    }
+
+    /// Rényi bound over an explicit order grid (each `λ > 1`).
+    pub fn with_lambdas(
+        vr: VariationRatio,
+        n: u64,
+        rounds: u32,
+        lambdas: Vec<f64>,
+    ) -> Result<Self> {
+        if lambdas.is_empty() {
+            return Err(Error::InvalidParameter(
+                "need at least one Rényi order".into(),
+            ));
+        }
+        if n == 0 {
+            return Err(Error::InvalidParameter("population n must be >= 1".into()));
+        }
+        Ok(Self {
+            vr,
+            n,
+            rounds,
+            lambdas,
+        })
+    }
+}
+
+impl AmplificationBound for RenyiBound {
+    fn name(&self) -> &str {
+        names::RENYI
+    }
+
+    fn validity(&self) -> Validity {
+        Validity {
+            // The Mironov conversion never certifies δ = 0 at finite ε.
+            eps_ceiling: f64::INFINITY,
+            // p = ∞ has unbounded Rényi divergence at every finite order.
+            conditional: !self.vr.p().is_finite(),
+        }
+    }
+
+    fn delta(&self, eps: f64) -> Result<f64> {
+        delta_from_epsilon(eps, |delta| self.epsilon(delta))
+    }
+
+    fn epsilon(&self, delta: f64) -> Result<f64> {
+        // `+∞` (p = ∞: every finite order diverges) means "no guarantee via
+        // this route" — it simply never wins a [`crate::bound::BestOf`].
+        let mut best = f64::INFINITY;
+        for &lambda in &self.lambdas {
+            let rdp = renyi_divergence(&self.vr, self.n, lambda)?;
+            best = best.min(rdp_to_dp(lambda, self.rounds as f64 * rdp, delta));
+        }
+        Ok(best)
+    }
+}
 
 /// Upper bound on the Rényi divergence of order `lambda > 1` between the
 /// shuffled executions on neighboring datasets, via the dominating pair.
@@ -98,7 +171,8 @@ pub fn rdp_to_dp(lambda: f64, rdp: f64, delta: f64) -> f64 {
 }
 
 /// Account `rounds` adaptive shuffle rounds at Rényi orders `lambdas` and
-/// return the best `(ε, δ)` conversion.
+/// return the best `(ε, δ)` conversion — the thin free-function wrapper over
+/// [`RenyiBound`].
 pub fn composed_epsilon(
     vr: &VariationRatio,
     n: u64,
@@ -106,17 +180,7 @@ pub fn composed_epsilon(
     delta: f64,
     lambdas: &[f64],
 ) -> Result<f64> {
-    if lambdas.is_empty() {
-        return Err(Error::InvalidParameter(
-            "need at least one Rényi order".into(),
-        ));
-    }
-    let mut best = f64::INFINITY;
-    for &lambda in lambdas {
-        let rdp = renyi_divergence(vr, n, lambda)?;
-        best = best.min(rdp_to_dp(lambda, rounds as f64 * rdp, delta));
-    }
-    Ok(best)
+    RenyiBound::with_lambdas(*vr, n, rounds, lambdas.to_vec())?.epsilon(delta)
 }
 
 /// A sensible default grid of Rényi orders for [`composed_epsilon`].
@@ -225,6 +289,27 @@ mod tests {
         let e16 = composed_epsilon(&vr, n, 16, delta, &grid).unwrap();
         assert!(e16 < 16.0 * e1, "composition must beat linear scaling");
         assert!(e16 > e1, "more rounds cannot be free");
+    }
+
+    #[test]
+    fn bound_adapter_matches_free_function() {
+        use crate::bound::AmplificationBound;
+        let vr = VariationRatio::ldp_worst_case(1.0).unwrap();
+        let n = 10_000;
+        let grid = default_lambda_grid();
+        let b = RenyiBound::new(vr, n, 4).unwrap();
+        for delta in [1e-5, 1e-7] {
+            assert_eq!(
+                b.epsilon(delta).unwrap().to_bits(),
+                composed_epsilon(&vr, n, 4, delta, &grid).unwrap().to_bits()
+            );
+        }
+        // Multi-message: infinite ε means the route never wins, and the
+        // inverted δ degrades to the trivial 1.
+        let mm = VariationRatio::new(f64::INFINITY, 1.0, 4.0).unwrap();
+        let b = RenyiBound::new(mm, 1_000, 1).unwrap();
+        assert_eq!(b.epsilon(1e-6).unwrap(), f64::INFINITY);
+        assert_eq!(b.delta(3.0).unwrap(), 1.0);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   for the planar-Laplace total-variation parameter of Table 3.
 //! * [`search`] — bisection and exponential bracketing over monotone functions,
 //!   the backbone of Algorithm 1 / Algorithm 3 binary searches.
+//! * [`par`] — a scoped-thread `par_map` for embarrassingly parallel grids
+//!   (privacy curves, figure sweeps); `std::thread` only, deterministic
+//!   output order.
 //! * [`float`] — small floating-point helpers shared across the workspace.
 //!
 //! Everything is pure, deterministic `f64` math with no dependencies, so the
@@ -36,6 +39,7 @@ pub mod bounds;
 pub mod erf;
 pub mod float;
 pub mod gamma;
+pub mod par;
 pub mod quadrature;
 pub mod search;
 
@@ -44,3 +48,4 @@ pub use binomial::Binomial;
 pub use erf::{erf, erfc, normal_cdf};
 pub use float::{is_close, is_close_abs};
 pub use gamma::{ln_binomial, ln_factorial, ln_gamma};
+pub use par::{par_map, par_map_with};

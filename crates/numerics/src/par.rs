@@ -1,0 +1,109 @@
+//! A minimal data-parallel `map` built on `std::thread::scope` — no external
+//! thread-pool crates (the workspace builds without registry access).
+//!
+//! The accounting workloads this serves (privacy-curve grids, figure sweeps)
+//! are embarrassingly parallel maps over a slice of independent inputs whose
+//! per-item cost is roughly uniform, so a static contiguous partition into
+//! one chunk per worker is both optimal and deterministic: the output order
+//! always matches the input order and the computed values are bit-identical
+//! to a sequential `iter().map()` (each item is evaluated by exactly the
+//! same code on the same input, just on another thread).
+//!
+//! ```
+//! let squares = vr_numerics::par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads [`par_map`] uses by default: the machine's
+/// available parallelism (1 when it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` using up to [`default_threads`] worker threads.
+///
+/// Results are returned in input order. Falls back to a plain sequential map
+/// when there is nothing to gain (single item or single hardware thread).
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(items, default_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker count (clamped to `[1, items.len()]`).
+///
+/// # Panics
+///
+/// Propagates any panic raised by `f` (the scope joins all workers first).
+pub fn par_map_with<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Contiguous chunks, one per worker; ceil so every item is covered.
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("par_map worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            let par = par_map_with(&items, threads, |&x| x * x + 1);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn default_thread_count_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn float_results_bit_identical_to_sequential() {
+        // Same code on the same inputs: parallelism must not change bits.
+        let items: Vec<f64> = (1..500).map(|i| i as f64 * 0.37).collect();
+        let work = |&x: &f64| (x.sin() * x.exp()).ln_1p() / x.sqrt();
+        let seq: Vec<f64> = items.iter().map(work).collect();
+        let par = par_map_with(&items, 4, work);
+        assert!(seq
+            .iter()
+            .zip(&par)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}

@@ -5,7 +5,8 @@
 
 use crate::shuffler::shuffle_in_place;
 use rand::rngs::StdRng;
-use vr_core::{Accountant, Result, SearchOptions};
+use vr_core::bound::{AmplificationBound, BestOf, BoundRegistry};
+use vr_core::{Error, Result};
 use vr_ldp::{estimate_frequencies, FrequencyMechanism, Report};
 
 /// Outcome of one protocol execution.
@@ -52,10 +53,38 @@ pub fn analyze<M: FrequencyMechanism>(mechanism: &M, messages: &[Report]) -> Vec
     estimate_frequencies(&counts, messages.len() as u64, pt, pf)
 }
 
+/// The unified bound registry for a pipeline's mechanism: every upper bound
+/// the engine knows for the mechanism's `(p, β, q)` at population `n` (the
+/// numerical accountant plus the closed forms), iterable by callers that
+/// want per-bound reporting instead of a single number.
+pub fn bound_registry<M: FrequencyMechanism>(mechanism: &M, n: u64) -> Result<BoundRegistry> {
+    BoundRegistry::upper_bounds(mechanism.variation_ratio(), n)
+}
+
+/// The tightest applicable upper bound for a pipeline's mechanism, as a
+/// [`BestOf`] over [`bound_registry`] — one object answering both
+/// `delta(ε)` and `epsilon(δ)` for the serving path.
+pub fn best_bound<M: FrequencyMechanism>(mechanism: &M, n: u64) -> Result<BestOf> {
+    bound_registry(mechanism, n)?.into_best_of("pipeline-best")
+}
+
 /// End-to-end privacy statement for a pipeline run: the amplified `(ε, δ)`
-/// of the shuffled messages per the variation-ratio accountant.
+/// of the shuffled messages, taken from the tightest applicable bound in
+/// the engine's registry (never looser than the variation-ratio accountant
+/// alone).
 pub fn amplified_epsilon<M: FrequencyMechanism>(mechanism: &M, n: u64, delta: f64) -> Result<f64> {
-    Accountant::new(mechanism.variation_ratio(), n)?.epsilon(delta, SearchOptions::default())
+    best_bound(mechanism, n)?.epsilon(delta)
+}
+
+/// Per-bound `(name, ε)` report at one `δ` — the pipeline's accounting
+/// transparency surface: which analyses apply to this mechanism and what
+/// each certifies. Inapplicable bounds are reported with the error message.
+pub fn privacy_report<M: FrequencyMechanism>(
+    mechanism: &M,
+    n: u64,
+    delta: f64,
+) -> Result<Vec<(String, std::result::Result<f64, Error>)>> {
+    Ok(bound_registry(mechanism, n)?.epsilons(delta))
 }
 
 #[cfg(test)]
@@ -127,5 +156,32 @@ mod tests {
             eps < 0.06,
             "GRR-16 at n=1e5 should amplify strongly, got {eps}"
         );
+    }
+
+    #[test]
+    fn best_bound_never_looser_than_any_registry_member() {
+        let mech = Grr::new(16, 1.0);
+        let n = 100_000;
+        let delta = 1e-8;
+        let best = amplified_epsilon(&mech, n, delta).unwrap();
+        for (name, eps) in privacy_report(&mech, n, delta).unwrap() {
+            if let Ok(e) = eps {
+                assert!(best <= e + 1e-12, "best {best} looser than {name} = {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn privacy_report_lists_all_engine_bounds() {
+        use vr_core::bound::names;
+        let mech = Grr::new(8, 2.0);
+        let report = privacy_report(&mech, 10_000, 1e-6).unwrap();
+        let listed: Vec<&str> = report.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            listed,
+            vec![names::NUMERICAL, names::ANALYTIC, names::ASYMPTOTIC]
+        );
+        // The numerical accountant always answers.
+        assert!(report[0].1.is_ok());
     }
 }

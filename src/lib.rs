@@ -45,9 +45,13 @@ pub use vr_protocols as protocols;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use vr_core::accountant::{Accountant, ScanMode, SearchOptions};
+    pub use vr_core::accountant::{
+        Accountant, DeltaEvaluator, NumericalBound, ScanMode, SearchOptions,
+    };
     pub use vr_core::analytic::analytic_epsilon;
     pub use vr_core::asymptotic::asymptotic_epsilon;
+    pub use vr_core::bound::{AmplificationBound, BestOf, BoundKind, BoundRegistry, Validity};
+    pub use vr_core::curve::PrivacyCurve;
     pub use vr_core::parallel::{hierarchical_range_query, ParallelWorkload};
     pub use vr_core::params::VariationRatio;
     pub use vr_ldp::{

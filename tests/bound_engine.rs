@@ -1,0 +1,157 @@
+//! Property-based tests of the unified bound engine (proptest): every
+//! trait-migrated bound must agree with its legacy free-function wrapper
+//! across random parameter draws, and `BestOf` must never be looser than
+//! any of its members.
+
+use proptest::prelude::*;
+use shuffle_amplification::core::accountant::{Accountant, ScanMode, SearchOptions};
+use shuffle_amplification::core::analytic::{analytic_epsilon, AnalyticBound};
+use shuffle_amplification::core::asymptotic::{asymptotic_epsilon, AsymptoticBound};
+use shuffle_amplification::core::baselines::{
+    blanket_epsilon, clone_epsilon, efmrtt_epsilon, generic_gamma, stronger_clone_epsilon,
+    BlanketOptions, EfmrttBound, GenericBlanketBound,
+};
+use shuffle_amplification::core::bound::{names, BoundRegistry};
+use shuffle_amplification::core::renyi::{composed_epsilon, default_lambda_grid, RenyiBound};
+use shuffle_amplification::prelude::{AmplificationBound, NumericalBound, VariationRatio};
+
+/// Strategy: valid (p, beta, q) triples with finite p.
+fn vr_strategy() -> impl Strategy<Value = VariationRatio> {
+    (1.05f64..50.0, 0.01f64..0.99, 1.0f64..50.0).prop_filter_map(
+        "valid variation-ratio triple",
+        |(p, beta_frac, q)| {
+            let beta = beta_frac * (p - 1.0) / (p + 1.0);
+            VariationRatio::new(p, beta, q)
+                .ok()
+                .filter(|vr| vr.r() <= 0.5)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn numerical_bound_agrees_with_legacy_accountant(
+        vr in vr_strategy(),
+        n in 2u64..20_000,
+        eps_frac in 0.0f64..1.0,
+        delta_exp in 3u32..9,
+    ) {
+        let acc = Accountant::new(vr, n).unwrap();
+        let bound = NumericalBound::new(vr, n).unwrap();
+        let eps = eps_frac * vr.epsilon_limit();
+        let legacy = acc.try_delta(eps, ScanMode::default()).unwrap();
+        let engine = bound.delta(eps).unwrap();
+        prop_assert!(
+            (engine - legacy).abs() <= 1e-12,
+            "delta mismatch: engine {engine:e} vs legacy {legacy:e}"
+        );
+        prop_assert!(engine >= legacy, "fast scan must stay an upper bound");
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let e_legacy = acc.epsilon(delta, SearchOptions::default()).unwrap();
+        let e_engine = bound.epsilon(delta).unwrap();
+        prop_assert!(
+            (e_engine - e_legacy).abs() <= 1e-12,
+            "epsilon mismatch: engine {e_engine} vs legacy {e_legacy}"
+        );
+    }
+
+    #[test]
+    fn closed_form_bounds_agree_with_legacy_wrappers(
+        vr in vr_strategy(),
+        n in 100u64..2_000_000,
+        delta_exp in 3u32..10,
+    ) {
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let engine = AnalyticBound::new(vr, n).epsilon(delta);
+        let legacy = analytic_epsilon(&vr, n, delta);
+        match (engine, legacy) {
+            (Ok(a), Ok(b)) => prop_assert!((a - b).abs() <= 1e-12, "{a} vs {b}"),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "applicability diverged: {a:?} vs {b:?}"),
+        }
+        let engine = AsymptoticBound::new(vr, n).epsilon(delta);
+        let legacy = asymptotic_epsilon(&vr, n, delta);
+        match (engine, legacy) {
+            (Ok(a), Ok(b)) => prop_assert!((a - b).abs() <= 1e-12, "{a} vs {b}"),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "applicability diverged: {a:?} vs {b:?}"),
+        }
+        // Rényi enumeration is Õ(n); keep its population draw moderate.
+        let n_renyi = n.min(20_000);
+        let engine = RenyiBound::new(vr, n_renyi, 1).unwrap().epsilon(delta).unwrap();
+        let legacy = composed_epsilon(&vr, n_renyi, 1, delta, &default_lambda_grid()).unwrap();
+        prop_assert!((engine - legacy).abs() <= 1e-12 * legacy.max(1.0));
+    }
+
+    #[test]
+    fn ldp_baseline_bounds_agree_with_legacy_wrappers(
+        eps0 in 0.3f64..4.0,
+        n in 1_000u64..15_000,
+        delta_exp in 4u32..8,
+    ) {
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let opts = SearchOptions::default();
+        let registry = BoundRegistry::ldp_baselines(eps0, n).unwrap();
+        let engine = |name: &str| registry.get(name).unwrap().epsilon(delta).unwrap();
+        let pairs = [
+            (names::CLONE, clone_epsilon(eps0, n, delta, opts).unwrap()),
+            (
+                names::STRONGER_CLONE,
+                stronger_clone_epsilon(eps0, n, delta, opts).unwrap(),
+            ),
+            (
+                names::BLANKET_GENERIC,
+                blanket_epsilon(eps0, generic_gamma(eps0), n, delta, BlanketOptions::default())
+                    .unwrap(),
+            ),
+            (names::EFMRTT19, efmrtt_epsilon(eps0, n, delta)),
+        ];
+        for (name, legacy) in pairs {
+            let e = engine(name);
+            prop_assert!(
+                (e - legacy).abs() <= 1e-12 * legacy.max(1.0),
+                "{name}: engine {e} vs legacy {legacy}"
+            );
+        }
+        // The trait-native delta of the EFMRTT closed form round-trips.
+        let ef = EfmrttBound::new(eps0, n).unwrap();
+        let eps = ef.epsilon(delta).unwrap();
+        prop_assert!((ef.delta(eps).unwrap() - delta).abs() <= 1e-9 * delta.max(1e-12));
+        // The blanket's inverted delta is a feasible claim.
+        let bl = GenericBlanketBound::new(eps0, n, BlanketOptions::default()).unwrap();
+        let eps = bl.epsilon(delta).unwrap();
+        if eps > 0.0 {
+            let d = bl.delta(eps).unwrap();
+            prop_assert!(bl.epsilon(d).unwrap() <= eps + 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_of_is_never_looser_than_members(
+        vr in vr_strategy(),
+        n in 100u64..100_000,
+        delta_exp in 4u32..9,
+        eps_frac in 0.05f64..0.95,
+    ) {
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let eps = eps_frac * vr.epsilon_limit();
+        let registry = BoundRegistry::upper_bounds(vr, n).unwrap();
+        let member_eps: Vec<(String, Result<f64, _>)> = registry.epsilons(delta);
+        let member_del: Vec<(String, Result<f64, _>)> = registry.deltas(eps);
+        let best = registry.into_best_of("best").unwrap();
+        let be = best.epsilon(delta).unwrap();
+        for (name, r) in &member_eps {
+            if let Ok(e) = r {
+                prop_assert!(be <= e + 1e-12, "epsilon: best {be} looser than {name} {e}");
+            }
+        }
+        let bd = best.delta(eps).unwrap();
+        for (name, r) in &member_del {
+            if let Ok(d) = r {
+                prop_assert!(bd <= d + 1e-12, "delta: best {bd:e} looser than {name} {d:e}");
+            }
+        }
+    }
+}

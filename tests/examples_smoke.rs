@@ -10,6 +10,7 @@ use std::process::Command;
 
 const EXAMPLES: &[&str] = &[
     "quickstart",
+    "best_of",
     "frequency_estimation",
     "metric_location",
     "multi_message_histogram",
