@@ -3,6 +3,7 @@
 //! truncated scan ablation, the bisection-depth ablation, and the closed
 //! forms.
 
+#![allow(deprecated)] // exercises the legacy wrappers against the engine
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vr_core::accountant::{Accountant, ScanMode, SearchOptions};

@@ -4,11 +4,12 @@
 //! paper's qualitative claims) and the binaries print/emit them.
 
 use crate::output::{f, ResultTable};
-use vr_core::baselines::BlanketProfile;
-use vr_core::bound::{names, BoundRegistry};
+use vr_core::baselines::{BlanketOptions, BlanketProfile, SpecificBlanketBound};
+use vr_core::bound::{names, AmplificationBound};
+use vr_core::engine::{AmplificationQuery, AnalysisEngine, AnalysisReport};
 use vr_core::multimessage::{BallsIntoBins, CheuZhilyaev};
 use vr_core::parallel::{grr_beta, hierarchical_range_query};
-use vr_core::{SearchOptions, VariationRatio};
+use vr_core::{Result, SearchOptions, VariationRatio};
 use vr_ldp::{FrequencyMechanism, KSubset, Olh};
 
 /// The ε₀ sweep of Figures 1, 2 and 5.
@@ -49,22 +50,44 @@ pub enum SingleMessageMechanism {
     Olh,
 }
 
+/// The engine-served bounds of a Figure 1/2 panel, in query order per grid
+/// point.
+const SINGLE_MESSAGE_BOUNDS: [&str; 5] = [
+    names::VARIATION_RATIO,
+    names::STRONGER_CLONE,
+    names::CLONE,
+    names::BLANKET_GENERIC,
+    names::EFMRTT19,
+];
+
+/// The amplified ε of a served scalar report, with the paper's plotting
+/// fallback: a bound that is missing or inapplicable at a point falls back
+/// to the local guarantee `ε₀` (amplification ratio 1).
+fn served_eps(report: &Result<AnalysisReport>, eps0: f64) -> f64 {
+    report
+        .as_ref()
+        .ok()
+        .and_then(|r| r.scalar())
+        .unwrap_or(eps0)
+}
+
 /// Compute one panel of Figure 1 (subset) or Figure 2 (OLH).
 ///
-/// All curves are drawn from one [`BoundRegistry::single_message`] per grid
-/// point: the drivers no longer wire each bound's bespoke API, they iterate
-/// the engine. A bound that is missing or inapplicable at a point falls back
-/// to the local guarantee `ε₀` (amplification ratio 1), matching the paper's
-/// plotting convention.
+/// All engine-expressible curves of the whole panel are served by **one**
+/// [`AnalysisEngine::run_batch`] (five named queries per ε₀ grid point):
+/// the drivers no longer wire each bound's bespoke API, they describe
+/// queries. Only the mechanism-specific blanket — which needs the collapsed
+/// output profile, not just `(p, β, q, ε₀)` — is evaluated directly.
 pub fn single_message_panel(
     mechanism: SingleMessageMechanism,
     n: u64,
     d: usize,
     delta: f64,
 ) -> Vec<SingleMessagePoint> {
-    eps0_grid()
-        .into_iter()
-        .map(|eps0| {
+    let grid = eps0_grid();
+    let workloads: Vec<(f64, VariationRatio, Option<BlanketProfile>)> = grid
+        .iter()
+        .map(|&eps0| {
             let (params, profile): (VariationRatio, Option<BlanketProfile>) = match mechanism {
                 SingleMessageMechanism::Subset => {
                     let m = KSubset::optimal(d, eps0);
@@ -82,22 +105,45 @@ pub fn single_message_panel(
                     )
                 }
             };
-            let registry = BoundRegistry::single_message(params, eps0, profile, n)
-                .expect("valid single-message registry");
-            let eps_of = |name: &str| {
-                registry
-                    .get(name)
-                    .and_then(|b| b.epsilon(delta).ok())
-                    .unwrap_or(eps0)
-            };
+            (eps0, params, profile)
+        })
+        .collect();
+
+    let queries: Vec<AmplificationQuery> = workloads
+        .iter()
+        .flat_map(|&(eps0, params, _)| {
+            SINGLE_MESSAGE_BOUNDS.iter().map(move |&name| {
+                AmplificationQuery::params(params)
+                    .local_budget(eps0)
+                    .population(n)
+                    .epsilon_at(delta)
+                    .bound(name)
+                    .build()
+                    .expect("valid single-message query")
+            })
+        })
+        .collect();
+    let engine = AnalysisEngine::new();
+    let reports = engine.run_batch(&queries);
+
+    workloads
+        .iter()
+        .zip(reports.chunks(SINGLE_MESSAGE_BOUNDS.len()))
+        .map(|((eps0, _, profile), served)| {
+            let eps0 = *eps0;
+            let blanket_specific = profile
+                .clone()
+                .and_then(|p| SpecificBlanketBound::new(p, eps0, n, BlanketOptions::default()).ok())
+                .and_then(|b| b.epsilon(delta).ok())
+                .unwrap_or(eps0);
             SingleMessagePoint {
                 eps0,
-                variation_ratio: eps0 / eps_of(names::VARIATION_RATIO),
-                stronger_clone: eps0 / eps_of(names::STRONGER_CLONE),
-                clone: eps0 / eps_of(names::CLONE),
-                blanket_specific: eps0 / eps_of(names::BLANKET_SPECIFIC),
-                blanket_general: eps0 / eps_of(names::BLANKET_GENERIC),
-                efmrtt: eps0 / eps_of(names::EFMRTT19),
+                variation_ratio: eps0 / served_eps(&served[0], eps0),
+                stronger_clone: eps0 / served_eps(&served[1], eps0),
+                clone: eps0 / served_eps(&served[2], eps0),
+                blanket_specific: eps0 / blanket_specific,
+                blanket_general: eps0 / served_eps(&served[3], eps0),
+                efmrtt: eps0 / served_eps(&served[4], eps0),
             }
         })
         .collect()
@@ -156,51 +202,81 @@ pub struct MultiMessagePoint {
     pub asymptotic: f64,
 }
 
-/// One Figure 3/4 point from the engine's upper-bound registry: the extra
-/// amplification ratio of every registered bound against the designated
-/// analysis' `orig` (NaN where a closed form is not applicable).
-fn multi_message_point(
-    eps_prime: f64,
-    orig: f64,
-    params: VariationRatio,
-    n_eff: u64,
+/// The engine-served bounds of a Figure 3/4 point, in query order. This is
+/// the paper's fixed figure legend (one field per [`MultiMessagePoint`]
+/// column), intentionally independent of
+/// `BoundRegistry::UPPER_BOUND_NAMES`: if the serving portfolio grows, the
+/// reproduced figures keep plotting exactly these three curves.
+const MULTI_MESSAGE_BOUNDS: [&str; 3] = [names::NUMERICAL, names::ANALYTIC, names::ASYMPTOTIC];
+
+/// Serve a whole Figure 3/4 panel through one [`AnalysisEngine::run_batch`]:
+/// three named queries (numerical, analytic, asymptotic) per prepared
+/// workload `(ε', orig, params, n_eff)`, then the extra amplification
+/// ratios against the designated analysis' `orig` (NaN where a closed form
+/// is not applicable; points whose numerical ratio is not finite are
+/// dropped, as in the paper's plots).
+fn multi_message_panel(
+    workloads: Vec<(f64, f64, VariationRatio, u64)>,
     delta: f64,
-) -> Option<MultiMessagePoint> {
-    let registry = BoundRegistry::upper_bounds(params, n_eff).ok()?;
-    let ratio_of = |name: &str| {
-        registry
-            .get(name)
-            .and_then(|b| b.epsilon(delta).ok())
-            .map(|e| orig / e)
-            .unwrap_or(f64::NAN)
-    };
-    let numeric = ratio_of(names::NUMERICAL);
-    numeric.is_finite().then_some(MultiMessagePoint {
-        eps_prime,
-        numeric,
-        analytic: ratio_of(names::ANALYTIC),
-        asymptotic: ratio_of(names::ASYMPTOTIC),
-    })
+) -> Vec<MultiMessagePoint> {
+    let queries: Vec<AmplificationQuery> = workloads
+        .iter()
+        .flat_map(|&(_, _, params, n_eff)| {
+            MULTI_MESSAGE_BOUNDS.iter().map(move |&name| {
+                AmplificationQuery::params(params)
+                    .population(n_eff)
+                    .epsilon_at(delta)
+                    .bound(name)
+                    .build()
+                    .expect("valid multi-message query")
+            })
+        })
+        .collect();
+    let engine = AnalysisEngine::new();
+    let reports = engine.run_batch(&queries);
+
+    workloads
+        .iter()
+        .zip(reports.chunks(MULTI_MESSAGE_BOUNDS.len()))
+        .filter_map(|(&(eps_prime, orig, _, _), served)| {
+            let ratio_of = |report: &Result<AnalysisReport>| {
+                report
+                    .as_ref()
+                    .ok()
+                    .and_then(|r| r.scalar())
+                    .map(|e| orig / e)
+                    .unwrap_or(f64::NAN)
+            };
+            let numeric = ratio_of(&served[0]);
+            numeric.is_finite().then_some(MultiMessagePoint {
+                eps_prime,
+                numeric,
+                analytic: ratio_of(&served[1]),
+                asymptotic: ratio_of(&served[2]),
+            })
+        })
+        .collect()
 }
 
 /// Figure 3 panel: the Cheu–Zhilyaev protocol at fixed `n` users.
 pub fn cheu_panel(n_users: u64, d: u64, delta: f64, flip_prob: f64) -> Vec<MultiMessagePoint> {
-    budget_grid()
+    let workloads = budget_grid()
         .into_iter()
         .filter_map(|eps_prime| {
             let proto =
                 CheuZhilyaev::for_target_budget(eps_prime, delta, n_users, flip_prob, d).ok()?;
             let orig = proto.original_epsilon(delta).ok()?;
             let params = proto.params().ok()?;
-            multi_message_point(eps_prime, orig, params, proto.effective_population(), delta)
+            Some((eps_prime, orig, params, proto.effective_population()))
         })
-        .collect()
+        .collect();
+    multi_message_panel(workloads, delta)
 }
 
 /// Figure 4 panel: balls-into-bins with the caption's population
 /// `n = 32·ln(2/δ)·d/(ε'²·s)`.
 pub fn balls_into_bins_panel(d: u64, s: u64, delta: f64) -> Vec<MultiMessagePoint> {
-    budget_grid()
+    let workloads = budget_grid()
         .into_iter()
         .filter_map(|eps_prime| {
             let n = BallsIntoBins::population_for_budget(eps_prime, delta, d, s);
@@ -211,9 +287,10 @@ pub fn balls_into_bins_panel(d: u64, s: u64, delta: f64) -> Vec<MultiMessagePoin
             };
             let orig = proto.original_epsilon(delta).ok()?;
             let params = proto.params().ok()?;
-            multi_message_point(eps_prime, orig, params, proto.effective_population(), delta)
+            Some((eps_prime, orig, params, proto.effective_population()))
         })
-        .collect()
+        .collect();
+    multi_message_panel(workloads, delta)
 }
 
 /// Emit a Figure 3/4 panel.

@@ -67,6 +67,7 @@ impl AmplificationBound for AnalyticBound {
 /// Returns the amplified ε, or [`Error::NotApplicable`] when the theorem's
 /// side conditions fail for these parameters (use the numerical
 /// [`crate::Accountant`] instead — it is always applicable and tighter).
+#[deprecated(note = "use AnalysisEngine (vr_core::engine) or AnalyticBound directly")]
 pub fn analytic_epsilon(vr: &VariationRatio, n: u64, delta: f64) -> Result<f64> {
     AnalyticBound::new(*vr, n).epsilon(delta)
 }
@@ -166,6 +167,7 @@ fn stationary_threshold(vr: &VariationRatio, n: u64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy wrappers to the engine
 mod tests {
     use super::*;
     use crate::accountant::{Accountant, ScanMode};

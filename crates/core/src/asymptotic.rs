@@ -53,6 +53,7 @@ impl AmplificationBound for AsymptoticBound {
 ///
 /// valid when `n ≥ 8·ln(2/δ)/r` (returned as [`Error::NotApplicable`]
 /// otherwise). `p = ∞` is handled through `(1+p)β/(p−1) → β` (i.e. `α + pα`).
+#[deprecated(note = "use AnalysisEngine (vr_core::engine) or AsymptoticBound directly")]
 pub fn asymptotic_epsilon(vr: &VariationRatio, n: u64, delta: f64) -> Result<f64> {
     AsymptoticBound::new(*vr, n).epsilon(delta)
 }
@@ -125,6 +126,7 @@ pub fn table1_orders(eps0: f64, beta: f64, n: u64, delta: f64) -> Table1Row {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy wrappers to the engine
 mod tests {
     use super::*;
     use crate::accountant::{Accountant, ScanMode};

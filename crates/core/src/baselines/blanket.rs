@@ -348,6 +348,7 @@ fn delta_div_specific(
 /// The "specific" privacy-blanket bound: like [`blanket_epsilon`] but with
 /// the mechanism's exact blanket γ and exact loss-variable statistics —
 /// the thin free-function wrapper over [`SpecificBlanketBound`].
+#[deprecated(note = "use AnalysisEngine (vr_core::engine) or SpecificBlanketBound directly")]
 pub fn blanket_epsilon_specific(
     profile: &BlanketProfile,
     eps0: f64,
@@ -430,6 +431,7 @@ fn delta_div(eps0: f64, m_plus_one: f64, eps: f64, bound: BlanketBound) -> f64 {
 /// Use [`generic_gamma`] for arbitrary randomizers or the mechanism-specific
 /// total-variation similarity (e.g. `γ_subset`, `γ_OLH` from Section 7.1 of
 /// the paper) for the "specific" curves.
+#[deprecated(note = "use AnalysisEngine (vr_core::engine) or GenericBlanketBound directly")]
 pub fn blanket_epsilon(
     eps0: f64,
     gamma: f64,
@@ -468,6 +470,7 @@ fn epsilon_generic(eps0: f64, gamma: f64, n: u64, delta: f64, opts: BlanketOptio
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy wrappers to the engine
 mod tests {
     use super::*;
 

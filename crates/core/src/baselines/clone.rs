@@ -56,17 +56,20 @@ pub fn stronger_clone_bound(eps0: f64, n: u64, opts: SearchOptions) -> Result<Nu
 
 /// Numerical `(ε, δ)` amplification bound of the FMT'21 clone reduction —
 /// the thin free-function wrapper over [`clone_bound`].
+#[deprecated(note = "use AnalysisEngine (vr_core::engine) or clone_bound directly")]
 pub fn clone_epsilon(eps0: f64, n: u64, delta: f64, opts: SearchOptions) -> Result<f64> {
     clone_bound(eps0, n, opts)?.epsilon(delta)
 }
 
 /// Numerical `(ε, δ)` amplification bound of the FMT'23 stronger clone —
 /// the thin free-function wrapper over [`stronger_clone_bound`].
+#[deprecated(note = "use AnalysisEngine (vr_core::engine) or stronger_clone_bound directly")]
 pub fn stronger_clone_epsilon(eps0: f64, n: u64, delta: f64, opts: SearchOptions) -> Result<f64> {
     stronger_clone_bound(eps0, n, opts)?.epsilon(delta)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the legacy wrappers to the engine
 mod tests {
     use super::*;
     use vr_numerics::is_close;

@@ -19,12 +19,15 @@ pub mod blanket;
 pub mod clone;
 pub mod efmrtt;
 
+#[allow(deprecated)]
+pub use blanket::{blanket_epsilon, blanket_epsilon_specific};
 pub use blanket::{
-    blanket_epsilon, blanket_epsilon_specific, generic_gamma, BlanketBound, BlanketOptions,
-    BlanketProfile, GenericBlanketBound, SpecificBlanketBound,
+    generic_gamma, BlanketBound, BlanketOptions, BlanketProfile, GenericBlanketBound,
+    SpecificBlanketBound,
 };
-pub use clone::{
-    clone_bound, clone_epsilon, clone_params, stronger_clone_bound, stronger_clone_epsilon,
-    stronger_clone_params,
-};
-pub use efmrtt::{efmrtt_epsilon, efmrtt_premises_hold, EfmrttBound};
+pub use clone::{clone_bound, clone_params, stronger_clone_bound, stronger_clone_params};
+#[allow(deprecated)]
+pub use clone::{clone_epsilon, stronger_clone_epsilon};
+#[allow(deprecated)]
+pub use efmrtt::efmrtt_epsilon;
+pub use efmrtt::{efmrtt_premises_hold, EfmrttBound};

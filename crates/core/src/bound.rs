@@ -336,9 +336,17 @@ impl BoundRegistry {
         )
     }
 
+    /// Registry names of [`BoundRegistry::upper_bounds`]' members, in
+    /// registration order — the single definition the engine's default
+    /// portfolio ([`crate::engine::BoundSelection::Default`]) and the
+    /// pipeline's privacy report derive their bound lists from.
+    pub const UPPER_BOUND_NAMES: [&'static str; 3] =
+        [names::NUMERICAL, names::ANALYTIC, names::ASYMPTOTIC];
+
     /// The canonical upper-bound set for arbitrary `(p, β, q)` parameters:
     /// the numerical accountant (always applicable) plus the Theorem 4.2 and
-    /// 4.3 closed forms (side-conditioned).
+    /// 4.3 closed forms (side-conditioned) — see
+    /// [`BoundRegistry::UPPER_BOUND_NAMES`].
     pub fn upper_bounds(vr: VariationRatio, n: u64) -> Result<Self> {
         let mut r = Self::new();
         r.register(Box::new(NumericalBound::new(vr, n)?));
@@ -416,10 +424,9 @@ mod tests {
     fn registry_is_ordered_and_addressable() {
         let r = BoundRegistry::upper_bounds(wc(1.0), 10_000).unwrap();
         let order: Vec<&str> = r.iter().map(|b| b.name()).collect();
-        assert_eq!(
-            order,
-            vec![names::NUMERICAL, names::ANALYTIC, names::ASYMPTOTIC]
-        );
+        // The advertised name list IS the registry's membership, in order —
+        // the engine and the pipeline derive their portfolios from it.
+        assert_eq!(order, BoundRegistry::UPPER_BOUND_NAMES);
         assert!(r.get(names::NUMERICAL).is_some());
         assert!(r.get("nonsense").is_none());
         assert_eq!(r.len(), 3);

@@ -1,0 +1,944 @@
+//! The query-oriented analysis engine: one typed front door over every
+//! amplification analysis, with a shared evaluator cache and batch serving.
+//!
+//! PR 2's [`crate::bound`] unified the *bounds* behind one trait; this
+//! module unifies the *entry points*. Instead of picking a constructor per
+//! analysis and hand-wiring its state, callers describe **what they want to
+//! know** as an [`AmplificationQuery`] — source parameters, population,
+//! target, bound selection — and hand it to an [`AnalysisEngine`], alone or
+//! in batches. The engine owns a thread-safe memo cache of
+//! [`DeltaEvaluator`]s keyed by `(p, β, q, n, ScanMode)`, so the expensive
+//! part of the numerical accountant (the outer `Binom(n−1, 2r)` table and
+//! the amortized ε-search it powers) is built once per workload and shared
+//! by every subsequent query, from any thread.
+//!
+//! # Query targets and the paper
+//!
+//! | Target | Question answered | Paper machinery |
+//! |---|---|---|
+//! | [`QueryTarget::Delta`] | certified `δ` at privacy level `ε` | Thm 4.8 scan (or a closed form / baseline) |
+//! | [`QueryTarget::Epsilon`] | certified `ε` at failure probability `δ` | Algorithm 1 bisection over the same bound |
+//! | [`QueryTarget::Curve`] | the whole `δ(ε)` profile on a grid | [`PrivacyCurve`] over Thm 4.8 |
+//! | [`QueryTarget::Composed`] | `ε` after `rounds` adaptive shuffles | Rényi extension of Thm 4.7 + Mironov conversion |
+//!
+//! # Bound selection
+//!
+//! * [`BoundSelection::Default`] — the registry default: the pointwise-best
+//!   of the always-applicable numerical accountant (Theorem 4.8) and the
+//!   Theorem 4.2 / 4.3 closed forms, exactly the portfolio of
+//!   [`crate::bound::BoundRegistry::upper_bounds`].
+//! * [`BoundSelection::Named`] — one specific analysis by its registry name
+//!   (see [`crate::bound::names`]); prior-work baselines are instantiated
+//!   from the query's local budget `ε₀` (or `ln p` when none was given).
+//! * [`BoundSelection::BestOf`] — the widest sound portfolio: the default
+//!   set plus every constructible LDP baseline (clone, stronger clone,
+//!   generic blanket, EFMRTT19).
+//!
+//! # Example
+//!
+//! ```
+//! use vr_core::engine::{AmplificationQuery, AnalysisEngine};
+//!
+//! let engine = AnalysisEngine::new();
+//! let queries: Vec<_> = [1e-6, 1e-7, 1e-8]
+//!     .iter()
+//!     .map(|&delta| {
+//!         AmplificationQuery::ldp_worst_case(1.0)
+//!             .unwrap()
+//!             .population(10_000)
+//!             .epsilon_at(delta)
+//!             .build()
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! let reports = engine.run_batch(&queries);
+//! for report in reports {
+//!     let report = report.unwrap();
+//!     assert!(report.value.scalar().unwrap() < 1.0); // amplified below ε₀
+//! }
+//! assert_eq!(engine.cached_evaluators(), 1); // one workload, served thrice
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::accountant::{Accountant, DeltaEvaluator, NumericalBound, ScanMode, SearchOptions};
+use crate::analytic::AnalyticBound;
+use crate::asymptotic::AsymptoticBound;
+use crate::baselines::{
+    clone_params, stronger_clone_params, BlanketOptions, EfmrttBound, GenericBlanketBound,
+};
+use crate::bound::{names, AmplificationBound, BestOf, BoundRegistry, Validity};
+use crate::curve::PrivacyCurve;
+use crate::error::{Error, Result};
+use crate::params::VariationRatio;
+use crate::renyi::RenyiBound;
+
+/// What a query asks for (the mapping to paper theorems is in the
+/// [module docs](self)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryTarget {
+    /// The certified `δ` at privacy level `eps`.
+    Delta {
+        /// Privacy level `ε ≥ 0`.
+        eps: f64,
+    },
+    /// The certified `ε` at failure probability `delta`.
+    Epsilon {
+        /// Failure probability `δ ∈ [0, 1]`.
+        delta: f64,
+    },
+    /// The `δ(ε)` profile sampled on `points` equally spaced levels in
+    /// `[0, eps_max]`.
+    Curve {
+        /// Upper end of the ε grid.
+        eps_max: f64,
+        /// Number of grid points (≥ 2).
+        points: usize,
+    },
+    /// The total `ε` after `rounds` adaptive shuffle rounds at failure
+    /// probability `delta`, via Rényi composition.
+    Composed {
+        /// Number of adaptive rounds.
+        rounds: u32,
+        /// Failure probability `δ` of the composed guarantee.
+        delta: f64,
+    },
+}
+
+/// Which analysis answers the query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundSelection {
+    /// Tightest of the always-applicable upper bounds (numerical accountant
+    /// plus the Theorem 4.2/4.3 closed forms).
+    Default,
+    /// One specific bound by registry name (see [`crate::bound::names`]).
+    Named(String),
+    /// Tightest of the full portfolio: the default set plus every
+    /// constructible prior-work LDP baseline.
+    BestOf,
+}
+
+/// A fully-specified analysis request: workload (`(p, β, q)` + population),
+/// target, bound selection and numerical options. Build one through
+/// [`AmplificationQuery::params`], [`AmplificationQuery::ldp_worst_case`] or
+/// a mechanism's `amplification_query` helper (`vr-ldp`), then run it on an
+/// [`AnalysisEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmplificationQuery {
+    vr: VariationRatio,
+    eps0: Option<f64>,
+    n: u64,
+    target: QueryTarget,
+    selection: BoundSelection,
+    opts: SearchOptions,
+}
+
+impl AmplificationQuery {
+    /// Start a query from explicit variation-ratio parameters.
+    pub fn params(vr: VariationRatio) -> QueryBuilder {
+        QueryBuilder {
+            vr,
+            eps0: None,
+            n: None,
+            target: None,
+            selection: BoundSelection::Default,
+            opts: SearchOptions::default(),
+        }
+    }
+
+    /// Start a query for an arbitrary `ε₀`-LDP randomizer at the worst-case
+    /// parameters `p = q = e^{ε₀}`, `β = (e^{ε₀}−1)/(e^{ε₀}+1)` (the
+    /// stronger-clone regime); `ε₀` is also recorded as the local budget the
+    /// baseline bounds instantiate from.
+    pub fn ldp_worst_case(eps0: f64) -> Result<QueryBuilder> {
+        Ok(Self::params(VariationRatio::ldp_worst_case(eps0)?).local_budget(eps0))
+    }
+
+    /// The workload's variation-ratio parameters.
+    pub fn variation_ratio(&self) -> &VariationRatio {
+        &self.vr
+    }
+
+    /// The local budget `ε₀` the baselines use, if one was recorded.
+    pub fn local_budget(&self) -> Option<f64> {
+        self.eps0
+    }
+
+    /// Population size.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// The query target.
+    pub fn target(&self) -> &QueryTarget {
+        &self.target
+    }
+
+    /// The bound selection.
+    pub fn selection(&self) -> &BoundSelection {
+        &self.selection
+    }
+
+    /// Numerical search options (scan mode + bisection iterations).
+    pub fn options(&self) -> SearchOptions {
+        self.opts
+    }
+
+    /// `ε₀` for baseline instantiation: the recorded local budget, or
+    /// `ln p` when none was given and `p` is finite.
+    fn baseline_eps0(&self) -> Result<f64> {
+        match self.eps0 {
+            Some(e) => Ok(e),
+            None if self.vr.p().is_finite() => Ok(self.vr.p().ln()),
+            None => Err(Error::NotApplicable(
+                "LDP baselines need a finite local budget (p = ∞ and no ε₀ recorded)".into(),
+            )),
+        }
+    }
+}
+
+/// Builder for [`AmplificationQuery`] (see [`AmplificationQuery::params`]).
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    vr: VariationRatio,
+    eps0: Option<f64>,
+    n: Option<u64>,
+    target: Option<QueryTarget>,
+    selection: BoundSelection,
+    opts: SearchOptions,
+}
+
+impl QueryBuilder {
+    /// Set the population size `n ≥ 1` (required).
+    pub fn population(mut self, n: u64) -> Self {
+        self.n = Some(n);
+        self
+    }
+
+    /// Record the local budget `ε₀` the baseline bounds instantiate from
+    /// (defaults to `ln p` when `p` is finite).
+    pub fn local_budget(mut self, eps0: f64) -> Self {
+        self.eps0 = Some(eps0);
+        self
+    }
+
+    /// Target: the certified `δ` at privacy level `eps`.
+    pub fn delta_at(mut self, eps: f64) -> Self {
+        self.target = Some(QueryTarget::Delta { eps });
+        self
+    }
+
+    /// Target: the certified `ε` at failure probability `delta`.
+    pub fn epsilon_at(mut self, delta: f64) -> Self {
+        self.target = Some(QueryTarget::Epsilon { delta });
+        self
+    }
+
+    /// Target: the `δ(ε)` profile on `points` levels in `[0, eps_max]`.
+    pub fn curve(mut self, eps_max: f64, points: usize) -> Self {
+        self.target = Some(QueryTarget::Curve { eps_max, points });
+        self
+    }
+
+    /// Target: the composed `ε` after `rounds` adaptive shuffle rounds at
+    /// failure probability `delta`.
+    pub fn composed(mut self, rounds: u32, delta: f64) -> Self {
+        self.target = Some(QueryTarget::Composed { rounds, delta });
+        self
+    }
+
+    /// Answer with one specific bound (a [`crate::bound::names`] entry).
+    pub fn bound(mut self, name: impl Into<String>) -> Self {
+        self.selection = BoundSelection::Named(name.into());
+        self
+    }
+
+    /// Answer with the tightest bound of the full portfolio.
+    pub fn best_of(mut self) -> Self {
+        self.selection = BoundSelection::BestOf;
+        self
+    }
+
+    /// Override the numerical search options (scan mode, iterations).
+    pub fn search_options(mut self, opts: SearchOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Finish the query. Fails when the population or target is missing.
+    pub fn build(self) -> Result<AmplificationQuery> {
+        let n = self.n.ok_or_else(|| {
+            Error::InvalidParameter("query needs a population (`.population(n)`)".into())
+        })?;
+        if n == 0 {
+            return Err(Error::InvalidParameter("population n must be >= 1".into()));
+        }
+        let target = self.target.ok_or_else(|| {
+            Error::InvalidParameter(
+                "query needs a target (`.delta_at` / `.epsilon_at` / `.curve` / `.composed`)"
+                    .into(),
+            )
+        })?;
+        Ok(AmplificationQuery {
+            vr: self.vr,
+            eps0: self.eps0,
+            n,
+            target,
+            selection: self.selection,
+            opts: self.opts,
+        })
+    }
+}
+
+/// The value a query produced: a scalar (`δ`, `ε`, composed `ε`) or a whole
+/// privacy curve.
+#[derive(Debug, Clone)]
+pub enum QueryValue {
+    /// A single certified number.
+    Scalar(f64),
+    /// A sampled `δ(ε)` profile.
+    Curve(PrivacyCurve),
+}
+
+impl QueryValue {
+    /// The scalar value, if this is a scalar result.
+    pub fn scalar(&self) -> Option<f64> {
+        match self {
+            QueryValue::Scalar(v) => Some(*v),
+            QueryValue::Curve(_) => None,
+        }
+    }
+
+    /// The curve, if this is a curve result.
+    pub fn curve(&self) -> Option<&PrivacyCurve> {
+        match self {
+            QueryValue::Scalar(_) => None,
+            QueryValue::Curve(c) => Some(c),
+        }
+    }
+}
+
+/// A served query: the value plus the provenance a caller needs to audit or
+/// monitor the serving path.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The certified value.
+    pub value: QueryValue,
+    /// Name of the bound that produced the value (for `BestOf`/default
+    /// scalar queries: the winning member).
+    pub bound: String,
+    /// Validity domain advertised by the answering bound.
+    pub validity: Validity,
+    /// Whether this query touched the evaluator cache **and** every
+    /// lookup was warm (`false` for cold lookups and for queries — closed
+    /// forms, Rényi composition — that use no cached evaluator at all).
+    pub cache_hit: bool,
+    /// Wall-clock time spent serving the query, bound construction
+    /// included.
+    pub wall: Duration,
+}
+
+impl AnalysisReport {
+    /// Convenience accessor for scalar queries.
+    pub fn scalar(&self) -> Option<f64> {
+        self.value.scalar()
+    }
+}
+
+/// Cache key of a memoized evaluator: the exact bit patterns of the
+/// workload parameters plus the scan mode (NaN-free by construction, since
+/// [`VariationRatio`] validates its fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct EvaluatorKey {
+    p: u64,
+    beta: u64,
+    q: u64,
+    n: u64,
+    mode: (u8, u64),
+}
+
+impl EvaluatorKey {
+    fn new(vr: &VariationRatio, n: u64, mode: ScanMode) -> Self {
+        let mode = match mode {
+            ScanMode::Full => (0u8, 0u64),
+            ScanMode::Truncated { tail_mass } => (1u8, tail_mass.to_bits()),
+        };
+        Self {
+            p: vr.p().to_bits(),
+            beta: vr.beta().to_bits(),
+            q: vr.q().to_bits(),
+            n,
+            mode,
+        }
+    }
+}
+
+/// The serving engine: executes [`AmplificationQuery`]s against a shared,
+/// thread-safe cache of memoized [`DeltaEvaluator`]s. One engine instance
+/// is meant to be long-lived and shared (`&AnalysisEngine` is `Sync`);
+/// repeated and batched queries against the same workload hit warm state.
+#[derive(Debug, Default)]
+pub struct AnalysisEngine {
+    /// One slot per workload; the [`OnceLock`] makes the expensive table
+    /// build happen exactly once even when a cold batch floods the same
+    /// key from many worker threads (late arrivals block on the builder
+    /// instead of duplicating its work).
+    cache: RwLock<HashMap<EvaluatorKey, Arc<OnceLock<Arc<DeltaEvaluator>>>>>,
+}
+
+/// Per-query tally of evaluator-cache lookups, aggregated into
+/// [`AnalysisReport::cache_hit`]: warm only when the cache was used and
+/// every lookup hit.
+#[derive(Debug, Default)]
+struct CacheUse {
+    uses: u32,
+    hits: u32,
+}
+
+impl CacheUse {
+    fn record(&mut self, hit: bool) {
+        self.uses += 1;
+        self.hits += u32::from(hit);
+    }
+
+    fn all_warm(&self) -> bool {
+        self.uses > 0 && self.hits == self.uses
+    }
+}
+
+impl AnalysisEngine {
+    /// An engine with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct `(params, n, ScanMode)` workloads currently
+    /// memoized (in-flight builds are not counted until they finish).
+    pub fn cached_evaluators(&self) -> usize {
+        self.cache
+            .read()
+            .expect("engine cache poisoned")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
+    /// Drop every memoized evaluator (e.g. to bound memory in a long-lived
+    /// service).
+    pub fn clear_cache(&self) {
+        self.cache.write().expect("engine cache poisoned").clear();
+    }
+
+    /// The memoized evaluator for a workload, building it on a miss.
+    /// Returns the shared evaluator and whether it was already cached.
+    pub fn evaluator(
+        &self,
+        vr: VariationRatio,
+        n: u64,
+        mode: ScanMode,
+    ) -> Result<(Arc<DeltaEvaluator>, bool)> {
+        let key = EvaluatorKey::new(&vr, n, mode);
+        let acc = Accountant::new(vr, n)?; // validate before touching the cache
+        let slot = {
+            let cache = self.cache.read().expect("engine cache poisoned");
+            cache.get(&key).map(Arc::clone)
+        };
+        let slot = match slot {
+            Some(slot) => slot,
+            None => {
+                let mut cache = self.cache.write().expect("engine cache poisoned");
+                Arc::clone(cache.entry(key).or_default())
+            }
+        };
+        // Exactly one caller pays the table build; concurrent cold callers
+        // for the same key wait on it instead of duplicating the work.
+        let hit = slot.get().is_some();
+        let ev = slot.get_or_init(|| Arc::new(DeltaEvaluator::new(acc, mode)));
+        Ok((Arc::clone(ev), hit))
+    }
+
+    /// Serve one query.
+    pub fn run(&self, query: &AmplificationQuery) -> Result<AnalysisReport> {
+        let t0 = Instant::now();
+        let (value, bound, validity, cache_hit) = self.execute(query)?;
+        Ok(AnalysisReport {
+            value,
+            bound,
+            validity,
+            cache_hit,
+            wall: t0.elapsed(),
+        })
+    }
+
+    /// Serve a batch, fanning the queries out over
+    /// [`vr_numerics::par::par_map`] worker threads against the shared
+    /// cache. Results are returned in query order; per-query errors do not
+    /// abort the batch.
+    pub fn run_batch(&self, queries: &[AmplificationQuery]) -> Vec<Result<AnalysisReport>> {
+        vr_numerics::par::par_map(queries, |q| self.run(q))
+    }
+
+    /// Serve a single query on a throwaway engine — the bridge the legacy
+    /// one-shot entry points delegate through.
+    pub fn oneshot(query: &AmplificationQuery) -> Result<AnalysisReport> {
+        Self::new().run(query)
+    }
+
+    fn execute(&self, query: &AmplificationQuery) -> Result<(QueryValue, String, Validity, bool)> {
+        if let QueryTarget::Composed { rounds, delta } = query.target {
+            // Composed targets route through the Rényi machinery regardless
+            // of portfolio (it is the only analysis that composes).
+            match &query.selection {
+                BoundSelection::Default | BoundSelection::BestOf => {}
+                BoundSelection::Named(name) if name == names::RENYI => {}
+                BoundSelection::Named(name) => {
+                    return Err(Error::InvalidParameter(format!(
+                        "composed queries are answered by the Rényi accountant; \
+                         bound `{name}` does not compose"
+                    )))
+                }
+            }
+            let bound = RenyiBound::new(query.vr, query.n, rounds)?;
+            let v = bound.epsilon(delta)?;
+            return Ok((
+                QueryValue::Scalar(v),
+                names::RENYI.to_string(),
+                bound.validity(),
+                false,
+            ));
+        }
+
+        let mut cache_use = CacheUse::default();
+        let resolved = self.resolve(query, &mut cache_use)?;
+        let (value, bound_name, validity) = match query.target {
+            QueryTarget::Delta { eps } => match &resolved {
+                Resolved::Single(b) => (
+                    QueryValue::Scalar(b.delta(eps)?),
+                    b.name().to_string(),
+                    b.validity(),
+                ),
+                Resolved::Best(b) => {
+                    let (winner, v) = b.winner_delta(eps)?;
+                    (QueryValue::Scalar(v), winner.to_string(), b.validity())
+                }
+            },
+            QueryTarget::Epsilon { delta } => match &resolved {
+                Resolved::Single(b) => (
+                    QueryValue::Scalar(b.epsilon(delta)?),
+                    b.name().to_string(),
+                    b.validity(),
+                ),
+                Resolved::Best(b) => {
+                    let (winner, v) = b.winner_epsilon(delta)?;
+                    (QueryValue::Scalar(v), winner.to_string(), b.validity())
+                }
+            },
+            QueryTarget::Curve { eps_max, points } => {
+                // Batch runs already fan out across queries; sampling
+                // sequentially here avoids nested thread pools.
+                let b: &dyn AmplificationBound = match &resolved {
+                    Resolved::Single(b) => b.as_ref(),
+                    Resolved::Best(b) => b,
+                };
+                (
+                    QueryValue::Curve(PrivacyCurve::sample_sequential(b, eps_max, points)?),
+                    b.name().to_string(),
+                    b.validity(),
+                )
+            }
+            QueryTarget::Composed { .. } => unreachable!("handled above"),
+        };
+        Ok((value, bound_name, validity, cache_use.all_warm()))
+    }
+
+    fn resolve(&self, query: &AmplificationQuery, cache_use: &mut CacheUse) -> Result<Resolved> {
+        match &query.selection {
+            BoundSelection::Named(name) => {
+                Ok(Resolved::Single(self.named_bound(name, query, cache_use)?))
+            }
+            BoundSelection::Default => {
+                let members = self.default_members(query, cache_use)?;
+                Ok(Resolved::Best(BestOf::new("best-default", members)?))
+            }
+            BoundSelection::BestOf => {
+                let mut members = self.default_members(query, cache_use)?;
+                // Widen with every constructible LDP baseline; a baseline
+                // that does not apply to this workload (e.g. p = ∞, or ε₀
+                // outside a closed form's domain) is skipped, not fatal.
+                if query.baseline_eps0().is_ok() {
+                    for name in [
+                        names::STRONGER_CLONE,
+                        names::CLONE,
+                        names::BLANKET_GENERIC,
+                        names::EFMRTT19,
+                    ] {
+                        if let Ok(b) = self.named_bound(name, query, cache_use) {
+                            members.push(b);
+                        }
+                    }
+                }
+                Ok(Resolved::Best(BestOf::new("best-of", members)?))
+            }
+        }
+    }
+
+    /// The default upper-bound portfolio: the engine-side instantiation of
+    /// [`BoundRegistry::UPPER_BOUND_NAMES`] (one definition shared with the
+    /// registry and the pipeline's privacy report), with the numerical
+    /// member served from the shared cache.
+    fn default_members(
+        &self,
+        query: &AmplificationQuery,
+        cache_use: &mut CacheUse,
+    ) -> Result<Vec<Box<dyn AmplificationBound>>> {
+        BoundRegistry::UPPER_BOUND_NAMES
+            .iter()
+            .map(|&name| self.named_bound(name, query, cache_use))
+            .collect()
+    }
+
+    fn cached_numerical(
+        &self,
+        name: &'static str,
+        vr: VariationRatio,
+        query: &AmplificationQuery,
+        cache_use: &mut CacheUse,
+    ) -> Result<Box<dyn AmplificationBound>> {
+        let (ev, hit) = self.evaluator(vr, query.n, query.opts.mode)?;
+        cache_use.record(hit);
+        Ok(Box::new(NumericalBound::from_evaluator(
+            name,
+            ev,
+            query.opts.iterations,
+        )))
+    }
+
+    fn named_bound(
+        &self,
+        name: &str,
+        query: &AmplificationQuery,
+        cache_use: &mut CacheUse,
+    ) -> Result<Box<dyn AmplificationBound>> {
+        let n = query.n;
+        match name {
+            names::NUMERICAL => self.cached_numerical(names::NUMERICAL, query.vr, query, cache_use),
+            names::VARIATION_RATIO => {
+                self.cached_numerical(names::VARIATION_RATIO, query.vr, query, cache_use)
+            }
+            names::ANALYTIC => Ok(Box::new(AnalyticBound::new(query.vr, n))),
+            names::ASYMPTOTIC => Ok(Box::new(AsymptoticBound::new(query.vr, n))),
+            names::RENYI => Ok(Box::new(RenyiBound::new(query.vr, n, 1)?)),
+            names::CLONE => {
+                let params = clone_params(query.baseline_eps0()?)?;
+                self.cached_numerical(names::CLONE, params, query, cache_use)
+            }
+            names::STRONGER_CLONE => {
+                let params = stronger_clone_params(query.baseline_eps0()?)?;
+                self.cached_numerical(names::STRONGER_CLONE, params, query, cache_use)
+            }
+            names::BLANKET_GENERIC => Ok(Box::new(GenericBlanketBound::new(
+                query.baseline_eps0()?,
+                n,
+                BlanketOptions::default(),
+            )?)),
+            names::EFMRTT19 => Ok(Box::new(EfmrttBound::new(query.baseline_eps0()?, n)?)),
+            names::BLANKET_SPECIFIC => Err(Error::NotApplicable(
+                "the mechanism-specific blanket needs an output profile; construct \
+                 SpecificBlanketBound directly"
+                    .into(),
+            )),
+            names::LOWER => Err(Error::NotApplicable(
+                "the Section 5 lower bound needs concrete output distributions; construct \
+                 LowerBoundAccountant directly"
+                    .into(),
+            )),
+            other => Err(Error::InvalidParameter(format!(
+                "unknown bound name `{other}` (see vr_core::bound::names)"
+            ))),
+        }
+    }
+}
+
+enum Resolved {
+    Single(Box<dyn AmplificationBound>),
+    Best(BestOf),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::BoundRegistry;
+    use crate::renyi::{composed_epsilon, default_lambda_grid};
+
+    fn wc(eps0: f64) -> VariationRatio {
+        VariationRatio::ldp_worst_case(eps0).unwrap()
+    }
+
+    #[test]
+    fn builder_requires_population_and_target() {
+        assert!(AmplificationQuery::params(wc(1.0)).build().is_err());
+        assert!(AmplificationQuery::params(wc(1.0))
+            .population(0)
+            .epsilon_at(1e-6)
+            .build()
+            .is_err());
+        assert!(AmplificationQuery::params(wc(1.0))
+            .epsilon_at(1e-6)
+            .build()
+            .is_err());
+        let q = AmplificationQuery::params(wc(1.0))
+            .population(100)
+            .epsilon_at(1e-6)
+            .build()
+            .unwrap();
+        assert_eq!(q.population(), 100);
+        assert_eq!(q.target(), &QueryTarget::Epsilon { delta: 1e-6 });
+        assert_eq!(q.selection(), &BoundSelection::Default);
+    }
+
+    #[test]
+    fn named_numerical_matches_direct_bound() {
+        let vr = wc(1.0);
+        let n = 10_000;
+        let engine = AnalysisEngine::new();
+        let direct = NumericalBound::new(vr, n).unwrap();
+        let q = AmplificationQuery::params(vr)
+            .population(n)
+            .epsilon_at(1e-6)
+            .bound(names::NUMERICAL)
+            .build()
+            .unwrap();
+        let r = engine.run(&q).unwrap();
+        assert_eq!(r.bound, names::NUMERICAL);
+        assert_eq!(
+            r.scalar().unwrap().to_bits(),
+            direct.epsilon(1e-6).unwrap().to_bits()
+        );
+        assert!(!r.cache_hit, "first query cannot be warm");
+        let r2 = engine.run(&q).unwrap();
+        assert!(r2.cache_hit, "second identical query must be warm");
+        assert_eq!(
+            r2.scalar().unwrap().to_bits(),
+            r.scalar().unwrap().to_bits()
+        );
+        assert_eq!(engine.cached_evaluators(), 1);
+        engine.clear_cache();
+        assert_eq!(engine.cached_evaluators(), 0);
+    }
+
+    #[test]
+    fn default_selection_matches_registry_best_of() {
+        let vr = wc(2.0);
+        let n = 50_000;
+        let delta = 1e-8;
+        let engine = AnalysisEngine::new();
+        let q = AmplificationQuery::params(vr)
+            .population(n)
+            .epsilon_at(delta)
+            .build()
+            .unwrap();
+        let served = engine.run(&q).unwrap();
+        let best = BoundRegistry::upper_bounds(vr, n)
+            .unwrap()
+            .into_best_of("ref")
+            .unwrap();
+        let (winner, eps) = best.winner_epsilon(delta).unwrap();
+        assert_eq!(served.bound, winner);
+        assert_eq!(served.scalar().unwrap().to_bits(), eps.to_bits());
+    }
+
+    #[test]
+    fn best_of_selection_never_looser_than_default() {
+        let engine = AnalysisEngine::new();
+        let base = AmplificationQuery::ldp_worst_case(2.0)
+            .unwrap()
+            .population(100_000);
+        let q_default = base.clone().epsilon_at(1e-8).build().unwrap();
+        let q_best = base.epsilon_at(1e-8).best_of().build().unwrap();
+        let d = engine.run(&q_default).unwrap().scalar().unwrap();
+        let b = engine.run(&q_best).unwrap().scalar().unwrap();
+        assert!(b <= d + 1e-12, "wider portfolio got looser: {b} vs {d}");
+    }
+
+    #[test]
+    fn curve_target_matches_direct_sampling() {
+        let vr = wc(1.0);
+        let n = 5_000;
+        let engine = AnalysisEngine::new();
+        let q = AmplificationQuery::params(vr)
+            .population(n)
+            .curve(1.0, 17)
+            .bound(names::NUMERICAL)
+            .build()
+            .unwrap();
+        let r = engine.run(&q).unwrap();
+        let curve = r.value.curve().unwrap();
+        let direct = NumericalBound::new(vr, n).unwrap();
+        let reference = PrivacyCurve::sample_sequential(&direct, 1.0, 17).unwrap();
+        for ((e1, d1), (e2, d2)) in curve.points().zip(reference.points()) {
+            assert_eq!(e1.to_bits(), e2.to_bits());
+            assert_eq!(d1.to_bits(), d2.to_bits());
+        }
+        assert!(r.scalar().is_none());
+    }
+
+    #[test]
+    fn composed_target_matches_renyi_route() {
+        let vr = wc(1.0);
+        let n = 10_000;
+        let engine = AnalysisEngine::new();
+        let q = AmplificationQuery::params(vr)
+            .population(n)
+            .composed(8, 1e-6)
+            .build()
+            .unwrap();
+        let r = engine.run(&q).unwrap();
+        assert_eq!(r.bound, names::RENYI);
+        let reference = composed_epsilon(&vr, n, 8, 1e-6, &default_lambda_grid()).unwrap();
+        assert_eq!(r.scalar().unwrap().to_bits(), reference.to_bits());
+        // Composition must not route through a non-composing bound.
+        let bad = AmplificationQuery::params(vr)
+            .population(n)
+            .composed(8, 1e-6)
+            .bound(names::ANALYTIC)
+            .build()
+            .unwrap();
+        assert!(engine.run(&bad).is_err());
+    }
+
+    #[test]
+    fn baselines_instantiate_from_recorded_or_derived_budget() {
+        let engine = AnalysisEngine::new();
+        let n = 20_000;
+        // Recorded budget.
+        let q = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(n)
+            .epsilon_at(1e-6)
+            .bound(names::EFMRTT19)
+            .build()
+            .unwrap();
+        let recorded = engine.run(&q).unwrap().scalar().unwrap();
+        let direct = EfmrttBound::new(1.0, n).unwrap().epsilon(1e-6).unwrap();
+        assert_eq!(recorded.to_bits(), direct.to_bits());
+        // Derived budget: ln p for explicit parameters.
+        let q = AmplificationQuery::params(wc(1.0))
+            .population(n)
+            .epsilon_at(1e-6)
+            .bound(names::EFMRTT19)
+            .build()
+            .unwrap();
+        let derived = engine.run(&q).unwrap().scalar().unwrap();
+        let reference = EfmrttBound::new(wc(1.0).p().ln(), n)
+            .unwrap()
+            .epsilon(1e-6)
+            .unwrap();
+        assert_eq!(derived.to_bits(), reference.to_bits());
+        // p = ∞ with no budget: baseline not applicable.
+        let mm = VariationRatio::new(f64::INFINITY, 1.0, 4.0).unwrap();
+        let q = AmplificationQuery::params(mm)
+            .population(n)
+            .epsilon_at(1e-6)
+            .bound(names::CLONE)
+            .build()
+            .unwrap();
+        assert!(matches!(engine.run(&q), Err(Error::NotApplicable(_))));
+    }
+
+    #[test]
+    fn no_evaluator_queries_report_cold() {
+        // Closed forms and the Rényi route never touch the evaluator cache,
+        // so they must never claim a warm hit — even on repeat queries.
+        let engine = AnalysisEngine::new();
+        let q = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(10_000)
+            .epsilon_at(1e-6)
+            .bound(names::EFMRTT19)
+            .build()
+            .unwrap();
+        for _ in 0..2 {
+            let report = engine.run(&q).unwrap();
+            assert!(!report.cache_hit, "closed form cannot be a cache hit");
+        }
+        assert_eq!(engine.cached_evaluators(), 0);
+    }
+
+    #[test]
+    fn stronger_clone_shares_the_worst_case_evaluator() {
+        // For a worst-case ε₀ query the stronger-clone parameters ARE the
+        // query parameters, so the cache must dedupe the two.
+        let engine = AnalysisEngine::new();
+        let base = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(10_000);
+        let q1 = base
+            .clone()
+            .epsilon_at(1e-6)
+            .bound(names::NUMERICAL)
+            .build()
+            .unwrap();
+        let q2 = base
+            .epsilon_at(1e-6)
+            .bound(names::STRONGER_CLONE)
+            .build()
+            .unwrap();
+        engine.run(&q1).unwrap();
+        let r2 = engine.run(&q2).unwrap();
+        assert!(r2.cache_hit, "stronger clone should reuse the evaluator");
+        assert_eq!(engine.cached_evaluators(), 1);
+    }
+
+    #[test]
+    fn unknown_and_unsupported_names_are_rejected() {
+        let engine = AnalysisEngine::new();
+        let base = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(100);
+        for (name, invalid) in [
+            ("nonsense", true),
+            (names::LOWER, false),
+            (names::BLANKET_SPECIFIC, false),
+        ] {
+            let q = base.clone().epsilon_at(1e-6).bound(name).build().unwrap();
+            let err = engine.run(&q).unwrap_err();
+            match err {
+                Error::InvalidParameter(_) => assert!(invalid, "{name}"),
+                Error::NotApplicable(_) => assert!(!invalid, "{name}"),
+                other => panic!("unexpected error for {name}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_reports_timing() {
+        let engine = AnalysisEngine::new();
+        let deltas = [1e-4, 1e-6, 1e-8];
+        let queries: Vec<_> = deltas
+            .iter()
+            .map(|&d| {
+                AmplificationQuery::ldp_worst_case(1.0)
+                    .unwrap()
+                    .population(10_000)
+                    .epsilon_at(d)
+                    .bound(names::NUMERICAL)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let reports = engine.run_batch(&queries);
+        assert_eq!(reports.len(), 3);
+        let eps: Vec<f64> = reports
+            .into_iter()
+            .map(|r| r.unwrap().scalar().unwrap())
+            .collect();
+        // Smaller δ ⇒ larger ε, so order tells us results were not permuted.
+        assert!(eps[0] < eps[1] && eps[1] < eps[2], "{eps:?}");
+        // One-shot convenience agrees with the served value.
+        let r = AnalysisEngine::oneshot(&queries[1]).unwrap();
+        assert_eq!(r.scalar().unwrap().to_bits(), eps[1].to_bits());
+        assert!(r.wall > Duration::ZERO);
+    }
+}

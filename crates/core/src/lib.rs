@@ -39,14 +39,20 @@
 //! | Rényi-DP extension of Thm 4.7 | [`renyi`] |
 //! | δ(ε) privacy profiles (parallel sampling) | [`curve`] |
 //! | unified bound engine (trait, `BestOf`, registry) | [`bound`] |
+//! | query layer + serving cache + batches | [`engine`] |
 //!
 //! The [`bound`] engine is the crate's single seam over every analysis: each
 //! upper/lower bound above implements [`bound::AmplificationBound`], so curve
 //! samplers, figure drivers, pipelines and future backends query any of them
 //! — or the [`bound::BestOf`] composite over a [`bound::BoundRegistry`] —
-//! through one `delta(ε)`/`epsilon(δ)` interface. The legacy free functions
-//! (`analytic_epsilon`, `blanket_epsilon`, `clone_epsilon`, …) remain as thin
-//! wrappers over the trait implementations.
+//! through one `delta(ε)`/`epsilon(δ)` interface. On top of it, the
+//! [`engine`] module is the crate's **front door**: a typed
+//! [`engine::AmplificationQuery`] describes what is wanted (δ at ε, ε at δ,
+//! a whole curve, or a composed multi-round budget) and an
+//! [`engine::AnalysisEngine`] serves single queries or batches from a
+//! shared, thread-safe cache of memoized evaluators. The legacy free
+//! functions (`analytic_epsilon`, `blanket_epsilon`, `clone_epsilon`, …)
+//! remain as deprecated thin wrappers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +63,7 @@ pub mod asymptotic;
 pub mod baselines;
 pub mod bound;
 pub mod curve;
+pub mod engine;
 pub mod error;
 pub mod hockey_stick;
 pub mod lower;
@@ -70,6 +77,10 @@ pub mod renyi;
 pub use accountant::{Accountant, DeltaEvaluator, NumericalBound, ScanMode, SearchOptions};
 pub use bound::{AmplificationBound, BestOf, BoundKind, BoundRegistry, Validity};
 pub use curve::PrivacyCurve;
+pub use engine::{
+    AmplificationQuery, AnalysisEngine, AnalysisReport, BoundSelection, QueryBuilder, QueryTarget,
+    QueryValue,
+};
 pub use error::{Error, Result};
 pub use mixture::DominatingPair;
 pub use params::VariationRatio;

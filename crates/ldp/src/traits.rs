@@ -41,6 +41,29 @@ pub trait AmplifiableMechanism {
 
     /// Variation-ratio parameters `(p, β, q)` of Tables 2/3/4/6.
     fn variation_ratio(&self) -> VariationRatio;
+
+    /// Start an engine query for this mechanism shuffled over `n` users:
+    /// the variation-ratio parameters and local budget are pre-filled, the
+    /// caller picks a target (and optionally a bound) and runs the built
+    /// query on a [`vr_core::engine::AnalysisEngine`].
+    ///
+    /// ```
+    /// use vr_core::engine::AnalysisEngine;
+    /// use vr_ldp::{AmplifiableMechanism, Grr};
+    ///
+    /// let query = Grr::new(16, 1.0)
+    ///     .amplification_query(100_000)
+    ///     .epsilon_at(1e-8)
+    ///     .build()
+    ///     .unwrap();
+    /// let eps = AnalysisEngine::oneshot(&query).unwrap().scalar().unwrap();
+    /// assert!(eps < 0.06);
+    /// ```
+    fn amplification_query(&self, n: u64) -> vr_core::engine::QueryBuilder {
+        vr_core::engine::AmplificationQuery::params(self.variation_ratio())
+            .local_budget(self.eps0())
+            .population(n)
+    }
 }
 
 /// A discrete frequency oracle: randomizes a category and supports

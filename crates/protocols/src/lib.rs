@@ -28,6 +28,8 @@ pub mod range_query;
 pub mod shuffler;
 
 pub use heavy_hitters::HeavyHitterProtocol;
-pub use pipeline::{amplified_epsilon, analyze, run_frequency_protocol, ProtocolRun};
+#[allow(deprecated)]
+pub use pipeline::amplified_epsilon;
+pub use pipeline::{analyze, run_frequency_protocol, serve_epsilons, ProtocolRun};
 pub use range_query::{LevelReport, RangeQueryProtocol};
 pub use shuffler::{shuffle, shuffle_in_place};

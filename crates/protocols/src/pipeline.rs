@@ -5,7 +5,8 @@
 
 use crate::shuffler::shuffle_in_place;
 use rand::rngs::StdRng;
-use vr_core::bound::{AmplificationBound, BestOf, BoundRegistry};
+use vr_core::bound::{BestOf, BoundRegistry};
+use vr_core::engine::AnalysisEngine;
 use vr_core::{Error, Result};
 use vr_ldp::{estimate_frequencies, FrequencyMechanism, Report};
 
@@ -68,29 +69,81 @@ pub fn best_bound<M: FrequencyMechanism>(mechanism: &M, n: u64) -> Result<BestOf
     bound_registry(mechanism, n)?.into_best_of("pipeline-best")
 }
 
+/// Batch-serve the amplified `ε` of one shuffled mechanism at several `δ`
+/// targets through a shared [`AnalysisEngine`]: one memoized evaluator
+/// answers every query, so a sweep over `δ` (the common serving pattern)
+/// costs little more than a single accountant call. Each answer is the
+/// tightest applicable upper bound (never looser than the variation-ratio
+/// accountant alone) and matches [`best_bound`] exactly.
+pub fn serve_epsilons<M: FrequencyMechanism>(
+    mechanism: &M,
+    n: u64,
+    deltas: &[f64],
+) -> Result<Vec<f64>> {
+    let engine = AnalysisEngine::new();
+    let queries = deltas
+        .iter()
+        .map(|&delta| mechanism.amplification_query(n).epsilon_at(delta).build())
+        .collect::<Result<Vec<_>>>()?;
+    engine
+        .run_batch(&queries)
+        .into_iter()
+        .map(|r| r.map(|report| report.scalar().expect("epsilon queries are scalar")))
+        .collect()
+}
+
 /// End-to-end privacy statement for a pipeline run: the amplified `(ε, δ)`
 /// of the shuffled messages, taken from the tightest applicable bound in
 /// the engine's registry (never looser than the variation-ratio accountant
 /// alone).
+#[deprecated(note = "use AnalysisEngine (vr_core::engine) — e.g. serve_epsilons")]
 pub fn amplified_epsilon<M: FrequencyMechanism>(mechanism: &M, n: u64, delta: f64) -> Result<f64> {
-    best_bound(mechanism, n)?.epsilon(delta)
+    serve_epsilons(mechanism, n, &[delta]).map(|eps| eps[0])
 }
 
 /// Per-bound `(name, ε)` report at one `δ` — the pipeline's accounting
 /// transparency surface: which analyses apply to this mechanism and what
 /// each certifies. Inapplicable bounds are reported with the error message.
+///
+/// Served as one [`AnalysisEngine::run_batch`] of named queries (the same
+/// order [`bound_registry`] registers: numerical, analytic, asymptotic).
 pub fn privacy_report<M: FrequencyMechanism>(
     mechanism: &M,
     n: u64,
     delta: f64,
 ) -> Result<Vec<(String, std::result::Result<f64, Error>)>> {
-    Ok(bound_registry(mechanism, n)?.epsilons(delta))
+    let engine = AnalysisEngine::new();
+    // One source of truth for the portfolio: the registry's advertised
+    // upper-bound membership (also what the engine's Default selection and
+    // [`bound_registry`] instantiate).
+    let bounds = BoundRegistry::UPPER_BOUND_NAMES;
+    let queries = bounds
+        .iter()
+        .map(|&name| {
+            mechanism
+                .amplification_query(n)
+                .epsilon_at(delta)
+                .bound(name)
+                .build()
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(bounds
+        .iter()
+        .zip(engine.run_batch(&queries))
+        .map(|(&name, report)| {
+            (
+                name.to_string(),
+                report.map(|r| r.scalar().expect("epsilon queries are scalar")),
+            )
+        })
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use vr_core::bound::AmplificationBound;
     use vr_ldp::{Grr, KSubset, Olh};
 
     fn synthetic_inputs(n: usize, weights: &[f64]) -> Vec<usize> {
@@ -149,6 +202,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the legacy wrapper to the engine path
     fn amplification_statement_is_available() {
         let mech = Grr::new(16, 1.0);
         let eps = amplified_epsilon(&mech, 100_000, 1e-8).unwrap();
@@ -156,6 +210,27 @@ mod tests {
             eps < 0.06,
             "GRR-16 at n=1e5 should amplify strongly, got {eps}"
         );
+        // The legacy one-shot is exactly the served batch of size one.
+        assert_eq!(
+            eps.to_bits(),
+            serve_epsilons(&mech, 100_000, &[1e-8]).unwrap()[0].to_bits()
+        );
+    }
+
+    #[test]
+    fn served_batch_matches_best_bound() {
+        let mech = Grr::new(16, 1.0);
+        let n = 100_000;
+        let deltas = [1e-6, 1e-8, 1e-10];
+        let served = serve_epsilons(&mech, n, &deltas).unwrap();
+        let best = best_bound(&mech, n).unwrap();
+        for (&delta, &eps) in deltas.iter().zip(&served) {
+            assert_eq!(
+                eps.to_bits(),
+                best.epsilon(delta).unwrap().to_bits(),
+                "served batch diverged from best_bound at delta={delta:e}"
+            );
+        }
     }
 
     #[test]
@@ -163,7 +238,7 @@ mod tests {
         let mech = Grr::new(16, 1.0);
         let n = 100_000;
         let delta = 1e-8;
-        let best = amplified_epsilon(&mech, n, delta).unwrap();
+        let best = serve_epsilons(&mech, n, &[delta]).unwrap()[0];
         for (name, eps) in privacy_report(&mech, n, delta).unwrap() {
             if let Ok(e) = eps {
                 assert!(best <= e + 1e-12, "best {best} looser than {name} = {e}");

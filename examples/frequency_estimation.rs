@@ -54,7 +54,7 @@ fn main() {
             let mech = $mech;
             let run = run_frequency_protocol(&mech, &inputs, &mut rng);
             let err = mse(&run.estimates, &truth);
-            let eps = amplified_epsilon(&mech, n as u64, delta).unwrap();
+            let eps = serve_epsilons(&mech, n as u64, &[delta]).unwrap()[0];
             println!(
                 "{:>22} | {:>12.3e} | {:>14.4} | {:>11.0}%",
                 $name,

@@ -54,10 +54,20 @@ fn main() {
     println!("mechanism-aware accounting (the paper's contribution) tightens that");
     println!("by another ~30-60% for structured mechanisms like GRR.");
 
-    // The closed forms are one call away as well:
-    let vr = VariationRatio::ldp_worst_case(1.0).unwrap();
-    let analytic = analytic_epsilon(&vr, n, delta);
-    let asymptotic = asymptotic_epsilon(&vr, n, delta);
+    // The closed forms are one engine query away as well:
+    let engine = AnalysisEngine::new();
+    let closed_form = |name: &str| {
+        AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(n)
+            .epsilon_at(delta)
+            .bound(name)
+            .build()
+            .and_then(|q| engine.run(&q))
+            .map(|report| report.scalar().expect("scalar query"))
+    };
+    let analytic = closed_form("analytic");
+    let asymptotic = closed_form("asymptotic");
     println!("\nClosed forms at eps0 = 1.0: analytic (Thm 4.2) = {analytic:?},");
     println!("asymptotic (Thm 4.3) = {asymptotic:?} — both looser than the");
     println!("numerical accountant, by design.");

@@ -19,14 +19,44 @@
 //! assert!(eps < 0.1); // central privacy amplified ~40x below eps0
 //! ```
 //!
+//! ## Serving queries
+//!
+//! The production front door is the query engine: describe what you want to
+//! know as [`core::engine::AmplificationQuery`]s and serve them — alone or
+//! in batches — through a shared [`core::engine::AnalysisEngine`], whose
+//! evaluator cache makes repeated and related queries cheap:
+//!
+//! ```
+//! use shuffle_amplification::prelude::*;
+//!
+//! let engine = AnalysisEngine::new();
+//! let mechanism = Grr::new(64, 2.0);
+//! let queries: Vec<AmplificationQuery> = [1e-6, 1e-8, 1e-10]
+//!     .iter()
+//!     .map(|&delta| {
+//!         mechanism
+//!             .amplification_query(100_000)
+//!             .epsilon_at(delta)
+//!             .build()
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! for report in engine.run_batch(&queries) {
+//!     let report = report.unwrap();
+//!     assert!(report.scalar().unwrap() < 2.0); // amplified below eps0
+//! }
+//! assert_eq!(engine.cached_evaluators(), 1); // one workload, three answers
+//! ```
+//!
 //! ## Crate map
 //!
 //! * [`core`] (re-export of `vr-core`) — the variation-ratio framework:
 //!   the `(p, β, q)` parameterization, the Õ(n) hockey-stick accountant
 //!   (Theorem 4.8 / Algorithm 1), closed forms (Theorems 4.2–4.3), lower
 //!   bounds (Section 5), parallel composition (Theorem 6.1), metric-DP and
-//!   multi-message parameters (Tables 3–4), prior-work baselines, and a
-//!   Rényi-DP extension.
+//!   multi-message parameters (Tables 3–4), prior-work baselines, a
+//!   Rényi-DP extension, and the query engine (`core::engine`) serving all
+//!   of the above from a shared evaluator cache.
 //! * [`ldp`] (re-export of `vr-ldp`) — working local randomizers for every
 //!   row of Tables 2/3/6 with samplers and estimators.
 //! * [`protocols`] (re-export of `vr-protocols`) — shuffler, end-to-end
@@ -48,15 +78,27 @@ pub mod prelude {
     pub use vr_core::accountant::{
         Accountant, DeltaEvaluator, NumericalBound, ScanMode, SearchOptions,
     };
+    #[allow(deprecated)] // kept for migration; prefer AnalysisEngine queries
     pub use vr_core::analytic::analytic_epsilon;
+    #[allow(deprecated)] // kept for migration; prefer AnalysisEngine queries
     pub use vr_core::asymptotic::asymptotic_epsilon;
+    pub use vr_core::baselines::{
+        BlanketOptions, BlanketProfile, EfmrttBound, GenericBlanketBound, SpecificBlanketBound,
+    };
     pub use vr_core::bound::{AmplificationBound, BestOf, BoundKind, BoundRegistry, Validity};
     pub use vr_core::curve::PrivacyCurve;
+    pub use vr_core::engine::{
+        AmplificationQuery, AnalysisEngine, AnalysisReport, BoundSelection, QueryTarget, QueryValue,
+    };
     pub use vr_core::parallel::{hierarchical_range_query, ParallelWorkload};
     pub use vr_core::params::VariationRatio;
+    pub use vr_core::renyi::{composed_epsilon, RenyiBound};
     pub use vr_ldp::{
         AmplifiableMechanism, BinaryRr, BoundedLaplace, FrequencyMechanism, Grr, HadamardResponse,
         KSubset, Olh, PlanarLaplace, Report,
     };
-    pub use vr_protocols::{amplified_epsilon, run_frequency_protocol, RangeQueryProtocol};
+    pub use vr_numerics::par::{par_map, par_map_with};
+    #[allow(deprecated)] // kept for migration; prefer AnalysisEngine queries
+    pub use vr_protocols::amplified_epsilon;
+    pub use vr_protocols::{run_frequency_protocol, serve_epsilons, RangeQueryProtocol};
 }

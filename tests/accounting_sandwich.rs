@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the lower–upper sandwich of Sections 4–5
 //! for every concrete mechanism, and the ordering of all accountants.
 
+#![allow(deprecated)] // exercises the legacy wrappers against the engine
 use shuffle_amplification::core::accountant::{Accountant, ScanMode, SearchOptions};
 use shuffle_amplification::core::baselines::{
     blanket_epsilon, clone_epsilon, generic_gamma, stronger_clone_epsilon, BlanketOptions,

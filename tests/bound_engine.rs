@@ -3,6 +3,7 @@
 //! across random parameter draws, and `BestOf` must never be looser than
 //! any of its members.
 
+#![allow(deprecated)] // exercises the legacy wrappers against the engine
 use proptest::prelude::*;
 use shuffle_amplification::core::accountant::{Accountant, ScanMode, SearchOptions};
 use shuffle_amplification::core::analytic::{analytic_epsilon, AnalyticBound};

@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "frequency_estimation",
     "metric_location",
     "multi_message_histogram",
+    "query_engine",
     "range_query_planner",
 ];
 

@@ -1,0 +1,194 @@
+//! Engine/direct agreement and concurrency tests for the query layer
+//! (`vr_core::engine`): every `AmplificationQuery` must produce the same
+//! answer as the corresponding direct `AmplificationBound` call, and one
+//! shared `AnalysisEngine` must serve concurrent batches from a warm cache
+//! without changing a single bit.
+
+use proptest::prelude::*;
+use shuffle_amplification::core::analytic::AnalyticBound;
+use shuffle_amplification::core::asymptotic::AsymptoticBound;
+use shuffle_amplification::core::bound::names;
+use shuffle_amplification::core::engine::QueryTarget;
+use shuffle_amplification::core::renyi::RenyiBound;
+use shuffle_amplification::prelude::*;
+
+/// Strategy: valid (p, beta, q) triples with finite p.
+fn vr_strategy() -> impl Strategy<Value = VariationRatio> {
+    (1.05f64..50.0, 0.01f64..0.99, 1.0f64..50.0).prop_filter_map(
+        "valid variation-ratio triple",
+        |(p, beta_frac, q)| {
+            let beta = beta_frac * (p - 1.0) / (p + 1.0);
+            VariationRatio::new(p, beta, q)
+                .ok()
+                .filter(|vr| vr.r() <= 0.5)
+        },
+    )
+}
+
+const TOL: f64 = 1e-12;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= TOL
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Engine queries agree with direct trait calls on every target and
+    /// bound the query layer can express for random workloads.
+    #[test]
+    fn query_results_match_direct_bound_calls(
+        vr in vr_strategy(),
+        n in 2u64..20_000,
+        eps_frac in 0.05f64..0.95,
+        delta_exp in 3u32..9,
+    ) {
+        let engine = AnalysisEngine::new();
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let eps = eps_frac * vr.p().ln();
+        let base = || AmplificationQuery::params(vr).population(n);
+
+        // Named numerical bound, both axes.
+        let direct = NumericalBound::new(vr, n).unwrap();
+        let served = engine
+            .run(&base().epsilon_at(delta).bound(names::NUMERICAL).build().unwrap())
+            .unwrap();
+        let want = direct.epsilon(delta).unwrap();
+        prop_assert!(
+            close(served.scalar().unwrap(), want),
+            "epsilon: served {} vs direct {want}", served.scalar().unwrap()
+        );
+        let served = engine
+            .run(&base().delta_at(eps).bound(names::NUMERICAL).build().unwrap())
+            .unwrap();
+        let want = direct.delta(eps).unwrap();
+        prop_assert!(
+            close(served.scalar().unwrap(), want),
+            "delta: served {} vs direct {want}", served.scalar().unwrap()
+        );
+
+        // Closed forms: value agreement when applicable, same failure
+        // otherwise.
+        let pairs: [(&str, shuffle_amplification::core::error::Result<f64>); 3] = [
+            (names::ANALYTIC, AnalyticBound::new(vr, n).epsilon(delta)),
+            (names::ASYMPTOTIC, AsymptoticBound::new(vr, n).epsilon(delta)),
+            (names::RENYI, RenyiBound::new(vr, n.min(5_000), 1).unwrap().epsilon(delta)),
+        ];
+        for (name, want) in pairs {
+            let n_q = if name == names::RENYI { n.min(5_000) } else { n };
+            let served = engine.run(
+                &AmplificationQuery::params(vr)
+                    .population(n_q)
+                    .epsilon_at(delta)
+                    .bound(name)
+                    .build()
+                    .unwrap(),
+            );
+            match (served, want) {
+                (Ok(report), Ok(w)) => prop_assert!(
+                    close(report.scalar().unwrap(), w) ||
+                        (report.scalar().unwrap().is_infinite() && w.is_infinite()),
+                    "{name}: served {} vs direct {w}", report.scalar().unwrap()
+                ),
+                (Err(_), Err(_)) => {}
+                (s, w) => prop_assert!(false, "{name}: applicability diverged: {s:?} vs {w:?}"),
+            }
+        }
+
+        // Default selection = BestOf over the registry's upper bounds.
+        let served = engine
+            .run(&base().epsilon_at(delta).build().unwrap())
+            .unwrap();
+        let best = BoundRegistry::upper_bounds(vr, n)
+            .unwrap()
+            .into_best_of("ref")
+            .unwrap();
+        let want = best.epsilon(delta).unwrap();
+        prop_assert!(
+            close(served.scalar().unwrap(), want),
+            "default: served {} vs registry best {want}", served.scalar().unwrap()
+        );
+
+        // Curve target matches direct sampling of the same bound.
+        let served = engine
+            .run(&base().curve(vr.p().ln(), 9).bound(names::NUMERICAL).build().unwrap())
+            .unwrap();
+        let reference = PrivacyCurve::sample_sequential(&direct, vr.p().ln(), 9).unwrap();
+        for ((_, d1), (_, d2)) in served.value.curve().unwrap().points().zip(reference.points()) {
+            prop_assert!(close(d1, d2), "curve point: {d1} vs {d2}");
+        }
+    }
+}
+
+/// One shared engine, several threads, identical batches: every thread gets
+/// bit-identical answers, the cache is hit once warm, and exactly one
+/// evaluator is memoized for the single workload.
+#[test]
+fn shared_engine_serves_concurrent_batches_from_warm_cache() {
+    let engine = AnalysisEngine::new();
+    let n = 50_000;
+    let queries: Vec<AmplificationQuery> = (4..11)
+        .map(|k| {
+            AmplificationQuery::ldp_worst_case(1.0)
+                .unwrap()
+                .population(n)
+                .epsilon_at(10f64.powi(-k))
+                .bound("numerical")
+                .build()
+                .unwrap()
+        })
+        .collect();
+
+    // Warm the cache once and record the reference answers.
+    let reference: Vec<u64> = engine
+        .run_batch(&queries)
+        .into_iter()
+        .map(|r| r.unwrap().scalar().unwrap().to_bits())
+        .collect();
+    assert_eq!(engine.cached_evaluators(), 1, "one workload, one evaluator");
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| engine.run_batch(&queries)))
+            .collect();
+        for handle in handles {
+            let reports = handle.join().expect("worker thread panicked");
+            assert_eq!(reports.len(), queries.len());
+            for (report, &want) in reports.into_iter().zip(&reference) {
+                let report = report.unwrap();
+                assert!(report.cache_hit, "warm engine must report cache hits");
+                assert_eq!(
+                    report.scalar().unwrap().to_bits(),
+                    want,
+                    "concurrent serving changed an answer"
+                );
+            }
+        }
+    });
+    assert_eq!(engine.cached_evaluators(), 1, "no duplicate evaluators");
+}
+
+/// Cold concurrent construction of the same workload must also agree and
+/// dedupe to one cached evaluator (first insertion wins).
+#[test]
+fn concurrent_cold_start_dedupes_the_evaluator() {
+    let engine = AnalysisEngine::new();
+    let query = AmplificationQuery::ldp_worst_case(2.0)
+        .unwrap()
+        .population(30_000)
+        .epsilon_at(1e-7)
+        .build()
+        .unwrap();
+    let answers: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| engine.run(&query).unwrap().scalar().unwrap().to_bits()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(answers.windows(2).all(|w| w[0] == w[1]), "{answers:?}");
+    assert_eq!(engine.cached_evaluators(), 1);
+    // The batch API and the one-shot API agree with the threads.
+    let report = AnalysisEngine::oneshot(&query).unwrap();
+    assert_eq!(report.scalar().unwrap().to_bits(), answers[0]);
+    assert!(matches!(query.target(), QueryTarget::Epsilon { .. }));
+}
