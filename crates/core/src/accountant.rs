@@ -348,7 +348,7 @@ impl DeltaEvaluator {
             // p = ∞: no a-priori ceiling; bracket exponentially. If even a
             // huge ε cannot push the divergence below δ, the target is
             // unachievable (δ is below the irreducible exposed mass).
-            match exponential_upper_bracket(&mut feasible, 1.0, 256.0) {
+            match exponential_upper_bracket(&mut feasible, 1.0, 256.0)? {
                 Some(hi) => hi,
                 None => {
                     return Err(Error::Unachievable(format!(
@@ -359,7 +359,7 @@ impl DeltaEvaluator {
                 }
             }
         };
-        Ok(bisect_monotone(feasible, 0.0, eps_hi, iterations).feasible)
+        Ok(bisect_monotone(feasible, 0.0, eps_hi, iterations)?.feasible)
     }
 
     /// [`DeltaEvaluator::epsilon`] with amortized scanning — same answer,

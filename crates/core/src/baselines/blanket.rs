@@ -385,7 +385,7 @@ fn epsilon_specific(
     if feasible(0.0) {
         return Ok(0.0);
     }
-    Ok(bisect_monotone(feasible, 0.0, eps0, opts.iterations).feasible)
+    Ok(bisect_monotone(feasible, 0.0, eps0, opts.iterations)?.feasible)
 }
 
 /// Divergence bound `δ_div(ε)` for `m` blanket messages (step 2+3 above)
@@ -463,7 +463,7 @@ fn epsilon_generic(eps0: f64, gamma: f64, n: u64, delta: f64, opts: BlanketOptio
     if feasible(0.0) {
         return Ok(0.0);
     }
-    let bracket = bisect_monotone(feasible, 0.0, eps0, opts.iterations);
+    let bracket = bisect_monotone(feasible, 0.0, eps0, opts.iterations)?;
     // The feasible end was explicitly verified by the predicate, so it is a
     // valid (ε, δ) pair even if the bound were not perfectly monotone.
     Ok(bracket.feasible)

@@ -158,7 +158,7 @@ pub fn delta_from_epsilon(eps: f64, eps_of_delta: impl Fn(f64) -> Result<f64>) -
     if feasible(LOG_LO) {
         return Ok(10f64.powf(LOG_LO));
     }
-    let bracket = bisect_monotone(feasible, LOG_LO, LOG_HI, 60);
+    let bracket = bisect_monotone(feasible, LOG_LO, LOG_HI, 60)?;
     Ok(10f64.powf(bracket.feasible).min(1.0))
 }
 

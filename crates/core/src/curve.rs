@@ -146,7 +146,8 @@ impl PrivacyCurve {
             phi(-eps / mu + mu / 2.0) - eps.exp() * phi(-eps / mu - mu / 2.0)
         };
         let bracket =
-            vr_numerics::search::bisect_monotone(|mu| delta_of(mu) >= delta, 1e-6, 50.0, 60);
+            vr_numerics::search::bisect_monotone(|mu| delta_of(mu) >= delta, 1e-6, 50.0, 60)
+                .ok()?;
         Some(bracket.feasible)
     }
 }

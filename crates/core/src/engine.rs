@@ -60,7 +60,7 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use crate::accountant::{Accountant, DeltaEvaluator, NumericalBound, ScanMode, SearchOptions};
@@ -267,7 +267,11 @@ impl QueryBuilder {
         self
     }
 
-    /// Finish the query. Fails when the population or target is missing.
+    /// Finish the query. Fails when the population or target is missing, or
+    /// when any target parameter is outside its domain — the full validation
+    /// gauntlet a serving boundary needs: `ε ≥ 0` and finite, `δ ∈ (0, 1)`,
+    /// `points ≥ 2`, `rounds ≥ 1`, a positive finite local budget, and sane
+    /// search options. A query that builds cannot panic the engine.
     pub fn build(self) -> Result<AmplificationQuery> {
         let n = self.n.ok_or_else(|| {
             Error::InvalidParameter("query needs a population (`.population(n)`)".into())
@@ -281,6 +285,15 @@ impl QueryBuilder {
                     .into(),
             )
         })?;
+        validate_target(&target)?;
+        if let Some(eps0) = self.eps0 {
+            if !eps0.is_finite() || eps0 <= 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "local budget eps0 must be positive and finite (got {eps0})"
+                )));
+            }
+        }
+        validate_options(&self.opts)?;
         Ok(AmplificationQuery {
             vr: self.vr,
             eps0: self.eps0,
@@ -290,6 +303,74 @@ impl QueryBuilder {
             opts: self.opts,
         })
     }
+}
+
+/// Largest bisection depth a query may request: 40 iterations already pin ε
+/// to ~12 significant digits, so anything past this cap is either a typo or
+/// an attempt to stall a serving worker.
+const MAX_SEARCH_ITERATIONS: usize = 1024;
+
+/// Domain checks for every query target (shared by the builder and, through
+/// it, every serving front end): a target that validates cannot reach an
+/// `assert!` or produce nonsense deep inside the scan machinery.
+fn validate_target(target: &QueryTarget) -> Result<()> {
+    let check_delta = |delta: f64, what: &str| {
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "{what} delta must be in (0, 1) (got {delta})"
+            )));
+        }
+        Ok(())
+    };
+    match *target {
+        QueryTarget::Delta { eps } => {
+            if !eps.is_finite() || eps < 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "query epsilon must be finite and non-negative (got {eps})"
+                )));
+            }
+        }
+        QueryTarget::Epsilon { delta } => check_delta(delta, "query")?,
+        QueryTarget::Curve { eps_max, points } => {
+            if !eps_max.is_finite() || eps_max <= 0.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "curve eps_max must be finite and positive (got {eps_max})"
+                )));
+            }
+            if points < 2 {
+                return Err(Error::InvalidParameter(format!(
+                    "curve needs at least two grid points (got {points})"
+                )));
+            }
+        }
+        QueryTarget::Composed { rounds, delta } => {
+            if rounds == 0 {
+                return Err(Error::InvalidParameter(
+                    "composed queries need at least one round".into(),
+                ));
+            }
+            check_delta(delta, "composed")?;
+        }
+    }
+    Ok(())
+}
+
+/// Domain checks for user-supplied [`SearchOptions`].
+fn validate_options(opts: &SearchOptions) -> Result<()> {
+    if opts.iterations == 0 || opts.iterations > MAX_SEARCH_ITERATIONS {
+        return Err(Error::InvalidParameter(format!(
+            "search iterations must be in [1, {MAX_SEARCH_ITERATIONS}] (got {})",
+            opts.iterations
+        )));
+    }
+    if let ScanMode::Truncated { tail_mass } = opts.mode {
+        if !tail_mass.is_finite() || tail_mass < 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "scan-mode tail mass must be finite and non-negative (got {tail_mass})"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// The value a query produced: a scalar (`δ`, `ε`, composed `ε`) or a whole
@@ -347,9 +428,13 @@ impl AnalysisReport {
     }
 }
 
-/// Cache key of a memoized evaluator: the exact bit patterns of the
-/// workload parameters plus the scan mode (NaN-free by construction, since
-/// [`VariationRatio`] validates its fields).
+/// Cache key of a memoized evaluator: the **canonicalized** bit patterns of
+/// the workload parameters plus the scan mode. Raw `to_bits` would split
+/// entries for numerically identical parameters (`-0.0` vs `0.0`, e.g. a
+/// `β = -0.0` degenerate workload or a `tail_mass = -0.0` scan mode) and
+/// alias distinct NaN payloads onto different slots, so every float is
+/// normalized through [`canonical_bits`] and NaNs are rejected at
+/// construction (`+∞` stays legal: multi-message workloads key on `p = ∞`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct EvaluatorKey {
     p: u64,
@@ -359,19 +444,40 @@ struct EvaluatorKey {
     mode: (u8, u64),
 }
 
+/// The canonical bit pattern of a cache-key float: `-0.0` folds onto `0.0`
+/// so the two hash and compare identically (IEEE-754 equality already treats
+/// them as equal). NaN must be rejected by the caller before keying.
+fn canonical_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
 impl EvaluatorKey {
-    fn new(vr: &VariationRatio, n: u64, mode: ScanMode) -> Self {
+    /// Build the key, rejecting NaN components. [`VariationRatio`] already
+    /// guarantees NaN-free `(p, β, q)`, but the scan mode's `tail_mass`
+    /// arrives straight from user-supplied [`SearchOptions`].
+    fn new(vr: &VariationRatio, n: u64, mode: ScanMode) -> Result<Self> {
         let mode = match mode {
             ScanMode::Full => (0u8, 0u64),
-            ScanMode::Truncated { tail_mass } => (1u8, tail_mass.to_bits()),
+            ScanMode::Truncated { tail_mass } => {
+                if !tail_mass.is_finite() || tail_mass < 0.0 {
+                    return Err(Error::InvalidParameter(format!(
+                        "scan-mode tail mass must be finite and non-negative (got {tail_mass})"
+                    )));
+                }
+                (1u8, canonical_bits(tail_mass))
+            }
         };
-        Self {
-            p: vr.p().to_bits(),
-            beta: vr.beta().to_bits(),
-            q: vr.q().to_bits(),
+        Ok(Self {
+            p: canonical_bits(vr.p()),
+            beta: canonical_bits(vr.beta()),
+            q: canonical_bits(vr.q()),
             n,
             mode,
-        }
+        })
     }
 }
 
@@ -408,18 +514,36 @@ impl CacheUse {
     }
 }
 
+/// The engine's evaluator-cache map type (see [`AnalysisEngine::cache`]).
+type EvaluatorCache = HashMap<EvaluatorKey, Arc<OnceLock<Arc<DeltaEvaluator>>>>;
+
 impl AnalysisEngine {
     /// An engine with an empty cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Read access to the cache, recovering from lock poisoning: the cached
+    /// evaluators are immutable once built ([`OnceLock`] slots are only ever
+    /// initialized, never mutated), so a thread that panicked while holding
+    /// the guard cannot have left the map in a torn state — taking the guard
+    /// from the [`PoisonError`] is sound and keeps one bad query from
+    /// bricking the engine for every later one.
+    fn cache_read(&self) -> RwLockReadGuard<'_, EvaluatorCache> {
+        self.cache.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write access to the cache, recovering from lock poisoning (see
+    /// [`AnalysisEngine::cache_read`]; writers only insert empty slots or
+    /// clear the map, both atomic with respect to the map's invariants).
+    fn cache_write(&self) -> RwLockWriteGuard<'_, EvaluatorCache> {
+        self.cache.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Number of distinct `(params, n, ScanMode)` workloads currently
     /// memoized (in-flight builds are not counted until they finish).
     pub fn cached_evaluators(&self) -> usize {
-        self.cache
-            .read()
-            .expect("engine cache poisoned")
+        self.cache_read()
             .values()
             .filter(|slot| slot.get().is_some())
             .count()
@@ -428,7 +552,7 @@ impl AnalysisEngine {
     /// Drop every memoized evaluator (e.g. to bound memory in a long-lived
     /// service).
     pub fn clear_cache(&self) {
-        self.cache.write().expect("engine cache poisoned").clear();
+        self.cache_write().clear();
     }
 
     /// The memoized evaluator for a workload, building it on a miss.
@@ -439,16 +563,16 @@ impl AnalysisEngine {
         n: u64,
         mode: ScanMode,
     ) -> Result<(Arc<DeltaEvaluator>, bool)> {
-        let key = EvaluatorKey::new(&vr, n, mode);
+        let key = EvaluatorKey::new(&vr, n, mode)?;
         let acc = Accountant::new(vr, n)?; // validate before touching the cache
         let slot = {
-            let cache = self.cache.read().expect("engine cache poisoned");
+            let cache = self.cache_read();
             cache.get(&key).map(Arc::clone)
         };
         let slot = match slot {
             Some(slot) => slot,
             None => {
-                let mut cache = self.cache.write().expect("engine cache poisoned");
+                let mut cache = self.cache_write();
                 Arc::clone(cache.entry(key).or_default())
             }
         };
@@ -910,6 +1034,87 @@ mod tests {
                 other => panic!("unexpected error for {name}: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn caught_panic_does_not_brick_the_engine() {
+        // A query thread that panics while holding the cache lock poisons
+        // it; the engine must recover (take the guard from the PoisonError)
+        // instead of propagating the poison to every later query.
+        let engine = AnalysisEngine::new();
+        let q = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(1_000)
+            .epsilon_at(1e-6)
+            .bound(names::NUMERICAL)
+            .build()
+            .unwrap();
+        let before = engine.run(&q).unwrap().scalar().unwrap();
+
+        // Poison both lock paths: panic while holding the write guard, then
+        // while holding a read guard.
+        for write in [true, false] {
+            let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if write {
+                    let _guard = engine.cache.write().unwrap_or_else(|e| e.into_inner());
+                    panic!("worker dies while holding the cache write lock");
+                } else {
+                    let _guard = engine.cache.read().unwrap_or_else(|e| e.into_inner());
+                    panic!("worker dies while holding the cache read lock");
+                }
+            }));
+            assert!(poison.is_err(), "the probe panic must actually fire");
+        }
+        assert!(engine.cache.is_poisoned(), "lock should be poisoned now");
+
+        // Every cache-touching entry point still works and the memoized
+        // state survived intact.
+        assert_eq!(engine.cached_evaluators(), 1);
+        let after = engine.run(&q).unwrap();
+        assert!(after.cache_hit, "recovered cache must still be warm");
+        assert_eq!(after.scalar().unwrap().to_bits(), before.to_bits());
+        engine.clear_cache();
+        assert_eq!(engine.cached_evaluators(), 0);
+        assert!(engine.run(&q).is_ok(), "cold rebuild after recovery works");
+    }
+
+    #[test]
+    fn evaluator_key_canonicalizes_signed_zero() {
+        // β = -0.0 and β = 0.0 describe the same degenerate workload; the
+        // cache must not split them into two entries. Same for the scan
+        // mode's tail mass.
+        let engine = AnalysisEngine::new();
+        let pos = VariationRatio::new(2.0, 0.0, 2.0).unwrap();
+        let neg = VariationRatio::new(2.0, -0.0, 2.0).unwrap();
+        assert_eq!(neg.beta().to_bits(), (-0.0f64).to_bits(), "precondition");
+        engine.evaluator(pos, 100, ScanMode::default()).unwrap();
+        let (_, hit) = engine.evaluator(neg, 100, ScanMode::default()).unwrap();
+        assert!(hit, "-0.0 beta must alias the 0.0 entry");
+        assert_eq!(engine.cached_evaluators(), 1);
+
+        let vr = wc(1.0);
+        let m_pos = ScanMode::Truncated { tail_mass: 0.0 };
+        let m_neg = ScanMode::Truncated { tail_mass: -0.0 };
+        engine.evaluator(vr, 100, m_pos).unwrap();
+        let (_, hit) = engine.evaluator(vr, 100, m_neg).unwrap();
+        assert!(hit, "-0.0 tail mass must alias the 0.0 entry");
+        assert_eq!(engine.cached_evaluators(), 2);
+    }
+
+    #[test]
+    fn evaluator_key_rejects_non_finite_tail_mass() {
+        let engine = AnalysisEngine::new();
+        let vr = wc(1.0);
+        for bad in [f64::NAN, f64::INFINITY, -1e-9] {
+            let err = engine
+                .evaluator(vr, 100, ScanMode::Truncated { tail_mass: bad })
+                .unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidParameter(_)),
+                "tail_mass={bad}: {err:?}"
+            );
+        }
+        assert_eq!(engine.cached_evaluators(), 0, "nothing may be cached");
     }
 
     #[test]

@@ -27,5 +27,14 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl From<vr_numerics::search::SearchError> for Error {
+    /// A malformed numerical search domain is an invalid-parameter condition
+    /// at the accounting layer: it can only arise from out-of-domain query
+    /// inputs, never from internal state.
+    fn from(e: vr_numerics::search::SearchError) -> Self {
+        Error::InvalidParameter(e.to_string())
+    }
+}
+
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, Error>;

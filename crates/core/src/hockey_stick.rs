@@ -73,7 +73,7 @@ pub fn epsilon_for_delta(p: &[f64], q: &[f64], delta: f64, iters: usize) -> Resu
                 |e| hockey_stick_symmetric(p, q, e) <= delta,
                 1.0,
                 128.0,
-            ) {
+            )? {
                 Some(hi) => hi,
                 None => {
                     return Err(Error::Unachievable(format!(
@@ -83,7 +83,7 @@ pub fn epsilon_for_delta(p: &[f64], q: &[f64], delta: f64, iters: usize) -> Resu
             }
         }
     };
-    Ok(bisect_monotone(|e| hockey_stick_symmetric(p, q, e) <= delta, 0.0, hi, iters).feasible)
+    Ok(bisect_monotone(|e| hockey_stick_symmetric(p, q, e) <= delta, 0.0, hi, iters)?.feasible)
 }
 
 #[cfg(test)]

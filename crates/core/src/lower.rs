@@ -303,7 +303,7 @@ impl LowerBoundAccountant {
                 |e| self.delta_max(e) <= delta,
                 1.0,
                 256.0,
-            ) {
+            )? {
                 Some(hi) => hi,
                 None => {
                     return Err(Error::Unachievable(format!(
@@ -317,7 +317,7 @@ impl LowerBoundAccountant {
             0.0,
             hi,
             iterations,
-        ))
+        )?)
     }
 }
 

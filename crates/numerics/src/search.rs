@@ -6,6 +6,33 @@
 //! that machinery once, with the two return conventions the paper needs:
 //! the *feasible* end (a valid upper bound, Algorithm 1 returns `ε_H`) and the
 //! *infeasible* end (a valid lower bound, Algorithm 3 returns `ε_L`).
+//!
+//! Both entry points are **fallible**: a malformed bracket (NaN endpoints,
+//! `lo > hi`, non-positive growth start) is reported as a [`SearchError`]
+//! instead of a panic, so long-running services can surface a structured
+//! error for hostile inputs rather than losing a worker thread.
+
+use std::fmt;
+
+/// A malformed search domain: the caller asked to bracket or bisect over an
+/// interval that does not exist (NaN endpoints, inverted bounds, or a
+/// non-positive exponential-growth start).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchError(String);
+
+impl SearchError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid search domain: {}", self.0)
+    }
+}
+
+impl std::error::Error for SearchError {}
 
 /// Result of a bisection run over a monotone predicate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,13 +53,22 @@ pub struct Bracket {
 /// (near) `lo`; if `pred(hi)` fails everywhere, `feasible` stays at `hi` —
 /// both behaviours match the paper's Algorithms 1 and 3, which simply return
 /// the corresponding bracket end after `T` iterations.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] when the interval is malformed: `lo > hi` or
+/// either endpoint is NaN.
 pub fn bisect_monotone<F: FnMut(f64) -> bool>(
     mut pred: F,
     lo: f64,
     hi: f64,
     iters: usize,
-) -> Bracket {
-    assert!(lo <= hi, "bisect_monotone requires lo <= hi ({lo} > {hi})");
+) -> Result<Bracket, SearchError> {
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        return Err(SearchError::new(format!(
+            "bisect_monotone requires lo <= hi (got lo = {lo}, hi = {hi})"
+        )));
+    }
     let mut infeasible = lo;
     let mut feasible = hi;
     for _ in 0..iters {
@@ -43,31 +79,41 @@ pub fn bisect_monotone<F: FnMut(f64) -> bool>(
             infeasible = mid;
         }
     }
-    Bracket {
+    Ok(Bracket {
         infeasible,
         feasible,
-    }
+    })
 }
 
 /// Find an upper bracket for a monotone predicate by exponential growth:
 /// starting at `start`, doubles until `pred` holds or the value exceeds
-/// `max`. Returns `None` if no feasible point ≤ `max` is found.
+/// `max`. Returns `Ok(None)` if no feasible point ≤ `max` exists.
 ///
 /// This replaces the `ε_H = log p` initialisation of Algorithm 1 when
 /// `p = +∞` (multi-message protocols, Table 4).
+///
+/// # Errors
+///
+/// Returns [`SearchError`] when the growth domain is malformed: `start ≤ 0`,
+/// `max < start`, or either is NaN.
 pub fn exponential_upper_bracket<F: FnMut(f64) -> bool>(
     mut pred: F,
     start: f64,
     max: f64,
-) -> Option<f64> {
-    assert!(start > 0.0 && max >= start);
+) -> Result<Option<f64>, SearchError> {
+    if start.is_nan() || max.is_nan() || start <= 0.0 || max < start {
+        return Err(SearchError::new(format!(
+            "exponential_upper_bracket requires 0 < start <= max \
+             (got start = {start}, max = {max})"
+        )));
+    }
     let mut x = start;
     loop {
         if pred(x) {
-            return Some(x);
+            return Ok(Some(x));
         }
         if x >= max {
-            return None;
+            return Ok(None);
         }
         x = (x * 2.0).min(max);
     }
@@ -81,7 +127,7 @@ mod tests {
     #[test]
     fn bisection_converges_to_threshold() {
         // pred(x) = x >= π.
-        let b = bisect_monotone(|x| x >= std::f64::consts::PI, 0.0, 10.0, 60);
+        let b = bisect_monotone(|x| x >= std::f64::consts::PI, 0.0, 10.0, 60).unwrap();
         assert!(is_close_abs(b.feasible, std::f64::consts::PI, 1e-12));
         assert!(is_close_abs(b.infeasible, std::f64::consts::PI, 1e-12));
         assert!(b.infeasible <= std::f64::consts::PI);
@@ -90,14 +136,14 @@ mod tests {
 
     #[test]
     fn bisection_all_feasible() {
-        let b = bisect_monotone(|_| true, 0.0, 8.0, 20);
+        let b = bisect_monotone(|_| true, 0.0, 8.0, 20).unwrap();
         assert!(b.feasible < 1e-4);
         assert_eq!(b.infeasible, 0.0);
     }
 
     #[test]
     fn bisection_none_feasible() {
-        let b = bisect_monotone(|_| false, 0.0, 8.0, 20);
+        let b = bisect_monotone(|_| false, 0.0, 8.0, 20).unwrap();
         assert_eq!(b.feasible, 8.0);
         assert!(b.infeasible > 8.0 - 1e-3);
     }
@@ -113,14 +159,48 @@ mod tests {
             0.0,
             2.0,
             17,
-        );
+        )
+        .unwrap();
         assert_eq!(count, 17);
     }
 
     #[test]
     fn exponential_bracket_finds_point() {
-        let hi = exponential_upper_bracket(|x| x >= 37.0, 1.0, 1e6).unwrap();
+        let hi = exponential_upper_bracket(|x| x >= 37.0, 1.0, 1e6)
+            .unwrap()
+            .unwrap();
         assert!((37.0..=64.0).contains(&hi));
-        assert!(exponential_upper_bracket(|x| x >= 1e9, 1.0, 100.0).is_none());
+        assert_eq!(
+            exponential_upper_bracket(|x| x >= 1e9, 1.0, 100.0).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn malformed_domains_are_errors_not_panics() {
+        // Inverted and NaN bisection brackets.
+        assert!(bisect_monotone(|_| true, 2.0, 1.0, 10).is_err());
+        assert!(bisect_monotone(|_| true, f64::NAN, 1.0, 10).is_err());
+        assert!(bisect_monotone(|_| true, 0.0, f64::NAN, 10).is_err());
+        // Degenerate single-point bracket is fine.
+        assert!(bisect_monotone(|_| true, 1.0, 1.0, 4).is_ok());
+        // Bad growth starts.
+        assert!(exponential_upper_bracket(|_| true, 0.0, 10.0).is_err());
+        assert!(exponential_upper_bracket(|_| true, -1.0, 10.0).is_err());
+        assert!(exponential_upper_bracket(|_| true, f64::NAN, 10.0).is_err());
+        assert!(exponential_upper_bracket(|_| true, 2.0, 1.0).is_err());
+        assert!(exponential_upper_bracket(|_| true, 2.0, f64::NAN).is_err());
+        // The predicate must never be evaluated on a malformed domain.
+        let mut calls = 0;
+        let _ = bisect_monotone(
+            |_| {
+                calls += 1;
+                true
+            },
+            5.0,
+            1.0,
+            10,
+        );
+        assert_eq!(calls, 0);
     }
 }

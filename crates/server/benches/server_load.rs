@@ -1,0 +1,134 @@
+//! Loopback load-generation benchmark for the serving daemon (the ISSUE-4
+//! tentpole contract): an in-process `vr-server` on an ephemeral port,
+//! hammered by concurrent persistent-connection clients with a warm
+//! evaluator cache, measuring
+//!
+//! 1. **warm throughput** — requests/second across the full TCP + JSON +
+//!    worker-pool path (not just the engine), and
+//! 2. **engine-vs-server bit-equality** — every served answer must match a
+//!    direct in-process `AnalysisEngine::run` **bit for bit** (zero drift),
+//!    which exercises the round-trip-exact float wire format end to end.
+//!
+//! The harness prints a summary and asserts the acceptance contract: zero
+//! drift, every warm reply cache-hit, and no lost or errored requests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use vr_core::bound::names;
+use vr_core::engine::{AmplificationQuery, AnalysisEngine};
+use vr_server::{Client, Server, ServerConfig};
+
+const N: u64 = 200_000;
+const QUERIES: usize = 32;
+const CLIENTS: usize = 4;
+
+/// Log-spaced δ targets in [1e-10, 1e-4]: one workload, many targets — the
+/// sweep a serving deployment answers all day.
+fn queries() -> Vec<AmplificationQuery> {
+    (0..QUERIES)
+        .map(|i| {
+            let delta = 10f64.powf(-10.0 + 6.0 * i as f64 / (QUERIES - 1) as f64);
+            AmplificationQuery::ldp_worst_case(1.0)
+                .unwrap()
+                .population(N)
+                .epsilon_at(delta)
+                .bound(names::NUMERICAL)
+                .build()
+                .expect("valid query")
+        })
+        .collect()
+}
+
+fn load_generation(c: &mut Criterion) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_depth: 256,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let qs = queries();
+
+    // Reference answers from a *separate* in-process engine (the server owns
+    // its own): this is the engine-vs-server equality half of the contract.
+    let direct = AnalysisEngine::new();
+    let reference: Vec<u64> = qs
+        .iter()
+        .map(|q| direct.run(q).unwrap().scalar().unwrap().to_bits())
+        .collect();
+
+    // Pre-warm the server's evaluator cache so the load phase measures warm
+    // serving, not the one-off table build.
+    server
+        .engine()
+        .run(&qs[0])
+        .expect("warm-up query must serve");
+
+    // Load phase: CLIENTS persistent connections, each sending the whole
+    // sweep; total wall time gives the warm loopback throughput.
+    let t0 = Instant::now();
+    let served: Vec<Vec<(u64, bool)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let qs = &qs;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    qs.iter()
+                        .map(|q| {
+                            let r = client.run(q).expect("serve");
+                            (r.scalar().unwrap().to_bits(), r.cache_hit)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let total = CLIENTS * QUERIES;
+    let mut drifted = 0usize;
+    let mut cold = 0usize;
+    for per_client in &served {
+        assert_eq!(per_client.len(), QUERIES, "lost requests");
+        for ((bits, cache_hit), want) in per_client.iter().zip(&reference) {
+            drifted += usize::from(bits != want);
+            cold += usize::from(!cache_hit);
+        }
+    }
+    let throughput = total as f64 / elapsed;
+    println!(
+        "server_load summary ({total} warm eps(delta) requests over {CLIENTS} clients, n = {N}):\n\
+         wall {elapsed:8.3} s   throughput {throughput:8.1} req/s\n\
+         drifted replies = {drifted} (bit-compared against a direct AnalysisEngine)\n\
+         cold replies    = {cold}"
+    );
+    assert_eq!(
+        drifted, 0,
+        "server answers must be bit-identical to the engine"
+    );
+    assert_eq!(cold, 0, "warm load phase must be all cache hits");
+    let stats = server.stats();
+    assert_eq!(stats.errors, 0, "no request may error under warm load");
+    assert_eq!(stats.busy_rejections, 0, "queue must absorb the load");
+
+    // Criterion entries: the per-request cost of the full loopback
+    // round-trip (TCP + JSON + queue + engine) vs the bare engine call.
+    let mut group = c.benchmark_group("server_load");
+    group.sample_size(20);
+    let mut client = Client::connect(addr).expect("connect");
+    group.bench_function("warm_loopback_roundtrip", |b| {
+        b.iter(|| client.run(black_box(&qs[16])).unwrap())
+    });
+    group.bench_function("warm_inprocess_engine", |b| {
+        b.iter(|| direct.run(black_box(&qs[16])).unwrap())
+    });
+    group.finish();
+
+    client.shutdown_server().expect("graceful shutdown");
+    server.join();
+}
+
+criterion_group!(benches, load_generation);
+criterion_main!(benches);

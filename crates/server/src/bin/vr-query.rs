@@ -1,0 +1,132 @@
+//! `vr-query` — one-shot client for the `vr-serve` daemon.
+//!
+//! ```text
+//! vr-query --addr HOST:PORT --op epsilon --eps0 1.0 --n 100000 --delta 1e-8
+//! vr-query --addr HOST:PORT --op curve --p 2.7 --beta 0.4 --q 2.7 \
+//!          --n 100000 --eps-max 1.0 --points 33 --bound numerical
+//! vr-query --addr HOST:PORT --json '{"op":"stats"}'
+//! vr-query --addr HOST:PORT --stats
+//! vr-query --addr HOST:PORT --shutdown
+//! ```
+//!
+//! Prints the daemon's raw JSON reply on stdout; exits non-zero when the
+//! reply is an error frame.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use vr_server::{Client, Json};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n\
+         vr-query --addr HOST:PORT --op OP [field flags...]\n\
+         vr-query --addr HOST:PORT --json '{{...}}'\n\
+         vr-query --addr HOST:PORT --stats | --shutdown\n\
+         \n\
+         ops: delta | epsilon | curve | composed | stats | shutdown\n\
+         source: --eps0 E (worst-case LDP)  or  --p P --beta B --q Q [--eps0 E]\n\
+         fields: --n N  --eps X  --delta X  --eps-max X  --points K  --rounds R\n\
+         selection: --bound NAME | --bound best-of (default: registry portfolio)"
+    );
+    std::process::exit(2);
+}
+
+/// Build the request frame from parsed flags (numbers pass through as JSON
+/// numbers so the daemon does all domain validation).
+fn frame_from_flags(op: &str, fields: &HashMap<String, String>) -> Result<Json, String> {
+    let mut members: Vec<(String, Json)> = vec![("op".to_string(), Json::Str(op.into()))];
+    for (flag, key) in [
+        ("eps0", "eps0"),
+        ("p", "p"),
+        ("beta", "beta"),
+        ("q", "q"),
+        ("n", "n"),
+        ("eps", "eps"),
+        ("delta", "delta"),
+        ("eps-max", "eps_max"),
+        ("points", "points"),
+        ("rounds", "rounds"),
+    ] {
+        if let Some(text) = fields.get(flag) {
+            if flag == "p" && text == "inf" {
+                members.push((key.to_string(), Json::Str("inf".into())));
+                continue;
+            }
+            let num: f64 = text
+                .parse()
+                .map_err(|_| format!("--{flag} expects a number, got `{text}`"))?;
+            members.push((key.to_string(), Json::Num(num)));
+        }
+    }
+    if let Some(bound) = fields.get("bound") {
+        members.push(("bound".to_string(), Json::Str(bound.clone())));
+    }
+    Ok(Json::Obj(members))
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut op: Option<String> = None;
+    let mut raw_json: Option<String> = None;
+    let mut fields: HashMap<String, String> = HashMap::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--op" => op = Some(value("--op")),
+            "--json" => raw_json = Some(value("--json")),
+            "--stats" => op = Some("stats".into()),
+            "--shutdown" => op = Some("shutdown".into()),
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                let key = other.trim_start_matches("--").to_string();
+                let v = value(other);
+                fields.insert(key, v);
+            }
+            _ => usage(),
+        }
+    }
+
+    let Some(addr) = addr else { usage() };
+    let line = match (raw_json, op) {
+        (Some(json), _) => json,
+        (None, Some(op)) => match frame_from_flags(&op, &fields) {
+            Ok(frame) => frame.to_string(),
+            Err(e) => {
+                eprintln!("vr-query: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => usage(),
+    };
+
+    let mut client = match Client::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("vr-query: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.roundtrip_raw(&line) {
+        Ok(reply) => {
+            println!("{reply}");
+            if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("vr-query: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! `vr-serve` — run the amplification-serving daemon.
+//!
+//! ```text
+//! vr-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7878`), prints the listening address and
+//! blocks until a client sends a `shutdown` frame. All protocol details are
+//! documented in `vr_server::protocol`.
+
+use std::process::ExitCode;
+
+use vr_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vr-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+         \n\
+         Serve amplification queries over newline-delimited JSON.\n\
+         Defaults: --addr 127.0.0.1:7878, --workers <cores, max 8>, --queue-depth 128."
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => usage(),
+            },
+            "--queue-depth" => match value("--queue-depth").parse() {
+                Ok(n) => config.queue_depth = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let server = match Server::bind(config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("vr-serve: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "vr-serve listening on {} (workers = {}, queue depth = {})",
+        server.local_addr(),
+        config.workers,
+        config.queue_depth
+    );
+    server.join();
+    println!("vr-serve: shutdown complete");
+    ExitCode::SUCCESS
+}

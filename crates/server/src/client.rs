@@ -1,0 +1,221 @@
+//! The in-tree client library for the `vr-server` protocol: a blocking,
+//! line-framed TCP client used by the `vr-query` binary, the loopback
+//! load-generation bench and the round-trip integration tests.
+//!
+//! A [`Client`] holds one persistent connection; every request method
+//! writes a frame and blocks for the matching reply line. Protocol-level
+//! failures (`busy`, `invalid_parameter`, …) surface as
+//! [`ClientError::Wire`] — the connection stays usable afterwards, exactly
+//! as the daemon promises.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::protocol::{Command, Reply, ReplyBody, ReplyMeta, Request, StatsSnapshot, WireError};
+use vr_core::engine::AmplificationQuery;
+
+/// A failure while talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, unexpected EOF).
+    Io(io::Error),
+    /// The daemon answered with a structured protocol error.
+    Wire(WireError),
+    /// The daemon answered with something the client cannot interpret.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// The served value of a query, mirroring
+/// [`vr_core::engine::QueryValue`] on the client side of the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServedValue {
+    /// A scalar answer.
+    Scalar(f64),
+    /// A sampled `δ(ε)` curve.
+    Curve {
+        /// Grid of privacy levels.
+        eps: Vec<f64>,
+        /// Certified `δ` per grid point.
+        delta: Vec<f64>,
+    },
+}
+
+/// A successfully served query: the value plus the provenance the daemon
+/// reported (mirrors [`vr_core::engine::AnalysisReport`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedReport {
+    /// The certified value.
+    pub value: ServedValue,
+    /// Name of the answering bound.
+    pub bound: String,
+    /// `ε` ceiling of the answering bound's validity domain.
+    pub eps_ceiling: f64,
+    /// Whether in-domain queries may still fail for this bound.
+    pub conditional: bool,
+    /// Whether the daemon served the query from warm evaluator state.
+    pub cache_hit: bool,
+    /// Server-side wall time.
+    pub wall: Duration,
+}
+
+impl ServedReport {
+    /// Convenience accessor for scalar replies.
+    pub fn scalar(&self) -> Option<f64> {
+        match &self.value {
+            ServedValue::Scalar(v) => Some(*v),
+            ServedValue::Curve { .. } => None,
+        }
+    }
+
+    fn from_meta(value: ServedValue, meta: ReplyMeta) -> Self {
+        Self {
+            value,
+            bound: meta.bound,
+            eps_ceiling: meta.eps_ceiling,
+            conditional: meta.conditional,
+            cache_hit: meta.cache_hit,
+            wall: Duration::from_micros(meta.wall_micros),
+        }
+    }
+}
+
+/// A blocking client over one persistent daemon connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a running daemon.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok(); // latency over batching
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            reader,
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Send a raw line (no validation) and read one reply frame — the
+    /// escape hatch the malformed-input tests use.
+    pub fn roundtrip_raw(&mut self, line: &str) -> Result<Json, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Json::parse(reply.trim())
+            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))
+    }
+
+    /// Send a typed request and parse the typed reply.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        let frame = self.roundtrip_raw(&request.to_json().to_string())?;
+        let reply = Reply::from_json(&frame)
+            .map_err(|e| ClientError::Protocol(format!("bad reply frame: {e}")))?;
+        if let (Some(sent), Some(got)) = (&request.id, &reply.id) {
+            if sent != got {
+                return Err(ClientError::Protocol(format!(
+                    "reply id mismatch: sent {sent}, got {got}"
+                )));
+            }
+        }
+        Ok(reply)
+    }
+
+    fn fresh_id(&mut self) -> Json {
+        self.next_id += 1;
+        Json::Num(self.next_id as f64)
+    }
+
+    /// Serve one [`AmplificationQuery`] remotely. The daemon runs it
+    /// through the same engine code path as an in-process
+    /// [`vr_core::engine::AnalysisEngine::run`], so answers agree
+    /// bit-for-bit.
+    pub fn run(&mut self, query: &AmplificationQuery) -> Result<ServedReport, ClientError> {
+        let request = Request {
+            id: Some(self.fresh_id()),
+            command: Command::Query(Box::new(query.clone())),
+        };
+        let reply = self.request(&request)?;
+        match reply.outcome {
+            Ok(ReplyBody::Scalar { value, meta }) => {
+                Ok(ServedReport::from_meta(ServedValue::Scalar(value), meta))
+            }
+            Ok(ReplyBody::Curve { eps, delta, meta }) => Ok(ServedReport::from_meta(
+                ServedValue::Curve { eps, delta },
+                meta,
+            )),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "expected a query reply, got {other:?}"
+            ))),
+            Err(e) => Err(ClientError::Wire(e)),
+        }
+    }
+
+    /// Fetch the daemon's counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let request = Request {
+            id: Some(self.fresh_id()),
+            command: Command::Stats,
+        };
+        match self.request(&request)?.outcome {
+            Ok(ReplyBody::Stats(stats)) => Ok(stats),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "expected a stats reply, got {other:?}"
+            ))),
+            Err(e) => Err(ClientError::Wire(e)),
+        }
+    }
+
+    /// Ask the daemon to shut down gracefully; returns once the daemon has
+    /// acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let request = Request {
+            id: Some(self.fresh_id()),
+            command: Command::Shutdown,
+        };
+        match self.request(&request)?.outcome {
+            Ok(ReplyBody::ShuttingDown) => Ok(()),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "expected a shutdown ack, got {other:?}"
+            ))),
+            Err(e) => Err(ClientError::Wire(e)),
+        }
+    }
+}

@@ -1,0 +1,900 @@
+//! The newline-delimited JSON wire protocol: typed request/reply frames and
+//! the (de)serializers shared by the daemon and the client library, so both
+//! ends agree byte-for-byte on what travels.
+//!
+//! # Request schema
+//!
+//! One JSON object per line. Fields:
+//!
+//! | Field | Type | Meaning |
+//! |---|---|---|
+//! | `op` | string | `"delta"`, `"epsilon"`, `"curve"`, `"composed"`, `"stats"`, `"shutdown"` |
+//! | `id` | string/number | optional; echoed verbatim in the reply |
+//! | `eps0` | number | worst-case `ε₀`-LDP source (alone), or the baseline budget (with `p`/`beta`/`q`) |
+//! | `p`, `beta`, `q` | number | explicit variation-ratio source (`p` may be the string `"inf"`) |
+//! | `n` | integer | population size (required for query ops) |
+//! | `eps` | number | `delta` op: the privacy level queried |
+//! | `delta` | number | `epsilon` / `composed` ops: the failure probability |
+//! | `eps_max`, `points` | number, integer | `curve` op: grid upper end and size |
+//! | `rounds` | integer | `composed` op: adaptive shuffle rounds |
+//! | `bound` | string | registry bound name, `"best-of"`, or omitted for the default portfolio |
+//!
+//! # Reply schema
+//!
+//! Success: `{"id":…,"ok":true,"value":…,"bound":…,"cache_hit":…,
+//! "wall_micros":…,"eps_ceiling":…,"conditional":…}` with `"curve":{"eps":
+//! […],"delta":[…]}` replacing `"value"` for curve queries; `stats` replies
+//! carry a `"stats"` object and `shutdown` acknowledges with
+//! `{"ok":true,"shutting_down":true}`. Failure:
+//! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}` — and the
+//! connection stays open.
+
+use crate::json::Json;
+use vr_core::engine::{
+    AmplificationQuery, AnalysisReport, BoundSelection, QueryTarget, QueryValue,
+};
+use vr_core::error::Error;
+use vr_core::params::VariationRatio;
+
+/// Wire spelling of the `best-of` portfolio selection (distinct from every
+/// registry bound name).
+pub const BEST_OF: &str = "best-of";
+
+/// Wire spelling of `p = ∞` (multi-message workloads); JSON numbers cannot
+/// carry infinities.
+pub const P_INFINITY: &str = "inf";
+
+/// Machine-readable error category of a wire error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request was not a valid protocol frame (bad JSON, wrong types,
+    /// missing fields, oversized line).
+    Malformed,
+    /// A parameter is outside its documented domain.
+    InvalidParameter,
+    /// The requested bound does not apply to this workload.
+    NotApplicable,
+    /// The `(ε, δ)` target cannot be achieved (irreducible divergence).
+    Unachievable,
+    /// The worker queue is full; retry later.
+    Busy,
+    /// The daemon is shutting down.
+    ShuttingDown,
+    /// A worker failed unexpectedly while serving the request (the
+    /// connection — and the daemon — survive).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire spelling of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::InvalidParameter => "invalid_parameter",
+            ErrorKind::NotApplicable => "not_applicable",
+            ErrorKind::Unachievable => "unachievable",
+            ErrorKind::Busy => "busy",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "malformed" => ErrorKind::Malformed,
+            "invalid_parameter" => ErrorKind::InvalidParameter,
+            "not_applicable" => ErrorKind::NotApplicable,
+            "unachievable" => ErrorKind::Unachievable,
+            "busy" => ErrorKind::Busy,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured protocol error: category plus a human-readable message.
+/// Every failure mode of the daemon maps onto one of these — a client never
+/// sees a dropped connection in place of a diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable category.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Build an error of the given kind.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// A malformed-frame error.
+    pub fn malformed(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Malformed, message)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str(self.kind.as_str().into())),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        let kind = ErrorKind::from_str(v.get("kind")?.as_str()?)?;
+        let message = v.get("message")?.as_str()?.to_string();
+        Some(Self { kind, message })
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<Error> for WireError {
+    fn from(e: Error) -> Self {
+        let kind = match &e {
+            Error::InvalidParameter(_) => ErrorKind::InvalidParameter,
+            Error::NotApplicable(_) => ErrorKind::NotApplicable,
+            Error::Unachievable(_) => ErrorKind::Unachievable,
+        };
+        // The core Display forms repeat the category; keep the payload.
+        let message = match e {
+            Error::InvalidParameter(m) | Error::NotApplicable(m) | Error::Unachievable(m) => m,
+        };
+        Self::new(kind, message)
+    }
+}
+
+/// What a request frame asks the daemon to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Serve an amplification query through the shared engine.
+    Query(Box<AmplificationQuery>),
+    /// Report the daemon's aggregate counters.
+    Stats,
+    /// Begin a graceful shutdown (acknowledged before the daemon stops
+    /// accepting).
+    Shutdown,
+}
+
+/// One parsed request frame: the optional caller-chosen correlation `id`
+/// (echoed in the reply) plus the command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Correlation id (string or number), echoed verbatim.
+    pub id: Option<Json>,
+    /// The command to execute.
+    pub command: Command,
+}
+
+/// Extract the correlation id from a (possibly half-parsed) frame so error
+/// replies can still be correlated.
+pub fn extract_id(frame: &Json) -> Option<Json> {
+    match frame.get("id") {
+        Some(id @ (Json::Str(_) | Json::Num(_))) => Some(id.clone()),
+        _ => None,
+    }
+}
+
+fn field_f64(frame: &Json, key: &str) -> Result<f64, WireError> {
+    frame
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| WireError::malformed(format!("`{key}` must be a number")))
+}
+
+fn field_u64(frame: &Json, key: &str) -> Result<u64, WireError> {
+    frame
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| WireError::malformed(format!("`{key}` must be a non-negative integer")))
+}
+
+impl Request {
+    /// Parse a request frame, mapping every defect to a structured
+    /// [`WireError`] (never a panic).
+    pub fn from_json(frame: &Json) -> Result<Request, WireError> {
+        if !matches!(frame, Json::Obj(_)) {
+            return Err(WireError::malformed("request must be a JSON object"));
+        }
+        let id = extract_id(frame);
+        let op = frame
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::malformed("request needs a string `op` field"))?;
+        let command = match op {
+            "stats" => Command::Stats,
+            "shutdown" => Command::Shutdown,
+            "delta" | "epsilon" | "curve" | "composed" => {
+                Command::Query(Box::new(parse_query(frame, op)?))
+            }
+            other => {
+                return Err(WireError::malformed(format!(
+                    "unknown op `{other}` (expected delta/epsilon/curve/composed/stats/shutdown)"
+                )))
+            }
+        };
+        Ok(Request { id, command })
+    }
+
+    /// Serialize this request to its wire frame.
+    pub fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = Vec::new();
+        if let Some(id) = &self.id {
+            members.push(("id".into(), id.clone()));
+        }
+        match &self.command {
+            Command::Stats => members.push(("op".into(), Json::Str("stats".into()))),
+            Command::Shutdown => members.push(("op".into(), Json::Str("shutdown".into()))),
+            Command::Query(q) => {
+                let op = match q.target() {
+                    QueryTarget::Delta { .. } => "delta",
+                    QueryTarget::Epsilon { .. } => "epsilon",
+                    QueryTarget::Curve { .. } => "curve",
+                    QueryTarget::Composed { .. } => "composed",
+                };
+                members.push(("op".into(), Json::Str(op.into())));
+                let vr = q.variation_ratio();
+                if vr.p().is_finite() {
+                    members.push(("p".into(), Json::Num(vr.p())));
+                } else {
+                    members.push(("p".into(), Json::Str(P_INFINITY.into())));
+                }
+                members.push(("beta".into(), Json::Num(vr.beta())));
+                members.push(("q".into(), Json::Num(vr.q())));
+                if let Some(eps0) = q.local_budget() {
+                    members.push(("eps0".into(), Json::Num(eps0)));
+                }
+                members.push(("n".into(), Json::Num(q.population() as f64)));
+                match *q.target() {
+                    QueryTarget::Delta { eps } => members.push(("eps".into(), Json::Num(eps))),
+                    QueryTarget::Epsilon { delta } => {
+                        members.push(("delta".into(), Json::Num(delta)))
+                    }
+                    QueryTarget::Curve { eps_max, points } => {
+                        members.push(("eps_max".into(), Json::Num(eps_max)));
+                        members.push(("points".into(), Json::Num(points as f64)));
+                    }
+                    QueryTarget::Composed { rounds, delta } => {
+                        members.push(("rounds".into(), Json::Num(rounds as f64)));
+                        members.push(("delta".into(), Json::Num(delta)));
+                    }
+                }
+                match q.selection() {
+                    BoundSelection::Default => {}
+                    BoundSelection::Named(name) => {
+                        members.push(("bound".into(), Json::Str(name.clone())))
+                    }
+                    BoundSelection::BestOf => {
+                        members.push(("bound".into(), Json::Str(BEST_OF.into())))
+                    }
+                }
+            }
+        }
+        Json::Obj(members)
+    }
+}
+
+/// Build the typed query a frame describes, running it through the same
+/// `QueryBuilder::build()` validation gauntlet in-process callers get.
+fn parse_query(frame: &Json, op: &str) -> Result<AmplificationQuery, WireError> {
+    let explicit_p = frame.get("p").is_some();
+    let mut builder = if explicit_p {
+        let p = match frame.get("p") {
+            Some(Json::Str(s)) if s == P_INFINITY => f64::INFINITY,
+            Some(v) => v.as_f64().ok_or_else(|| {
+                WireError::malformed(format!("`p` must be a number or \"{P_INFINITY}\""))
+            })?,
+            None => unreachable!("guarded by explicit_p"),
+        };
+        let beta = field_f64(frame, "beta")?;
+        let q = field_f64(frame, "q")?;
+        let vr = VariationRatio::new(p, beta, q).map_err(WireError::from)?;
+        let mut b = AmplificationQuery::params(vr);
+        if frame.get("eps0").is_some() {
+            b = b.local_budget(field_f64(frame, "eps0")?);
+        }
+        b
+    } else if frame.get("eps0").is_some() {
+        AmplificationQuery::ldp_worst_case(field_f64(frame, "eps0")?).map_err(WireError::from)?
+    } else {
+        return Err(WireError::malformed(
+            "query needs a source: `eps0` (worst-case LDP) or explicit `p`/`beta`/`q`",
+        ));
+    };
+
+    builder = builder.population(field_u64(frame, "n")?);
+    builder = match op {
+        "delta" => builder.delta_at(field_f64(frame, "eps")?),
+        "epsilon" => builder.epsilon_at(field_f64(frame, "delta")?),
+        "curve" => {
+            let points = field_u64(frame, "points")?;
+            let points = usize::try_from(points)
+                .map_err(|_| WireError::malformed("`points` is out of range"))?;
+            builder.curve(field_f64(frame, "eps_max")?, points)
+        }
+        "composed" => {
+            let rounds = field_u64(frame, "rounds")?;
+            let rounds = u32::try_from(rounds)
+                .map_err(|_| WireError::malformed("`rounds` is out of range"))?;
+            builder.composed(rounds, field_f64(frame, "delta")?)
+        }
+        _ => unreachable!("op was validated by the caller"),
+    };
+    if let Some(bound) = frame.get("bound") {
+        let name = bound
+            .as_str()
+            .ok_or_else(|| WireError::malformed("`bound` must be a string"))?;
+        builder = if name == BEST_OF {
+            builder.best_of()
+        } else {
+            builder.bound(name)
+        };
+    }
+    builder.build().map_err(WireError::from)
+}
+
+/// A point-in-time snapshot of the daemon's aggregate and per-op counters,
+/// served by the `stats` op.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Request frames received (all ops, including rejected ones).
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests answered with a structured error (malformed frames
+    /// included, busy rejections excluded).
+    pub errors: u64,
+    /// Requests rejected with `busy` because the worker queue was full.
+    pub busy_rejections: u64,
+    /// Served queries whose every evaluator lookup was warm.
+    pub cache_hits: u64,
+    /// `delta` queries served or attempted.
+    pub op_delta: u64,
+    /// `epsilon` queries served or attempted.
+    pub op_epsilon: u64,
+    /// `curve` queries served or attempted.
+    pub op_curve: u64,
+    /// `composed` queries served or attempted.
+    pub op_composed: u64,
+    /// `stats` requests served.
+    pub op_stats: u64,
+    /// Microseconds since the daemon started.
+    pub uptime_micros: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Configured queue depth (backpressure threshold).
+    pub queue_depth: u64,
+    /// Distinct workloads memoized in the engine's evaluator cache.
+    pub cached_evaluators: u64,
+}
+
+impl StatsSnapshot {
+    const FIELDS: [&'static str; 15] = [
+        "connections",
+        "requests",
+        "ok",
+        "errors",
+        "busy_rejections",
+        "cache_hits",
+        "op_delta",
+        "op_epsilon",
+        "op_curve",
+        "op_composed",
+        "op_stats",
+        "uptime_micros",
+        "workers",
+        "queue_depth",
+        "cached_evaluators",
+    ];
+
+    fn values(&self) -> [u64; 15] {
+        [
+            self.connections,
+            self.requests,
+            self.ok,
+            self.errors,
+            self.busy_rejections,
+            self.cache_hits,
+            self.op_delta,
+            self.op_epsilon,
+            self.op_curve,
+            self.op_composed,
+            self.op_stats,
+            self.uptime_micros,
+            self.workers,
+            self.queue_depth,
+            self.cached_evaluators,
+        ]
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            Self::FIELDS
+                .iter()
+                .zip(self.values())
+                .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
+                .collect(),
+        )
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        let mut out = Self::default();
+        let slots: [&mut u64; 15] = [
+            &mut out.connections,
+            &mut out.requests,
+            &mut out.ok,
+            &mut out.errors,
+            &mut out.busy_rejections,
+            &mut out.cache_hits,
+            &mut out.op_delta,
+            &mut out.op_epsilon,
+            &mut out.op_curve,
+            &mut out.op_composed,
+            &mut out.op_stats,
+            &mut out.uptime_micros,
+            &mut out.workers,
+            &mut out.queue_depth,
+            &mut out.cached_evaluators,
+        ];
+        for (key, slot) in Self::FIELDS.iter().zip(slots) {
+            *slot = v.get(key)?.as_u64()?;
+        }
+        Some(out)
+    }
+}
+
+/// Provenance metadata of a served query (the wire form of the
+/// non-value fields of [`AnalysisReport`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplyMeta {
+    /// Name of the answering bound.
+    pub bound: String,
+    /// `ε` ceiling of the answering bound's validity domain (`+∞` encoded
+    /// as JSON `null`).
+    pub eps_ceiling: f64,
+    /// Whether in-domain queries may still fail for this bound.
+    pub conditional: bool,
+    /// Whether the query was served entirely from warm evaluator state.
+    pub cache_hit: bool,
+    /// Serving wall time in microseconds.
+    pub wall_micros: u64,
+}
+
+/// The successful payload of a reply frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyBody {
+    /// A scalar answer (`delta`, `epsilon`, `composed` ops).
+    Scalar {
+        /// The certified value.
+        value: f64,
+        /// Serving provenance.
+        meta: ReplyMeta,
+    },
+    /// A sampled privacy curve (`curve` op).
+    Curve {
+        /// Grid of privacy levels.
+        eps: Vec<f64>,
+        /// Certified `δ` at each grid point.
+        delta: Vec<f64>,
+        /// Serving provenance.
+        meta: ReplyMeta,
+    },
+    /// Daemon counters (`stats` op).
+    Stats(StatsSnapshot),
+    /// Shutdown acknowledgement.
+    ShuttingDown,
+}
+
+/// One reply frame: the echoed id plus either a success body or a
+/// structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Correlation id echoed from the request.
+    pub id: Option<Json>,
+    /// Outcome.
+    pub outcome: Result<ReplyBody, WireError>,
+}
+
+impl Reply {
+    /// A success reply.
+    pub fn ok(id: Option<Json>, body: ReplyBody) -> Self {
+        Self {
+            id,
+            outcome: Ok(body),
+        }
+    }
+
+    /// An error reply.
+    pub fn err(id: Option<Json>, error: WireError) -> Self {
+        Self {
+            id,
+            outcome: Err(error),
+        }
+    }
+
+    /// Wire form of an [`AnalysisReport`].
+    pub fn from_report(id: Option<Json>, report: &AnalysisReport) -> Self {
+        let meta = ReplyMeta {
+            bound: report.bound.clone(),
+            eps_ceiling: report.validity.eps_ceiling,
+            conditional: report.validity.conditional,
+            cache_hit: report.cache_hit,
+            wall_micros: report.wall.as_micros().min(u128::from(u64::MAX)) as u64,
+        };
+        let body = match &report.value {
+            QueryValue::Scalar(v) => ReplyBody::Scalar { value: *v, meta },
+            QueryValue::Curve(curve) => {
+                let (eps, delta) = curve.points().unzip();
+                ReplyBody::Curve { eps, delta, meta }
+            }
+        };
+        Self::ok(id, body)
+    }
+
+    /// Serialize to the wire frame.
+    pub fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = Vec::new();
+        if let Some(id) = &self.id {
+            members.push(("id".into(), id.clone()));
+        }
+        match &self.outcome {
+            Ok(body) => {
+                members.push(("ok".into(), Json::Bool(true)));
+                match body {
+                    ReplyBody::Scalar { value, meta } => {
+                        members.push(("value".into(), Json::Num(*value)));
+                        push_meta(&mut members, meta);
+                    }
+                    ReplyBody::Curve { eps, delta, meta } => {
+                        members.push((
+                            "curve".into(),
+                            Json::obj(vec![
+                                (
+                                    "eps",
+                                    Json::Arr(eps.iter().map(|&x| Json::Num(x)).collect()),
+                                ),
+                                (
+                                    "delta",
+                                    Json::Arr(delta.iter().map(|&x| Json::Num(x)).collect()),
+                                ),
+                            ]),
+                        ));
+                        push_meta(&mut members, meta);
+                    }
+                    ReplyBody::Stats(stats) => {
+                        members.push(("stats".into(), stats.to_json()));
+                    }
+                    ReplyBody::ShuttingDown => {
+                        members.push(("shutting_down".into(), Json::Bool(true)));
+                    }
+                }
+            }
+            Err(error) => {
+                members.push(("ok".into(), Json::Bool(false)));
+                members.push(("error".into(), error.to_json()));
+            }
+        }
+        Json::Obj(members)
+    }
+
+    /// Parse a reply frame (the client side of the protocol).
+    pub fn from_json(frame: &Json) -> Result<Reply, WireError> {
+        let id = extract_id(frame);
+        let ok = frame
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| WireError::malformed("reply needs a boolean `ok`"))?;
+        if !ok {
+            let error = frame
+                .get("error")
+                .and_then(WireError::from_json)
+                .ok_or_else(|| WireError::malformed("error reply needs an `error` object"))?;
+            return Ok(Reply::err(id, error));
+        }
+        let body = if let Some(v) = frame.get("value") {
+            ReplyBody::Scalar {
+                value: v
+                    .as_f64()
+                    .ok_or_else(|| WireError::malformed("`value` must be a number"))?,
+                meta: parse_meta(frame)?,
+            }
+        } else if let Some(curve) = frame.get("curve") {
+            let axis = |key: &str| -> Result<Vec<f64>, WireError> {
+                curve
+                    .get(key)
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| WireError::malformed(format!("curve needs `{key}` array")))?
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| WireError::malformed("curve points must be numbers"))
+                    })
+                    .collect()
+            };
+            ReplyBody::Curve {
+                eps: axis("eps")?,
+                delta: axis("delta")?,
+                meta: parse_meta(frame)?,
+            }
+        } else if let Some(stats) = frame.get("stats") {
+            ReplyBody::Stats(
+                StatsSnapshot::from_json(stats)
+                    .ok_or_else(|| WireError::malformed("bad `stats` object"))?,
+            )
+        } else if frame.get("shutting_down").is_some() {
+            ReplyBody::ShuttingDown
+        } else {
+            return Err(WireError::malformed(
+                "success reply needs `value`, `curve`, `stats` or `shutting_down`",
+            ));
+        };
+        Ok(Reply::ok(id, body))
+    }
+}
+
+fn push_meta(members: &mut Vec<(String, Json)>, meta: &ReplyMeta) {
+    members.push(("bound".into(), Json::Str(meta.bound.clone())));
+    members.push((
+        "eps_ceiling".into(),
+        if meta.eps_ceiling.is_finite() {
+            Json::Num(meta.eps_ceiling)
+        } else {
+            Json::Null
+        },
+    ));
+    members.push(("conditional".into(), Json::Bool(meta.conditional)));
+    members.push(("cache_hit".into(), Json::Bool(meta.cache_hit)));
+    members.push(("wall_micros".into(), Json::Num(meta.wall_micros as f64)));
+}
+
+fn parse_meta(frame: &Json) -> Result<ReplyMeta, WireError> {
+    let missing = |k: &str| WireError::malformed(format!("reply missing `{k}`"));
+    Ok(ReplyMeta {
+        bound: frame
+            .get("bound")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("bound"))?
+            .to_string(),
+        eps_ceiling: match frame.get("eps_ceiling") {
+            Some(Json::Null) => f64::INFINITY,
+            Some(v) => v.as_f64().ok_or_else(|| missing("eps_ceiling"))?,
+            None => return Err(missing("eps_ceiling")),
+        },
+        conditional: frame
+            .get("conditional")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| missing("conditional"))?,
+        cache_hit: frame
+            .get("cache_hit")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| missing("cache_hit"))?,
+        wall_micros: frame
+            .get("wall_micros")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("wall_micros"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_core::bound::names;
+
+    fn worst_case_query() -> AmplificationQuery {
+        AmplificationQuery::ldp_worst_case(1.25)
+            .unwrap()
+            .population(50_000)
+            .epsilon_at(1e-7)
+            .bound(names::NUMERICAL)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn query_requests_roundtrip_exactly() {
+        let mm = VariationRatio::new(f64::INFINITY, 0.8, 4.0).unwrap();
+        let queries = [
+            worst_case_query(),
+            AmplificationQuery::params(mm)
+                .population(1_000)
+                .delta_at(0.5)
+                .build()
+                .unwrap(),
+            AmplificationQuery::ldp_worst_case(2.0)
+                .unwrap()
+                .population(9)
+                .curve(1.5, 33)
+                .best_of()
+                .build()
+                .unwrap(),
+            AmplificationQuery::ldp_worst_case(0.5)
+                .unwrap()
+                .population(123_456)
+                .composed(10, 1e-9)
+                .build()
+                .unwrap(),
+        ];
+        for q in queries {
+            let req = Request {
+                id: Some(Json::Str("r1".into())),
+                command: Command::Query(Box::new(q.clone())),
+            };
+            let wire = req.to_json().to_string();
+            let back = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            match back.command {
+                Command::Query(back_q) => assert_eq!(*back_q, q, "wire: {wire}"),
+                other => panic!("wrong command: {other:?}"),
+            }
+            assert_eq!(back.id, Some(Json::Str("r1".into())));
+        }
+    }
+
+    #[test]
+    fn control_requests_roundtrip() {
+        for command in [Command::Stats, Command::Shutdown] {
+            let req = Request {
+                id: None,
+                command: command.clone(),
+            };
+            let back = Request::from_json(&Json::parse(&req.to_json().to_string()).unwrap());
+            assert_eq!(back.unwrap().command, command);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_map_to_structured_errors() {
+        for (text, needle) in [
+            (r#"[1,2,3]"#, "object"),
+            (r#"{"id":"x"}"#, "op"),
+            (r#"{"op":"fly"}"#, "unknown op"),
+            (r#"{"op":"epsilon","n":1000,"delta":1e-6}"#, "source"),
+            (r#"{"op":"epsilon","eps0":1.0,"delta":1e-6}"#, "`n`"),
+            (r#"{"op":"epsilon","eps0":1.0,"n":1000}"#, "`delta`"),
+            (
+                r#"{"op":"epsilon","eps0":1.0,"n":12.5,"delta":1e-6}"#,
+                "`n`",
+            ),
+            (
+                r#"{"op":"curve","eps0":1.0,"n":1000,"eps_max":1.0}"#,
+                "`points`",
+            ),
+            (
+                r#"{"op":"epsilon","eps0":1.0,"n":1000,"delta":1e-6,"bound":7}"#,
+                "`bound`",
+            ),
+            (
+                r#"{"op":"delta","p":"wat","beta":0.1,"q":2.0,"n":10,"eps":0.1}"#,
+                "`p`",
+            ),
+        ] {
+            let err = Request::from_json(&Json::parse(text).unwrap()).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Malformed, "{text}");
+            assert!(
+                err.message.contains(needle),
+                "{text}: `{}` lacks `{needle}`",
+                err.message
+            );
+        }
+        // Domain violations surface as invalid_parameter, not malformed.
+        let err = Request::from_json(
+            &Json::parse(r#"{"op":"epsilon","eps0":1.0,"n":1000,"delta":1.5}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidParameter);
+        let err = Request::from_json(
+            &Json::parse(r#"{"op":"epsilon","eps0":-3.0,"n":1000,"delta":1e-6}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidParameter);
+    }
+
+    #[test]
+    fn infinite_p_uses_the_string_spelling() {
+        let mm = VariationRatio::new(f64::INFINITY, 0.8, 4.0).unwrap();
+        let req = Request {
+            id: None,
+            command: Command::Query(Box::new(
+                AmplificationQuery::params(mm)
+                    .population(64)
+                    .delta_at(1.0)
+                    .build()
+                    .unwrap(),
+            )),
+        };
+        let wire = req.to_json().to_string();
+        assert!(wire.contains(r#""p":"inf""#), "{wire}");
+        let back = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        match back.command {
+            Command::Query(q) => assert!(q.variation_ratio().p().is_infinite()),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let meta = ReplyMeta {
+            bound: "numerical".into(),
+            eps_ceiling: 1.0f64.exp().ln(),
+            conditional: false,
+            cache_hit: true,
+            wall_micros: 412,
+        };
+        let replies = [
+            Reply::ok(
+                Some(Json::Num(7.0)),
+                ReplyBody::Scalar {
+                    value: 0.062_345_678_9,
+                    meta: meta.clone(),
+                },
+            ),
+            Reply::ok(
+                None,
+                ReplyBody::Curve {
+                    eps: vec![0.0, 0.5, 1.0],
+                    delta: vec![0.3, 1e-5, 0.0],
+                    meta: ReplyMeta {
+                        eps_ceiling: f64::INFINITY,
+                        conditional: true,
+                        ..meta
+                    },
+                },
+            ),
+            Reply::ok(
+                None,
+                ReplyBody::Stats(StatsSnapshot {
+                    connections: 3,
+                    requests: 99,
+                    ok: 90,
+                    errors: 6,
+                    busy_rejections: 3,
+                    cache_hits: 80,
+                    op_epsilon: 88,
+                    uptime_micros: 123_456,
+                    workers: 4,
+                    queue_depth: 64,
+                    cached_evaluators: 2,
+                    ..StatsSnapshot::default()
+                }),
+            ),
+            Reply::ok(None, ReplyBody::ShuttingDown),
+            Reply::err(
+                Some(Json::Str("x".into())),
+                WireError::new(ErrorKind::Busy, "queue full (depth 64)"),
+            ),
+        ];
+        for reply in replies {
+            let wire = reply.to_json().to_string();
+            let back = Reply::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(back, reply, "wire: {wire}");
+        }
+    }
+
+    #[test]
+    fn every_error_kind_has_a_stable_wire_spelling() {
+        for kind in [
+            ErrorKind::Malformed,
+            ErrorKind::InvalidParameter,
+            ErrorKind::NotApplicable,
+            ErrorKind::Unachievable,
+            ErrorKind::Busy,
+            ErrorKind::ShuttingDown,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::from_str(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_str("nope"), None);
+    }
+}

@@ -1,0 +1,768 @@
+//! The `vr-server` daemon: a multi-threaded TCP server that parses
+//! newline-delimited JSON frames into [`AmplificationQuery`]s and serves
+//! them through **one shared [`AnalysisEngine`]**, so every connection and
+//! every worker reuses the same memoized evaluator cache.
+//!
+//! # Architecture
+//!
+//! ```text
+//! accept thread ──► connection threads (1 per client, line-framed I/O)
+//!                        │  parse frame → admission check
+//!                        ▼
+//!                bounded job queue (reject with `busy` when full)
+//!                        │
+//!                        ▼
+//!                worker pool (N threads) ──► shared AnalysisEngine
+//!                        │                      (one evaluator cache)
+//!                        ▼
+//!                reply channel back to the connection thread
+//! ```
+//!
+//! Failure containment is the design center: a malformed line, an
+//! out-of-domain parameter, or even a panicking worker produces a
+//! structured error reply **on a still-open connection** — one hostile
+//! query can neither kill the daemon nor poison the shared cache (the
+//! engine recovers poisoned locks, and workers catch panics).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::protocol::{
+    extract_id, Command, ErrorKind, Reply, ReplyBody, Request, StatsSnapshot, WireError,
+};
+use vr_core::engine::{AmplificationQuery, AnalysisEngine, AnalysisReport};
+
+/// Longest request line accepted, in bytes (64 KiB — a curve query is a few
+/// hundred bytes; anything bigger is hostile). Longer lines are answered
+/// with a `malformed` error and drained, keeping the connection usable.
+pub const MAX_LINE_BYTES: u64 = 64 * 1024;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests, benches).
+    pub addr: String,
+    /// Worker threads executing engine queries.
+    pub workers: usize,
+    /// Maximum queued (admitted but not yet executing) requests before new
+    /// ones are rejected with a `busy` error.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+                .min(8),
+            queue_depth: 128,
+        }
+    }
+}
+
+/// Aggregate counters, updated lock-free by every thread and snapshotted by
+/// the `stats` op.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    busy: AtomicU64,
+    cache_hits: AtomicU64,
+    op_delta: AtomicU64,
+    op_epsilon: AtomicU64,
+    op_curve: AtomicU64,
+    op_composed: AtomicU64,
+    op_stats: AtomicU64,
+}
+
+/// A unit of engine work: the query plus the channel its reply travels back
+/// on (the connection thread blocks on the receiver).
+struct Job {
+    query: Box<AmplificationQuery>,
+    reply: mpsc::Sender<Result<AnalysisReport, WireError>>,
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Inner {
+    engine: AnalysisEngine,
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    shutdown: AtomicBool,
+    stats: Counters,
+    /// Socket clones of **live** connections keyed by connection id, so
+    /// shutdown can unblock readers; each entry is removed when its
+    /// connection thread exits (a long-lived daemon must not accumulate one
+    /// duplicated fd per past connection).
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Connection-id allocator.
+    next_conn: AtomicU64,
+    /// Join handles of connection threads (pushed by the accept loop,
+    /// reaped opportunistically there as connections finish, drained fully
+    /// by [`Server::join`]).
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    started: Instant,
+}
+
+/// Take a mutex guard, recovering from poisoning — the daemon's shared
+/// structures (job queue, connection registry) stay consistent across a
+/// panicking thread because every critical section is a small push/pop.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Inner {
+    /// Record the terminal outcome of one request frame.
+    fn record_outcome(&self, outcome: &Result<ReplyBody, WireError>) {
+        match outcome {
+            Ok(body) => {
+                self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                let cache_hit = match body {
+                    ReplyBody::Scalar { meta, .. } | ReplyBody::Curve { meta, .. } => {
+                        meta.cache_hit
+                    }
+                    _ => false,
+                };
+                if cache_hit {
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind == ErrorKind::Busy => {
+                self.stats.busy.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let s = &self.stats;
+        StatsSnapshot {
+            connections: s.connections.load(Ordering::Relaxed),
+            requests: s.requests.load(Ordering::Relaxed),
+            ok: s.ok.load(Ordering::Relaxed),
+            errors: s.errors.load(Ordering::Relaxed),
+            busy_rejections: s.busy.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            op_delta: s.op_delta.load(Ordering::Relaxed),
+            op_epsilon: s.op_epsilon.load(Ordering::Relaxed),
+            op_curve: s.op_curve.load(Ordering::Relaxed),
+            op_composed: s.op_composed.load(Ordering::Relaxed),
+            op_stats: s.op_stats.load(Ordering::Relaxed),
+            uptime_micros: self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            workers: self.config.workers as u64,
+            queue_depth: self.config.queue_depth as u64,
+            cached_evaluators: self.engine.cached_evaluators() as u64,
+        }
+    }
+
+    /// Flip the shutdown flag and unblock every parked thread: workers (via
+    /// the condvar), the accept loop (via a loopback dial), and connection
+    /// readers (via socket shutdown). Queued-but-not-started jobs are
+    /// answered with `shutting_down` so no connection thread is left
+    /// blocked on a reply that will never come.
+    fn initiate_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        // Drain under the queue lock: `submit` checks the flag under the
+        // same lock, so a job is either rejected up front or drained here —
+        // never stranded.
+        let drained: Vec<Job> = lock(&self.queue).drain(..).collect();
+        for job in drained {
+            let _ = job.reply.send(Err(WireError::new(
+                ErrorKind::ShuttingDown,
+                "daemon is shutting down",
+            )));
+        }
+        self.job_ready.notify_all();
+        // Unblock the accept() call; errors are fine (listener may already
+        // be gone or the dial may race the close). A wildcard bind
+        // (0.0.0.0 / ::) is not dialable on every platform, so aim the
+        // wake-up at the loopback of the same family instead.
+        let mut dial = self.local_addr;
+        if dial.ip().is_unspecified() {
+            dial.set_ip(match dial.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(dial);
+        for (_, conn) in lock(&self.conns).drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Admit a query into the bounded queue, or reject with `busy`.
+    fn submit(
+        &self,
+        query: Box<AmplificationQuery>,
+    ) -> Result<mpsc::Receiver<Result<AnalysisReport, WireError>>, WireError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = lock(&self.queue);
+            // Checked under the lock: pairs with the drain in
+            // `initiate_shutdown` to rule out stranded jobs.
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Err(WireError::new(
+                    ErrorKind::ShuttingDown,
+                    "daemon is shutting down",
+                ));
+            }
+            if queue.len() >= self.config.queue_depth {
+                return Err(WireError::new(
+                    ErrorKind::Busy,
+                    format!(
+                        "worker queue full ({} pending, depth {}); retry later",
+                        queue.len(),
+                        self.config.queue_depth
+                    ),
+                ));
+            }
+            queue.push_back(Job { query, reply: tx });
+        }
+        self.job_ready.notify_one();
+        Ok(rx)
+    }
+}
+
+/// A running daemon. Dropping the handle stops it; [`Server::join`] blocks
+/// until a `shutdown` request (or [`Server::stop`]) has landed and every
+/// thread has exited.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start the daemon (accept loop + worker pool); returns once
+    /// the listener is live, with queries served on background threads.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            engine: AnalysisEngine::new(),
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: Counters::default(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            conn_handles: Mutex::new(Vec::new()),
+            config: ServerConfig { workers, ..config },
+            local_addr,
+            started: Instant::now(),
+        });
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("vr-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("vr-accept".into())
+                .spawn(move || accept_loop(&inner, listener))?
+        };
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The address the daemon is listening on (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// The shared engine (e.g. to pre-warm the evaluator cache before
+    /// opening the doors to traffic).
+    pub fn engine(&self) -> &AnalysisEngine {
+        &self.inner.engine
+    }
+
+    /// A point-in-time counters snapshot (the in-process form of the
+    /// `stats` op).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Block until the daemon has fully shut down — either by a client
+    /// `shutdown` request or a concurrent [`Server::stop`].
+    pub fn join(mut self) {
+        self.join_mut();
+    }
+
+    /// Initiate shutdown and wait for every thread to exit.
+    pub fn stop(mut self) {
+        self.inner.initiate_shutdown();
+        self.join_mut();
+    }
+
+    fn join_mut(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        loop {
+            let handles: Vec<_> = lock(&self.inner.conn_handles).drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.initiate_shutdown();
+        self.join_mut();
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Reap finished connection threads so a long-lived daemon does not
+        // accumulate one join handle per past connection.
+        reap_finished_connections(inner);
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion): back off
+                // briefly instead of hot-spinning on the persistent error.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            lock(&inner.conns).insert(conn_id, clone);
+        }
+        // Re-check *after* registering: `initiate_shutdown` sets the flag
+        // before draining `conns`, so either the drain saw our entry (and
+        // shut the socket) or we see the flag here — a connection accepted
+        // during shutdown can never be left with a reader that nothing
+        // will ever unblock (which would hang `Server::join`).
+        if inner.shutdown.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            lock(&inner.conns).remove(&conn_id);
+            break;
+        }
+        let conn_inner = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("vr-conn".into())
+            .spawn(move || {
+                serve_connection(&conn_inner, stream);
+                // Deregister: drop the duplicated fd for this connection.
+                lock(&conn_inner.conns).remove(&conn_id);
+            });
+        match handle {
+            Ok(h) => lock(&inner.conn_handles).push(h),
+            Err(_) => {
+                // Spawn failure: drop the connection and its registry entry.
+                lock(&inner.conns).remove(&conn_id);
+            }
+        }
+    }
+}
+
+/// Join every connection thread that has already finished, leaving live
+/// ones in place (bounds `conn_handles` to the number of open connections).
+fn reap_finished_connections(inner: &Inner) {
+    let mut handles = lock(&inner.conn_handles);
+    let mut live = Vec::with_capacity(handles.len());
+    for handle in handles.drain(..) {
+        if handle.is_finished() {
+            let _ = handle.join();
+        } else {
+            live.push(handle);
+        }
+    }
+    *handles = live;
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut queue = lock(&inner.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return; // queue drained and the daemon is stopping
+                }
+                queue = inner
+                    .job_ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // A panic inside the engine must cost this request, not the worker:
+        // catch it, reply with a structured `internal` error, keep looping.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| inner.engine.run(&job.query)));
+        let message = match outcome {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(e)) => Err(WireError::from(e)),
+            Err(panic) => Err(WireError::new(
+                ErrorKind::Internal,
+                format!("worker panicked serving the query: {}", panic_text(&panic)),
+            )),
+        };
+        // The connection may have hung up while we computed; ignore.
+        let _ = job.reply.send(message);
+    }
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+/// Read one `\n`-terminated line of at most [`MAX_LINE_BYTES`] into `buf`.
+/// Returns `Ok(true)` when a complete line was read, `Ok(false)` at EOF,
+/// and `Err` on an oversized line (after draining it, so the next read
+/// starts at a frame boundary).
+fn read_line_limited(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> io::Result<bool> {
+    buf.clear();
+    let n = (&mut *reader).take(MAX_LINE_BYTES).read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(false);
+    }
+    if buf.last() == Some(&b'\n') {
+        return Ok(true);
+    }
+    if (n as u64) < MAX_LINE_BYTES {
+        // EOF in the middle of a line: treat as a final (complete) frame.
+        return Ok(true);
+    }
+    // Oversized: discard the rest of this line in bounded chunks.
+    // `read_until` never consumes past the newline, so pipelined frames
+    // after the oversized one stay intact in the reader — the next
+    // `read_line_limited` call picks them up at the frame boundary.
+    buf.clear();
+    let mut scratch = Vec::with_capacity(4096);
+    loop {
+        scratch.clear();
+        let read = (&mut *reader).take(4096).read_until(b'\n', &mut scratch)?;
+        if read == 0 || scratch.last() == Some(&b'\n') {
+            break; // EOF or end of the oversized line
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+    ))
+}
+
+fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match read_line_limited(&mut reader, &mut line) {
+            Ok(false) => break, // client closed
+            Ok(true) => {
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if trimmed.is_empty() {
+                    continue; // ignore blank keep-alive lines
+                }
+                let (reply, stop_after) = handle_frame(inner, trimmed);
+                if write_reply(&mut writer, &reply).is_err() {
+                    break;
+                }
+                if stop_after {
+                    inner.initiate_shutdown();
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized line: answered with a structured error; the
+                // reader is already positioned at the next frame boundary.
+                // Counted like any other rejected frame so the stats
+                // contract (`requests` covers all frames, `errors` includes
+                // malformed ones) holds for monitoring clients.
+                inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let reply = Reply::err(None, WireError::malformed(e.to_string()));
+                inner.record_outcome(&reply.outcome);
+                if write_reply(&mut writer, &reply).is_err() {
+                    break;
+                }
+            }
+            Err(_) => break, // socket error / shutdown
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn write_reply(writer: &mut TcpStream, reply: &Reply) -> io::Result<()> {
+    let mut out = reply.to_json().to_string();
+    out.push('\n');
+    writer.write_all(out.as_bytes())?;
+    writer.flush()
+}
+
+/// Parse and execute one request line; returns the reply and whether the
+/// daemon should shut down after sending it.
+fn handle_frame(inner: &Arc<Inner>, text: &str) -> (Reply, bool) {
+    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let frame = match Json::parse(text) {
+        Ok(frame) => frame,
+        Err(e) => {
+            let reply = Reply::err(None, WireError::malformed(format!("bad JSON: {e}")));
+            inner.record_outcome(&reply.outcome);
+            return (reply, false);
+        }
+    };
+    let id = extract_id(&frame);
+    let request = match Request::from_json(&frame) {
+        Ok(request) => request,
+        Err(e) => {
+            let reply = Reply::err(id, e);
+            inner.record_outcome(&reply.outcome);
+            return (reply, false);
+        }
+    };
+    let (reply, stop_after) = match request.command {
+        Command::Stats => {
+            inner.stats.op_stats.fetch_add(1, Ordering::Relaxed);
+            (
+                Reply::ok(request.id, ReplyBody::Stats(inner.snapshot())),
+                false,
+            )
+        }
+        Command::Shutdown => (Reply::ok(request.id, ReplyBody::ShuttingDown), true),
+        Command::Query(query) => {
+            use vr_core::engine::QueryTarget;
+            let op_counter = match query.target() {
+                QueryTarget::Delta { .. } => &inner.stats.op_delta,
+                QueryTarget::Epsilon { .. } => &inner.stats.op_epsilon,
+                QueryTarget::Curve { .. } => &inner.stats.op_curve,
+                QueryTarget::Composed { .. } => &inner.stats.op_composed,
+            };
+            op_counter.fetch_add(1, Ordering::Relaxed);
+            let outcome = inner.submit(query).and_then(|rx| {
+                rx.recv().unwrap_or_else(|_| {
+                    // Worker exited without replying (shutdown race).
+                    Err(WireError::new(
+                        ErrorKind::ShuttingDown,
+                        "daemon stopped before the query completed",
+                    ))
+                })
+            });
+            let reply = match outcome {
+                Ok(report) => Reply::from_report(request.id, &report),
+                Err(e) => Reply::err(request.id, e),
+            };
+            (reply, false)
+        }
+    };
+    if stop_after {
+        // The ack counts as a served request.
+        inner.stats.ok.fetch_add(1, Ordering::Relaxed);
+    } else {
+        inner.record_outcome(&reply.outcome);
+    }
+    (reply, stop_after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use vr_core::bound::names;
+
+    fn test_server(workers: usize, queue_depth: usize) -> Server {
+        Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_depth,
+        })
+        .expect("bind ephemeral port")
+    }
+
+    fn epsilon_query(n: u64, delta: f64) -> AmplificationQuery {
+        AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(n)
+            .epsilon_at(delta)
+            .bound(names::NUMERICAL)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_queries_and_shuts_down_gracefully() {
+        let server = test_server(2, 16);
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        let direct = AnalysisEngine::new();
+        for delta in [1e-5, 1e-6, 1e-7] {
+            let q = epsilon_query(5_000, delta);
+            let served = client.run(&q).unwrap();
+            let want = direct.run(&q).unwrap().scalar().unwrap();
+            assert_eq!(served.scalar().unwrap().to_bits(), want.to_bits());
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.op_epsilon, 3);
+        // Snapshot is taken before its own reply is recorded.
+        assert_eq!(stats.ok, 3);
+        assert_eq!(stats.cached_evaluators, 1);
+        client.shutdown_server().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn malformed_lines_keep_the_connection_open() {
+        let server = test_server(1, 4);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let reply = client.roundtrip_raw("this is not json").unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            reply.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("malformed")
+        );
+        // Same connection still serves.
+        let q = epsilon_query(1_000, 1e-6);
+        assert!(client.run(&q).is_ok());
+        server.stop();
+    }
+
+    #[test]
+    fn zero_depth_queue_rejects_with_busy() {
+        let server = test_server(1, 0);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let q = epsilon_query(1_000, 1e-6);
+        let err = client.run(&q).unwrap_err();
+        let wire = match err {
+            crate::client::ClientError::Wire(w) => w,
+            other => panic!("expected wire error, got {other:?}"),
+        };
+        assert_eq!(wire.kind, ErrorKind::Busy);
+        assert_eq!(server.stats().busy_rejections, 1);
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_lines_get_an_error_and_framing_recovers() {
+        let server = test_server(1, 4);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let huge = format!("{{\"op\":\"epsilon\",\"pad\":\"{}\"}}", "x".repeat(80_000));
+        let reply = client.roundtrip_raw(&huge).unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+        // The rejection is visible in the counters like any other frame.
+        let stats = server.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.errors, 1);
+        // The connection survives and serves the next proper frame.
+        let q = epsilon_query(1_000, 1e-6);
+        assert!(client.run(&q).is_ok());
+        server.stop();
+    }
+
+    #[test]
+    fn pipelined_frames_after_an_oversized_line_each_get_a_reply() {
+        use std::io::{BufRead, BufReader, Write};
+        let server = test_server(1, 4);
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+
+        // One burst: an oversized line, then two well-formed frames.
+        let mut burst = vec![b'x'; 80_000];
+        burst.push(b'\n');
+        burst.extend_from_slice(b"{\"id\":\"a\",\"op\":\"stats\"}\n");
+        burst.extend_from_slice(b"{\"id\":\"b\",\"op\":\"stats\"}\n");
+        writer.write_all(&burst).unwrap();
+        writer.flush().unwrap();
+
+        // Exactly three replies, in order: malformed, then the two frames
+        // answered individually (no merging, no drops).
+        let mut replies = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "reply missing");
+            replies.push(crate::json::Json::parse(line.trim()).unwrap());
+        }
+        assert_eq!(replies[0].get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(replies[1].get("id").unwrap().as_str(), Some("a"));
+        assert_eq!(replies[1].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(replies[2].get("id").unwrap().as_str(), Some("b"));
+        assert_eq!(replies[2].get("ok").unwrap().as_bool(), Some(true));
+        server.stop();
+    }
+
+    #[test]
+    fn closed_connections_are_deregistered() {
+        let server = test_server(1, 4);
+        let addr = server.local_addr();
+        for _ in 0..8 {
+            let mut client = Client::connect(addr).unwrap();
+            client.stats().unwrap();
+            drop(client);
+        }
+        // The reader threads notice the hangup asynchronously; poll until
+        // every per-connection socket clone has been dropped.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let live = lock(&server.inner.conns).len();
+            if live == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{live} connection fds still registered after all clients closed"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(server.stats().connections, 8, "all 8 were accepted");
+        server.stop();
+    }
+
+    #[test]
+    fn stop_without_clients_is_clean() {
+        let server = test_server(2, 8);
+        let addr = server.local_addr();
+        server.stop();
+        // The port is released: a fresh bind to the same address works.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

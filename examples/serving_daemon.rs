@@ -1,0 +1,94 @@
+//! The serving daemon end to end, in one process: boot a `vr-server` on an
+//! ephemeral port, talk to it with the client library over real TCP, and
+//! show the protocol's whole personality — warm cache hits, a full curve, a
+//! structured error on a hostile request (connection stays open!), live
+//! stats, and a graceful shutdown.
+//!
+//! The same conversation works from the shipped binaries:
+//! `vr-serve --addr 127.0.0.1:7878` in one terminal and
+//! `vr-query --addr 127.0.0.1:7878 --op epsilon --eps0 2.0 --n 100000
+//! --delta 1e-8` in another.
+//!
+//! Run with: `cargo run --release --example serving_daemon`
+
+use shuffle_amplification::prelude::*;
+use shuffle_amplification::server::ClientError;
+
+fn main() {
+    // Port 0 = pick a free port; production would pass a fixed address.
+    let daemon = Server::bind(ServerConfig::default()).expect("bind ephemeral port");
+    let addr = daemon.local_addr();
+    println!("daemon listening on {addr}\n");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let n = 100_000u64;
+
+    // An eps(delta) sweep on one workload: the first answer builds the
+    // memoized evaluator, the rest are served from warm cache.
+    println!("GRR-style worst-case eps0 = 2.0, n = {n}:");
+    for delta in [1e-6, 1e-8, 1e-10] {
+        let query = AmplificationQuery::ldp_worst_case(2.0)
+            .unwrap()
+            .population(n)
+            .epsilon_at(delta)
+            .build()
+            .unwrap();
+        let report = client.run(&query).expect("served");
+        println!(
+            "  eps(delta = {delta:.0e}) = {:.4}  via {}  warm: {}  wall: {:?}",
+            report.scalar().unwrap(),
+            report.bound,
+            report.cache_hit,
+            report.wall,
+        );
+    }
+
+    // A whole privacy curve in one round trip.
+    let curve_query = AmplificationQuery::ldp_worst_case(2.0)
+        .unwrap()
+        .population(n)
+        .curve(1.0, 17)
+        .build()
+        .unwrap();
+    let report = client.run(&curve_query).expect("served");
+    if let ServedValue::Curve { eps, delta } = &report.value {
+        println!(
+            "\ncurve over [0, 1] x {} points: delta({:.2}) = {:.3e}, delta({:.2}) = {:.3e}",
+            eps.len(),
+            eps[4],
+            delta[4],
+            eps[12],
+            delta[12],
+        );
+    }
+
+    // A hostile request gets a structured error — and the connection
+    // survives to serve the next query.
+    let bad = AmplificationQuery::ldp_worst_case(2.0)
+        .unwrap()
+        .population(n)
+        .epsilon_at(1e-8)
+        .bound("no-such-bound")
+        .build()
+        .unwrap();
+    match client.run(&bad) {
+        Err(ClientError::Wire(e)) => println!("\nhostile query rejected: {e}"),
+        other => panic!("expected a wire error, got {other:?}"),
+    }
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "\ndaemon stats: {} requests ({} ok, {} errors), {} cache hits, \
+         {} evaluator(s) memoized, {} worker(s)",
+        stats.requests,
+        stats.ok,
+        stats.errors,
+        stats.cache_hits,
+        stats.cached_evaluators,
+        stats.workers,
+    );
+
+    client.shutdown_server().expect("graceful shutdown");
+    daemon.join();
+    println!("daemon shut down cleanly");
+}

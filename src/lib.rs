@@ -64,6 +64,30 @@
 //!   queries, and exact tiny-n ground-truth divergences.
 //! * [`numerics`] (re-export of `vr-numerics`) — the special-function kernel
 //!   (regularized incomplete beta/gamma, binomials, bounds, quadrature).
+//! * [`server`] (re-export of `vr-server`) — the network front door: a
+//!   multi-threaded TCP daemon serving `AmplificationQuery`s over a
+//!   newline-delimited JSON protocol (bounded worker pool, backpressure,
+//!   graceful shutdown, stats), plus the client library behind the
+//!   `vr-serve` / `vr-query` binaries.
+//!
+//! ## Serving over the network
+//!
+//! ```
+//! use shuffle_amplification::prelude::*;
+//!
+//! let daemon = Server::bind(ServerConfig::default()).unwrap(); // port 0
+//! let mut client = Client::connect(daemon.local_addr()).unwrap();
+//! let query = AmplificationQuery::ldp_worst_case(1.0)
+//!     .unwrap()
+//!     .population(10_000)
+//!     .epsilon_at(1e-8)
+//!     .build()
+//!     .unwrap();
+//! let report = client.run(&query).unwrap();
+//! assert!(report.scalar().unwrap() < 1.0); // same bits as an in-process run
+//! client.shutdown_server().unwrap();
+//! daemon.join();
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -72,6 +96,7 @@ pub use vr_core as core;
 pub use vr_ldp as ldp;
 pub use vr_numerics as numerics;
 pub use vr_protocols as protocols;
+pub use vr_server as server;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -101,4 +126,5 @@ pub mod prelude {
     #[allow(deprecated)] // kept for migration; prefer AnalysisEngine queries
     pub use vr_protocols::amplified_epsilon;
     pub use vr_protocols::{run_frequency_protocol, serve_epsilons, RangeQueryProtocol};
+    pub use vr_server::{Client, ServedReport, ServedValue, Server, ServerConfig};
 }

@@ -16,6 +16,7 @@ const EXAMPLES: &[&str] = &[
     "multi_message_histogram",
     "query_engine",
     "range_query_planner",
+    "serving_daemon",
 ];
 
 /// `target/<profile>/examples/` resolved from this test binary's location

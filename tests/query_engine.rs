@@ -120,6 +120,133 @@ proptest! {
     }
 }
 
+/// Hostile query parameters the serving boundary must reject with a typed
+/// error (`assert!`-reachable panics are a daemon-killer): non-finite and
+/// out-of-domain floats for every target axis.
+const HOSTILE_FLOATS: &[f64] = &[
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    -1.0,
+    -1e-300,
+    0.0,
+    1.0,
+    2.0,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every hostile float on every target axis either fails `build()` with
+    /// `InvalidParameter` or serves without panicking — never an abort, and
+    /// never a nonsense answer from a domain the theorems exclude.
+    #[test]
+    fn hostile_parameters_never_panic_the_engine(
+        idx in 0usize..8,
+        target_kind in 0usize..5,
+        n in 1u64..5_000,
+    ) {
+        let engine = AnalysisEngine::new();
+        let bad = HOSTILE_FLOATS[idx];
+        let base = || AmplificationQuery::ldp_worst_case(1.0).unwrap().population(n);
+        let built = match target_kind {
+            0 => base().epsilon_at(bad).build(),
+            1 => base().delta_at(bad).build(),
+            2 => base().curve(bad, 16).build(),
+            3 => base().composed(4, bad).build(),
+            _ => base().epsilon_at(1e-6).local_budget(bad).build(),
+        };
+        match built {
+            // In-domain values (e.g. eps = 0.0 or 2.0 for delta_at) must
+            // serve; out-of-domain ones must already have been rejected.
+            Ok(q) => {
+                let report = engine.run(&q);
+                prop_assert!(report.is_ok(), "built query failed to serve: {report:?}");
+            }
+            Err(shuffle_amplification::core::error::Error::InvalidParameter(_)) => {}
+            Err(other) => prop_assert!(false, "wrong rejection type: {other:?}"),
+        }
+    }
+}
+
+/// Deterministic walk of every documented rejection at the query boundary:
+/// δ ∉ (0, 1), ε < 0 / non-finite, points < 2, rounds == 0, bad local
+/// budgets, and bad search options.
+#[test]
+fn query_boundary_rejects_each_documented_edge() {
+    use shuffle_amplification::core::error::Error;
+    let base = || {
+        AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(1_000)
+    };
+    let invalid = |q: shuffle_amplification::core::error::Result<AmplificationQuery>,
+                   what: &str| match q {
+        Err(Error::InvalidParameter(_)) => {}
+        other => panic!("{what}: expected InvalidParameter, got {other:?}"),
+    };
+
+    // Epsilon target: δ must lie strictly inside (0, 1).
+    for bad in [0.0, -0.0, 1.0, -1e-12, 1.0 + 1e-12, f64::NAN, f64::INFINITY] {
+        invalid(base().epsilon_at(bad).build(), "epsilon_at delta");
+    }
+    // Delta target: ε must be finite and non-negative.
+    for bad in [-1e-12, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        invalid(base().delta_at(bad).build(), "delta_at eps");
+    }
+    // Curve target: ≥ 2 grid points, positive finite eps_max.
+    for bad_points in [0usize, 1] {
+        invalid(base().curve(1.0, bad_points).build(), "curve points");
+    }
+    for bad_eps_max in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        invalid(base().curve(bad_eps_max, 16).build(), "curve eps_max");
+    }
+    // Composed target: ≥ 1 round, δ ∈ (0, 1).
+    invalid(base().composed(0, 1e-6).build(), "composed rounds");
+    for bad in [0.0, 1.0, f64::NAN] {
+        invalid(base().composed(4, bad).build(), "composed delta");
+    }
+    // Local budget: positive and finite.
+    for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        invalid(
+            base().epsilon_at(1e-6).local_budget(bad).build(),
+            "local_budget",
+        );
+    }
+    // Search options: iteration budget bounded, tail mass finite and >= 0.
+    for bad_iters in [0usize, 1_000_000] {
+        invalid(
+            base()
+                .epsilon_at(1e-6)
+                .search_options(SearchOptions {
+                    iterations: bad_iters,
+                    ..SearchOptions::default()
+                })
+                .build(),
+            "iterations",
+        );
+    }
+    for bad_tail in [-1e-9, f64::NAN, f64::INFINITY] {
+        invalid(
+            base()
+                .epsilon_at(1e-6)
+                .search_options(SearchOptions {
+                    mode: ScanMode::Truncated {
+                        tail_mass: bad_tail,
+                    },
+                    ..SearchOptions::default()
+                })
+                .build(),
+            "tail_mass",
+        );
+    }
+
+    // The happy path still builds and serves after all that.
+    let engine = AnalysisEngine::new();
+    let good = base().epsilon_at(1e-6).build().unwrap();
+    assert!(engine.run(&good).is_ok());
+}
+
 /// One shared engine, several threads, identical batches: every thread gets
 /// bit-identical answers, the cache is hit once warm, and exactly one
 /// evaluator is memoized for the single workload.

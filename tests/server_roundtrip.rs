@@ -1,0 +1,285 @@
+//! Daemon round-trip integration test (ISSUE-4 acceptance): spawn the
+//! `vr-server` daemon on an ephemeral port, drive a mixed query batch (GRR
+//! `ε(δ)`, a privacy curve, a composed budget) from several concurrent
+//! clients, and require
+//!
+//! 1. **bit-equality** — every served answer equals a direct in-process
+//!    `AnalysisEngine::run` of the same query, bit for bit (the wire format
+//!    must not perturb a single float), and
+//! 2. **error containment** — malformed JSON and out-of-domain parameters
+//!    get structured error replies on a **still-open** connection, and the
+//!    daemon keeps serving afterwards.
+
+use shuffle_amplification::core::bound::names;
+use shuffle_amplification::prelude::*;
+use shuffle_amplification::server::{ClientError, ErrorKind};
+
+const N: u64 = 20_000;
+
+/// The mixed batch of the acceptance criterion: a GRR `ε(δ)` sweep, a
+/// `δ(ε)` point, a full curve, a best-of query, and a composed budget.
+fn mixed_batch() -> Vec<AmplificationQuery> {
+    let grr = Grr::new(32, 1.5);
+    let mut queries: Vec<AmplificationQuery> = [1e-5, 1e-7, 1e-9]
+        .iter()
+        .map(|&delta| {
+            grr.amplification_query(N)
+                .epsilon_at(delta)
+                .bound(names::NUMERICAL)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    queries.push(
+        grr.amplification_query(N)
+            .delta_at(0.25)
+            .bound(names::NUMERICAL)
+            .build()
+            .unwrap(),
+    );
+    queries.push(grr.amplification_query(N).curve(1.0, 17).build().unwrap());
+    queries.push(
+        AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(N)
+            .epsilon_at(1e-6)
+            .best_of()
+            .build()
+            .unwrap(),
+    );
+    queries.push(
+        AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(5_000)
+            .composed(8, 1e-8)
+            .build()
+            .unwrap(),
+    );
+    queries
+}
+
+/// Bit patterns of a report's value(s), uniform over scalars and curves.
+fn engine_bits(report: &shuffle_amplification::core::engine::AnalysisReport) -> Vec<u64> {
+    match &report.value {
+        QueryValue::Scalar(v) => vec![v.to_bits()],
+        QueryValue::Curve(c) => c
+            .points()
+            .flat_map(|(e, d)| [e.to_bits(), d.to_bits()])
+            .collect(),
+    }
+}
+
+fn served_bits(report: &ServedReport) -> Vec<u64> {
+    match &report.value {
+        ServedValue::Scalar(v) => vec![v.to_bits()],
+        ServedValue::Curve { eps, delta } => eps
+            .iter()
+            .zip(delta)
+            .flat_map(|(e, d)| [e.to_bits(), d.to_bits()])
+            .collect(),
+    }
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_depth: 64,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let queries = mixed_batch();
+
+    // Direct in-process reference: a fresh engine, same queries.
+    let direct = AnalysisEngine::new();
+    let reference: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| engine_bits(&direct.run(q).unwrap()))
+        .collect();
+
+    // Several concurrent clients, each replaying the whole mixed batch on
+    // one persistent connection.
+    const CLIENTS: usize = 4;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let queries = &queries;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for (q, want) in queries.iter().zip(reference) {
+                        let served = client.run(q).expect("served");
+                        assert_eq!(
+                            &served_bits(&served),
+                            want,
+                            "server answer drifted from the direct engine for {q:?}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+
+    // All clients asked for the same workloads: the shared engine memoized
+    // each once and served the repeats warm.
+    let stats = server.stats();
+    assert_eq!(stats.requests, (CLIENTS * queries.len()) as u64);
+    assert_eq!(stats.ok, stats.requests);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.busy_rejections, 0);
+    assert_eq!(stats.connections, CLIENTS as u64);
+    assert!(
+        stats.cache_hits > 0,
+        "concurrent replays of one workload must hit the warm cache"
+    );
+    server.stop();
+}
+
+#[test]
+fn malformed_and_invalid_requests_keep_the_connection_serving() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 16,
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Malformed JSON lines: structured `malformed` replies, no hangup.
+    for garbage in [
+        "not json at all",
+        "{\"op\":",
+        "[]",
+        "{\"op\":\"warp\"}",
+        "{\"op\":\"epsilon\"}",
+        "{\"op\":\"epsilon\",\"eps0\":1.0,\"n\":-5,\"delta\":1e-6}",
+    ] {
+        let reply = client.roundtrip_raw(garbage).expect("reply on open conn");
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false), "{garbage}");
+        assert_eq!(
+            reply.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("malformed"),
+            "{garbage}"
+        );
+    }
+
+    // Out-of-domain parameters: typed `invalid_parameter` replies.
+    for (bad, kind) in [
+        (
+            r#"{"op":"epsilon","eps0":1.0,"n":1000,"delta":2.0}"#,
+            "invalid_parameter",
+        ),
+        (
+            r#"{"op":"epsilon","eps0":-1.0,"n":1000,"delta":1e-6}"#,
+            "invalid_parameter",
+        ),
+        (
+            r#"{"op":"delta","eps0":1.0,"n":1000,"eps":-0.5}"#,
+            "invalid_parameter",
+        ),
+        (
+            r#"{"op":"curve","eps0":1.0,"n":1000,"eps_max":1.0,"points":1}"#,
+            "invalid_parameter",
+        ),
+        (
+            r#"{"op":"composed","eps0":1.0,"n":1000,"rounds":0,"delta":1e-6}"#,
+            "invalid_parameter",
+        ),
+        (
+            r#"{"op":"delta","p":0.5,"beta":0.1,"q":2.0,"n":10,"eps":0.1}"#,
+            "invalid_parameter",
+        ),
+        (
+            r#"{"op":"epsilon","eps0":1.0,"n":1000,"delta":1e-6,"bound":"lower"}"#,
+            "not_applicable",
+        ),
+    ] {
+        let reply = client.roundtrip_raw(bad).expect("reply on open conn");
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false), "{bad}");
+        assert_eq!(
+            reply.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some(kind),
+            "{bad}"
+        );
+    }
+
+    // After the whole gauntlet the same connection still serves, correctly.
+    let q = AmplificationQuery::ldp_worst_case(1.0)
+        .unwrap()
+        .population(2_000)
+        .epsilon_at(1e-6)
+        .bound(names::NUMERICAL)
+        .build()
+        .unwrap();
+    let served = client.run(&q).expect("connection must still serve");
+    let want = AnalysisEngine::new().run(&q).unwrap().scalar().unwrap();
+    assert_eq!(served.scalar().unwrap().to_bits(), want.to_bits());
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.connections, 1,
+        "one connection for the whole gauntlet"
+    );
+    assert_eq!(stats.errors, 13, "each bad frame recorded");
+    server.stop();
+}
+
+#[test]
+fn graceful_shutdown_over_the_wire() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 8,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let q = AmplificationQuery::ldp_worst_case(1.0)
+        .unwrap()
+        .population(1_000)
+        .epsilon_at(1e-6)
+        .build()
+        .unwrap();
+    client.run(&q).expect("serve before shutdown");
+    client.shutdown_server().expect("acknowledged");
+    server.join(); // returns only when every daemon thread exited
+
+    // The daemon is really gone: new connections are refused (or reset).
+    assert!(
+        Client::connect(addr)
+            .and_then(|mut c| c.stats().map_err(|e| std::io::Error::other(e.to_string())))
+            .is_err(),
+        "daemon must not serve after shutdown"
+    );
+}
+
+#[test]
+fn busy_backpressure_is_a_structured_reply() {
+    // queue_depth 0: every query is rejected up front with `busy` — the
+    // deterministic form of "the pool is saturated".
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 0,
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let q = AmplificationQuery::ldp_worst_case(1.0)
+        .unwrap()
+        .population(1_000)
+        .epsilon_at(1e-6)
+        .build()
+        .unwrap();
+    match client.run(&q) {
+        Err(ClientError::Wire(e)) => assert_eq!(e.kind, ErrorKind::Busy),
+        other => panic!("expected busy rejection, got {other:?}"),
+    }
+    // Stats still answered (control ops bypass the worker queue).
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.busy_rejections, 1);
+    server.stop();
+}
