@@ -1,0 +1,118 @@
+//! Warm-vs-cold inverse planning benchmark (the ISSUE-5 tentpole): answer
+//! "how many users does a worst-case 1.0-LDP workload need for
+//! (ε = 0.05, δ = 1e-8)?" two ways and require the planner to win:
+//!
+//! 1. the **naive cold loop** — the pre-planner idiom: walk the same
+//!    candidate trajectory, and at every candidate population build a fresh
+//!    `Accountant` and run the full Algorithm-1 `ε(δ)` bisection (~40 exact
+//!    scans plus a table build per candidate), comparing the result to ε;
+//! 2. the **warm planner search** — one `MinPopulation` query against a
+//!    pre-warmed `AnalysisEngine`: every feasibility probe is a single
+//!    `δ(ε)` fast scan on a cached evaluator.
+//!
+//! Besides the criterion timings, the harness asserts the acceptance
+//! contract: identical (bit-identical) minimal populations from both paths,
+//! a certified adjacent witness pair, an all-warm repeat search, and a
+//! ≥ 3× wall-clock win for the warm planner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use vr_core::accountant::Accountant;
+use vr_core::engine::{AmplificationQuery, AnalysisEngine};
+use vr_core::VariationRatio;
+use vr_numerics::search::{bisect_monotone_u64, exponential_upper_bracket_u64, SearchError};
+
+const EPS: f64 = 0.05;
+const DELTA: f64 = 1e-8;
+const HINT: u64 = 1 << 14;
+
+/// The pre-planner inverse idiom: cold `ε(δ)`-then-compare per candidate,
+/// over the same certified search trajectory the planner uses.
+fn naive_min_n(vr: VariationRatio) -> u64 {
+    let mut probe = |n: u64| -> Result<bool, SearchError> {
+        let eps_at_n = Accountant::new(vr, n)
+            .expect("n >= 1")
+            .epsilon_default(DELTA)
+            .expect("achievable for finite p");
+        Ok(eps_at_n <= EPS)
+    };
+    let hi = exponential_upper_bracket_u64(&mut probe, HINT, 1 << 33)
+        .unwrap()
+        .expect("achievable below the cap");
+    bisect_monotone_u64(&mut probe, 1, hi)
+        .unwrap()
+        .expect("hi is feasible")
+        .first_feasible
+}
+
+fn planner_speedup(c: &mut Criterion) {
+    let vr = VariationRatio::ldp_worst_case(1.0).unwrap();
+    let query = AmplificationQuery::params(vr)
+        .local_budget(1.0)
+        .min_population(EPS, DELTA, HINT)
+        .build()
+        .expect("valid planner query");
+
+    // Cold naive loop, timed once (it is the slow side by design).
+    let t0 = Instant::now();
+    let naive = naive_min_n(vr);
+    let t_naive = t0.elapsed().as_secs_f64();
+
+    // Warm planner: one search to populate the evaluator cache, then the
+    // timed repeat — the serving pattern (plan, tweak a target, re-plan).
+    let engine = AnalysisEngine::new();
+    let first = engine.run(&query).expect("planner serves");
+    let t1 = Instant::now();
+    let warm = engine.run(&query).expect("planner serves warm");
+    let t_warm = t1.elapsed().as_secs_f64();
+
+    let min_n = warm.scalar().unwrap() as u64;
+    assert_eq!(
+        min_n, naive,
+        "planner and naive cold loop disagreed on the minimal population"
+    );
+    assert_eq!(
+        first.scalar().unwrap().to_bits(),
+        warm.scalar().unwrap().to_bits(),
+        "warm repeat drifted from the cold search"
+    );
+    let cert = warm.certificate.expect("planner certificate");
+    assert_eq!(cert.passing, min_n as f64);
+    assert_eq!(cert.failing, Some((min_n - 1) as f64), "adjacent witness");
+    assert!(warm.cache_hit, "repeat search must be all-warm");
+
+    let speedup = t_naive / t_warm;
+    println!(
+        "planner summary (min n for eps = {EPS}, delta = {DELTA:e}, eps0 = 1.0):\n\
+         naive cold accountant loop {t_naive:8.3} s\n\
+         warm planner search        {t_warm:8.3} s   ({speedup:.1}x)\n\
+         min n = {min_n}, {} probes, {} warm cache hits",
+        cert.evaluations, cert.cache_hits
+    );
+    assert!(
+        speedup >= 3.0,
+        "acceptance: warm planner must be >= 3x faster than the naive cold loop, \
+         got {speedup:.2}x"
+    );
+
+    // Criterion entries: per-search costs of the two inverse paths.
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(10);
+    g.bench_function("warm_min_n_search", |b| {
+        b.iter(|| engine.run(black_box(&query)).unwrap())
+    });
+    g.bench_function("cold_oneshot_probe", |b| {
+        // One candidate of the naive loop (the full loop runs ~25 of these).
+        b.iter(|| {
+            Accountant::new(vr, black_box(min_n))
+                .unwrap()
+                .epsilon_default(DELTA)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, planner_speedup);
+criterion_main!(benches);

@@ -285,6 +285,13 @@ impl DeltaEvaluator {
         self.mode
     }
 
+    /// Number of memoized outer-table entries (0 for degenerate workloads)
+    /// — the footprint proxy the engine's cache-size accounting uses: the
+    /// weights table dominates an evaluator's memory.
+    pub fn table_entries(&self) -> usize {
+        self.table.as_ref().map_or(0, |t| t.weights.len())
+    }
+
     /// Theorem 4.8 over the memoized table — bit-identical to
     /// [`Accountant::try_delta`] at this evaluator's mode.
     pub fn try_delta(&self, eps: f64) -> Result<f64> {

@@ -20,6 +20,13 @@
 //! | [`QueryTarget::Epsilon`] | certified `ε` at failure probability `δ` | Algorithm 1 bisection over the same bound |
 //! | [`QueryTarget::Curve`] | the whole `δ(ε)` profile on a grid | [`PrivacyCurve`] over Thm 4.8 |
 //! | [`QueryTarget::Composed`] | `ε` after `rounds` adaptive shuffles | Rényi extension of Thm 4.7 + Mironov conversion |
+//! | [`QueryTarget::MinPopulation`] | smallest `n` achieving `(ε, δ)` | [`planner`] integer search over Thm 4.8 probes |
+//! | [`QueryTarget::MaxLocalBudget`] | largest `ε₀` achieving `(ε, δ)` at `n` | [`planner`] float search over worst-case workloads |
+//!
+//! The forward targets answer "what does this deployment guarantee?"; the
+//! two *inverse* targets (and [`AnalysisEngine::sweep`]) answer the planning
+//! question deployments actually start from — see the [`planner`] module for
+//! the search machinery, its certificates, and the wire-protocol mapping.
 //!
 //! # Bound selection
 //!
@@ -59,9 +66,13 @@
 //! assert_eq!(engine.cached_evaluators(), 1); // one workload, served thrice
 //! ```
 
+pub mod planner;
+
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
+
+pub use planner::{PlanCertificate, SweepAxis, DEFAULT_N_HI_HINT, MAX_PLANNER_POPULATION};
 
 use crate::accountant::{Accountant, DeltaEvaluator, NumericalBound, ScanMode, SearchOptions};
 use crate::analytic::AnalyticBound;
@@ -104,6 +115,36 @@ pub enum QueryTarget {
         rounds: u32,
         /// Failure probability `δ` of the composed guarantee.
         delta: f64,
+    },
+    /// **Inverse:** the smallest population `n` whose shuffled workload
+    /// achieves `(eps, delta)`-DP under the selected bound, found by the
+    /// [`planner`]'s certified integer search. The report's scalar is the
+    /// minimal `n` and [`AnalysisReport::certificate`] carries the evaluated
+    /// `(n − 1, n)` witness pair.
+    MinPopulation {
+        /// Target privacy level `ε ≥ 0`.
+        eps: f64,
+        /// Target failure probability `δ ∈ (0, 1)`.
+        delta: f64,
+        /// Initial upper probe of the exponential bracketing (a *hint*, not
+        /// a cap — the search grows past it up to
+        /// [`MAX_PLANNER_POPULATION`]). [`DEFAULT_N_HI_HINT`] is a good
+        /// general-purpose start.
+        n_hi_hint: u64,
+    },
+    /// **Inverse:** the largest worst-case local budget `ε₀ ∈ (0, ceiling]`
+    /// whose shuffled workload achieves `(eps, delta)`-DP at population `n`
+    /// (the ceiling is the query's recorded local budget). The report's
+    /// scalar is the certified-affordable `ε₀`;
+    /// [`AnalysisReport::certificate`] carries the evaluated
+    /// passing/failing pair.
+    MaxLocalBudget {
+        /// Target privacy level `ε ≥ 0`.
+        eps: f64,
+        /// Target failure probability `δ ∈ (0, 1)`.
+        delta: f64,
+        /// Population size `n ≥ 1` the budget must hold at.
+        n: u64,
     },
 }
 
@@ -186,6 +227,50 @@ impl AmplificationQuery {
         self.opts
     }
 
+    /// This query re-targeted at population `n` — the [`SweepAxis::Population`]
+    /// fan-out step. For a [`QueryTarget::MaxLocalBudget`] query the
+    /// population lives inside the target and is rewritten there; a
+    /// [`QueryTarget::MinPopulation`] query has no population input to vary
+    /// and is rejected.
+    pub fn with_population(&self, n: u64) -> Result<AmplificationQuery> {
+        if n == 0 {
+            return Err(Error::InvalidParameter("population n must be >= 1".into()));
+        }
+        let mut q = self.clone();
+        match q.target {
+            QueryTarget::MinPopulation { .. } => {
+                return Err(Error::InvalidParameter(
+                    "min-population queries search the population; it cannot be swept".into(),
+                ))
+            }
+            QueryTarget::MaxLocalBudget {
+                n: ref mut target_n,
+                ..
+            } => *target_n = n,
+            _ => {}
+        }
+        q.n = n;
+        Ok(q)
+    }
+
+    /// This query re-sourced at the worst-case `ε₀`-LDP workload — the
+    /// [`SweepAxis::LocalBudget`] fan-out step: the variation-ratio
+    /// parameters are rebuilt as `p = q = e^{ε₀}`,
+    /// `β = (e^{ε₀}−1)/(e^{ε₀}+1)` and the recorded budget is replaced. A
+    /// [`QueryTarget::MaxLocalBudget`] query searches the budget itself and
+    /// is rejected.
+    pub fn with_local_budget(&self, eps0: f64) -> Result<AmplificationQuery> {
+        if matches!(self.target, QueryTarget::MaxLocalBudget { .. }) {
+            return Err(Error::InvalidParameter(
+                "max-local-budget queries search the budget; it cannot be swept".into(),
+            ));
+        }
+        let mut q = self.clone();
+        q.vr = VariationRatio::ldp_worst_case(eps0)?;
+        q.eps0 = Some(eps0);
+        Ok(q)
+    }
+
     /// `ε₀` for baseline instantiation: the recorded local budget, or
     /// `ln p` when none was given and `p` is finite.
     fn baseline_eps0(&self) -> Result<f64> {
@@ -249,6 +334,33 @@ impl QueryBuilder {
         self
     }
 
+    /// Inverse target: the smallest population achieving `(eps, delta)`-DP
+    /// (see [`QueryTarget::MinPopulation`]). `n_hi_hint` seeds the
+    /// exponential bracketing ([`DEFAULT_N_HI_HINT`] is a good default);
+    /// do **not** also call [`QueryBuilder::population`] — the population is
+    /// the search output.
+    pub fn min_population(mut self, eps: f64, delta: f64, n_hi_hint: u64) -> Self {
+        self.target = Some(QueryTarget::MinPopulation {
+            eps,
+            delta,
+            n_hi_hint,
+        });
+        self
+    }
+
+    /// Inverse target: the largest worst-case local budget achieving
+    /// `(eps, delta)`-DP at population `n` (see
+    /// [`QueryTarget::MaxLocalBudget`]). The search ceiling is the query's
+    /// recorded local budget, so start from
+    /// [`AmplificationQuery::ldp_worst_case`] (or call
+    /// [`QueryBuilder::local_budget`]) with the largest `ε₀` the deployment
+    /// could tolerate; do **not** also call [`QueryBuilder::population`] —
+    /// `n` travels inside the target.
+    pub fn max_local_budget(mut self, eps: f64, delta: f64, n: u64) -> Self {
+        self.target = Some(QueryTarget::MaxLocalBudget { eps, delta, n });
+        self
+    }
+
     /// Answer with one specific bound (a [`crate::bound::names`] entry).
     pub fn bound(mut self, name: impl Into<String>) -> Self {
         self.selection = BoundSelection::Named(name.into());
@@ -273,19 +385,50 @@ impl QueryBuilder {
     /// `points ≥ 2`, `rounds ≥ 1`, a positive finite local budget, and sane
     /// search options. A query that builds cannot panic the engine.
     pub fn build(self) -> Result<AmplificationQuery> {
-        let n = self.n.ok_or_else(|| {
-            Error::InvalidParameter("query needs a population (`.population(n)`)".into())
-        })?;
-        if n == 0 {
-            return Err(Error::InvalidParameter("population n must be >= 1".into()));
-        }
         let target = self.target.ok_or_else(|| {
             Error::InvalidParameter(
-                "query needs a target (`.delta_at` / `.epsilon_at` / `.curve` / `.composed`)"
+                "query needs a target (`.delta_at` / `.epsilon_at` / `.curve` / `.composed` \
+                 / `.min_population` / `.max_local_budget`)"
                     .into(),
             )
         })?;
         validate_target(&target)?;
+        // Planner targets carry their population axis themselves: the search
+        // hint for min-population, the fixed `n` for max-local-budget. An
+        // additional `.population(n)` would be ignored or contradictory, so
+        // it is rejected rather than silently shadowed.
+        let planner_n = match target {
+            QueryTarget::MinPopulation { n_hi_hint, .. } => Some(n_hi_hint),
+            QueryTarget::MaxLocalBudget { n, .. } => Some(n),
+            _ => None,
+        };
+        let n = match (self.n, planner_n) {
+            (Some(_), Some(_)) => {
+                return Err(Error::InvalidParameter(
+                    "planner targets carry their own population; drop `.population(n)`".into(),
+                ))
+            }
+            (Some(n), None) => {
+                if n == 0 {
+                    return Err(Error::InvalidParameter("population n must be >= 1".into()));
+                }
+                n
+            }
+            (None, Some(n)) => n,
+            (None, None) => {
+                return Err(Error::InvalidParameter(
+                    "query needs a population (`.population(n)`)".into(),
+                ))
+            }
+        };
+        if matches!(target, QueryTarget::MaxLocalBudget { .. }) && self.eps0.is_none() {
+            return Err(Error::InvalidParameter(
+                "max_local_budget needs a search ceiling: start from \
+                 AmplificationQuery::ldp_worst_case(eps0_max) or record \
+                 `.local_budget(eps0_max)`"
+                    .into(),
+            ));
+        }
         if let Some(eps0) = self.eps0 {
             if !eps0.is_finite() || eps0 <= 0.0 {
                 return Err(Error::InvalidParameter(format!(
@@ -322,14 +465,16 @@ fn validate_target(target: &QueryTarget) -> Result<()> {
         }
         Ok(())
     };
-    match *target {
-        QueryTarget::Delta { eps } => {
-            if !eps.is_finite() || eps < 0.0 {
-                return Err(Error::InvalidParameter(format!(
-                    "query epsilon must be finite and non-negative (got {eps})"
-                )));
-            }
+    let check_eps = |eps: f64, what: &str| {
+        if !eps.is_finite() || eps < 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "{what} epsilon must be finite and non-negative (got {eps})"
+            )));
         }
+        Ok(())
+    };
+    match *target {
+        QueryTarget::Delta { eps } => check_eps(eps, "query")?,
         QueryTarget::Epsilon { delta } => check_delta(delta, "query")?,
         QueryTarget::Curve { eps_max, points } => {
             if !eps_max.is_finite() || eps_max <= 0.0 {
@@ -350,6 +495,29 @@ fn validate_target(target: &QueryTarget) -> Result<()> {
                 ));
             }
             check_delta(delta, "composed")?;
+        }
+        QueryTarget::MinPopulation {
+            eps,
+            delta,
+            n_hi_hint,
+        } => {
+            check_eps(eps, "min-population")?;
+            check_delta(delta, "min-population")?;
+            if !(1..=MAX_PLANNER_POPULATION).contains(&n_hi_hint) {
+                return Err(Error::InvalidParameter(format!(
+                    "min-population hint must be in [1, {MAX_PLANNER_POPULATION}] \
+                     (got {n_hi_hint})"
+                )));
+            }
+        }
+        QueryTarget::MaxLocalBudget { eps, delta, n } => {
+            check_eps(eps, "max-local-budget")?;
+            check_delta(delta, "max-local-budget")?;
+            if n == 0 {
+                return Err(Error::InvalidParameter(
+                    "max-local-budget queries need a population n >= 1".into(),
+                ));
+            }
         }
     }
     Ok(())
@@ -416,6 +584,11 @@ pub struct AnalysisReport {
     /// lookup was warm (`false` for cold lookups and for queries — closed
     /// forms, Rényi composition — that use no cached evaluator at all).
     pub cache_hit: bool,
+    /// Search certificate of an inverse ([`planner`]) query: the candidate
+    /// pair actually evaluated on each side of the feasibility threshold,
+    /// plus the search's probe and cache-hit tallies. `None` for forward
+    /// queries.
+    pub certificate: Option<PlanCertificate>,
     /// Wall-clock time spent serving the query, bound construction
     /// included.
     pub wall: Duration,
@@ -492,7 +665,24 @@ pub struct AnalysisEngine {
     /// key from many worker threads (late arrivals block on the builder
     /// instead of duplicating its work).
     cache: RwLock<HashMap<EvaluatorKey, Arc<OnceLock<Arc<DeltaEvaluator>>>>>,
+    /// Approximate total outer-table entries across the cached evaluators —
+    /// the memory-pressure signal behind the eviction thresholds (an
+    /// overcount under concurrent same-key builds is possible and only
+    /// makes eviction earlier, never later).
+    cached_entries: std::sync::atomic::AtomicUsize,
 }
+
+/// Eviction thresholds of the shared evaluator cache. A long-lived daemon
+/// serves arbitrary workloads — and a single planner search inserts one
+/// evaluator per probed candidate — so the cache is bounded two ways: by
+/// slot count and by total table entries (~8 bytes each;
+/// [`MAX_CACHED_TABLE_ENTRIES`] caps the tables at ~½ GiB). Crossing either
+/// threshold clears the whole cache (blunt, but every entry rebuilds on
+/// demand and correctness never depends on warmth); in-flight references
+/// keep their `Arc`s alive, so eviction can never invalidate a caller.
+const MAX_CACHED_EVALUATORS: usize = 4096;
+/// See [`MAX_CACHED_EVALUATORS`].
+const MAX_CACHED_TABLE_ENTRIES: usize = 1 << 26;
 
 /// Per-query tally of evaluator-cache lookups, aggregated into
 /// [`AnalysisReport::cache_hit`]: warm only when the cache was used and
@@ -516,6 +706,10 @@ impl CacheUse {
 
 /// The engine's evaluator-cache map type (see [`AnalysisEngine::cache`]).
 type EvaluatorCache = HashMap<EvaluatorKey, Arc<OnceLock<Arc<DeltaEvaluator>>>>;
+
+/// The pieces `execute` assembles into an [`AnalysisReport`]: value, winning
+/// bound name, validity, all-warm flag, planner certificate.
+type PlanValueParts = (QueryValue, String, Validity, bool, Option<PlanCertificate>);
 
 impl AnalysisEngine {
     /// An engine with an empty cache.
@@ -550,9 +744,13 @@ impl AnalysisEngine {
     }
 
     /// Drop every memoized evaluator (e.g. to bound memory in a long-lived
-    /// service).
+    /// service). Also invoked automatically when the cache crosses its
+    /// [`MAX_CACHED_EVALUATORS`] / [`MAX_CACHED_TABLE_ENTRIES`] thresholds.
     pub fn clear_cache(&self) {
-        self.cache_write().clear();
+        let mut cache = self.cache_write();
+        cache.clear();
+        self.cached_entries
+            .store(0, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// The memoized evaluator for a workload, building it on a miss.
@@ -580,18 +778,34 @@ impl AnalysisEngine {
         // for the same key wait on it instead of duplicating the work.
         let hit = slot.get().is_some();
         let ev = slot.get_or_init(|| Arc::new(DeltaEvaluator::new(acc, mode)));
-        Ok((Arc::clone(ev), hit))
+        let ev = Arc::clone(ev);
+        if !hit {
+            use std::sync::atomic::Ordering;
+            let entries = self
+                .cached_entries
+                .fetch_add(ev.table_entries(), Ordering::Relaxed)
+                + ev.table_entries();
+            // Bound the cache for long-lived serving processes (see
+            // [`MAX_CACHED_EVALUATORS`]); the just-built evaluator stays
+            // valid through the Arc we are about to return.
+            if entries > MAX_CACHED_TABLE_ENTRIES || self.cache_read().len() > MAX_CACHED_EVALUATORS
+            {
+                self.clear_cache();
+            }
+        }
+        Ok((ev, hit))
     }
 
     /// Serve one query.
     pub fn run(&self, query: &AmplificationQuery) -> Result<AnalysisReport> {
         let t0 = Instant::now();
-        let (value, bound, validity, cache_hit) = self.execute(query)?;
+        let (value, bound, validity, cache_hit, certificate) = self.execute(query)?;
         Ok(AnalysisReport {
             value,
             bound,
             validity,
             cache_hit,
+            certificate,
             wall: t0.elapsed(),
         })
     }
@@ -610,7 +824,37 @@ impl AnalysisEngine {
         Self::new().run(query)
     }
 
-    fn execute(&self, query: &AmplificationQuery) -> Result<(QueryValue, String, Validity, bool)> {
+    /// Serve every grid point of a parameter sweep through one warm batch:
+    /// the `template` query is fanned out along `axis` (population or
+    /// worst-case local budget) via [`vr_numerics::par::par_map`] workers
+    /// against the shared evaluator cache, and the reports come back in grid
+    /// order (per-point errors do not abort the sweep).
+    ///
+    /// Curve templates are rejected (sweeps serve scalar values), as is
+    /// sweeping a planner target along its own search axis; grid defects
+    /// (empty, oversized, out-of-domain values) fail the whole sweep up
+    /// front with [`Error::InvalidParameter`].
+    pub fn sweep(
+        &self,
+        template: &AmplificationQuery,
+        axis: &SweepAxis,
+    ) -> Result<Vec<Result<AnalysisReport>>> {
+        let queries = planner::sweep_queries(template, axis)?;
+        Ok(self.run_batch(&queries))
+    }
+
+    fn execute(&self, query: &AmplificationQuery) -> Result<PlanValueParts> {
+        match query.target {
+            QueryTarget::MinPopulation {
+                eps,
+                delta,
+                n_hi_hint,
+            } => return planner::min_population(self, query, eps, delta, n_hi_hint),
+            QueryTarget::MaxLocalBudget { eps, delta, n } => {
+                return planner::max_local_budget(self, query, eps, delta, n)
+            }
+            _ => {}
+        }
         if let QueryTarget::Composed { rounds, delta } = query.target {
             // Composed targets route through the Rényi machinery regardless
             // of portfolio (it is the only analysis that composes).
@@ -631,6 +875,7 @@ impl AnalysisEngine {
                 names::RENYI.to_string(),
                 bound.validity(),
                 false,
+                None,
             ));
         }
 
@@ -672,9 +917,11 @@ impl AnalysisEngine {
                     b.validity(),
                 )
             }
-            QueryTarget::Composed { .. } => unreachable!("handled above"),
+            QueryTarget::Composed { .. }
+            | QueryTarget::MinPopulation { .. }
+            | QueryTarget::MaxLocalBudget { .. } => unreachable!("handled above"),
         };
-        Ok((value, bound_name, validity, cache_use.all_warm()))
+        Ok((value, bound_name, validity, cache_use.all_warm(), None))
     }
 
     fn resolve(&self, query: &AmplificationQuery, cache_use: &mut CacheUse) -> Result<Resolved> {
@@ -1115,6 +1362,29 @@ mod tests {
             );
         }
         assert_eq!(engine.cached_evaluators(), 0, "nothing may be cached");
+    }
+
+    #[test]
+    fn cache_eviction_bounds_a_long_lived_engine() {
+        // A serving process sees arbitrary workloads (and each planner
+        // probe caches one evaluator per candidate n); crossing the slot
+        // threshold must reset the cache instead of growing without bound.
+        let engine = AnalysisEngine::new();
+        let vr = wc(1.0);
+        for n in 1..=(MAX_CACHED_EVALUATORS as u64 + 8) {
+            engine.evaluator(vr, n, ScanMode::default()).unwrap();
+            assert!(
+                engine.cached_evaluators() <= MAX_CACHED_EVALUATORS + 1,
+                "cache exceeded its bound at n = {n}"
+            );
+        }
+        // The eviction fired, and the engine keeps serving (cold, then
+        // warm) afterwards.
+        assert!(engine.cached_evaluators() < MAX_CACHED_EVALUATORS);
+        let (_, hit) = engine.evaluator(vr, 3, ScanMode::default()).unwrap();
+        assert!(!hit, "n = 3 was evicted");
+        let (_, hit) = engine.evaluator(vr, 3, ScanMode::default()).unwrap();
+        assert!(hit, "rebuilt entry is warm again");
     }
 
     #[test]

@@ -1,0 +1,667 @@
+//! Inverse deployment planning: certified searches that answer the design
+//! questions a shuffle deployment starts from, on top of the same
+//! [`AnalysisEngine`] cache the forward queries use.
+//!
+//! The paper's figures answer the *forward* question — "given `(ε₀, n)`,
+//! what `(ε, δ)` does shuffling certify?" — but a deployment is planned the
+//! other way around: *how many users* are needed before a report is
+//! `(ε, δ)`-DP, or *how much local budget* each user can afford at a fixed
+//! population. This module turns the forward bound into those inverse maps
+//! by monotone search, and every answer ships with a **certificate**: the
+//! candidate pair actually evaluated on each side of the feasibility
+//! threshold ([`PlanCertificate`]), so the result can be re-checked with two
+//! ordinary forward queries.
+//!
+//! # Inverse ops → wire frames
+//!
+//! The three planner entry points are served end to end — builder, engine,
+//! `vr-server` protocol, `vr-query` CLI:
+//!
+//! | Inverse op | Query form | Wire request |
+//! |---|---|---|
+//! | min population | `…min_population(ε, δ, hint)` | `{"op":"min_n","eps0":1.0,"eps":0.25,"delta":1e-8,"n_hi":1048576}` |
+//! | max local budget | `ldp_worst_case(cap)…max_local_budget(ε, δ, n)` | `{"op":"max_eps0","eps0":8.0,"eps":0.25,"delta":1e-8,"n":100000}` |
+//! | parameter sweep | `engine.sweep(&query, &axis)` | `{"op":"sweep","axis":"n","grid":[1000,10000],"target":"epsilon","eps0":1.0,"delta":1e-8}` |
+//!
+//! (`n_hi` is optional on the wire and defaults to [`DEFAULT_N_HI_HINT`];
+//! planner replies carry a `"certificate"` object with `failing`, `passing`,
+//! `evaluations` and `cache_hits`.)
+//!
+//! # Feasibility probes and the shared cache
+//!
+//! Every search step asks one question — "does the selected bound's `δ(ε)`
+//! at this candidate stay ≤ δ?" — through exactly the code path a forward
+//! [`QueryTarget::Delta`] query takes, so a planner answer is **bit-faithful
+//! to the forward engine**: re-running `δ(ε)` at the certificate's two
+//! candidates via [`AnalysisEngine::run`] reproduces the search's own
+//! decisions. Probes go through the engine's evaluator cache (keyed by
+//! `(p, β, q, n, ScanMode)`), so a min-population search warms one evaluator
+//! per candidate population and a repeated or nearby search — the serving
+//! pattern — is answered from warm state; the certificate reports the
+//! aggregate [`PlanCertificate::cache_hits`] so callers can watch that
+//! happen. A probe costs a *single* `δ(ε)` scan where a naive inverse loop
+//! would run a full Algorithm-1 `ε(δ)` bisection (~40 scans) per candidate —
+//! the `planner` bench pins the resulting ≥ 3× speedup.
+
+use super::{
+    AmplificationQuery, AnalysisEngine, CacheUse, PlanValueParts, QueryTarget, QueryValue, Resolved,
+};
+use crate::bound::{AmplificationBound, Validity};
+use crate::error::{Error, Result};
+use crate::params::VariationRatio;
+use vr_numerics::search::{bisect_monotone, bisect_monotone_u64, exponential_upper_bracket_u64};
+
+/// Hard ceiling of the min-population search: ~8.6 × 10⁹ (beyond any real
+/// user population). If even this population cannot achieve the target, the
+/// search reports [`Error::Unachievable`] instead of growing without bound.
+pub const MAX_PLANNER_POPULATION: u64 = 1 << 33;
+
+/// Default initial upper probe of the min-population exponential bracketing
+/// (2²⁰ ≈ 10⁶ users — the scale of the paper's experiments). Searches are
+/// correct with any hint in `[1, MAX_PLANNER_POPULATION]`; a hint near the
+/// answer just saves probes.
+pub const DEFAULT_N_HI_HINT: u64 = 1 << 20;
+
+/// Smallest worst-case local budget the max-budget search distinguishes:
+/// budgets below this are privacy-noise (`e^{ε₀} − 1 < 10⁻⁹`) and a target
+/// that needs one is reported as unachievable.
+pub const MIN_LOCAL_BUDGET: f64 = 1e-9;
+
+/// Largest sweep grid accepted (matches the wire protocol's appetite: a
+/// 64 KiB request line cannot carry much more anyway).
+pub const MAX_SWEEP_POINTS: usize = 4096;
+
+/// The witness pair of an inverse search: both candidates were **actually
+/// evaluated** by the search, one on each side of the feasibility
+/// threshold, so `(failing, passing)` can be re-checked with two forward
+/// `δ(ε)` queries. For min-population searches the candidates are integer
+/// populations carried exactly in `f64`; for max-budget searches they are
+/// `ε₀` values bracketing the affordable budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCertificate {
+    /// Last candidate evaluated on the failing side of the threshold —
+    /// `None` when the search never saw a failure (the domain's easy end
+    /// already passed: `n = 1` for min-population, the ceiling for
+    /// max-budget).
+    pub failing: Option<f64>,
+    /// The certified answer: the candidate evaluated passing (smallest
+    /// passing `n`, largest passing `ε₀` up to bisection resolution).
+    pub passing: f64,
+    /// Feasibility probes the search ran (each one `δ(ε)` evaluation of the
+    /// selected bound).
+    pub evaluations: u32,
+    /// Evaluator-cache lookups served warm across the whole search,
+    /// certification re-check included (for portfolio selections one probe
+    /// performs several lookups, so this can exceed `evaluations`).
+    pub cache_hits: u32,
+}
+
+/// The grid a [`AnalysisEngine::sweep`] fans a query template over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepAxis {
+    /// Vary the population `n` (every value ≥ 1), keeping the workload
+    /// parameters fixed. Rejected for [`QueryTarget::MinPopulation`]
+    /// templates (their population is the search output).
+    Population(Vec<u64>),
+    /// Vary the worst-case local budget `ε₀` (every value positive and
+    /// finite), rebuilding the workload as `p = q = e^{ε₀}`,
+    /// `β = (e^{ε₀}−1)/(e^{ε₀}+1)` per grid point. Rejected for
+    /// [`QueryTarget::MaxLocalBudget`] templates.
+    LocalBudget(Vec<f64>),
+}
+
+impl SweepAxis {
+    /// The wire spelling of the axis (`"n"` / `"eps0"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SweepAxis::Population(_) => "n",
+            SweepAxis::LocalBudget(_) => "eps0",
+        }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxis::Population(grid) => grid.len(),
+            SweepAxis::LocalBudget(grid) => grid.len(),
+        }
+    }
+
+    /// Whether the grid is empty (an empty sweep is rejected by the engine).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The grid as `f64` values (populations are exact below 2⁵³) — the form
+    /// replies and plots consume.
+    pub fn grid_values(&self) -> Vec<f64> {
+        match self {
+            SweepAxis::Population(grid) => grid.iter().map(|&n| n as f64).collect(),
+            SweepAxis::LocalBudget(grid) => grid.clone(),
+        }
+    }
+}
+
+/// Build the per-grid-point queries of a sweep (validation lives here so the
+/// engine method and the wire protocol reject identically).
+pub(super) fn sweep_queries(
+    template: &AmplificationQuery,
+    axis: &SweepAxis,
+) -> Result<Vec<AmplificationQuery>> {
+    if matches!(template.target, QueryTarget::Curve { .. }) {
+        return Err(Error::InvalidParameter(
+            "sweeps serve scalar targets; ask for a curve with a single curve query".into(),
+        ));
+    }
+    if axis.is_empty() {
+        return Err(Error::InvalidParameter(
+            "sweep grid must be non-empty".into(),
+        ));
+    }
+    if axis.len() > MAX_SWEEP_POINTS {
+        return Err(Error::InvalidParameter(format!(
+            "sweep grid is capped at {MAX_SWEEP_POINTS} points (got {})",
+            axis.len()
+        )));
+    }
+    match axis {
+        SweepAxis::Population(grid) => grid.iter().map(|&n| template.with_population(n)).collect(),
+        SweepAxis::LocalBudget(grid) => grid
+            .iter()
+            .map(|&eps0| template.with_local_budget(eps0))
+            .collect(),
+    }
+}
+
+/// One feasibility probe: the selected bound's `δ(ε)` for `query`, through
+/// the exact code path a forward [`QueryTarget::Delta`] query takes (same
+/// resolution, same cache, same winner bookkeeping).
+fn certified_delta(
+    engine: &AnalysisEngine,
+    query: &AmplificationQuery,
+    eps: f64,
+    cache_use: &mut CacheUse,
+) -> Result<(f64, String, Validity)> {
+    match engine.resolve(query, cache_use)? {
+        Resolved::Single(b) => Ok((b.delta(eps)?, b.name().to_string(), b.validity())),
+        Resolved::Best(b) => {
+            let (winner, v) = b.winner_delta(eps)?;
+            Ok((v, winner.to_string(), b.validity()))
+        }
+    }
+}
+
+/// Re-evaluate the certified passing candidate to harvest the winning bound
+/// name and validity (a warm lookup — its evaluator was just built by the
+/// search), and assemble the planner's slice of an analysis report.
+fn finish(
+    engine: &AnalysisEngine,
+    query: &AmplificationQuery,
+    eps: f64,
+    mut cache_use: CacheUse,
+    evaluations: u32,
+    failing: Option<f64>,
+    passing: f64,
+) -> Result<PlanValueParts> {
+    let (_, bound, validity) = certified_delta(engine, query, eps, &mut cache_use)?;
+    let certificate = PlanCertificate {
+        failing,
+        passing,
+        evaluations,
+        cache_hits: cache_use.hits,
+    };
+    Ok((
+        QueryValue::Scalar(passing),
+        bound,
+        validity,
+        cache_use.all_warm(),
+        Some(certificate),
+    ))
+}
+
+/// Serve a [`QueryTarget::MinPopulation`] query: exponential bracketing from
+/// the hint, then certified integer bisection down to the adjacent
+/// `(n − 1, n)` pair.
+pub(super) fn min_population(
+    engine: &AnalysisEngine,
+    query: &AmplificationQuery,
+    eps: f64,
+    delta: f64,
+    n_hi_hint: u64,
+) -> Result<PlanValueParts> {
+    let mut cache_use = CacheUse::default();
+    let mut evaluations = 0u32;
+    let bracket = {
+        // Remember the largest candidate the bracketing step saw fail, so
+        // the bisection starts from it instead of re-exploring (and
+        // cold-building evaluators for) the known-infeasible region below.
+        // A `Cell` lets the probe closure record it while the search loop
+        // still reads it between calls.
+        let largest_fail = std::cell::Cell::new(None::<u64>);
+        let mut probe = |n: u64| -> Result<bool> {
+            evaluations += 1;
+            let mut q = query.clone();
+            q.n = n;
+            let (d, _, _) = certified_delta(engine, &q, eps, &mut cache_use)?;
+            let pass = d <= delta;
+            if !pass {
+                largest_fail.set(largest_fail.get().max(Some(n)));
+            }
+            Ok(pass)
+        };
+        let hint = n_hi_hint.clamp(1, MAX_PLANNER_POPULATION);
+        let hi = exponential_upper_bracket_u64(&mut probe, hint, MAX_PLANNER_POPULATION)?
+            .ok_or_else(|| {
+                Error::Unachievable(format!(
+                    "(eps = {eps}, delta = {delta:e}) is not achieved by this workload even at \
+                     n = {MAX_PLANNER_POPULATION}"
+                ))
+            })?;
+        let lo = largest_fail.get().unwrap_or(1);
+        bisect_monotone_u64(&mut probe, lo, hi)?
+            .expect("the bracketing step evaluated `hi` feasible")
+    };
+    let mut at_min = query.clone();
+    at_min.n = bracket.first_feasible;
+    finish(
+        engine,
+        &at_min,
+        eps,
+        cache_use,
+        evaluations,
+        bracket.last_infeasible.map(|n| n as f64),
+        bracket.first_feasible as f64,
+    )
+}
+
+/// Serve a [`QueryTarget::MaxLocalBudget`] query: float bisection over the
+/// worst-case `ε₀` axis between a guaranteed-feasible floor and the query's
+/// recorded ceiling.
+pub(super) fn max_local_budget(
+    engine: &AnalysisEngine,
+    query: &AmplificationQuery,
+    eps: f64,
+    delta: f64,
+    n: u64,
+) -> Result<PlanValueParts> {
+    let ceiling = query
+        .eps0
+        .expect("max_local_budget queries record their ceiling at build()");
+    let mut cache_use = CacheUse::default();
+    let mut evaluations = 0u32;
+    let (failing, passing) = {
+        let mut probe = |eps0: f64| -> Result<bool> {
+            evaluations += 1;
+            let mut q = query.clone();
+            q.vr = VariationRatio::ldp_worst_case(eps0)?;
+            q.eps0 = Some(eps0);
+            q.n = n;
+            let (d, _, _) = certified_delta(engine, &q, eps, &mut cache_use)?;
+            Ok(d <= delta)
+        };
+        if probe(ceiling)? {
+            // The whole allowed range is affordable; no failing witness.
+            (None, ceiling)
+        } else {
+            // ε₀ = ε is feasible whenever anything is (shuffling cannot make
+            // an (ε, 0)-DP randomizer worse than (ε, δ)); below
+            // MIN_LOCAL_BUDGET the question stops being meaningful.
+            let floor = eps.min(ceiling).max(MIN_LOCAL_BUDGET);
+            let unachievable = || {
+                Error::Unachievable(format!(
+                    "(eps = {eps}, delta = {delta:e}) is not achieved at n = {n} by any \
+                     worst-case local budget in [{MIN_LOCAL_BUDGET:e}, {ceiling}]"
+                ))
+            };
+            if floor >= ceiling || !probe(floor)? {
+                return Err(unachievable());
+            }
+            // Bisect the monotone false→true predicate "the budget fails",
+            // capturing probe errors (the float bisection is infallible).
+            let mut probe_err: Option<Error> = None;
+            let bracket = bisect_monotone(
+                |eps0| match probe(eps0) {
+                    Ok(pass) => !pass,
+                    Err(e) => {
+                        probe_err.get_or_insert(e);
+                        true
+                    }
+                },
+                floor,
+                ceiling,
+                query.opts.iterations,
+            )?;
+            if let Some(e) = probe_err {
+                return Err(e);
+            }
+            // `infeasible` (of the *fails* predicate) is the largest budget
+            // evaluated passing; `feasible` the smallest evaluated failing.
+            (Some(bracket.feasible), bracket.infeasible)
+        }
+    };
+    let mut at_max = query.clone();
+    at_max.vr = VariationRatio::ldp_worst_case(passing)?;
+    at_max.eps0 = Some(passing);
+    at_max.n = n;
+    finish(
+        engine,
+        &at_max,
+        eps,
+        cache_use,
+        evaluations,
+        failing,
+        passing,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::names;
+
+    const EPS: f64 = 0.3;
+    const DELTA: f64 = 1e-6;
+
+    fn min_n_query(hint: u64) -> AmplificationQuery {
+        AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .min_population(EPS, DELTA, hint)
+            .build()
+            .unwrap()
+    }
+
+    /// Forward δ(ε) at population `n` with the same source/selection as `q`.
+    fn delta_check(engine: &AnalysisEngine, q: &AmplificationQuery, n: u64) -> f64 {
+        let mut fwd = q.clone();
+        fwd.target = QueryTarget::Delta { eps: EPS };
+        fwd.n = n;
+        engine.run(&fwd).unwrap().scalar().unwrap()
+    }
+
+    #[test]
+    fn min_population_certificate_is_tight_and_forward_checkable() {
+        let engine = AnalysisEngine::new();
+        let q = min_n_query(256);
+        let report = engine.run(&q).unwrap();
+        let cert = report
+            .certificate
+            .expect("planner queries carry a certificate");
+        let min_n = report.scalar().unwrap() as u64;
+        assert_eq!(cert.passing, min_n as f64);
+        assert_eq!(cert.failing, Some((min_n - 1) as f64), "adjacent witness");
+        assert!(cert.evaluations > 0);
+        // The forward engine reproduces both search decisions.
+        assert!(delta_check(&engine, &q, min_n) <= DELTA);
+        assert!(delta_check(&engine, &q, min_n - 1) > DELTA);
+    }
+
+    #[test]
+    fn min_population_is_hint_independent_and_warms_the_cache() {
+        let engine = AnalysisEngine::new();
+        let reference = engine.run(&min_n_query(256)).unwrap();
+        for hint in [1, 64, 1 << 14] {
+            let report = engine.run(&min_n_query(hint)).unwrap();
+            assert_eq!(
+                report.scalar().unwrap().to_bits(),
+                reference.scalar().unwrap().to_bits(),
+                "hint {hint} changed the answer"
+            );
+        }
+        // A repeated identical search runs entirely on warm evaluators.
+        let warm = engine.run(&min_n_query(256)).unwrap();
+        assert!(warm.cache_hit, "repeat search must be all-warm");
+        let cert = warm.certificate.unwrap();
+        assert!(cert.cache_hits >= cert.evaluations, "{cert:?}");
+    }
+
+    #[test]
+    fn min_population_of_one_has_no_failing_witness() {
+        // ε ≥ ε₀: the local guarantee alone suffices, so n = 1 passes.
+        let engine = AnalysisEngine::new();
+        let q = AmplificationQuery::ldp_worst_case(0.25)
+            .unwrap()
+            .min_population(0.3, 1e-9, 128)
+            .build()
+            .unwrap();
+        let report = engine.run(&q).unwrap();
+        assert_eq!(report.scalar().unwrap(), 1.0);
+        let cert = report.certificate.unwrap();
+        assert_eq!(cert.failing, None);
+        assert_eq!(cert.passing, 1.0);
+    }
+
+    #[test]
+    fn max_local_budget_certificate_brackets_the_threshold() {
+        let engine = AnalysisEngine::new();
+        let q = AmplificationQuery::ldp_worst_case(8.0)
+            .unwrap()
+            .max_local_budget(EPS, DELTA, 50_000)
+            .build()
+            .unwrap();
+        let report = engine.run(&q).unwrap();
+        let cert = report.certificate.unwrap();
+        let eps0 = report.scalar().unwrap();
+        assert_eq!(cert.passing, eps0);
+        let failing = cert.failing.expect("8.0 is far above affordable");
+        assert!(eps0 > EPS, "amplification must afford more than ε itself");
+        assert!(failing > eps0 && failing <= 8.0);
+        // Forward checks at both witnesses, through the public sweep path.
+        let fwd = |budget: f64| {
+            let mut q2 = q.clone();
+            q2.target = QueryTarget::Delta { eps: EPS };
+            let q2 = q2.with_local_budget(budget).unwrap();
+            engine.run(&q2).unwrap().scalar().unwrap()
+        };
+        assert!(fwd(eps0) <= DELTA);
+        assert!(fwd(failing) > DELTA);
+    }
+
+    #[test]
+    fn max_local_budget_whole_ceiling_affordable() {
+        // At a huge population even the full ceiling passes.
+        let engine = AnalysisEngine::new();
+        let q = AmplificationQuery::ldp_worst_case(0.5)
+            .unwrap()
+            .max_local_budget(0.4, 1e-8, 2_000_000)
+            .build()
+            .unwrap();
+        let report = engine.run(&q).unwrap();
+        assert_eq!(report.scalar().unwrap(), 0.5);
+        let cert = report.certificate.unwrap();
+        assert_eq!(cert.failing, None);
+        assert_eq!(cert.evaluations, 1, "one probe settles a passing ceiling");
+    }
+
+    #[test]
+    fn max_local_budget_unachievable_target_is_typed() {
+        // ε = 0 with a sub-atomic δ at a tiny population: no positive budget
+        // can pass, and the floor probe reports it as unachievable.
+        let engine = AnalysisEngine::new();
+        let q = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .max_local_budget(0.0, 1e-12, 10)
+            .build()
+            .unwrap();
+        assert!(matches!(engine.run(&q), Err(Error::Unachievable(_))));
+    }
+
+    #[test]
+    fn sweep_matches_individual_queries_bit_for_bit() {
+        let engine = AnalysisEngine::new();
+        let template = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(1_000)
+            .epsilon_at(DELTA)
+            .bound(names::NUMERICAL)
+            .build()
+            .unwrap();
+        let grid = vec![500u64, 2_000, 8_000];
+        let axis = SweepAxis::Population(grid.clone());
+        assert_eq!(axis.kind(), "n");
+        assert_eq!(axis.grid_values(), vec![500.0, 2_000.0, 8_000.0]);
+        let swept = engine.sweep(&template, &axis).unwrap();
+        assert_eq!(swept.len(), 3);
+        for (&n, report) in grid.iter().zip(swept) {
+            let direct = engine.run(&template.with_population(n).unwrap()).unwrap();
+            assert_eq!(
+                report.unwrap().scalar().unwrap().to_bits(),
+                direct.scalar().unwrap().to_bits(),
+                "sweep drifted at n = {n}"
+            );
+        }
+
+        let budgets = vec![0.5, 1.0, 2.0];
+        let axis = SweepAxis::LocalBudget(budgets.clone());
+        assert_eq!(axis.kind(), "eps0");
+        let swept = engine.sweep(&template, &axis).unwrap();
+        for (&eps0, report) in budgets.iter().zip(swept) {
+            let direct = engine
+                .run(&template.with_local_budget(eps0).unwrap())
+                .unwrap();
+            assert_eq!(
+                report.unwrap().scalar().unwrap().to_bits(),
+                direct.scalar().unwrap().to_bits(),
+                "sweep drifted at eps0 = {eps0}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_can_fan_out_planner_targets() {
+        // min-n as a function of the local budget: the planner composes with
+        // the sweep on the orthogonal axis.
+        let engine = AnalysisEngine::new();
+        let template = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .min_population(EPS, DELTA, 256)
+            .build()
+            .unwrap();
+        let swept = engine
+            .sweep(&template, &SweepAxis::LocalBudget(vec![0.5, 1.0, 2.0]))
+            .unwrap();
+        let min_ns: Vec<f64> = swept
+            .into_iter()
+            .map(|r| r.unwrap().scalar().unwrap())
+            .collect();
+        // Looser local budgets need more users to reach the same (ε, δ).
+        assert!(
+            min_ns[0] <= min_ns[1] && min_ns[1] <= min_ns[2],
+            "min-n must grow with eps0: {min_ns:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_rejects_grid_and_axis_defects() {
+        let engine = AnalysisEngine::new();
+        let scalar_q = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(1_000)
+            .epsilon_at(DELTA)
+            .build()
+            .unwrap();
+        let curve_q = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(1_000)
+            .curve(0.9, 9)
+            .build()
+            .unwrap();
+        let min_n_q = min_n_query(256);
+        let max_e0_q = AmplificationQuery::ldp_worst_case(4.0)
+            .unwrap()
+            .max_local_budget(EPS, DELTA, 1_000)
+            .build()
+            .unwrap();
+        for (template, axis, what) in [
+            (&scalar_q, SweepAxis::Population(vec![]), "empty grid"),
+            (
+                &scalar_q,
+                SweepAxis::Population(vec![1; MAX_SWEEP_POINTS + 1]),
+                "oversized grid",
+            ),
+            (&scalar_q, SweepAxis::Population(vec![0]), "n = 0"),
+            (&scalar_q, SweepAxis::LocalBudget(vec![0.0]), "eps0 = 0"),
+            (
+                &scalar_q,
+                SweepAxis::LocalBudget(vec![f64::NAN]),
+                "NaN eps0",
+            ),
+            (&curve_q, SweepAxis::Population(vec![10]), "curve template"),
+            (
+                &min_n_q,
+                SweepAxis::Population(vec![10]),
+                "min-n over its own axis",
+            ),
+            (
+                &max_e0_q,
+                SweepAxis::LocalBudget(vec![1.0]),
+                "max-eps0 over its own axis",
+            ),
+        ] {
+            assert!(
+                matches!(
+                    engine.sweep(template, &axis),
+                    Err(Error::InvalidParameter(_))
+                ),
+                "{what} must be rejected up front"
+            );
+        }
+        // max-eps0 CAN be swept over n (the orthogonal axis).
+        let swept = engine
+            .sweep(&max_e0_q, &SweepAxis::Population(vec![1_000, 100_000]))
+            .unwrap();
+        let budgets: Vec<f64> = swept
+            .into_iter()
+            .map(|r| r.unwrap().scalar().unwrap())
+            .collect();
+        assert!(
+            budgets[0] <= budgets[1],
+            "a larger population affords a larger budget: {budgets:?}"
+        );
+    }
+
+    #[test]
+    fn planner_builder_rejections() {
+        let base = || AmplificationQuery::ldp_worst_case(1.0).unwrap();
+        let invalid = |q: Result<AmplificationQuery>, what: &str| {
+            assert!(
+                matches!(q, Err(Error::InvalidParameter(_))),
+                "{what}: {q:?}"
+            );
+        };
+        // Planner targets conflict with an explicit population.
+        invalid(
+            base().population(10).min_population(EPS, DELTA, 64).build(),
+            "min_population + population",
+        );
+        invalid(
+            base()
+                .population(10)
+                .max_local_budget(EPS, DELTA, 64)
+                .build(),
+            "max_local_budget + population",
+        );
+        // max_local_budget needs a recorded ceiling.
+        let wc = VariationRatio::ldp_worst_case(1.0).unwrap();
+        invalid(
+            AmplificationQuery::params(wc)
+                .max_local_budget(EPS, DELTA, 100)
+                .build(),
+            "max_local_budget without eps0",
+        );
+        // Hostile planner parameters.
+        invalid(base().min_population(EPS, DELTA, 0).build(), "hint 0");
+        invalid(
+            base()
+                .min_population(EPS, DELTA, MAX_PLANNER_POPULATION + 1)
+                .build(),
+            "hint beyond the cap",
+        );
+        invalid(base().max_local_budget(EPS, DELTA, 0).build(), "n = 0");
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            invalid(base().min_population(bad, DELTA, 64).build(), "bad eps");
+            invalid(base().min_population(EPS, bad, 64).build(), "bad delta");
+            invalid(base().max_local_budget(bad, DELTA, 64).build(), "bad eps");
+            invalid(base().max_local_budget(EPS, bad, 64).build(), "bad delta");
+        }
+    }
+}

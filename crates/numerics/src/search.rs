@@ -11,6 +11,14 @@
 //! `lo > hi`, non-positive growth start) is reported as a [`SearchError`]
 //! instead of a panic, so long-running services can surface a structured
 //! error for hostile inputs rather than losing a worker thread.
+//!
+//! The integer counterparts [`bisect_monotone_u64`] and
+//! [`exponential_upper_bracket_u64`] serve the *inverse* planner questions
+//! ("smallest population `n` achieving `(ε, δ)`"): they bisect to **adjacent
+//! integers**, so the returned [`BracketU64`] is a certificate whose two
+//! candidates were both actually evaluated, and their predicates are
+//! fallible (`FnMut(u64) -> Result<bool, E>`) because each feasibility probe
+//! may itself run a whole amplification analysis.
 
 use std::fmt;
 
@@ -119,6 +127,115 @@ pub fn exponential_upper_bracket<F: FnMut(f64) -> bool>(
     }
 }
 
+/// Certificate of an integer monotone search: the candidates actually
+/// evaluated on each side of the threshold, so callers (e.g. deployment
+/// planners answering "what is the minimum population n?") can report a
+/// checkable witness pair instead of a bare number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BracketU64 {
+    /// Largest candidate evaluated infeasible — exactly
+    /// `first_feasible − 1` when the threshold is interior, `None` when the
+    /// domain's lower end was already feasible (no infeasible witness
+    /// exists).
+    pub last_infeasible: Option<u64>,
+    /// Smallest candidate evaluated feasible.
+    pub first_feasible: u64,
+}
+
+/// Find the smallest `x ∈ [lo, hi]` where a monotone (false-then-true)
+/// fallible predicate holds, by exact integer bisection. Unlike the float
+/// search, the integer search terminates at adjacent candidates, so the
+/// returned [`BracketU64`] is a **certificate**: both of its candidates were
+/// actually evaluated, `pred(last_infeasible) = false` and
+/// `pred(first_feasible) = true`.
+///
+/// Returns `Ok(None)` when the predicate is false on the whole interval.
+/// The predicate is fallible (`Result<bool, E>`) because real feasibility
+/// checks — e.g. "does the amplification bound achieve `(ε, δ)` at
+/// population `x`?" — can themselves fail; its errors abort the search
+/// unchanged.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] (converted into `E`) when `lo > hi`, and
+/// propagates any error the predicate reports.
+pub fn bisect_monotone_u64<E, F>(mut pred: F, lo: u64, hi: u64) -> Result<Option<BracketU64>, E>
+where
+    E: From<SearchError>,
+    F: FnMut(u64) -> Result<bool, E>,
+{
+    if lo > hi {
+        return Err(SearchError::new(format!(
+            "bisect_monotone_u64 requires lo <= hi (got lo = {lo}, hi = {hi})"
+        ))
+        .into());
+    }
+    if pred(lo)? {
+        return Ok(Some(BracketU64 {
+            last_infeasible: None,
+            first_feasible: lo,
+        }));
+    }
+    if lo == hi || !pred(hi)? {
+        return Ok(None);
+    }
+    // Invariant: pred(infeasible) = false, pred(feasible) = true, both
+    // evaluated. Midpoints are exact (no overflow: lo < hi ≤ u64::MAX).
+    let (mut infeasible, mut feasible) = (lo, hi);
+    while feasible - infeasible > 1 {
+        let mid = infeasible + (feasible - infeasible) / 2;
+        if pred(mid)? {
+            feasible = mid;
+        } else {
+            infeasible = mid;
+        }
+    }
+    Ok(Some(BracketU64 {
+        last_infeasible: Some(infeasible),
+        first_feasible: feasible,
+    }))
+}
+
+/// Find an upper bracket for a monotone integer predicate by exponential
+/// growth: starting at `start`, doubles (saturating at `max`) until `pred`
+/// holds or `max` has been evaluated. Returns `Ok(Some(x))` for the first
+/// evaluated feasible point and `Ok(None)` when even `max` is infeasible —
+/// the integer analogue of [`exponential_upper_bracket`], used to turn a
+/// planner's population *hint* into a certified bisection interval.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] (converted into `E`) when the growth domain is
+/// malformed (`start == 0` or `max < start`), and propagates predicate
+/// errors.
+pub fn exponential_upper_bracket_u64<E, F>(
+    mut pred: F,
+    start: u64,
+    max: u64,
+) -> Result<Option<u64>, E>
+where
+    E: From<SearchError>,
+    F: FnMut(u64) -> Result<bool, E>,
+{
+    if start == 0 || max < start {
+        return Err(SearchError::new(format!(
+            "exponential_upper_bracket_u64 requires 1 <= start <= max \
+             (got start = {start}, max = {max})"
+        ))
+        .into());
+    }
+    let mut x = start;
+    loop {
+        if pred(x)? {
+            return Ok(Some(x));
+        }
+        if x >= max {
+            return Ok(None);
+        }
+        x = x.saturating_mul(2).min(max);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +317,108 @@ mod tests {
             5.0,
             1.0,
             10,
+        );
+        assert_eq!(calls, 0);
+    }
+
+    /// Infallible wrapper used by the integer-search tests.
+    fn int_pred(f: impl Fn(u64) -> bool) -> impl FnMut(u64) -> Result<bool, SearchError> {
+        move |x| Ok(f(x))
+    }
+
+    #[test]
+    fn integer_bisection_certifies_adjacent_candidates() {
+        for threshold in [1u64, 2, 37, 1_000, 999_983] {
+            let b = bisect_monotone_u64(int_pred(|x| x >= threshold), 1, 1 << 20)
+                .unwrap()
+                .expect("threshold lies inside the interval");
+            assert_eq!(b.first_feasible, threshold);
+            // An interior threshold certifies its failing neighbour; at the
+            // domain's lower end no infeasible witness exists.
+            let want = (threshold > 1).then(|| threshold - 1);
+            assert_eq!(b.last_infeasible, want);
+        }
+        // Lower end already feasible: no infeasible witness.
+        let b = bisect_monotone_u64(int_pred(|_| true), 5, 100)
+            .unwrap()
+            .unwrap();
+        assert_eq!(b.first_feasible, 5);
+        assert_eq!(b.last_infeasible, None);
+        // Never feasible, including the degenerate single-point interval.
+        assert_eq!(
+            bisect_monotone_u64(int_pred(|_| false), 5, 100).unwrap(),
+            None
+        );
+        assert_eq!(
+            bisect_monotone_u64(int_pred(|_| false), 7, 7).unwrap(),
+            None
+        );
+        // Single-point feasible interval.
+        let b = bisect_monotone_u64(int_pred(|_| true), 7, 7)
+            .unwrap()
+            .unwrap();
+        assert_eq!(b.first_feasible, 7);
+    }
+
+    #[test]
+    fn integer_bisection_evaluation_budget_is_logarithmic() {
+        let mut calls = 0u32;
+        let b = bisect_monotone_u64::<SearchError, _>(
+            |x| {
+                calls += 1;
+                Ok(x >= 123_456)
+            },
+            1,
+            1 << 40,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(b.first_feasible, 123_456);
+        // Two endpoint probes plus one per halving of a 2^40 interval.
+        assert!(calls <= 43, "too many probes: {calls}");
+    }
+
+    #[test]
+    fn integer_exponential_bracket_finds_and_respects_max() {
+        let hi = exponential_upper_bracket_u64(int_pred(|x| x >= 37), 1, 1 << 20)
+            .unwrap()
+            .unwrap();
+        assert!((37..=64).contains(&hi));
+        assert_eq!(
+            exponential_upper_bracket_u64(int_pred(|x| x == u64::MAX), 1, 1024).unwrap(),
+            None
+        );
+        // Saturating growth: start near u64::MAX must terminate at max.
+        let got =
+            exponential_upper_bracket_u64(int_pred(|x| x == u64::MAX), u64::MAX - 1, u64::MAX)
+                .unwrap();
+        assert_eq!(got, Some(u64::MAX));
+    }
+
+    #[test]
+    fn integer_searches_report_malformed_domains_and_propagate_errors() {
+        assert!(bisect_monotone_u64(int_pred(|_| true), 5, 1).is_err());
+        assert!(exponential_upper_bracket_u64(int_pred(|_| true), 0, 10).is_err());
+        assert!(exponential_upper_bracket_u64(int_pred(|_| true), 5, 1).is_err());
+        // Predicate errors abort the search unchanged.
+        let boom = |_x: u64| -> Result<bool, SearchError> { Err(SearchError::new("probe failed")) };
+        assert!(matches!(
+            bisect_monotone_u64(boom, 1, 100),
+            Err(SearchError(_))
+        ));
+        assert!(matches!(
+            exponential_upper_bracket_u64(boom, 1, 100),
+            Err(SearchError(_))
+        ));
+        // The predicate is never evaluated on a malformed domain.
+        let mut calls = 0;
+        let _ = bisect_monotone_u64::<SearchError, _>(
+            |_| {
+                calls += 1;
+                Ok(true)
+            },
+            9,
+            3,
         );
         assert_eq!(calls, 0);
     }

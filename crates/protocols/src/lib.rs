@@ -30,6 +30,8 @@ pub mod shuffler;
 pub use heavy_hitters::HeavyHitterProtocol;
 #[allow(deprecated)]
 pub use pipeline::amplified_epsilon;
-pub use pipeline::{analyze, run_frequency_protocol, serve_epsilons, ProtocolRun};
+pub use pipeline::{
+    analyze, plan_deployment, run_frequency_protocol, serve_epsilons, DeploymentPlan, ProtocolRun,
+};
 pub use range_query::{LevelReport, RangeQueryProtocol};
 pub use shuffler::{shuffle, shuffle_in_place};

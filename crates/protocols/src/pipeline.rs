@@ -6,7 +6,7 @@
 use crate::shuffler::shuffle_in_place;
 use rand::rngs::StdRng;
 use vr_core::bound::{BestOf, BoundRegistry};
-use vr_core::engine::AnalysisEngine;
+use vr_core::engine::{AmplificationQuery, AnalysisEngine, PlanCertificate, DEFAULT_N_HI_HINT};
 use vr_core::{Error, Result};
 use vr_ldp::{estimate_frequencies, FrequencyMechanism, Report};
 
@@ -139,6 +139,55 @@ pub fn privacy_report<M: FrequencyMechanism>(
         .collect())
 }
 
+/// A planned deployment of one shuffled mechanism: the certified minimum
+/// population for an `(ε, δ)` target, the search certificate, and the
+/// per-bound [`privacy_report`] at exactly that population — everything an
+/// operator needs to size a rollout and audit the number.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlan {
+    /// Smallest population at which the shuffled mechanism is
+    /// `(ε, δ)`-DP under the engine's default bound portfolio.
+    pub min_population: u64,
+    /// The planner's evaluated witness pair (fails at `n − 1`, passes at
+    /// `n`) plus probe/cache tallies.
+    pub certificate: PlanCertificate,
+    /// Name of the bound certifying the passing endpoint.
+    pub bound: String,
+    /// The full per-bound `(name, ε)` report at `min_population` — the
+    /// [`privacy_report`] transparency surface, consumed here so the plan
+    /// ships with its audit trail.
+    pub report: Vec<(String, std::result::Result<f64, Error>)>,
+}
+
+/// Answer the deployment question end to end: *how many users does
+/// `mechanism` need before its shuffled reports are `(ε, δ)`-DP?* Runs the
+/// engine's certified min-population search
+/// ([`vr_core::engine::QueryTarget::MinPopulation`]) for the mechanism's
+/// variation-ratio parameters, then attaches the [`privacy_report`] at the
+/// certified population.
+pub fn plan_deployment<M: FrequencyMechanism>(
+    mechanism: &M,
+    eps: f64,
+    delta: f64,
+) -> Result<DeploymentPlan> {
+    let engine = AnalysisEngine::new();
+    let query = AmplificationQuery::params(mechanism.variation_ratio())
+        .local_budget(mechanism.eps0())
+        .min_population(eps, delta, DEFAULT_N_HI_HINT)
+        .build()?;
+    let served = engine.run(&query)?;
+    let min_population = served.scalar().expect("min-population answers are scalar") as u64;
+    let certificate = served
+        .certificate
+        .expect("planner reports carry a certificate");
+    Ok(DeploymentPlan {
+        min_population,
+        certificate,
+        bound: served.bound,
+        report: privacy_report(mechanism, min_population, delta)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +291,39 @@ mod tests {
         for (name, eps) in privacy_report(&mech, n, delta).unwrap() {
             if let Ok(e) = eps {
                 assert!(best <= e + 1e-12, "best {best} looser than {name} = {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_deployment_certifies_both_endpoints() {
+        use vr_core::engine::QueryTarget;
+        use vr_ldp::AmplifiableMechanism;
+        let mech = Grr::new(16, 1.0);
+        let (eps, delta) = (0.3, 1e-8);
+        let plan = plan_deployment(&mech, eps, delta).unwrap();
+        assert!(plan.min_population > 1, "GRR-16 needs real amplification");
+        assert_eq!(plan.certificate.passing, plan.min_population as f64);
+        assert_eq!(
+            plan.certificate.failing,
+            Some((plan.min_population - 1) as f64)
+        );
+        // Forward re-check of the certificate through the public engine.
+        let engine = AnalysisEngine::new();
+        let check = |n: u64| {
+            let q = mech.amplification_query(n).delta_at(eps).build().unwrap();
+            assert!(matches!(q.target(), QueryTarget::Delta { .. }));
+            engine.run(&q).unwrap().scalar().unwrap()
+        };
+        assert!(check(plan.min_population) <= delta);
+        assert!(check(plan.min_population - 1) > delta);
+        // The attached transparency report is the privacy_report at min n.
+        let reference = privacy_report(&mech, plan.min_population, delta).unwrap();
+        assert_eq!(plan.report.len(), reference.len());
+        for ((name_a, eps_a), (name_b, eps_b)) in plan.report.iter().zip(&reference) {
+            assert_eq!(name_a, name_b);
+            if let (Ok(a), Ok(b)) = (eps_a, eps_b) {
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
     }

@@ -4,13 +4,19 @@
 //! vr-query --addr HOST:PORT --op epsilon --eps0 1.0 --n 100000 --delta 1e-8
 //! vr-query --addr HOST:PORT --op curve --p 2.7 --beta 0.4 --q 2.7 \
 //!          --n 100000 --eps-max 1.0 --points 33 --bound numerical
+//! vr-query --addr HOST:PORT --op min_n --eps0 1.0 --eps 0.25 --delta 1e-8
+//! vr-query --addr HOST:PORT --op max_eps0 --eps0 8.0 --eps 0.25 \
+//!          --delta 1e-8 --n 100000
+//! vr-query --addr HOST:PORT --op sweep --axis n --grid 1000,10000,100000 \
+//!          --target epsilon --eps0 1.0 --delta 1e-8
 //! vr-query --addr HOST:PORT --json '{"op":"stats"}'
 //! vr-query --addr HOST:PORT --stats
 //! vr-query --addr HOST:PORT --shutdown
 //! ```
 //!
-//! Prints the daemon's raw JSON reply on stdout; exits non-zero when the
-//! reply is an error frame.
+//! Prints the daemon's raw JSON reply on stdout. A structured error reply
+//! (`busy`, `invalid_parameter`, …) additionally prints a diagnostic on
+//! stderr and exits non-zero, so scripts can trust the exit code.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -24,9 +30,10 @@ fn usage() -> ! {
          vr-query --addr HOST:PORT --json '{{...}}'\n\
          vr-query --addr HOST:PORT --stats | --shutdown\n\
          \n\
-         ops: delta | epsilon | curve | composed | stats | shutdown\n\
+         ops: delta | epsilon | curve | composed | min_n | max_eps0 | sweep | stats | shutdown\n\
          source: --eps0 E (worst-case LDP)  or  --p P --beta B --q Q [--eps0 E]\n\
-         fields: --n N  --eps X  --delta X  --eps-max X  --points K  --rounds R\n\
+         fields: --n N  --eps X  --delta X  --eps-max X  --points K  --rounds R  --n-hi N\n\
+         sweep:  --axis n|eps0  --grid V1,V2,...  --target OP\n\
          selection: --bound NAME | --bound best-of (default: registry portfolio)"
     );
     std::process::exit(2);
@@ -47,6 +54,7 @@ fn frame_from_flags(op: &str, fields: &HashMap<String, String>) -> Result<Json, 
         ("eps-max", "eps_max"),
         ("points", "points"),
         ("rounds", "rounds"),
+        ("n-hi", "n_hi"),
     ] {
         if let Some(text) = fields.get(flag) {
             if flag == "p" && text == "inf" {
@@ -58,6 +66,23 @@ fn frame_from_flags(op: &str, fields: &HashMap<String, String>) -> Result<Json, 
                 .map_err(|_| format!("--{flag} expects a number, got `{text}`"))?;
             members.push((key.to_string(), Json::Num(num)));
         }
+    }
+    if let Some(axis) = fields.get("axis") {
+        members.push(("axis".to_string(), Json::Str(axis.clone())));
+    }
+    if let Some(grid) = fields.get("grid") {
+        let values =
+            grid.split(',')
+                .map(|item| {
+                    item.trim().parse::<f64>().map(Json::Num).map_err(|_| {
+                        format!("--grid expects comma-separated numbers, got `{item}`")
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+        members.push(("grid".to_string(), Json::Arr(values)));
+    }
+    if let Some(target) = fields.get("target") {
+        members.push(("target".to_string(), Json::Str(target.clone())));
     }
     if let Some(bound) = fields.get("bound") {
         members.push(("bound".to_string(), Json::Str(bound.clone())));
@@ -117,10 +142,24 @@ fn main() -> ExitCode {
     };
     match client.roundtrip_raw(&line) {
         Ok(reply) => {
+            // The raw frame always goes to stdout (scripts pipe it to jq);
+            // an error reply additionally diagnoses on stderr and the exit
+            // code says which it was.
             println!("{reply}");
             if reply.get("ok").and_then(Json::as_bool) == Some(true) {
                 ExitCode::SUCCESS
             } else {
+                let kind = reply
+                    .get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown");
+                let message = reply
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("server replied with an error frame");
+                eprintln!("vr-query: server error ({kind}): {message}");
                 ExitCode::FAILURE
             }
         }

@@ -13,8 +13,10 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::json::Json;
-use crate::protocol::{Command, Reply, ReplyBody, ReplyMeta, Request, StatsSnapshot, WireError};
-use vr_core::engine::AmplificationQuery;
+use crate::protocol::{
+    Command, Reply, ReplyBody, ReplyMeta, Request, StatsSnapshot, SweepOutcome, WireError,
+};
+use vr_core::engine::{AmplificationQuery, PlanCertificate, SweepAxis};
 
 /// A failure while talking to the daemon.
 #[derive(Debug)]
@@ -80,6 +82,8 @@ pub struct ServedReport {
     pub conditional: bool,
     /// Whether the daemon served the query from warm evaluator state.
     pub cache_hit: bool,
+    /// Planner search certificate (`min_n` / `max_eps0` queries only).
+    pub certificate: Option<PlanCertificate>,
     /// Server-side wall time.
     pub wall: Duration,
 }
@@ -100,6 +104,7 @@ impl ServedReport {
             eps_ceiling: meta.eps_ceiling,
             conditional: meta.conditional,
             cache_hit: meta.cache_hit,
+            certificate: meta.certificate,
             wall: Duration::from_micros(meta.wall_micros),
         }
     }
@@ -183,6 +188,32 @@ impl Client {
             )),
             Ok(other) => Err(ClientError::Protocol(format!(
                 "expected a query reply, got {other:?}"
+            ))),
+            Err(e) => Err(ClientError::Wire(e)),
+        }
+    }
+
+    /// Fan a query template over a parameter grid on the daemon
+    /// (`{"op":"sweep"}` on the wire), mirroring
+    /// [`vr_core::engine::AnalysisEngine::sweep`]: every grid point is
+    /// served by the shared warm engine and comes back in grid order, with
+    /// per-point failures carried as `None` values plus an error string.
+    pub fn sweep(
+        &mut self,
+        template: &AmplificationQuery,
+        axis: &SweepAxis,
+    ) -> Result<SweepOutcome, ClientError> {
+        let request = Request {
+            id: Some(self.fresh_id()),
+            command: Command::Sweep {
+                template: Box::new(template.clone()),
+                axis: axis.clone(),
+            },
+        };
+        match self.request(&request)?.outcome {
+            Ok(ReplyBody::Sweep(outcome)) => Ok(outcome),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "expected a sweep reply, got {other:?}"
             ))),
             Err(e) => Err(ClientError::Wire(e)),
         }

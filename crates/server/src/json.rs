@@ -10,8 +10,10 @@
 //!   an `f64` survives serialize → parse **bit-for-bit**. The engine/server
 //!   bit-equality contract of the round-trip tests rests on this.
 //! * **Hostile-input hardening.** Nesting depth is capped (a
-//!   `[[[[…]]]]` bomb is a parse error, not a stack overflow) and parse
-//!   errors carry positions instead of panicking.
+//!   `[[[[…]]]]` bomb is a parse error, not a stack overflow), duplicate
+//!   object keys are a parse error (so `{"eps":0.1,"eps":9.0}` cannot
+//!   smuggle a second value past whichever occurrence a reader validates),
+//!   and parse errors carry positions instead of panicking.
 //! * **Deterministic output.** Object members are written in insertion
 //!   order; no hash-map reordering between runs.
 //!
@@ -38,8 +40,9 @@ pub enum Json {
     Str(String),
     /// An array.
     Arr(Vec<Json>),
-    /// An object; members keep insertion order (no deduplication — the
-    /// protocol layer reads the first occurrence of a key).
+    /// An object; members keep insertion order. The parser rejects
+    /// duplicate keys outright; for programmatically built values,
+    /// [`Json::get`] reads the first occurrence.
     Obj(Vec<(String, Json)>),
 }
 
@@ -312,6 +315,9 @@ impl Parser<'_> {
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut members = Vec::new();
+        // Hashed key set: duplicate detection stays O(1) per key even for a
+        // hostile frame packed with thousands of members.
+        let mut seen = std::collections::HashSet::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -319,7 +325,17 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_at = self.pos;
             let key = self.string()?;
+            if !seen.insert(key.clone()) {
+                // Last-wins or first-wins, a duplicate key means two
+                // readers can disagree about the document — a classic
+                // validation-bypass vector for a serving boundary.
+                return Err(JsonError::new(
+                    format!("duplicate object key `{key}`"),
+                    key_at,
+                ));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -560,6 +576,31 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "`{bad}` should not parse");
         }
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected() {
+        for bad in [
+            r#"{"eps":0.1,"eps":9.0}"#,
+            r#"{"a":1,"b":2,"a":3}"#,
+            r#"{"k":null,"k":null}"#,
+            // Nested objects are checked too.
+            r#"{"outer":{"x":1,"x":2}}"#,
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("duplicate object key"),
+                "`{bad}`: {err}"
+            );
+        }
+        // Same key at different nesting levels is fine.
+        assert!(Json::parse(r#"{"k":{"k":1},"j":{"k":2}}"#).is_ok());
+        // Programmatic duplicates still read first-wins through `get`.
+        let v = Json::Obj(vec![
+            ("k".into(), Json::Num(1.0)),
+            ("k".into(), Json::Num(2.0)),
+        ]);
+        assert_eq!(v.get("k").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

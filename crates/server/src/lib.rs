@@ -56,5 +56,7 @@ pub mod server;
 
 pub use client::{Client, ClientError, ServedReport, ServedValue};
 pub use json::Json;
-pub use protocol::{Command, ErrorKind, Reply, ReplyBody, Request, StatsSnapshot, WireError};
+pub use protocol::{
+    Command, ErrorKind, Reply, ReplyBody, Request, StatsSnapshot, SweepOutcome, WireError,
+};
 pub use server::{Server, ServerConfig};

@@ -8,30 +8,38 @@
 //!
 //! | Field | Type | Meaning |
 //! |---|---|---|
-//! | `op` | string | `"delta"`, `"epsilon"`, `"curve"`, `"composed"`, `"stats"`, `"shutdown"` |
+//! | `op` | string | `"delta"`, `"epsilon"`, `"curve"`, `"composed"`, `"min_n"`, `"max_eps0"`, `"sweep"`, `"stats"`, `"shutdown"` |
 //! | `id` | string/number | optional; echoed verbatim in the reply |
-//! | `eps0` | number | worst-case `ε₀`-LDP source (alone), or the baseline budget (with `p`/`beta`/`q`) |
-//! | `p`, `beta`, `q` | number | explicit variation-ratio source (`p` may be the string `"inf"`) |
-//! | `n` | integer | population size (required for query ops) |
-//! | `eps` | number | `delta` op: the privacy level queried |
-//! | `delta` | number | `epsilon` / `composed` ops: the failure probability |
+//! | `eps0` | number | worst-case `ε₀`-LDP source (alone), or the baseline budget (with `p`/`beta`/`q`); for `max_eps0` the search *ceiling* |
+//! | `p`, `beta`, `q` | number | explicit variation-ratio source (`p` may be the string `"inf"`; rejected for `max_eps0`) |
+//! | `n` | integer | population size (required for every query op except `min_n`, which searches it) |
+//! | `eps` | number | `delta` op: the privacy level queried; `min_n` / `max_eps0`: the target level |
+//! | `delta` | number | `epsilon` / `composed` ops: the failure probability; `min_n` / `max_eps0`: the target `δ` |
 //! | `eps_max`, `points` | number, integer | `curve` op: grid upper end and size |
 //! | `rounds` | integer | `composed` op: adaptive shuffle rounds |
+//! | `n_hi` | integer | `min_n` op: optional bracketing hint (default 2²⁰) |
+//! | `axis`, `grid`, `target` | string, array, string | `sweep` op: `"n"`/`"eps0"`, the grid values, and the op fanned out per grid point |
 //! | `bound` | string | registry bound name, `"best-of"`, or omitted for the default portfolio |
 //!
 //! # Reply schema
 //!
 //! Success: `{"id":…,"ok":true,"value":…,"bound":…,"cache_hit":…,
 //! "wall_micros":…,"eps_ceiling":…,"conditional":…}` with `"curve":{"eps":
-//! […],"delta":[…]}` replacing `"value"` for curve queries; `stats` replies
-//! carry a `"stats"` object and `shutdown` acknowledges with
+//! […],"delta":[…]}` replacing `"value"` for curve queries; planner replies
+//! (`min_n` / `max_eps0`) add a `"certificate"` object (`failing` — may be
+//! `null` —, `passing`, `evaluations`, `cache_hits`); `sweep` replies carry
+//! a `"sweep"` object with parallel `grid` / `value` / `bound` / `error`
+//! arrays (failed grid points have a `null` value and an error string) plus
+//! aggregate `cache_hits` / `wall_micros`; `stats` replies carry a
+//! `"stats"` object and `shutdown` acknowledges with
 //! `{"ok":true,"shutting_down":true}`. Failure:
 //! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}` — and the
 //! connection stays open.
 
 use crate::json::Json;
 use vr_core::engine::{
-    AmplificationQuery, AnalysisReport, BoundSelection, QueryTarget, QueryValue,
+    AmplificationQuery, AnalysisReport, BoundSelection, PlanCertificate, QueryTarget, QueryValue,
+    SweepAxis, DEFAULT_N_HI_HINT,
 };
 use vr_core::error::Error;
 use vr_core::params::VariationRatio;
@@ -158,8 +166,17 @@ impl From<Error> for WireError {
 /// What a request frame asks the daemon to do.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Serve an amplification query through the shared engine.
+    /// Serve an amplification query through the shared engine (forward
+    /// targets and the planner's `min_n` / `max_eps0` inverse targets).
     Query(Box<AmplificationQuery>),
+    /// Fan a query template over a parameter grid
+    /// ([`vr_core::engine::AnalysisEngine::sweep`]).
+    Sweep {
+        /// The query each grid point re-parameterizes.
+        template: Box<AmplificationQuery>,
+        /// The grid axis and values.
+        axis: SweepAxis,
+    },
     /// Report the daemon's aggregate counters.
     Stats,
     /// Begin a graceful shutdown (acknowledged before the daemon stops
@@ -215,12 +232,14 @@ impl Request {
         let command = match op {
             "stats" => Command::Stats,
             "shutdown" => Command::Shutdown,
-            "delta" | "epsilon" | "curve" | "composed" => {
+            "delta" | "epsilon" | "curve" | "composed" | "min_n" | "max_eps0" => {
                 Command::Query(Box::new(parse_query(frame, op)?))
             }
+            "sweep" => parse_sweep(frame)?,
             other => {
                 return Err(WireError::malformed(format!(
-                    "unknown op `{other}` (expected delta/epsilon/curve/composed/stats/shutdown)"
+                    "unknown op `{other}` (expected delta/epsilon/curve/composed/min_n/\
+                     max_eps0/sweep/stats/shutdown)"
                 )))
             }
         };
@@ -237,51 +256,92 @@ impl Request {
             Command::Stats => members.push(("op".into(), Json::Str("stats".into()))),
             Command::Shutdown => members.push(("op".into(), Json::Str("shutdown".into()))),
             Command::Query(q) => {
-                let op = match q.target() {
-                    QueryTarget::Delta { .. } => "delta",
-                    QueryTarget::Epsilon { .. } => "epsilon",
-                    QueryTarget::Curve { .. } => "curve",
-                    QueryTarget::Composed { .. } => "composed",
-                };
-                members.push(("op".into(), Json::Str(op.into())));
-                let vr = q.variation_ratio();
-                if vr.p().is_finite() {
-                    members.push(("p".into(), Json::Num(vr.p())));
-                } else {
-                    members.push(("p".into(), Json::Str(P_INFINITY.into())));
-                }
-                members.push(("beta".into(), Json::Num(vr.beta())));
-                members.push(("q".into(), Json::Num(vr.q())));
-                if let Some(eps0) = q.local_budget() {
-                    members.push(("eps0".into(), Json::Num(eps0)));
-                }
-                members.push(("n".into(), Json::Num(q.population() as f64)));
-                match *q.target() {
-                    QueryTarget::Delta { eps } => members.push(("eps".into(), Json::Num(eps))),
-                    QueryTarget::Epsilon { delta } => {
-                        members.push(("delta".into(), Json::Num(delta)))
-                    }
-                    QueryTarget::Curve { eps_max, points } => {
-                        members.push(("eps_max".into(), Json::Num(eps_max)));
-                        members.push(("points".into(), Json::Num(points as f64)));
-                    }
-                    QueryTarget::Composed { rounds, delta } => {
-                        members.push(("rounds".into(), Json::Num(rounds as f64)));
-                        members.push(("delta".into(), Json::Num(delta)));
-                    }
-                }
-                match q.selection() {
-                    BoundSelection::Default => {}
-                    BoundSelection::Named(name) => {
-                        members.push(("bound".into(), Json::Str(name.clone())))
-                    }
-                    BoundSelection::BestOf => {
-                        members.push(("bound".into(), Json::Str(BEST_OF.into())))
-                    }
-                }
+                members.push(("op".into(), Json::Str(query_op(q).into())));
+                push_query_fields(&mut members, q);
+            }
+            Command::Sweep { template, axis } => {
+                members.push(("op".into(), Json::Str("sweep".into())));
+                members.push(("axis".into(), Json::Str(axis.kind().into())));
+                members.push((
+                    "grid".into(),
+                    Json::Arr(axis.grid_values().iter().map(|&x| Json::Num(x)).collect()),
+                ));
+                members.push(("target".into(), Json::Str(query_op(template).into())));
+                push_query_fields(&mut members, template);
             }
         }
         Json::Obj(members)
+    }
+}
+
+/// The wire op of a query's target.
+fn query_op(q: &AmplificationQuery) -> &'static str {
+    match q.target() {
+        QueryTarget::Delta { .. } => "delta",
+        QueryTarget::Epsilon { .. } => "epsilon",
+        QueryTarget::Curve { .. } => "curve",
+        QueryTarget::Composed { .. } => "composed",
+        QueryTarget::MinPopulation { .. } => "min_n",
+        QueryTarget::MaxLocalBudget { .. } => "max_eps0",
+    }
+}
+
+/// Serialize a query's source, population, target and selection fields (the
+/// `op` key itself is written by the caller, so query and sweep frames can
+/// share one definition of the field layout).
+fn push_query_fields(members: &mut Vec<(String, Json)>, q: &AmplificationQuery) {
+    // max_eps0 searches worst-case LDP workloads parameterized by the ε₀
+    // ceiling alone; writing p/β/q would be rejected on re-parse.
+    if !matches!(q.target(), QueryTarget::MaxLocalBudget { .. }) {
+        let vr = q.variation_ratio();
+        if vr.p().is_finite() {
+            members.push(("p".into(), Json::Num(vr.p())));
+        } else {
+            members.push(("p".into(), Json::Str(P_INFINITY.into())));
+        }
+        members.push(("beta".into(), Json::Num(vr.beta())));
+        members.push(("q".into(), Json::Num(vr.q())));
+    }
+    if let Some(eps0) = q.local_budget() {
+        members.push(("eps0".into(), Json::Num(eps0)));
+    }
+    // Planner targets carry their population axis inside the target.
+    if !matches!(
+        q.target(),
+        QueryTarget::MinPopulation { .. } | QueryTarget::MaxLocalBudget { .. }
+    ) {
+        members.push(("n".into(), Json::Num(q.population() as f64)));
+    }
+    match *q.target() {
+        QueryTarget::Delta { eps } => members.push(("eps".into(), Json::Num(eps))),
+        QueryTarget::Epsilon { delta } => members.push(("delta".into(), Json::Num(delta))),
+        QueryTarget::Curve { eps_max, points } => {
+            members.push(("eps_max".into(), Json::Num(eps_max)));
+            members.push(("points".into(), Json::Num(points as f64)));
+        }
+        QueryTarget::Composed { rounds, delta } => {
+            members.push(("rounds".into(), Json::Num(rounds as f64)));
+            members.push(("delta".into(), Json::Num(delta)));
+        }
+        QueryTarget::MinPopulation {
+            eps,
+            delta,
+            n_hi_hint,
+        } => {
+            members.push(("eps".into(), Json::Num(eps)));
+            members.push(("delta".into(), Json::Num(delta)));
+            members.push(("n_hi".into(), Json::Num(n_hi_hint as f64)));
+        }
+        QueryTarget::MaxLocalBudget { eps, delta, n } => {
+            members.push(("eps".into(), Json::Num(eps)));
+            members.push(("delta".into(), Json::Num(delta)));
+            members.push(("n".into(), Json::Num(n as f64)));
+        }
+    }
+    match q.selection() {
+        BoundSelection::Default => {}
+        BoundSelection::Named(name) => members.push(("bound".into(), Json::Str(name.clone()))),
+        BoundSelection::BestOf => members.push(("bound".into(), Json::Str(BEST_OF.into()))),
     }
 }
 
@@ -289,6 +349,19 @@ impl Request {
 /// `QueryBuilder::build()` validation gauntlet in-process callers get.
 fn parse_query(frame: &Json, op: &str) -> Result<AmplificationQuery, WireError> {
     let explicit_p = frame.get("p").is_some();
+    if op == "max_eps0" && explicit_p {
+        return Err(WireError::malformed(
+            "max_eps0 searches worst-case LDP workloads; give the `eps0` ceiling \
+             instead of explicit `p`/`beta`/`q`",
+        ));
+    }
+    if op == "min_n" && frame.get("n").is_some() {
+        // Mirror the builder, which rejects `.population()` on planner
+        // targets: a stray `n` must not be silently shadowed by the search.
+        return Err(WireError::malformed(
+            "min_n searches the population; drop `n` (use `n_hi` as a bracketing hint)",
+        ));
+    }
     let mut builder = if explicit_p {
         let p = match frame.get("p") {
             Some(Json::Str(s)) if s == P_INFINITY => f64::INFINITY,
@@ -313,7 +386,11 @@ fn parse_query(frame: &Json, op: &str) -> Result<AmplificationQuery, WireError> 
         ));
     };
 
-    builder = builder.population(field_u64(frame, "n")?);
+    // The planner ops carry their population axis inside the target (`min_n`
+    // searches it; `max_eps0` fixes it there); every forward op requires it.
+    if !matches!(op, "min_n" | "max_eps0") {
+        builder = builder.population(field_u64(frame, "n")?);
+    }
     builder = match op {
         "delta" => builder.delta_at(field_f64(frame, "eps")?),
         "epsilon" => builder.epsilon_at(field_f64(frame, "delta")?),
@@ -329,6 +406,20 @@ fn parse_query(frame: &Json, op: &str) -> Result<AmplificationQuery, WireError> 
                 .map_err(|_| WireError::malformed("`rounds` is out of range"))?;
             builder.composed(rounds, field_f64(frame, "delta")?)
         }
+        "min_n" => {
+            let n_hi = match frame.get("n_hi") {
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| WireError::malformed("`n_hi` must be a non-negative integer"))?,
+                None => DEFAULT_N_HI_HINT,
+            };
+            builder.min_population(field_f64(frame, "eps")?, field_f64(frame, "delta")?, n_hi)
+        }
+        "max_eps0" => builder.max_local_budget(
+            field_f64(frame, "eps")?,
+            field_f64(frame, "delta")?,
+            field_u64(frame, "n")?,
+        ),
         _ => unreachable!("op was validated by the caller"),
     };
     if let Some(bound) = frame.get("bound") {
@@ -342,6 +433,84 @@ fn parse_query(frame: &Json, op: &str) -> Result<AmplificationQuery, WireError> 
         };
     }
     builder.build().map_err(WireError::from)
+}
+
+/// Parse a `sweep` frame: the axis and grid, plus an embedded query template
+/// addressed by `target` (the per-point op). The template reuses the normal
+/// query fields; when the frame does not spell out the axis field itself,
+/// the first grid value seeds the template (each grid point overrides it
+/// when the sweep runs).
+fn parse_sweep(frame: &Json) -> Result<Command, WireError> {
+    let axis_kind = frame
+        .get("axis")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::malformed("sweep needs an `axis` of \"n\" or \"eps0\""))?;
+    let target = frame
+        .get("target")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::malformed("sweep needs a `target` op to fan out"))?;
+    if !matches!(
+        target,
+        "delta" | "epsilon" | "composed" | "min_n" | "max_eps0"
+    ) {
+        return Err(WireError::malformed(format!(
+            "sweep target must be a scalar query op (got `{target}`)"
+        )));
+    }
+    if axis_kind == "n" && target == "min_n" {
+        return Err(WireError::malformed(
+            "min_n searches the population; sweep it over `eps0` instead of `n`",
+        ));
+    }
+    let grid = frame
+        .get("grid")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError::malformed("sweep needs a `grid` array"))?;
+    if grid.is_empty() {
+        return Err(WireError::malformed("sweep `grid` must be non-empty"));
+    }
+    let axis = match axis_kind {
+        "n" => SweepAxis::Population(
+            grid.iter()
+                .map(|v| {
+                    v.as_u64().ok_or_else(|| {
+                        WireError::malformed("`grid` populations must be non-negative integers")
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        "eps0" => SweepAxis::LocalBudget(
+            grid.iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| WireError::malformed("`grid` budgets must be numbers"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        other => {
+            return Err(WireError::malformed(format!(
+                "sweep axis must be \"n\" or \"eps0\" (got `{other}`)"
+            )))
+        }
+    };
+    // Seed the template with the first grid value when the axis field is
+    // absent from the frame (the engine re-parameterizes every point).
+    let axis_key = axis.kind();
+    let template_frame = if frame.get(axis_key).is_some() {
+        frame.clone()
+    } else {
+        let Json::Obj(members) = frame else {
+            unreachable!("caller verified the frame is an object");
+        };
+        let mut members = members.clone();
+        members.push((axis_key.to_string(), Json::Num(axis.grid_values()[0])));
+        Json::Obj(members)
+    };
+    let template = parse_query(&template_frame, target)?;
+    Ok(Command::Sweep {
+        template: Box::new(template),
+        axis,
+    })
 }
 
 /// A point-in-time snapshot of the daemon's aggregate and per-op counters,
@@ -369,6 +538,12 @@ pub struct StatsSnapshot {
     pub op_curve: u64,
     /// `composed` queries served or attempted.
     pub op_composed: u64,
+    /// `min_n` planner queries served or attempted.
+    pub op_min_n: u64,
+    /// `max_eps0` planner queries served or attempted.
+    pub op_max_eps0: u64,
+    /// `sweep` requests served or attempted.
+    pub op_sweep: u64,
     /// `stats` requests served.
     pub op_stats: u64,
     /// Microseconds since the daemon started.
@@ -382,7 +557,7 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    const FIELDS: [&'static str; 15] = [
+    const FIELDS: [&'static str; 18] = [
         "connections",
         "requests",
         "ok",
@@ -393,6 +568,9 @@ impl StatsSnapshot {
         "op_epsilon",
         "op_curve",
         "op_composed",
+        "op_min_n",
+        "op_max_eps0",
+        "op_sweep",
         "op_stats",
         "uptime_micros",
         "workers",
@@ -400,7 +578,7 @@ impl StatsSnapshot {
         "cached_evaluators",
     ];
 
-    fn values(&self) -> [u64; 15] {
+    fn values(&self) -> [u64; 18] {
         [
             self.connections,
             self.requests,
@@ -412,6 +590,9 @@ impl StatsSnapshot {
             self.op_epsilon,
             self.op_curve,
             self.op_composed,
+            self.op_min_n,
+            self.op_max_eps0,
+            self.op_sweep,
             self.op_stats,
             self.uptime_micros,
             self.workers,
@@ -432,7 +613,7 @@ impl StatsSnapshot {
 
     fn from_json(v: &Json) -> Option<Self> {
         let mut out = Self::default();
-        let slots: [&mut u64; 15] = [
+        let slots: [&mut u64; 18] = [
             &mut out.connections,
             &mut out.requests,
             &mut out.ok,
@@ -443,6 +624,9 @@ impl StatsSnapshot {
             &mut out.op_epsilon,
             &mut out.op_curve,
             &mut out.op_composed,
+            &mut out.op_min_n,
+            &mut out.op_max_eps0,
+            &mut out.op_sweep,
             &mut out.op_stats,
             &mut out.uptime_micros,
             &mut out.workers,
@@ -471,6 +655,30 @@ pub struct ReplyMeta {
     pub cache_hit: bool,
     /// Serving wall time in microseconds.
     pub wall_micros: u64,
+    /// Planner search certificate (`min_n` / `max_eps0` replies only): the
+    /// failing/passing witness pair plus probe and cache-hit tallies.
+    pub certificate: Option<PlanCertificate>,
+}
+
+/// The payload of a `sweep` reply: parallel arrays over the grid, with
+/// failed points carried as `None` values plus an error message (one bad
+/// grid point does not fail its neighbours).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The swept axis (`"n"` / `"eps0"`).
+    pub axis: String,
+    /// The grid values, echoed back (populations exact below 2⁵³).
+    pub grid: Vec<f64>,
+    /// Per-point scalar answers (`None` where the point failed).
+    pub values: Vec<Option<f64>>,
+    /// Per-point winning bound names (`None` where the point failed).
+    pub bounds: Vec<Option<String>>,
+    /// Per-point error messages (`None` where the point succeeded).
+    pub errors: Vec<Option<String>>,
+    /// Grid points served entirely from warm evaluator state.
+    pub cache_hits: u64,
+    /// Total engine time across all points, in microseconds.
+    pub wall_micros: u64,
 }
 
 /// The successful payload of a reply frame.
@@ -492,6 +700,8 @@ pub enum ReplyBody {
         /// Serving provenance.
         meta: ReplyMeta,
     },
+    /// A parameter sweep (`sweep` op).
+    Sweep(SweepOutcome),
     /// Daemon counters (`stats` op).
     Stats(StatsSnapshot),
     /// Shutdown acknowledgement.
@@ -533,6 +743,7 @@ impl Reply {
             conditional: report.validity.conditional,
             cache_hit: report.cache_hit,
             wall_micros: report.wall.as_micros().min(u128::from(u64::MAX)) as u64,
+            certificate: report.certificate,
         };
         let body = match &report.value {
             QueryValue::Scalar(v) => ReplyBody::Scalar { value: *v, meta },
@@ -542,6 +753,42 @@ impl Reply {
             }
         };
         Self::ok(id, body)
+    }
+
+    /// Wire form of an [`vr_core::engine::AnalysisEngine::sweep`] result.
+    pub fn from_sweep(
+        id: Option<Json>,
+        axis: &SweepAxis,
+        reports: &[std::result::Result<AnalysisReport, Error>],
+    ) -> Self {
+        let mut outcome = SweepOutcome {
+            axis: axis.kind().to_string(),
+            grid: axis.grid_values(),
+            values: Vec::with_capacity(reports.len()),
+            bounds: Vec::with_capacity(reports.len()),
+            errors: Vec::with_capacity(reports.len()),
+            cache_hits: 0,
+            wall_micros: 0,
+        };
+        for report in reports {
+            match report {
+                Ok(r) => {
+                    outcome
+                        .values
+                        .push(Some(r.scalar().expect("sweeps serve scalar targets")));
+                    outcome.bounds.push(Some(r.bound.clone()));
+                    outcome.errors.push(None);
+                    outcome.cache_hits += u64::from(r.cache_hit);
+                    outcome.wall_micros += r.wall.as_micros().min(u128::from(u64::MAX)) as u64;
+                }
+                Err(e) => {
+                    outcome.values.push(None);
+                    outcome.bounds.push(None);
+                    outcome.errors.push(Some(e.to_string()));
+                }
+            }
+        }
+        Self::ok(id, ReplyBody::Sweep(outcome))
     }
 
     /// Serialize to the wire frame.
@@ -573,6 +820,35 @@ impl Reply {
                             ]),
                         ));
                         push_meta(&mut members, meta);
+                    }
+                    ReplyBody::Sweep(sweep) => {
+                        let opt_num = |xs: &[Option<f64>]| {
+                            Json::Arr(xs.iter().map(|x| x.map_or(Json::Null, Json::Num)).collect())
+                        };
+                        let opt_str = |xs: &[Option<String>]| {
+                            Json::Arr(
+                                xs.iter()
+                                    .map(|x| {
+                                        x.as_ref().map_or(Json::Null, |s| Json::Str(s.clone()))
+                                    })
+                                    .collect(),
+                            )
+                        };
+                        members.push((
+                            "sweep".into(),
+                            Json::obj(vec![
+                                ("axis", Json::Str(sweep.axis.clone())),
+                                (
+                                    "grid",
+                                    Json::Arr(sweep.grid.iter().map(|&x| Json::Num(x)).collect()),
+                                ),
+                                ("value", opt_num(&sweep.values)),
+                                ("bound", opt_str(&sweep.bounds)),
+                                ("error", opt_str(&sweep.errors)),
+                                ("cache_hits", Json::Num(sweep.cache_hits as f64)),
+                                ("wall_micros", Json::Num(sweep.wall_micros as f64)),
+                            ]),
+                        ));
                     }
                     ReplyBody::Stats(stats) => {
                         members.push(("stats".into(), stats.to_json()));
@@ -629,6 +905,8 @@ impl Reply {
                 delta: axis("delta")?,
                 meta: parse_meta(frame)?,
             }
+        } else if let Some(sweep) = frame.get("sweep") {
+            ReplyBody::Sweep(parse_sweep_outcome(sweep)?)
         } else if let Some(stats) = frame.get("stats") {
             ReplyBody::Stats(
                 StatsSnapshot::from_json(stats)
@@ -638,11 +916,79 @@ impl Reply {
             ReplyBody::ShuttingDown
         } else {
             return Err(WireError::malformed(
-                "success reply needs `value`, `curve`, `stats` or `shutting_down`",
+                "success reply needs `value`, `curve`, `sweep`, `stats` or `shutting_down`",
             ));
         };
         Ok(Reply::ok(id, body))
     }
+}
+
+/// Parse the `"sweep"` object of a sweep reply (parallel nullable arrays).
+fn parse_sweep_outcome(v: &Json) -> Result<SweepOutcome, WireError> {
+    let missing = |k: &str| WireError::malformed(format!("sweep reply missing `{k}`"));
+    let nums = |key: &str| -> Result<Vec<f64>, WireError> {
+        v.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing(key))?
+            .iter()
+            .map(|x| {
+                x.as_f64()
+                    .ok_or_else(|| WireError::malformed(format!("`{key}` entries must be numbers")))
+            })
+            .collect()
+    };
+    let opt_nums = |key: &str| -> Result<Vec<Option<f64>>, WireError> {
+        v.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing(key))?
+            .iter()
+            .map(|x| match x {
+                Json::Null => Ok(None),
+                other => other.as_f64().map(Some).ok_or_else(|| {
+                    WireError::malformed(format!("`{key}` entries must be numbers or null"))
+                }),
+            })
+            .collect()
+    };
+    let opt_strs = |key: &str| -> Result<Vec<Option<String>>, WireError> {
+        v.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing(key))?
+            .iter()
+            .map(|x| match x {
+                Json::Null => Ok(None),
+                other => other.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
+                    WireError::malformed(format!("`{key}` entries must be strings or null"))
+                }),
+            })
+            .collect()
+    };
+    let outcome = SweepOutcome {
+        axis: v
+            .get("axis")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("axis"))?
+            .to_string(),
+        grid: nums("grid")?,
+        values: opt_nums("value")?,
+        bounds: opt_strs("bound")?,
+        errors: opt_strs("error")?,
+        cache_hits: v
+            .get("cache_hits")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("cache_hits"))?,
+        wall_micros: v
+            .get("wall_micros")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("wall_micros"))?,
+    };
+    let len = outcome.grid.len();
+    if outcome.values.len() != len || outcome.bounds.len() != len || outcome.errors.len() != len {
+        return Err(WireError::malformed(
+            "sweep reply arrays must all match the grid length",
+        ));
+    }
+    Ok(outcome)
 }
 
 fn push_meta(members: &mut Vec<(String, Json)>, meta: &ReplyMeta) {
@@ -658,6 +1004,17 @@ fn push_meta(members: &mut Vec<(String, Json)>, meta: &ReplyMeta) {
     members.push(("conditional".into(), Json::Bool(meta.conditional)));
     members.push(("cache_hit".into(), Json::Bool(meta.cache_hit)));
     members.push(("wall_micros".into(), Json::Num(meta.wall_micros as f64)));
+    if let Some(cert) = &meta.certificate {
+        members.push((
+            "certificate".into(),
+            Json::obj(vec![
+                ("failing", cert.failing.map_or(Json::Null, Json::Num)),
+                ("passing", Json::Num(cert.passing)),
+                ("evaluations", Json::Num(f64::from(cert.evaluations))),
+                ("cache_hits", Json::Num(f64::from(cert.cache_hits))),
+            ]),
+        ));
+    }
 }
 
 fn parse_meta(frame: &Json) -> Result<ReplyMeta, WireError> {
@@ -685,6 +1042,29 @@ fn parse_meta(frame: &Json) -> Result<ReplyMeta, WireError> {
             .get("wall_micros")
             .and_then(Json::as_u64)
             .ok_or_else(|| missing("wall_micros"))?,
+        certificate: match frame.get("certificate") {
+            None => None,
+            Some(cert) => {
+                let counter = |k: &str| -> Result<u32, WireError> {
+                    cert.get(k)
+                        .and_then(Json::as_u64)
+                        .and_then(|x| u32::try_from(x).ok())
+                        .ok_or_else(|| missing(k))
+                };
+                Some(PlanCertificate {
+                    failing: match cert.get("failing") {
+                        Some(Json::Null) | None => None,
+                        Some(v) => Some(v.as_f64().ok_or_else(|| missing("failing"))?),
+                    },
+                    passing: cert
+                        .get("passing")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| missing("passing"))?,
+                    evaluations: counter("evaluations")?,
+                    cache_hits: counter("cache_hits")?,
+                })
+            }
+        },
     })
 }
 
@@ -802,6 +1182,170 @@ mod tests {
     }
 
     #[test]
+    fn planner_requests_roundtrip_exactly() {
+        let queries = [
+            AmplificationQuery::ldp_worst_case(1.0)
+                .unwrap()
+                .min_population(0.25, 1e-8, 1 << 14)
+                .build()
+                .unwrap(),
+            AmplificationQuery::ldp_worst_case(4.0)
+                .unwrap()
+                .max_local_budget(0.25, 1e-8, 100_000)
+                .build()
+                .unwrap(),
+        ];
+        for q in queries {
+            let req = Request {
+                id: None,
+                command: Command::Query(Box::new(q.clone())),
+            };
+            let wire = req.to_json().to_string();
+            let back = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            match back.command {
+                Command::Query(back_q) => assert_eq!(*back_q, q, "wire: {wire}"),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        // min_n without a hint falls back to the default.
+        let frame = Json::parse(r#"{"op":"min_n","eps0":1.0,"eps":0.25,"delta":1e-8}"#).unwrap();
+        match Request::from_json(&frame).unwrap().command {
+            Command::Query(q) => assert_eq!(
+                q.target(),
+                &QueryTarget::MinPopulation {
+                    eps: 0.25,
+                    delta: 1e-8,
+                    n_hi_hint: DEFAULT_N_HI_HINT
+                }
+            ),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_requests_roundtrip_exactly() {
+        let template = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(1_000)
+            .epsilon_at(1e-8)
+            .bound(names::NUMERICAL)
+            .build()
+            .unwrap();
+        for axis in [
+            SweepAxis::Population(vec![1_000, 10_000, 100_000]),
+            SweepAxis::LocalBudget(vec![0.5, 1.0, 2.0]),
+        ] {
+            let req = Request {
+                id: Some(Json::Num(3.0)),
+                command: Command::Sweep {
+                    template: Box::new(template.clone()),
+                    axis: axis.clone(),
+                },
+            };
+            let wire = req.to_json().to_string();
+            let back = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            match back.command {
+                Command::Sweep {
+                    template: back_t,
+                    axis: back_a,
+                } => {
+                    assert_eq!(back_a, axis, "wire: {wire}");
+                    // The population/budget axis field is re-seeded from the
+                    // template's own serialized value, so the round trip is
+                    // exact.
+                    assert_eq!(*back_t, template, "wire: {wire}");
+                }
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        // A terse hand-written sweep frame parses (axis field seeded from
+        // the grid).
+        let frame = Json::parse(
+            r#"{"op":"sweep","axis":"n","grid":[500,5000],"target":"epsilon","eps0":1.0,"delta":1e-6}"#,
+        )
+        .unwrap();
+        match Request::from_json(&frame).unwrap().command {
+            Command::Sweep { template, axis } => {
+                assert_eq!(axis, SweepAxis::Population(vec![500, 5_000]));
+                assert_eq!(template.population(), 500, "seeded from grid[0]");
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planner_and_sweep_malformed_frames_are_typed() {
+        for (text, needle) in [
+            // max_eps0 must not carry an explicit source.
+            (
+                r#"{"op":"max_eps0","p":2.0,"beta":0.3,"q":2.0,"eps":0.2,"delta":1e-8,"n":100}"#,
+                "worst-case",
+            ),
+            (
+                r#"{"op":"max_eps0","eps0":2.0,"eps":0.2,"delta":1e-8}"#,
+                "`n`",
+            ),
+            (r#"{"op":"min_n","eps0":1.0,"delta":1e-8}"#, "`eps`"),
+            // A stray `n` on min_n mirrors the builder's population/planner
+            // conflict rejection instead of being silently shadowed.
+            (
+                r#"{"op":"min_n","eps0":1.0,"eps":0.2,"delta":1e-8,"n":1000}"#,
+                "drop `n`",
+            ),
+            (
+                r#"{"op":"sweep","axis":"n","grid":[10],"target":"min_n","eps0":1.0,"eps":0.2,"delta":1e-8}"#,
+                "sweep it over `eps0`",
+            ),
+            (
+                r#"{"op":"min_n","eps0":1.0,"eps":0.2,"delta":1e-8,"n_hi":1.5}"#,
+                "`n_hi`",
+            ),
+            (r#"{"op":"sweep","grid":[1],"target":"epsilon"}"#, "axis"),
+            (
+                r#"{"op":"sweep","axis":"rounds","grid":[1],"target":"epsilon"}"#,
+                "axis",
+            ),
+            (
+                r#"{"op":"sweep","axis":"n","target":"epsilon","eps0":1.0,"delta":1e-8}"#,
+                "`grid`",
+            ),
+            (
+                r#"{"op":"sweep","axis":"n","grid":[],"target":"epsilon","eps0":1.0,"delta":1e-8}"#,
+                "non-empty",
+            ),
+            (
+                r#"{"op":"sweep","axis":"n","grid":[10],"eps0":1.0,"delta":1e-8}"#,
+                "`target`",
+            ),
+            (
+                r#"{"op":"sweep","axis":"n","grid":[10],"target":"curve","eps0":1.0}"#,
+                "scalar",
+            ),
+            (
+                r#"{"op":"sweep","axis":"n","grid":[10.5],"target":"epsilon","eps0":1.0,"delta":1e-8}"#,
+                "grid",
+            ),
+        ] {
+            let err = Request::from_json(&Json::parse(text).unwrap()).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Malformed, "{text}");
+            assert!(
+                err.message.contains(needle),
+                "{text}: `{}` lacks `{needle}`",
+                err.message
+            );
+        }
+        // Domain defects in planner frames surface as invalid_parameter.
+        for text in [
+            r#"{"op":"min_n","eps0":1.0,"eps":-0.2,"delta":1e-8}"#,
+            r#"{"op":"min_n","eps0":1.0,"eps":0.2,"delta":1e-8,"n_hi":0}"#,
+            r#"{"op":"max_eps0","eps0":2.0,"eps":0.2,"delta":2.0,"n":100}"#,
+        ] {
+            let err = Request::from_json(&Json::parse(text).unwrap()).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::InvalidParameter, "{text}");
+        }
+    }
+
+    #[test]
     fn infinite_p_uses_the_string_spelling() {
         let mm = VariationRatio::new(f64::INFINITY, 0.8, 4.0).unwrap();
         let req = Request {
@@ -831,6 +1375,7 @@ mod tests {
             conditional: false,
             cache_hit: true,
             wall_micros: 412,
+            certificate: None,
         };
         let replies = [
             Reply::ok(
@@ -848,7 +1393,7 @@ mod tests {
                     meta: ReplyMeta {
                         eps_ceiling: f64::INFINITY,
                         conditional: true,
-                        ..meta
+                        ..meta.clone()
                     },
                 },
             ),
@@ -867,6 +1412,48 @@ mod tests {
                     queue_depth: 64,
                     cached_evaluators: 2,
                     ..StatsSnapshot::default()
+                }),
+            ),
+            Reply::ok(
+                Some(Json::Str("plan".into())),
+                ReplyBody::Scalar {
+                    value: 40_960.0,
+                    meta: ReplyMeta {
+                        certificate: Some(PlanCertificate {
+                            failing: Some(40_959.0),
+                            passing: 40_960.0,
+                            evaluations: 31,
+                            cache_hits: 4,
+                        }),
+                        ..meta.clone()
+                    },
+                },
+            ),
+            Reply::ok(
+                None,
+                ReplyBody::Scalar {
+                    value: 1.25,
+                    meta: ReplyMeta {
+                        certificate: Some(PlanCertificate {
+                            failing: None,
+                            passing: 1.25,
+                            evaluations: 1,
+                            cache_hits: 0,
+                        }),
+                        ..meta.clone()
+                    },
+                },
+            ),
+            Reply::ok(
+                None,
+                ReplyBody::Sweep(SweepOutcome {
+                    axis: "n".into(),
+                    grid: vec![100.0, 1_000.0, 10_000.0],
+                    values: vec![Some(0.9), None, Some(0.1)],
+                    bounds: vec![Some("numerical".into()), None, Some("analytic".into())],
+                    errors: vec![None, Some("target not achievable: boom".into()), None],
+                    cache_hits: 2,
+                    wall_micros: 917,
                 }),
             ),
             Reply::ok(None, ReplyBody::ShuttingDown),

@@ -38,7 +38,7 @@ use crate::json::Json;
 use crate::protocol::{
     extract_id, Command, ErrorKind, Reply, ReplyBody, Request, StatsSnapshot, WireError,
 };
-use vr_core::engine::{AmplificationQuery, AnalysisEngine, AnalysisReport};
+use vr_core::engine::{AmplificationQuery, AnalysisEngine, AnalysisReport, SweepAxis};
 
 /// Longest request line accepted, in bytes (64 KiB — a curve query is a few
 /// hundred bytes; anything bigger is hostile). Longer lines are answered
@@ -84,14 +84,35 @@ struct Counters {
     op_epsilon: AtomicU64,
     op_curve: AtomicU64,
     op_composed: AtomicU64,
+    op_min_n: AtomicU64,
+    op_max_eps0: AtomicU64,
+    op_sweep: AtomicU64,
     op_stats: AtomicU64,
 }
 
-/// A unit of engine work: the query plus the channel its reply travels back
-/// on (the connection thread blocks on the receiver).
+/// The engine work a job carries: one query, or a whole sweep.
+enum Work {
+    Query(Box<AmplificationQuery>),
+    Sweep {
+        template: Box<AmplificationQuery>,
+        axis: SweepAxis,
+    },
+}
+
+/// What a worker hands back on success.
+enum WorkOutput {
+    Report(AnalysisReport),
+    Sweep {
+        axis: SweepAxis,
+        reports: Vec<std::result::Result<AnalysisReport, vr_core::error::Error>>,
+    },
+}
+
+/// A unit of engine work: the work item plus the channel its reply travels
+/// back on (the connection thread blocks on the receiver).
 struct Job {
-    query: Box<AmplificationQuery>,
-    reply: mpsc::Sender<Result<AnalysisReport, WireError>>,
+    work: Work,
+    reply: mpsc::Sender<Result<WorkOutput, WireError>>,
 }
 
 /// State shared by the accept loop, connection threads and workers.
@@ -130,14 +151,18 @@ impl Inner {
         match outcome {
             Ok(body) => {
                 self.stats.ok.fetch_add(1, Ordering::Relaxed);
-                let cache_hit = match body {
+                let cache_hits = match body {
                     ReplyBody::Scalar { meta, .. } | ReplyBody::Curve { meta, .. } => {
-                        meta.cache_hit
+                        u64::from(meta.cache_hit)
                     }
-                    _ => false,
+                    // Each warm grid point counts, mirroring the batch it is.
+                    ReplyBody::Sweep(sweep) => sweep.cache_hits,
+                    _ => 0,
                 };
-                if cache_hit {
-                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                if cache_hits > 0 {
+                    self.stats
+                        .cache_hits
+                        .fetch_add(cache_hits, Ordering::Relaxed);
                 }
             }
             Err(e) if e.kind == ErrorKind::Busy => {
@@ -162,6 +187,9 @@ impl Inner {
             op_epsilon: s.op_epsilon.load(Ordering::Relaxed),
             op_curve: s.op_curve.load(Ordering::Relaxed),
             op_composed: s.op_composed.load(Ordering::Relaxed),
+            op_min_n: s.op_min_n.load(Ordering::Relaxed),
+            op_max_eps0: s.op_max_eps0.load(Ordering::Relaxed),
+            op_sweep: s.op_sweep.load(Ordering::Relaxed),
             op_stats: s.op_stats.load(Ordering::Relaxed),
             uptime_micros: self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
             workers: self.config.workers as u64,
@@ -207,11 +235,11 @@ impl Inner {
         }
     }
 
-    /// Admit a query into the bounded queue, or reject with `busy`.
+    /// Admit a unit of work into the bounded queue, or reject with `busy`.
     fn submit(
         &self,
-        query: Box<AmplificationQuery>,
-    ) -> Result<mpsc::Receiver<Result<AnalysisReport, WireError>>, WireError> {
+        work: Work,
+    ) -> Result<mpsc::Receiver<Result<WorkOutput, WireError>>, WireError> {
         let (tx, rx) = mpsc::channel();
         {
             let mut queue = lock(&self.queue);
@@ -233,7 +261,7 @@ impl Inner {
                     ),
                 ));
             }
-            queue.push_back(Job { query, reply: tx });
+            queue.push_back(Job { work, reply: tx });
         }
         self.job_ready.notify_one();
         Ok(rx)
@@ -429,9 +457,20 @@ fn worker_loop(inner: &Arc<Inner>) {
         };
         // A panic inside the engine must cost this request, not the worker:
         // catch it, reply with a structured `internal` error, keep looping.
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| inner.engine.run(&job.query)));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match &job.work {
+            Work::Query(query) => inner.engine.run(query).map(WorkOutput::Report),
+            Work::Sweep { template, axis } => {
+                inner
+                    .engine
+                    .sweep(template, axis)
+                    .map(|reports| WorkOutput::Sweep {
+                        axis: axis.clone(),
+                        reports,
+                    })
+            }
+        }));
         let message = match outcome {
-            Ok(Ok(report)) => Ok(report),
+            Ok(Ok(output)) => Ok(output),
             Ok(Err(e)) => Err(WireError::from(e)),
             Err(panic) => Err(WireError::new(
                 ErrorKind::Internal,
@@ -570,16 +609,28 @@ fn handle_frame(inner: &Arc<Inner>, text: &str) -> (Reply, bool) {
             )
         }
         Command::Shutdown => (Reply::ok(request.id, ReplyBody::ShuttingDown), true),
-        Command::Query(query) => {
+        Command::Query(_) | Command::Sweep { .. } => {
             use vr_core::engine::QueryTarget;
-            let op_counter = match query.target() {
-                QueryTarget::Delta { .. } => &inner.stats.op_delta,
-                QueryTarget::Epsilon { .. } => &inner.stats.op_epsilon,
-                QueryTarget::Curve { .. } => &inner.stats.op_curve,
-                QueryTarget::Composed { .. } => &inner.stats.op_composed,
+            let work = match request.command {
+                Command::Query(query) => {
+                    let op_counter = match query.target() {
+                        QueryTarget::Delta { .. } => &inner.stats.op_delta,
+                        QueryTarget::Epsilon { .. } => &inner.stats.op_epsilon,
+                        QueryTarget::Curve { .. } => &inner.stats.op_curve,
+                        QueryTarget::Composed { .. } => &inner.stats.op_composed,
+                        QueryTarget::MinPopulation { .. } => &inner.stats.op_min_n,
+                        QueryTarget::MaxLocalBudget { .. } => &inner.stats.op_max_eps0,
+                    };
+                    op_counter.fetch_add(1, Ordering::Relaxed);
+                    Work::Query(query)
+                }
+                Command::Sweep { template, axis } => {
+                    inner.stats.op_sweep.fetch_add(1, Ordering::Relaxed);
+                    Work::Sweep { template, axis }
+                }
+                _ => unreachable!("outer match narrowed the command"),
             };
-            op_counter.fetch_add(1, Ordering::Relaxed);
-            let outcome = inner.submit(query).and_then(|rx| {
+            let outcome = inner.submit(work).and_then(|rx| {
                 rx.recv().unwrap_or_else(|_| {
                     // Worker exited without replying (shutdown race).
                     Err(WireError::new(
@@ -589,7 +640,10 @@ fn handle_frame(inner: &Arc<Inner>, text: &str) -> (Reply, bool) {
                 })
             });
             let reply = match outcome {
-                Ok(report) => Reply::from_report(request.id, &report),
+                Ok(WorkOutput::Report(report)) => Reply::from_report(request.id, &report),
+                Ok(WorkOutput::Sweep { axis, reports }) => {
+                    Reply::from_sweep(request.id, &axis, &reports)
+                }
                 Err(e) => Reply::err(request.id, e),
             };
             (reply, false)

@@ -1,0 +1,84 @@
+//! Planning a deployment with the inverse query layer: instead of asking
+//! "what does this population certify?", ask the questions a rollout starts
+//! from —
+//!
+//! 1. **min n** — how many users before a shuffled GRR report is
+//!    `(ε, δ)`-DP? (with the certificate pair proving the answer is tight)
+//! 2. **max ε₀** — how much local budget can each user afford at a fixed
+//!    population?
+//! 3. **sweep** — how does the amplified ε move across candidate
+//!    population sizes, served warm as one batch?
+//!
+//! The same three questions run over the wire: `{"op":"min_n"}`,
+//! `{"op":"max_eps0"}` and `{"op":"sweep"}` frames against `vr-serve`
+//! (see `vr_core::engine::planner` for the op → frame table).
+//!
+//! Run with: `cargo run --release --example deployment_planner`
+
+use shuffle_amplification::prelude::*;
+
+fn main() {
+    let engine = AnalysisEngine::new();
+    let (eps, delta) = (0.25, 1e-8);
+
+    // 1. Minimum population for a GRR-32 deployment at eps0 = 1.5, end to
+    //    end through the protocols layer (privacy report included).
+    let mech = Grr::new(32, 1.5);
+    let plan = plan_deployment(&mech, eps, delta).expect("plan");
+    println!(
+        "GRR-32 @ eps0 = 1.5 needs n >= {} users for ({eps}, {delta:.0e})-DP",
+        plan.min_population
+    );
+    let cert = &plan.certificate;
+    println!(
+        "  certificate: fails at {}, passes at {} ({} probes, {} warm cache hits)",
+        cert.failing.map_or("-".into(), |n| format!("n = {n}")),
+        cert.passing,
+        cert.evaluations,
+        cert.cache_hits,
+    );
+    for (name, eps_at_min) in &plan.report {
+        match eps_at_min {
+            Ok(e) => println!("  {name:<22} eps = {e:.4}"),
+            Err(why) => println!("  {name:<22} n/a ({why})"),
+        }
+    }
+
+    // 2. The dual question: at a fixed fleet of 200k users, how much local
+    //    budget can each user afford before the central target breaks?
+    let budget_query = AmplificationQuery::ldp_worst_case(8.0)
+        .expect("valid ceiling")
+        .max_local_budget(eps, delta, 200_000)
+        .build()
+        .expect("valid query");
+    let served = engine.run(&budget_query).expect("served");
+    let cert = served.certificate.expect("planner certificate");
+    println!(
+        "\n200k users can afford eps0 = {:.6} (fails at {:.6}) via {}",
+        served.scalar().unwrap(),
+        cert.failing.unwrap_or(f64::NAN),
+        served.bound,
+    );
+
+    // 3. A population sweep over the forward query, served as one warm
+    //    batch from the shared evaluator cache.
+    let template = AmplificationQuery::ldp_worst_case(1.5)
+        .expect("valid budget")
+        .population(10_000)
+        .epsilon_at(delta)
+        .build()
+        .expect("valid query");
+    let grid = vec![10_000u64, 50_000, 250_000, 1_000_000];
+    let reports = engine
+        .sweep(&template, &SweepAxis::Population(grid.clone()))
+        .expect("sweep");
+    println!("\namplified eps(delta = {delta:.0e}) across candidate fleets:");
+    for (n, report) in grid.iter().zip(reports) {
+        let report = report.expect("grid point served");
+        println!(
+            "  n = {n:>9}  eps = {:.4}  ({})",
+            report.scalar().unwrap(),
+            report.bound
+        );
+    }
+}

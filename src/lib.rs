@@ -113,7 +113,8 @@ pub mod prelude {
     pub use vr_core::bound::{AmplificationBound, BestOf, BoundKind, BoundRegistry, Validity};
     pub use vr_core::curve::PrivacyCurve;
     pub use vr_core::engine::{
-        AmplificationQuery, AnalysisEngine, AnalysisReport, BoundSelection, QueryTarget, QueryValue,
+        AmplificationQuery, AnalysisEngine, AnalysisReport, BoundSelection, PlanCertificate,
+        QueryTarget, QueryValue, SweepAxis,
     };
     pub use vr_core::parallel::{hierarchical_range_query, ParallelWorkload};
     pub use vr_core::params::VariationRatio;
@@ -125,6 +126,8 @@ pub mod prelude {
     pub use vr_numerics::par::{par_map, par_map_with};
     #[allow(deprecated)] // kept for migration; prefer AnalysisEngine queries
     pub use vr_protocols::amplified_epsilon;
-    pub use vr_protocols::{run_frequency_protocol, serve_epsilons, RangeQueryProtocol};
+    pub use vr_protocols::{
+        plan_deployment, run_frequency_protocol, serve_epsilons, DeploymentPlan, RangeQueryProtocol,
+    };
     pub use vr_server::{Client, ServedReport, ServedValue, Server, ServerConfig};
 }

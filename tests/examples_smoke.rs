@@ -11,6 +11,7 @@ use std::process::Command;
 const EXAMPLES: &[&str] = &[
     "quickstart",
     "best_of",
+    "deployment_planner",
     "frequency_estimation",
     "metric_location",
     "multi_message_histogram",

@@ -1,0 +1,136 @@
+//! Planner acceptance tests (ISSUE-5): the inverse queries must be *tight*
+//! and *forward-checkable* — a `min_n` certificate fails at `n − 1` and
+//! passes at `n` under the very same forward `δ(ε)` evaluation an
+//! `AnalysisEngine::run` performs, and `max_eps0` must be monotone in the
+//! population (more users afford more local budget).
+
+use proptest::prelude::*;
+use shuffle_amplification::core::engine::QueryTarget;
+use shuffle_amplification::prelude::*;
+
+/// Forward δ(ε) for the worst-case `eps0` workload at population `n`,
+/// through the public engine — the reference the certificates are checked
+/// against (bit-identical to the planner's own probes by construction:
+/// both run the same resolution and evaluation path).
+fn forward_delta(engine: &AnalysisEngine, eps0: f64, n: u64, eps: f64) -> f64 {
+    let q = AmplificationQuery::ldp_worst_case(eps0)
+        .unwrap()
+        .population(n)
+        .delta_at(eps)
+        .build()
+        .unwrap();
+    engine.run(&q).unwrap().scalar().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For admissible `(ε, δ)` the min-population certificate is tight:
+    /// the bound fails at `n − 1` and passes at `n`, both verified through
+    /// forward engine runs, and the served scalar equals the certificate.
+    #[test]
+    fn min_population_certificate_is_tight(
+        eps0 in 0.5f64..2.0,
+        eps_frac in 0.1f64..0.6,
+        delta_exp in 4u32..9,
+        hint_shift in 4u32..14,
+    ) {
+        let engine = AnalysisEngine::new();
+        let eps = eps_frac * eps0;
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let q = AmplificationQuery::ldp_worst_case(eps0)
+            .unwrap()
+            .min_population(eps, delta, 1 << hint_shift)
+            .build()
+            .unwrap();
+        let report = engine.run(&q).unwrap();
+        let cert = report.certificate.expect("planner certificate");
+        let min_n = report.scalar().unwrap() as u64;
+        prop_assert_eq!(cert.passing, min_n as f64);
+        prop_assert!(matches!(q.target(), QueryTarget::MinPopulation { .. }));
+
+        // Passing endpoint: the forward engine agrees the target is met.
+        prop_assert!(
+            forward_delta(&engine, eps0, min_n, eps) <= delta,
+            "certificate's passing endpoint does not pass forward"
+        );
+        match cert.failing {
+            Some(failing) => {
+                prop_assert_eq!(failing, (min_n - 1) as f64, "witness must be adjacent");
+                prop_assert!(
+                    forward_delta(&engine, eps0, min_n - 1, eps) > delta,
+                    "certificate's failing endpoint does not fail forward"
+                );
+            }
+            // No failing witness only when a single user already suffices.
+            None => prop_assert_eq!(min_n, 1),
+        }
+    }
+
+    /// `max_eps0` grows (weakly) with the population: a larger fleet can
+    /// afford every budget a smaller one could.
+    #[test]
+    fn max_local_budget_is_monotone_in_population(
+        eps_frac in 0.1f64..0.6,
+        delta_exp in 4u32..9,
+    ) {
+        let engine = AnalysisEngine::new();
+        let ceiling = 6.0;
+        let eps = eps_frac; // target level, below the ceiling by construction
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let mut prev = 0.0f64;
+        for n in [1_000u64, 10_000, 100_000] {
+            let q = AmplificationQuery::ldp_worst_case(ceiling)
+                .unwrap()
+                .max_local_budget(eps, delta, n)
+                .build()
+                .unwrap();
+            let report = engine.run(&q).unwrap();
+            let affordable = report.scalar().unwrap();
+            let cert = report.certificate.expect("planner certificate");
+            prop_assert_eq!(cert.passing, affordable);
+            prop_assert!(affordable >= eps - 1e-12, "amplification never hurts");
+            prop_assert!(affordable <= ceiling);
+            prop_assert!(
+                affordable >= prev - 1e-9,
+                "shrunk from {} to {} when n grew to {}",
+                prev,
+                affordable,
+                n
+            );
+            prev = affordable;
+        }
+    }
+}
+
+/// The planner's probes are bit-faithful to the forward engine: re-running
+/// `δ(ε)` at both certificate endpoints of a `min_n` search produces
+/// decisions identical to the search's own, *bit for bit* on the δ values
+/// used (same evaluator cache, same fast-scan kernel).
+#[test]
+fn min_population_endpoints_are_bit_identical_to_forward_runs() {
+    let engine = AnalysisEngine::new();
+    let (eps0, eps, delta) = (1.0, 0.25, 1e-8);
+    let q = AmplificationQuery::ldp_worst_case(eps0)
+        .unwrap()
+        .min_population(eps, delta, 1 << 12)
+        .build()
+        .unwrap();
+    let min_n = engine.run(&q).unwrap().scalar().unwrap() as u64;
+
+    // The same engine (warm cache) and a cold engine agree bit-for-bit on
+    // the endpoint evaluations: the cache must not change a single bit.
+    let cold = AnalysisEngine::new();
+    for n in [min_n - 1, min_n] {
+        let warm_delta = forward_delta(&engine, eps0, n, eps);
+        let cold_delta = forward_delta(&cold, eps0, n, eps);
+        assert_eq!(
+            warm_delta.to_bits(),
+            cold_delta.to_bits(),
+            "warm/cold forward check drifted at n = {n}"
+        );
+    }
+    // And the search itself is reproducible bit-for-bit on a cold engine.
+    let again = cold.run(&q).unwrap();
+    assert_eq!(again.scalar().unwrap() as u64, min_n);
+}

@@ -194,11 +194,15 @@ fn query_boundary_rejects_each_documented_edge() {
     for bad in [-1e-12, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
         invalid(base().delta_at(bad).build(), "delta_at eps");
     }
-    // Curve target: ≥ 2 grid points, positive finite eps_max.
+    // Curve target: ≥ 2 grid points, positive finite eps_max. A degenerate
+    // eps_max must never reach the sampler (it would produce a NaN or
+    // zero-width grid); the same values arriving through the wire
+    // `"eps_max"` field are covered by the server's malformed-frame
+    // gauntlet.
     for bad_points in [0usize, 1] {
         invalid(base().curve(1.0, bad_points).build(), "curve points");
     }
-    for bad_eps_max in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+    for bad_eps_max in [0.0, -0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
         invalid(base().curve(bad_eps_max, 16).build(), "curve eps_max");
     }
     // Composed target: ≥ 1 round, δ ∈ (0, 1).

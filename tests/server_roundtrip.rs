@@ -16,6 +16,38 @@ use shuffle_amplification::server::{ClientError, ErrorKind};
 
 const N: u64 = 20_000;
 
+/// Run the `vr-query` binary (next to this test's executable, or through
+/// `cargo run` when filtered builds left it out) against a live daemon.
+fn run_vr_query(args: &[&str]) -> std::process::Output {
+    let exe = std::env::current_exe().expect("test exe path");
+    let bin = exe
+        .parent()
+        .and_then(|deps| deps.parent())
+        .map(|profile| profile.join("vr-query"));
+    match bin {
+        Some(bin) if bin.is_file() => std::process::Command::new(&bin)
+            .args(args)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display())),
+        _ => {
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+            std::process::Command::new(cargo)
+                .args([
+                    "run",
+                    "--quiet",
+                    "-p",
+                    "vr-server",
+                    "--bin",
+                    "vr-query",
+                    "--",
+                ])
+                .args(args)
+                .output()
+                .expect("failed to spawn cargo run --bin vr-query")
+        }
+    }
+}
+
 /// The mixed batch of the acceptance criterion: a GRR `ε(δ)` sweep, a
 /// `δ(ε)` point, a full curve, a best-of query, and a composed budget.
 fn mixed_batch() -> Vec<AmplificationQuery> {
@@ -140,6 +172,132 @@ fn concurrent_clients_get_bit_identical_answers() {
 }
 
 #[test]
+fn planner_ops_roundtrip_bit_identical_to_the_in_process_planner() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 16,
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let direct = AnalysisEngine::new();
+    let (eps, delta) = (0.25, 1e-8);
+
+    // min_n: answer, certificate and provenance all agree bit for bit.
+    let min_n_q = AmplificationQuery::ldp_worst_case(1.0)
+        .unwrap()
+        .min_population(eps, delta, 1 << 12)
+        .build()
+        .unwrap();
+    let served = client.run(&min_n_q).expect("served");
+    let want = direct.run(&min_n_q).expect("direct");
+    assert_eq!(
+        served.scalar().unwrap().to_bits(),
+        want.scalar().unwrap().to_bits()
+    );
+    assert_eq!(served.certificate, want.certificate, "certificate drifted");
+    assert_eq!(served.bound, want.bound);
+
+    // max_eps0: same contract on the float axis.
+    let max_eps0_q = AmplificationQuery::ldp_worst_case(6.0)
+        .unwrap()
+        .max_local_budget(eps, delta, 50_000)
+        .build()
+        .unwrap();
+    let served = client.run(&max_eps0_q).expect("served");
+    let want = direct.run(&max_eps0_q).expect("direct");
+    assert_eq!(
+        served.scalar().unwrap().to_bits(),
+        want.scalar().unwrap().to_bits()
+    );
+    let served_cert = served.certificate.expect("certificate over the wire");
+    let want_cert = want.certificate.unwrap();
+    assert_eq!(
+        served_cert.passing.to_bits(),
+        want_cert.passing.to_bits(),
+        "wire format perturbed the certified budget"
+    );
+    assert_eq!(
+        served_cert.failing.map(f64::to_bits),
+        want_cert.failing.map(f64::to_bits)
+    );
+
+    // sweep: every grid point equals its individual in-process run.
+    let template = AmplificationQuery::ldp_worst_case(1.0)
+        .unwrap()
+        .population(1_000)
+        .epsilon_at(delta)
+        .build()
+        .unwrap();
+    let grid = vec![1_000u64, 10_000, 100_000];
+    let axis = SweepAxis::Population(grid.clone());
+    let outcome = client.sweep(&template, &axis).expect("sweep served");
+    assert_eq!(outcome.axis, "n");
+    assert_eq!(outcome.grid, vec![1_000.0, 10_000.0, 100_000.0]);
+    for (&n, value) in grid.iter().zip(&outcome.values) {
+        let q = template.with_population(n).unwrap();
+        let want = direct.run(&q).unwrap().scalar().unwrap();
+        assert_eq!(
+            value.expect("grid point served").to_bits(),
+            want.to_bits(),
+            "sweep drifted at n = {n}"
+        );
+    }
+    assert!(outcome.errors.iter().all(Option::is_none));
+
+    // The per-op counters saw all three planner ops.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.op_min_n, 1);
+    assert_eq!(stats.op_max_eps0, 1);
+    assert_eq!(stats.op_sweep, 1);
+    server.stop();
+}
+
+#[test]
+fn vr_query_maps_error_replies_to_nonzero_exit_codes() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 8,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    // A well-formed planner query: exit 0, JSON reply on stdout.
+    let ok = run_vr_query(&[
+        "--addr", &addr, "--op", "min_n", "--eps0", "1.0", "--eps", "0.3", "--delta", "1e-6",
+        "--n-hi", "4096",
+    ]);
+    assert!(
+        ok.status.success(),
+        "good query must exit 0\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&ok.stdout),
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(stdout.contains("\"certificate\""), "{stdout}");
+
+    // A structured error reply (invalid delta): nonzero exit, raw frame on
+    // stdout, diagnostic on stderr.
+    let err = run_vr_query(&[
+        "--addr", &addr, "--op", "epsilon", "--eps0", "1.0", "--n", "1000", "--delta", "2.0",
+    ]);
+    assert!(
+        !err.status.success(),
+        "error replies must exit non-zero (got {:?})",
+        err.status.code()
+    );
+    let stdout = String::from_utf8_lossy(&err.stdout);
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&err.stderr);
+    assert!(
+        stderr.contains("invalid_parameter"),
+        "stderr must carry the diagnostic: {stderr}"
+    );
+    server.stop();
+}
+
+#[test]
 fn malformed_and_invalid_requests_keep_the_connection_serving() {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),
@@ -157,6 +315,13 @@ fn malformed_and_invalid_requests_keep_the_connection_serving() {
         "{\"op\":\"warp\"}",
         "{\"op\":\"epsilon\"}",
         "{\"op\":\"epsilon\",\"eps0\":1.0,\"n\":-5,\"delta\":1e-6}",
+        // Duplicate keys are a parse error: a second `eps` cannot smuggle a
+        // different value past whichever occurrence validation read.
+        "{\"op\":\"delta\",\"eps0\":1.0,\"n\":1000,\"eps\":0.1,\"eps\":9.0}",
+        // Planner/sweep frame defects.
+        "{\"op\":\"min_n\",\"eps0\":1.0,\"delta\":1e-6}",
+        "{\"op\":\"max_eps0\",\"p\":2.0,\"beta\":0.3,\"q\":2.0,\"eps\":0.2,\"delta\":1e-6,\"n\":100}",
+        "{\"op\":\"sweep\",\"axis\":\"rounds\",\"grid\":[10],\"target\":\"epsilon\",\"eps0\":1.0,\"delta\":1e-6}",
     ] {
         let reply = client.roundtrip_raw(garbage).expect("reply on open conn");
         assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false), "{garbage}");
@@ -183,6 +348,21 @@ fn malformed_and_invalid_requests_keep_the_connection_serving() {
         ),
         (
             r#"{"op":"curve","eps0":1.0,"n":1000,"eps_max":1.0,"points":1}"#,
+            "invalid_parameter",
+        ),
+        // A degenerate eps_max arriving over the wire must be rejected by
+        // the same builder validation in-process callers get, never turned
+        // into a NaN grid.
+        (
+            r#"{"op":"curve","eps0":1.0,"n":1000,"eps_max":-1.0,"points":16}"#,
+            "invalid_parameter",
+        ),
+        (
+            r#"{"op":"curve","eps0":1.0,"n":1000,"eps_max":0,"points":16}"#,
+            "invalid_parameter",
+        ),
+        (
+            r#"{"op":"min_n","eps0":1.0,"eps":0.2,"delta":1e-6,"n_hi":0}"#,
             "invalid_parameter",
         ),
         (
@@ -224,7 +404,7 @@ fn malformed_and_invalid_requests_keep_the_connection_serving() {
         stats.connections, 1,
         "one connection for the whole gauntlet"
     );
-    assert_eq!(stats.errors, 13, "each bad frame recorded");
+    assert_eq!(stats.errors, 20, "each bad frame recorded");
     server.stop();
 }
 
