@@ -96,6 +96,19 @@ fn planner_speedup(c: &mut Criterion) {
          got {speedup:.2}x"
     );
 
+    // Perf trajectory artifact (results/BENCH_planner.json).
+    let mut report = vr_bench::trajectory::BenchReport::new("planner");
+    report
+        .metric("eps", EPS)
+        .metric("delta", DELTA)
+        .metric("naive_secs", t_naive)
+        .metric("warm_secs", t_warm)
+        .metric("speedup", speedup)
+        .metric("min_n", min_n as f64)
+        .metric("probes", cert.evaluations as f64)
+        .metric("cache_hits", cert.cache_hits as f64);
+    report.emit();
+
     // Criterion entries: per-search costs of the two inverse paths.
     let mut g = c.benchmark_group("planner");
     g.sample_size(10);

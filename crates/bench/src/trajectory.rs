@@ -1,0 +1,176 @@
+//! Machine-readable performance trajectory: every bench harness records
+//! its headline numbers as `results/BENCH_<name>.json` so successive
+//! commits leave a comparable perf trail (ROADMAP item 4). The format is
+//! one flat object per bench —
+//!
+//! ```json
+//! {"bench":"server_load","metrics":{"throughput_rps":123.4,"p50_micros":87.0}}
+//! ```
+//!
+//! — deliberately schema-light: metric names are chosen by the bench, CI
+//! only checks that the file parses, and humans diff the numbers across
+//! commits. Non-finite values serialize as `null` (JSON has no `inf`/
+//! `NaN`), so a degenerate run still produces a parseable artifact.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use crate::output::results_dir;
+
+/// One bench run's headline metrics, serialized to
+/// `results/BENCH_<name>.json` by [`BenchReport::emit`].
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: String,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// A report for the bench `name` (the artifact stem:
+    /// `BENCH_<name>.json`).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Record one metric; insertion order is preserved in the artifact.
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        self.metrics.push((key.to_string(), value));
+        self
+    }
+
+    /// The JSON serialization. Floats are formatted round-trip-exact via
+    /// `{:?}`; non-finite values become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"bench\":");
+        push_json_string(&mut out, &self.name);
+        out.push_str(",\"metrics\":{");
+        let mut first = true;
+        for (key, value) in &self.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_json_string(&mut out, key);
+            out.push(':');
+            if value.is_finite() {
+                let _ = write!(out, "{value:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Write `BENCH_<name>.json` under [`results_dir`] (created if
+    /// absent). IO problems are reported as warnings on stderr — a
+    /// read-only `results/` never fails a bench run.
+    pub fn emit(&self) {
+        let dir = results_dir();
+        match self.emit_to(&dir) {
+            Ok(path) => println!("[written {}]", path.display()),
+            Err(e) => eprintln!(
+                "warning: could not write BENCH_{}.json under {}: {e}",
+                self.name,
+                dir.display()
+            ),
+        }
+    }
+
+    /// Write the artifact into `dir` (created, with parents, if absent)
+    /// and return the file path.
+    pub fn emit_to(&self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let dir = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Append the JSON string literal for `s` (quotes, backslashes and control
+/// characters escaped).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The `p`-th percentile (0..=100) of `samples` by the nearest-rank
+/// method; `NaN` for an empty slice. Sorts a copy — bench-sized inputs
+/// only.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_in_insertion_order() {
+        let mut r = BenchReport::new("unit_test");
+        r.metric("throughput_rps", 1234.5)
+            .metric("p50_micros", 87.0)
+            .metric("degenerate", f64::INFINITY);
+        assert_eq!(
+            r.to_json(),
+            "{\"bench\":\"unit_test\",\"metrics\":{\"throughput_rps\":1234.5,\
+             \"p50_micros\":87.0,\"degenerate\":null}}"
+        );
+    }
+
+    #[test]
+    fn emitted_artifact_round_trips_and_names_itself() {
+        let mut r = BenchReport::new("emit-test");
+        r.metric("x", 0.1 + 0.2); // a value that needs round-trip-exact fmt
+        let dir = std::env::temp_dir().join(format!("vr-bench-traj-{}", std::process::id()));
+        let path = r.emit_to(&dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_emit-test.json");
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, r.to_json());
+        assert!(text.contains("0.30000000000000004"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&samples, 50.0), 50.0);
+        assert_eq!(percentile(&samples, 99.0), 99.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert!(percentile(&[], 50.0).is_nan());
+        // Out-of-range ranks clamp instead of panicking.
+        assert_eq!(percentile(&[1.0, 2.0], 0.0), 1.0);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

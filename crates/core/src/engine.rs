@@ -660,11 +660,11 @@ impl EvaluatorKey {
 /// repeated and batched queries against the same workload hit warm state.
 #[derive(Debug, Default)]
 pub struct AnalysisEngine {
-    /// One slot per workload; the [`OnceLock`] makes the expensive table
-    /// build happen exactly once even when a cold batch floods the same
-    /// key from many worker threads (late arrivals block on the builder
-    /// instead of duplicating its work).
-    cache: RwLock<HashMap<EvaluatorKey, Arc<OnceLock<Arc<DeltaEvaluator>>>>>,
+    /// One slot per workload; the slot's [`OnceLock`] makes the expensive
+    /// table build happen exactly once even when a cold batch floods the
+    /// same key from many worker threads (late arrivals block on the
+    /// builder instead of duplicating its work).
+    cache: RwLock<HashMap<EvaluatorKey, Arc<CacheSlot>>>,
     /// Approximate total outer-table entries across the cached evaluators —
     /// the memory-pressure signal behind the eviction thresholds (an
     /// overcount under concurrent same-key builds is possible and only
@@ -676,13 +676,28 @@ pub struct AnalysisEngine {
 /// serves arbitrary workloads — and a single planner search inserts one
 /// evaluator per probed candidate — so the cache is bounded two ways: by
 /// slot count and by total table entries (~8 bytes each;
-/// [`MAX_CACHED_TABLE_ENTRIES`] caps the tables at ~½ GiB). Crossing either
-/// threshold clears the whole cache (blunt, but every entry rebuilds on
-/// demand and correctness never depends on warmth); in-flight references
-/// keep their `Arc`s alive, so eviction can never invalidate a caller.
+/// [`MAX_CACHED_TABLE_ENTRIES`] caps the tables at ~½ GiB). Crossing
+/// either threshold triggers a **second-chance sweep**
+/// ([`AnalysisEngine::enforce_bounds`]): slots not hit since the previous
+/// sweep are evicted first, and only if every survivor is hot does the
+/// sweep cut deeper (to half the thresholds). A steady serving mix thus
+/// keeps its working set warm across sweeps — the behaviour the `stats`
+/// op's `cache_hits` counter measures — while one-off planner probes age
+/// out. Every entry rebuilds on demand, and in-flight references keep
+/// their `Arc`s alive, so eviction can never invalidate a caller.
 const MAX_CACHED_EVALUATORS: usize = 4096;
 /// See [`MAX_CACHED_EVALUATORS`].
 const MAX_CACHED_TABLE_ENTRIES: usize = 1 << 26;
+
+/// One evaluator-cache slot: the build-once cell plus the slot's
+/// second-chance hit counter. Warm lookups bump the counter; an eviction
+/// sweep swaps it back to zero, so a survivor must be hit again before the
+/// next sweep to survive that one too.
+#[derive(Debug, Default)]
+struct CacheSlot {
+    cell: OnceLock<Arc<DeltaEvaluator>>,
+    hits: std::sync::atomic::AtomicU64,
+}
 
 /// Per-query tally of evaluator-cache lookups, aggregated into
 /// [`AnalysisReport::cache_hit`]: warm only when the cache was used and
@@ -705,7 +720,7 @@ impl CacheUse {
 }
 
 /// The engine's evaluator-cache map type (see [`AnalysisEngine::cache`]).
-type EvaluatorCache = HashMap<EvaluatorKey, Arc<OnceLock<Arc<DeltaEvaluator>>>>;
+type EvaluatorCache = HashMap<EvaluatorKey, Arc<CacheSlot>>;
 
 /// The pieces `execute` assembles into an [`AnalysisReport`]: value, winning
 /// bound name, validity, all-warm flag, planner certificate.
@@ -739,18 +754,59 @@ impl AnalysisEngine {
     pub fn cached_evaluators(&self) -> usize {
         self.cache_read()
             .values()
-            .filter(|slot| slot.get().is_some())
+            .filter(|slot| slot.cell.get().is_some())
             .count()
     }
 
-    /// Drop every memoized evaluator (e.g. to bound memory in a long-lived
-    /// service). Also invoked automatically when the cache crosses its
-    /// [`MAX_CACHED_EVALUATORS`] / [`MAX_CACHED_TABLE_ENTRIES`] thresholds.
+    /// Drop every memoized evaluator unconditionally (e.g. to release
+    /// memory in a quiescent service). The automatic bound enforcement
+    /// uses the gentler second-chance `enforce_bounds` sweep instead.
     pub fn clear_cache(&self) {
         let mut cache = self.cache_write();
         cache.clear();
         self.cached_entries
             .store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Second-chance eviction sweep, run when the cache crosses
+    /// [`MAX_CACHED_EVALUATORS`] or [`MAX_CACHED_TABLE_ENTRIES`].
+    ///
+    /// Pass 1 evicts every built slot whose hit counter is zero — i.e.
+    /// not served warm since the previous sweep — and zeroes the
+    /// survivors' counters (their "second chance" is spent). If the hot
+    /// survivors alone still exceed **half** of either threshold, pass 2
+    /// cuts arbitrary built slots down to the half-targets so the sweep
+    /// always frees real headroom. In-flight builds (empty cells) are
+    /// never evicted: their builder threads hold the slot `Arc` and are
+    /// about to initialize it.
+    fn enforce_bounds(&self) {
+        use std::sync::atomic::Ordering;
+        let mut cache = self.cache_write();
+        cache.retain(|_, slot| match slot.cell.get() {
+            None => true,
+            Some(_) => slot.hits.swap(0, Ordering::Relaxed) > 0,
+        });
+        let mut entries: usize = 0;
+        let mut built: usize = 0;
+        for ev in cache.values().filter_map(|slot| slot.cell.get()) {
+            entries += ev.table_entries();
+            built += 1;
+        }
+        if built > MAX_CACHED_EVALUATORS / 2 || entries > MAX_CACHED_TABLE_ENTRIES / 2 {
+            cache.retain(|_, slot| match slot.cell.get() {
+                None => true,
+                Some(ev)
+                    if built > MAX_CACHED_EVALUATORS / 2
+                        || entries > MAX_CACHED_TABLE_ENTRIES / 2 =>
+                {
+                    built -= 1;
+                    entries -= ev.table_entries();
+                    false
+                }
+                Some(_) => true,
+            });
+        }
+        self.cached_entries.store(entries, Ordering::Relaxed);
     }
 
     /// The memoized evaluator for a workload, building it on a miss.
@@ -776,8 +832,15 @@ impl AnalysisEngine {
         };
         // Exactly one caller pays the table build; concurrent cold callers
         // for the same key wait on it instead of duplicating the work.
-        let hit = slot.get().is_some();
-        let ev = slot.get_or_init(|| Arc::new(DeltaEvaluator::new(acc, mode)));
+        let hit = slot.cell.get().is_some();
+        if hit {
+            // A warm serve is this slot's second chance: the next eviction
+            // sweep spares it.
+            slot.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        let ev = slot
+            .cell
+            .get_or_init(|| Arc::new(DeltaEvaluator::new(acc, mode)));
         let ev = Arc::clone(ev);
         if !hit {
             use std::sync::atomic::Ordering;
@@ -790,7 +853,7 @@ impl AnalysisEngine {
             // valid through the Arc we are about to return.
             if entries > MAX_CACHED_TABLE_ENTRIES || self.cache_read().len() > MAX_CACHED_EVALUATORS
             {
-                self.clear_cache();
+                self.enforce_bounds();
             }
         }
         Ok((ev, hit))
@@ -1368,23 +1431,35 @@ mod tests {
     fn cache_eviction_bounds_a_long_lived_engine() {
         // A serving process sees arbitrary workloads (and each planner
         // probe caches one evaluator per candidate n); crossing the slot
-        // threshold must reset the cache instead of growing without bound.
+        // threshold must sweep the cache instead of growing without bound.
+        // The sweep is second-chance: a steadily re-hit slot (n = 3 here,
+        // touched every iteration) survives it, while one-off probes are
+        // evicted.
         let engine = AnalysisEngine::new();
         let vr = wc(1.0);
+        engine.evaluator(vr, 3, ScanMode::default()).unwrap();
         for n in 1..=(MAX_CACHED_EVALUATORS as u64 + 8) {
             engine.evaluator(vr, n, ScanMode::default()).unwrap();
+            // Keep the working-set entry hot across the sweep.
+            let (_, hit) = engine.evaluator(vr, 3, ScanMode::default()).unwrap();
+            assert!(hit, "the steadily-hit entry must stay warm at n = {n}");
             assert!(
                 engine.cached_evaluators() <= MAX_CACHED_EVALUATORS + 1,
                 "cache exceeded its bound at n = {n}"
             );
         }
-        // The eviction fired, and the engine keeps serving (cold, then
-        // warm) afterwards.
+        // The sweep fired: one-off entries went cold, the hot entry and
+        // the engine's serving ability survived.
         assert!(engine.cached_evaluators() < MAX_CACHED_EVALUATORS);
+        let (_, hit) = engine.evaluator(vr, 5, ScanMode::default()).unwrap();
+        assert!(!hit, "the one-off n = 5 entry was evicted");
         let (_, hit) = engine.evaluator(vr, 3, ScanMode::default()).unwrap();
-        assert!(!hit, "n = 3 was evicted");
+        assert!(hit, "the hot entry survived the sweep warm");
+        // The manual clear is still a full reset.
+        engine.clear_cache();
+        assert_eq!(engine.cached_evaluators(), 0);
         let (_, hit) = engine.evaluator(vr, 3, ScanMode::default()).unwrap();
-        assert!(hit, "rebuilt entry is warm again");
+        assert!(!hit, "clear_cache drops even hot entries");
     }
 
     #[test]

@@ -12,11 +12,19 @@
 //! vr-query --addr HOST:PORT --json '{"op":"stats"}'
 //! vr-query --addr HOST:PORT --stats
 //! vr-query --addr HOST:PORT --shutdown
+//! printf '%s\n' '{"op":"epsilon",...}' '{"op":"delta",...}' | \
+//!          vr-query --addr HOST:PORT --batch
 //! ```
 //!
 //! Prints the daemon's raw JSON reply on stdout. A structured error reply
 //! (`busy`, `invalid_parameter`, …) additionally prints a diagnostic on
 //! stderr and exits non-zero, so scripts can trust the exit code.
+//!
+//! `--batch` reads **one query frame per stdin line**, wraps them all in a
+//! single `{"op":"batch","queries":[...]}` frame, and prints the single
+//! reply frame on stdout. Per-item errors keep their slot in the reply
+//! array and are additionally diagnosed on stderr (`batch item I ...`);
+//! the exit code is non-zero if the frame or any item failed.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -28,6 +36,7 @@ fn usage() -> ! {
         "usage:\n\
          vr-query --addr HOST:PORT --op OP [field flags...]\n\
          vr-query --addr HOST:PORT --json '{{...}}'\n\
+         vr-query --addr HOST:PORT --batch   (one query frame per stdin line)\n\
          vr-query --addr HOST:PORT --stats | --shutdown\n\
          \n\
          ops: delta | epsilon | curve | composed | min_n | max_eps0 | sweep | stats | shutdown\n\
@@ -90,10 +99,44 @@ fn frame_from_flags(op: &str, fields: &HashMap<String, String>) -> Result<Json, 
     Ok(Json::Obj(members))
 }
 
+/// Read one query frame per stdin line into a single batch frame. A line
+/// that is not JSON is forwarded inside a string placeholder so the
+/// daemon's per-item error keeps the slot (and the parse problem is
+/// diagnosed locally on stderr).
+fn batch_frame_from_stdin() -> Result<String, String> {
+    let mut queries = Vec::new();
+    for (lineno, line) in std::io::stdin().lines().enumerate() {
+        let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match Json::parse(trimmed) {
+            Ok(frame) => queries.push(frame),
+            Err(e) => {
+                eprintln!(
+                    "vr-query: batch line {}: bad JSON ({e}); forwarded as a defective item",
+                    lineno + 1
+                );
+                queries.push(Json::Str(trimmed.to_string()));
+            }
+        }
+    }
+    if queries.is_empty() {
+        return Err("batch mode expects at least one query frame on stdin".into());
+    }
+    Ok(Json::Obj(vec![
+        ("op".to_string(), Json::Str("batch".into())),
+        ("queries".to_string(), Json::Arr(queries)),
+    ])
+    .to_string())
+}
+
 fn main() -> ExitCode {
     let mut addr: Option<String> = None;
     let mut op: Option<String> = None;
     let mut raw_json: Option<String> = None;
+    let mut batch = false;
     let mut fields: HashMap<String, String> = HashMap::new();
 
     let mut args = std::env::args().skip(1);
@@ -108,6 +151,7 @@ fn main() -> ExitCode {
             "--addr" => addr = Some(value("--addr")),
             "--op" => op = Some(value("--op")),
             "--json" => raw_json = Some(value("--json")),
+            "--batch" => batch = true,
             "--stats" => op = Some("stats".into()),
             "--shutdown" => op = Some("shutdown".into()),
             "--help" | "-h" => usage(),
@@ -121,16 +165,26 @@ fn main() -> ExitCode {
     }
 
     let Some(addr) = addr else { usage() };
-    let line = match (raw_json, op) {
-        (Some(json), _) => json,
-        (None, Some(op)) => match frame_from_flags(&op, &fields) {
-            Ok(frame) => frame.to_string(),
+    let line = if batch {
+        match batch_frame_from_stdin() {
+            Ok(frame) => frame,
             Err(e) => {
                 eprintln!("vr-query: {e}");
                 return ExitCode::FAILURE;
             }
-        },
-        (None, None) => usage(),
+        }
+    } else {
+        match (raw_json, op) {
+            (Some(json), _) => json,
+            (None, Some(op)) => match frame_from_flags(&op, &fields) {
+                Ok(frame) => frame.to_string(),
+                Err(e) => {
+                    eprintln!("vr-query: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            (None, None) => usage(),
+        }
     };
 
     let mut client = match Client::connect(&addr) {
@@ -147,7 +201,35 @@ fn main() -> ExitCode {
             // code says which it was.
             println!("{reply}");
             if reply.get("ok").and_then(Json::as_bool) == Some(true) {
-                ExitCode::SUCCESS
+                // A batch frame succeeds even when individual items failed;
+                // diagnose those on stderr and reflect them in the exit
+                // code, mirroring the frame-level error path.
+                let mut failed_items = 0usize;
+                if let Some(items) = reply.get("batch").and_then(Json::as_arr) {
+                    for (i, item) in items.iter().enumerate() {
+                        if item.get("ok").and_then(Json::as_bool) == Some(true) {
+                            continue;
+                        }
+                        failed_items += 1;
+                        let kind = item
+                            .get("error")
+                            .and_then(|e| e.get("kind"))
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown");
+                        let message = item
+                            .get("error")
+                            .and_then(|e| e.get("message"))
+                            .and_then(Json::as_str)
+                            .unwrap_or("item came back as an error entry");
+                        eprintln!("vr-query: batch item {i} error ({kind}): {message}");
+                    }
+                }
+                if failed_items == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("vr-query: {failed_items} of the batch items failed");
+                    ExitCode::FAILURE
+                }
             } else {
                 let kind = reply
                     .get("error")

@@ -17,6 +17,8 @@ fn usage() -> ! {
         "usage: vr-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \n\
          Serve amplification queries over newline-delimited JSON.\n\
+         --workers N      shard threads, each owning its connections\n\
+         --queue-depth N  per-connection pipelining depth before `busy`\n\
          Defaults: --addr 127.0.0.1:7878, --workers <cores, max 8>, --queue-depth 128."
     );
     std::process::exit(2);
@@ -58,7 +60,7 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "vr-serve listening on {} (workers = {}, queue depth = {})",
+        "vr-serve listening on {} (shards = {}, queue depth = {})",
         server.local_addr(),
         config.workers,
         config.queue_depth

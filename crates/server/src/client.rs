@@ -2,9 +2,13 @@
 //! line-framed TCP client used by the `vr-query` binary, the loopback
 //! load-generation bench and the round-trip integration tests.
 //!
-//! A [`Client`] holds one persistent connection; every request method
-//! writes a frame and blocks for the matching reply line. Protocol-level
-//! failures (`busy`, `invalid_parameter`, …) surface as
+//! A [`Client`] holds one persistent connection. The simple request
+//! methods write a frame and block for the matching reply line; the
+//! batch/pipelining entry points ([`Client::run_batch`],
+//! [`Client::run_pipelined`] and the [`Client::send`] /
+//! [`Client::recv_report`] primitives) exploit the daemon's in-order reply
+//! guarantee to keep many frames in flight on one connection.
+//! Protocol-level failures (`busy`, `invalid_parameter`, …) surface as
 //! [`ClientError::Wire`] — the connection stays usable afterwards, exactly
 //! as the daemon promises.
 
@@ -14,7 +18,8 @@ use std::time::Duration;
 
 use crate::json::Json;
 use crate::protocol::{
-    Command, Reply, ReplyBody, ReplyMeta, Request, StatsSnapshot, SweepOutcome, WireError,
+    BatchItem, Command, Reply, ReplyBody, ReplyMeta, Request, StatsSnapshot, SweepOutcome,
+    WireError,
 };
 use vr_core::engine::{AmplificationQuery, PlanCertificate, SweepAxis};
 
@@ -191,6 +196,154 @@ impl Client {
             ))),
             Err(e) => Err(ClientError::Wire(e)),
         }
+    }
+
+    /// Serve many queries through **one wire frame** (`{"op":"batch"}`):
+    /// the daemon fans them out through the same warm
+    /// [`vr_core::engine::AnalysisEngine::run_batch`] entry as an
+    /// in-process batch and answers with one entry per query, in
+    /// submission order. A defective query costs only its own slot — it
+    /// comes back as an `Err` entry while its neighbours serve — so the
+    /// outer `Result` fails only on transport/protocol trouble or a
+    /// frame-level rejection (`busy`, `shutting_down`, malformed frame).
+    pub fn run_batch(
+        &mut self,
+        queries: &[AmplificationQuery],
+    ) -> Result<Vec<std::result::Result<ServedReport, WireError>>, ClientError> {
+        let request = Request {
+            id: Some(self.fresh_id()),
+            command: Command::Batch(
+                queries
+                    .iter()
+                    .map(|q| BatchItem::query(q.clone()))
+                    .collect(),
+            ),
+        };
+        let replies = match self.request(&request)?.outcome {
+            Ok(ReplyBody::Batch(replies)) => replies,
+            Ok(other) => {
+                return Err(ClientError::Protocol(format!(
+                    "expected a batch reply, got {other:?}"
+                )))
+            }
+            Err(e) => return Err(ClientError::Wire(e)),
+        };
+        if replies.len() != queries.len() {
+            return Err(ClientError::Protocol(format!(
+                "batch answered {} items for {} queries",
+                replies.len(),
+                queries.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(replies.len());
+        for item in replies {
+            out.push(match item.outcome {
+                Ok(ReplyBody::Scalar { value, meta }) => {
+                    Ok(ServedReport::from_meta(ServedValue::Scalar(value), meta))
+                }
+                Ok(ReplyBody::Curve { eps, delta, meta }) => Ok(ServedReport::from_meta(
+                    ServedValue::Curve { eps, delta },
+                    meta,
+                )),
+                Ok(other) => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected batch item body: {other:?}"
+                    )))
+                }
+                Err(e) => Err(e),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Write one query frame **without waiting for the reply** — the send
+    /// half of pipelining. Returns the frame's correlation id; collect the
+    /// reply later with [`Client::recv_report`], in send order (the daemon
+    /// guarantees in-order replies per connection).
+    pub fn send(&mut self, query: &AmplificationQuery) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        let request = Request {
+            id: Some(id.clone()),
+            command: Command::Query(Box::new(query.clone())),
+        };
+        let mut line = request.to_json().to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(id)
+    }
+
+    /// Read the next reply frame and decode it as a served report,
+    /// checking that it answers `id` — the receive half of pipelining.
+    pub fn recv_report(&mut self, id: &Json) -> Result<ServedReport, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let frame = Json::parse(line.trim())
+            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))?;
+        let reply = Reply::from_json(&frame)
+            .map_err(|e| ClientError::Protocol(format!("bad reply frame: {e}")))?;
+        if reply.id.as_ref() != Some(id) {
+            return Err(ClientError::Protocol(format!(
+                "reply out of order: expected id {id}, got {:?}",
+                reply.id
+            )));
+        }
+        match reply.outcome {
+            Ok(ReplyBody::Scalar { value, meta }) => {
+                Ok(ServedReport::from_meta(ServedValue::Scalar(value), meta))
+            }
+            Ok(ReplyBody::Curve { eps, delta, meta }) => Ok(ServedReport::from_meta(
+                ServedValue::Curve { eps, delta },
+                meta,
+            )),
+            Ok(other) => Err(ClientError::Protocol(format!(
+                "expected a query reply, got {other:?}"
+            ))),
+            Err(e) => Err(ClientError::Wire(e)),
+        }
+    }
+
+    /// Write **every** query frame in one burst (a single `write` syscall)
+    /// without reading any reply — the send half of pipelining, amortized.
+    /// Collect the replies later with [`Client::recv_report`] in the
+    /// returned id order. Prefer this over per-frame [`Client::send`] when
+    /// the burst is built up front: one large write delivers whole
+    /// segments, so the daemon's readiness loop harvests many frames per
+    /// socket read instead of one.
+    pub fn send_burst(&mut self, queries: &[AmplificationQuery]) -> Result<Vec<Json>, ClientError> {
+        let mut burst = String::new();
+        let mut ids = Vec::with_capacity(queries.len());
+        for query in queries {
+            let id = self.fresh_id();
+            let request = Request {
+                id: Some(id.clone()),
+                command: Command::Query(Box::new(query.clone())),
+            };
+            burst.push_str(&request.to_json().to_string());
+            burst.push('\n');
+            ids.push(id);
+        }
+        self.writer.write_all(burst.as_bytes())?;
+        self.writer.flush()?;
+        Ok(ids)
+    }
+
+    /// Pipelined mode: write **every** frame in one burst, then read the
+    /// replies back in order — one syscall-amortized round-trip instead of
+    /// `queries.len()` serialized ones. A `Wire` error on any reply aborts
+    /// the collection (later replies stay unread), so reserve this for
+    /// workloads where per-item failure means the run is over; use
+    /// [`Client::run_batch`] for a per-item error model.
+    pub fn run_pipelined(
+        &mut self,
+        queries: &[AmplificationQuery],
+    ) -> Result<Vec<ServedReport>, ClientError> {
+        let ids = self.send_burst(queries)?;
+        ids.iter().map(|id| self.recv_report(id)).collect()
     }
 
     /// Fan a query template over a parameter grid on the daemon

@@ -6,17 +6,23 @@
 //! protocol**, serving every connection through one shared engine so all
 //! clients reuse the same memoized evaluator cache.
 //!
-//! * [`server`] — the daemon: accept loop, per-connection line framing, a
-//!   **bounded worker pool with backpressure** (`busy` rejections past a
-//!   configurable queue depth), graceful shutdown on a `shutdown` frame,
-//!   and aggregate counters served by the `stats` frame. Malformed input,
-//!   out-of-domain parameters and even panicking workers produce structured
-//!   error replies on a still-open connection.
+//! * [`server`] — the daemon: an accept loop that round-robins connections
+//!   to **shard threads, each owning its connection set** (nonblocking
+//!   sockets, per-connection read/write buffers). Connections are
+//!   **pipelined** — a client may write any number of frames before
+//!   reading a reply, and replies come back in order — with deterministic
+//!   per-connection `busy` backpressure past the configured depth,
+//!   graceful shutdown on a `shutdown` frame, and aggregate counters
+//!   served by the `stats` frame. Malformed input, out-of-domain
+//!   parameters and even panicking engine calls produce structured error
+//!   replies on a still-open connection.
 //! * [`protocol`] — the wire schema (documented there, field by field) and
 //!   the typed [`protocol::Request`]/[`protocol::Reply`] frames shared by
-//!   both ends.
+//!   both ends, including the `{"op":"batch"}` frame that carries a whole
+//!   query array through one parse/reply cycle with per-item errors.
 //! * [`client`] — the blocking client library behind the `vr-query` binary
-//!   and the round-trip tests.
+//!   and the round-trip tests, with batch ([`Client::run_batch`]) and
+//!   pipelined ([`Client::run_pipelined`]) modes.
 //! * [`json`] — the hand-rolled JSON subset (the build environment has no
 //!   registry access), with round-trip-exact `f64` formatting: a value
 //!   served over the wire equals the in-process answer **bit for bit**.
@@ -57,6 +63,7 @@ pub mod server;
 pub use client::{Client, ClientError, ServedReport, ServedValue};
 pub use json::Json;
 pub use protocol::{
-    Command, ErrorKind, Reply, ReplyBody, Request, StatsSnapshot, SweepOutcome, WireError,
+    BatchItem, Command, ErrorKind, Reply, ReplyBody, Request, StatsSnapshot, SweepOutcome,
+    WireError,
 };
 pub use server::{Server, ServerConfig};

@@ -8,7 +8,7 @@
 //!
 //! | Field | Type | Meaning |
 //! |---|---|---|
-//! | `op` | string | `"delta"`, `"epsilon"`, `"curve"`, `"composed"`, `"min_n"`, `"max_eps0"`, `"sweep"`, `"stats"`, `"shutdown"` |
+//! | `op` | string | `"delta"`, `"epsilon"`, `"curve"`, `"composed"`, `"min_n"`, `"max_eps0"`, `"sweep"`, `"batch"`, `"stats"`, `"shutdown"` |
 //! | `id` | string/number | optional; echoed verbatim in the reply |
 //! | `eps0` | number | worst-case `ε₀`-LDP source (alone), or the baseline budget (with `p`/`beta`/`q`); for `max_eps0` the search *ceiling* |
 //! | `p`, `beta`, `q` | number | explicit variation-ratio source (`p` may be the string `"inf"`; rejected for `max_eps0`) |
@@ -19,6 +19,7 @@
 //! | `rounds` | integer | `composed` op: adaptive shuffle rounds |
 //! | `n_hi` | integer | `min_n` op: optional bracketing hint (default 2²⁰) |
 //! | `axis`, `grid`, `target` | string, array, string | `sweep` op: `"n"`/`"eps0"`, the grid values, and the op fanned out per grid point |
+//! | `queries` | array | `batch` op: up to [`MAX_BATCH_QUERIES`] query frames (each with its own `op`/`id`/fields) served through one parse/reply cycle |
 //! | `bound` | string | registry bound name, `"best-of"`, or omitted for the default portfolio |
 //!
 //! # Reply schema
@@ -30,10 +31,14 @@
 //! `null` —, `passing`, `evaluations`, `cache_hits`); `sweep` replies carry
 //! a `"sweep"` object with parallel `grid` / `value` / `bound` / `error`
 //! arrays (failed grid points have a `null` value and an error string) plus
-//! aggregate `cache_hits` / `wall_micros`; `stats` replies carry a
-//! `"stats"` object and `shutdown` acknowledges with
-//! `{"ok":true,"shutting_down":true}`. Failure:
-//! `{"id":…,"ok":false,"error":{"kind":…,"message":…}}` — and the
+//! aggregate `cache_hits` / `wall_micros`; `batch` replies carry a
+//! `"batch"` array of one full reply frame per submitted query, **in
+//! submission order**, each bit-identical to the frame the same query would
+//! get on its own (one bad query yields one error entry, never a dead
+//! batch); `stats` replies carry a `"stats"` object (including the
+//! `op_batch` and `pipelined_frames` counters the sharded daemon maintains)
+//! and `shutdown` acknowledges with `{"ok":true,"shutting_down":true}`.
+//! Failure: `{"id":…,"ok":false,"error":{"kind":…,"message":…}}` — and the
 //! connection stays open.
 
 use crate::json::Json;
@@ -51,6 +56,12 @@ pub const BEST_OF: &str = "best-of";
 /// Wire spelling of `p = ∞` (multi-message workloads); JSON numbers cannot
 /// carry infinities.
 pub const P_INFINITY: &str = "inf";
+
+/// Most query frames one `batch` request may carry. The 64 KiB line cap
+/// already bounds realistic batches far below this; the explicit ceiling
+/// keeps a degenerate frame of thousands of empty items from ballooning the
+/// reply.
+pub const MAX_BATCH_QUERIES: usize = 1024;
 
 /// Machine-readable error category of a wire error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,11 +188,39 @@ pub enum Command {
         /// The grid axis and values.
         axis: SweepAxis,
     },
+    /// Serve a whole array of independent queries through
+    /// [`vr_core::engine::AnalysisEngine::run_batch`] in one parse/reply
+    /// cycle. Items that failed to parse ride along as error entries so the
+    /// reply stays positionally aligned with the request.
+    Batch(Vec<BatchItem>),
     /// Report the daemon's aggregate counters.
     Stats,
     /// Begin a graceful shutdown (acknowledged before the daemon stops
     /// accepting).
     Shutdown,
+}
+
+/// One entry of a `batch` request: the item's own correlation id (echoed in
+/// its entry of the batch reply) plus either the parsed query or the
+/// structured parse error that will answer it — one bad item never fails
+/// its neighbours.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// Per-item correlation id (string or number), echoed in the item's
+    /// reply entry.
+    pub id: Option<Json>,
+    /// The parsed query, or the error its reply entry will carry.
+    pub query: std::result::Result<Box<AmplificationQuery>, WireError>,
+}
+
+impl BatchItem {
+    /// A well-formed item without a correlation id.
+    pub fn query(query: AmplificationQuery) -> Self {
+        Self {
+            id: None,
+            query: Ok(Box::new(query)),
+        }
+    }
 }
 
 /// One parsed request frame: the optional caller-chosen correlation `id`
@@ -236,10 +275,11 @@ impl Request {
                 Command::Query(Box::new(parse_query(frame, op)?))
             }
             "sweep" => parse_sweep(frame)?,
+            "batch" => parse_batch(frame)?,
             other => {
                 return Err(WireError::malformed(format!(
                     "unknown op `{other}` (expected delta/epsilon/curve/composed/min_n/\
-                     max_eps0/sweep/stats/shutdown)"
+                     max_eps0/sweep/batch/stats/shutdown)"
                 )))
             }
         };
@@ -269,9 +309,76 @@ impl Request {
                 members.push(("target".into(), Json::Str(query_op(template).into())));
                 push_query_fields(&mut members, template);
             }
+            Command::Batch(items) => {
+                members.push(("op".into(), Json::Str("batch".into())));
+                let queries = items
+                    .iter()
+                    .map(|item| match &item.query {
+                        Ok(q) => {
+                            let mut fields: Vec<(String, Json)> = Vec::new();
+                            if let Some(id) = &item.id {
+                                fields.push(("id".into(), id.clone()));
+                            }
+                            fields.push(("op".into(), Json::Str(query_op(q).into())));
+                            push_query_fields(&mut fields, q);
+                            Json::Obj(fields)
+                        }
+                        // A parse-failed item has no faithful wire form left;
+                        // `null` keeps the array positionally aligned and
+                        // re-parses to a per-item error again.
+                        Err(_) => Json::Null,
+                    })
+                    .collect();
+                members.push(("queries".into(), Json::Arr(queries)));
+            }
         }
         Json::Obj(members)
     }
+}
+
+/// Parse a `batch` frame: a `queries` array of embedded query frames, each
+/// carrying its own `op` (and optional `id`). Defects of the *array* fail
+/// the whole frame; defects of an *item* become that item's error entry —
+/// mirroring how `sweep` carries per-point failures.
+fn parse_batch(frame: &Json) -> Result<Command, WireError> {
+    let items = frame
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError::malformed("batch needs a `queries` array"))?;
+    if items.is_empty() {
+        return Err(WireError::malformed("batch `queries` must be non-empty"));
+    }
+    if items.len() > MAX_BATCH_QUERIES {
+        return Err(WireError::malformed(format!(
+            "batch carries {} queries (max {MAX_BATCH_QUERIES})",
+            items.len()
+        )));
+    }
+    Ok(Command::Batch(items.iter().map(parse_batch_item).collect()))
+}
+
+/// Parse one entry of a batch's `queries` array; defects become the item's
+/// own error entry instead of failing the batch.
+fn parse_batch_item(item: &Json) -> BatchItem {
+    let id = extract_id(item);
+    let query = (|| {
+        if !matches!(item, Json::Obj(_)) {
+            return Err(WireError::malformed("batch item must be a JSON object"));
+        }
+        let op = item
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::malformed("batch item needs a string `op` field"))?;
+        match op {
+            "delta" | "epsilon" | "curve" | "composed" | "min_n" | "max_eps0" => {
+                parse_query(item, op).map(Box::new)
+            }
+            other => Err(WireError::malformed(format!(
+                "batch items must be query ops (got `{other}`)"
+            ))),
+        }
+    })();
+    BatchItem { id, query }
 }
 
 /// The wire op of a query's target.
@@ -544,11 +651,18 @@ pub struct StatsSnapshot {
     pub op_max_eps0: u64,
     /// `sweep` requests served or attempted.
     pub op_sweep: u64,
+    /// `batch` frames served or attempted (each counts once here; the
+    /// queries inside additionally tick their per-op counters).
+    pub op_batch: u64,
     /// `stats` requests served.
     pub op_stats: u64,
+    /// Frames that arrived already queued behind another frame of the same
+    /// connection read (i.e. every frame of a burst beyond its first) — the
+    /// observable signal that clients are pipelining.
+    pub pipelined_frames: u64,
     /// Microseconds since the daemon started.
     pub uptime_micros: u64,
-    /// Worker threads in the pool.
+    /// Shard threads owning connections (the `workers` config knob).
     pub workers: u64,
     /// Configured queue depth (backpressure threshold).
     pub queue_depth: u64,
@@ -557,7 +671,7 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    const FIELDS: [&'static str; 18] = [
+    const FIELDS: [&'static str; 20] = [
         "connections",
         "requests",
         "ok",
@@ -571,14 +685,16 @@ impl StatsSnapshot {
         "op_min_n",
         "op_max_eps0",
         "op_sweep",
+        "op_batch",
         "op_stats",
+        "pipelined_frames",
         "uptime_micros",
         "workers",
         "queue_depth",
         "cached_evaluators",
     ];
 
-    fn values(&self) -> [u64; 18] {
+    fn values(&self) -> [u64; 20] {
         [
             self.connections,
             self.requests,
@@ -593,7 +709,9 @@ impl StatsSnapshot {
             self.op_min_n,
             self.op_max_eps0,
             self.op_sweep,
+            self.op_batch,
             self.op_stats,
+            self.pipelined_frames,
             self.uptime_micros,
             self.workers,
             self.queue_depth,
@@ -613,7 +731,7 @@ impl StatsSnapshot {
 
     fn from_json(v: &Json) -> Option<Self> {
         let mut out = Self::default();
-        let slots: [&mut u64; 18] = [
+        let slots: [&mut u64; 20] = [
             &mut out.connections,
             &mut out.requests,
             &mut out.ok,
@@ -627,7 +745,9 @@ impl StatsSnapshot {
             &mut out.op_min_n,
             &mut out.op_max_eps0,
             &mut out.op_sweep,
+            &mut out.op_batch,
             &mut out.op_stats,
+            &mut out.pipelined_frames,
             &mut out.uptime_micros,
             &mut out.workers,
             &mut out.queue_depth,
@@ -702,6 +822,11 @@ pub enum ReplyBody {
     },
     /// A parameter sweep (`sweep` op).
     Sweep(SweepOutcome),
+    /// A batch of independent queries (`batch` op): one full reply per
+    /// submitted item, in submission order, each serialized exactly as the
+    /// item's standalone frame would be (bit-identical values, same
+    /// per-item errors).
+    Batch(Vec<Reply>),
     /// Daemon counters (`stats` op).
     Stats(StatsSnapshot),
     /// Shutdown acknowledgement.
@@ -850,6 +975,12 @@ impl Reply {
                             ]),
                         ));
                     }
+                    ReplyBody::Batch(replies) => {
+                        members.push((
+                            "batch".into(),
+                            Json::Arr(replies.iter().map(Reply::to_json).collect()),
+                        ));
+                    }
                     ReplyBody::Stats(stats) => {
                         members.push(("stats".into(), stats.to_json()));
                     }
@@ -907,6 +1038,16 @@ impl Reply {
             }
         } else if let Some(sweep) = frame.get("sweep") {
             ReplyBody::Sweep(parse_sweep_outcome(sweep)?)
+        } else if let Some(batch) = frame.get("batch") {
+            let entries = batch
+                .as_arr()
+                .ok_or_else(|| WireError::malformed("`batch` must be an array"))?;
+            ReplyBody::Batch(
+                entries
+                    .iter()
+                    .map(Reply::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
         } else if let Some(stats) = frame.get("stats") {
             ReplyBody::Stats(
                 StatsSnapshot::from_json(stats)
@@ -916,7 +1057,8 @@ impl Reply {
             ReplyBody::ShuttingDown
         } else {
             return Err(WireError::malformed(
-                "success reply needs `value`, `curve`, `sweep`, `stats` or `shutting_down`",
+                "success reply needs `value`, `curve`, `sweep`, `batch`, `stats` or \
+                 `shutting_down`",
             ));
         };
         Ok(Reply::ok(id, body))
@@ -1343,6 +1485,144 @@ mod tests {
             let err = Request::from_json(&Json::parse(text).unwrap()).unwrap_err();
             assert_eq!(err.kind, ErrorKind::InvalidParameter, "{text}");
         }
+    }
+
+    #[test]
+    fn batch_requests_roundtrip_exactly() {
+        let items = vec![
+            BatchItem {
+                id: Some(Json::Str("a".into())),
+                query: Ok(Box::new(worst_case_query())),
+            },
+            BatchItem::query(
+                AmplificationQuery::ldp_worst_case(2.0)
+                    .unwrap()
+                    .population(9)
+                    .curve(1.5, 33)
+                    .best_of()
+                    .build()
+                    .unwrap(),
+            ),
+            BatchItem {
+                id: Some(Json::Num(7.0)),
+                query: Ok(Box::new(
+                    AmplificationQuery::ldp_worst_case(1.0)
+                        .unwrap()
+                        .min_population(0.25, 1e-8, 1 << 14)
+                        .build()
+                        .unwrap(),
+                )),
+            },
+        ];
+        let req = Request {
+            id: Some(Json::Str("b1".into())),
+            command: Command::Batch(items.clone()),
+        };
+        let wire = req.to_json().to_string();
+        let back = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back.id, Some(Json::Str("b1".into())));
+        match back.command {
+            Command::Batch(back_items) => assert_eq!(back_items, items, "wire: {wire}"),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_item_defects_become_error_entries_not_dead_batches() {
+        let frame = Json::parse(
+            r#"{"op":"batch","queries":[
+                {"id":"good","op":"epsilon","eps0":1.0,"n":1000,"delta":1e-6},
+                {"id":"bad","op":"epsilon","eps0":1.0,"n":1000},
+                {"id":"nested","op":"batch","queries":[]},
+                42,
+                {"op":"stats"}
+            ]}"#,
+        )
+        .unwrap();
+        let items = match Request::from_json(&frame).unwrap().command {
+            Command::Batch(items) => items,
+            other => panic!("wrong command: {other:?}"),
+        };
+        assert_eq!(items.len(), 5);
+        assert!(items[0].query.is_ok());
+        assert_eq!(items[0].id, Some(Json::Str("good".into())));
+        // Field defects carry the same message an individual frame would get.
+        let e = items[1].query.as_ref().unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Malformed);
+        assert!(e.message.contains("`delta`"), "{}", e.message);
+        assert_eq!(items[1].id, Some(Json::Str("bad".into())));
+        // Non-query ops (including a nested batch) and non-objects are
+        // per-item errors, positionally preserved.
+        for (idx, needle) in [(2, "query ops"), (3, "object"), (4, "query ops")] {
+            let e = items[idx].query.as_ref().unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Malformed, "item {idx}");
+            assert!(e.message.contains(needle), "item {idx}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn batch_frame_defects_fail_the_whole_frame() {
+        for (text, needle) in [
+            (r#"{"op":"batch"}"#, "`queries` array"),
+            (r#"{"op":"batch","queries":7}"#, "`queries` array"),
+            (r#"{"op":"batch","queries":[]}"#, "non-empty"),
+        ] {
+            let err = Request::from_json(&Json::parse(text).unwrap()).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Malformed, "{text}");
+            assert!(err.message.contains(needle), "{text}: {}", err.message);
+        }
+        let oversized = Command::Batch(
+            (0..=MAX_BATCH_QUERIES)
+                .map(|_| BatchItem::query(worst_case_query()))
+                .collect(),
+        );
+        let wire = Request {
+            id: None,
+            command: oversized,
+        }
+        .to_json()
+        .to_string();
+        let err = Request::from_json(&Json::parse(&wire).unwrap()).unwrap_err();
+        assert!(err.message.contains("max"), "{}", err.message);
+    }
+
+    #[test]
+    fn batch_replies_roundtrip() {
+        let meta = ReplyMeta {
+            bound: "numerical".into(),
+            eps_ceiling: 2.5,
+            conditional: false,
+            cache_hit: true,
+            wall_micros: 17,
+            certificate: None,
+        };
+        let reply = Reply::ok(
+            Some(Json::Str("b".into())),
+            ReplyBody::Batch(vec![
+                Reply::ok(
+                    Some(Json::Str("x".into())),
+                    ReplyBody::Scalar {
+                        value: 0.123_456,
+                        meta: meta.clone(),
+                    },
+                ),
+                Reply::err(
+                    None,
+                    WireError::new(ErrorKind::InvalidParameter, "delta out of range"),
+                ),
+                Reply::ok(
+                    None,
+                    ReplyBody::Curve {
+                        eps: vec![0.0, 1.0],
+                        delta: vec![0.5, 1e-6],
+                        meta,
+                    },
+                ),
+            ]),
+        );
+        let wire = reply.to_json().to_string();
+        let back = Reply::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, reply, "wire: {wire}");
     }
 
     #[test]

@@ -1,59 +1,91 @@
-//! The `vr-server` daemon: a multi-threaded TCP server that parses
+//! The `vr-server` daemon: a sharded TCP server that parses
 //! newline-delimited JSON frames into [`AmplificationQuery`]s and serves
 //! them through **one shared [`AnalysisEngine`]**, so every connection and
-//! every worker reuses the same memoized evaluator cache.
+//! every shard reuses the same memoized evaluator cache.
 //!
 //! # Architecture
 //!
 //! ```text
-//! accept thread ──► connection threads (1 per client, line-framed I/O)
-//!                        │  parse frame → admission check
-//!                        ▼
-//!                bounded job queue (reject with `busy` when full)
+//! accept thread ──► round-robins each new connection to one shard inbox
 //!                        │
 //!                        ▼
-//!                worker pool (N threads) ──► shared AnalysisEngine
-//!                        │                      (one evaluator cache)
-//!                        ▼
-//!                reply channel back to the connection thread
+//! shard threads (N) ──► each OWNS its connection set: nonblocking reads
+//!     │                 into a per-connection buffer, frame extraction,
+//!     │                 inline execution on the shared AnalysisEngine,
+//!     │                 replies appended to a per-connection write buffer
+//!     ▼
+//! in-order replies per connection; shards progress independently
 //! ```
 //!
+//! Connections are **pipelined**: a client may write any number of frames
+//! before reading a reply; the shard drains whole bursts from the socket,
+//! answers every frame in submission order, and counts the burst surplus in
+//! the `pipelined_frames` stat. Backpressure is per connection and
+//! deterministic — a frame is rejected with `busy` when more than
+//! `queue_depth` later frames are already buffered behind it (so depth 0
+//! rejects every engine query, and a burst of at most `queue_depth` frames
+//! is never rejected).
+//!
 //! Failure containment is the design center: a malformed line, an
-//! out-of-domain parameter, or even a panicking worker produces a
+//! out-of-domain parameter, or even a panicking engine call produces a
 //! structured error reply **on a still-open connection** — one hostile
 //! query can neither kill the daemon nor poison the shared cache (the
-//! engine recovers poisoned locks, and workers catch panics).
+//! engine recovers poisoned locks, and shards catch panics).
 
-use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::protocol::{
-    extract_id, Command, ErrorKind, Reply, ReplyBody, Request, StatsSnapshot, WireError,
+    extract_id, BatchItem, Command, ErrorKind, Reply, ReplyBody, Request, StatsSnapshot, WireError,
 };
-use vr_core::engine::{AmplificationQuery, AnalysisEngine, AnalysisReport, SweepAxis};
+use vr_core::engine::{AmplificationQuery, AnalysisEngine, QueryTarget};
 
 /// Longest request line accepted, in bytes (64 KiB — a curve query is a few
 /// hundred bytes; anything bigger is hostile). Longer lines are answered
 /// with a `malformed` error and drained, keeping the connection usable.
 pub const MAX_LINE_BYTES: u64 = 64 * 1024;
 
+/// Socket read granularity of the shard loop.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Most bytes one connection may pull from its socket per service pass, so
+/// a firehose client cannot starve its shard siblings of read turns.
+const READ_BUDGET_PER_PASS: usize = 256 * 1024;
+
+/// Stop reading new frames from a connection while this many unflushed
+/// reply bytes are pending — TCP flow control then pushes back on the
+/// client instead of the buffer growing without bound.
+const WBUF_HIGH_WATER: usize = 1024 * 1024;
+
+/// Idle passes spent spin-yielding before the shard starts sleeping.
+const IDLE_YIELDS: u32 = 8;
+
+/// Longest per-pass sleep of an idle shard (latency floor when parked).
+const MAX_IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// How long a graceful `shutdown` waits for the ack byte to flush.
+const SHUTDOWN_FLUSH_DEADLINE: Duration = Duration::from_secs(2);
+
+/// How long a draining shard keeps flushing leftovers per connection.
+const DRAIN_FLUSH_DEADLINE: Duration = Duration::from_millis(250);
+
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port (tests, benches).
     pub addr: String,
-    /// Worker threads executing engine queries.
+    /// Shard threads; each owns the connections routed to it and executes
+    /// their queries on the shared engine.
     pub workers: usize,
-    /// Maximum queued (admitted but not yet executing) requests before new
-    /// ones are rejected with a `busy` error.
+    /// Per-connection pipelining depth: a frame is rejected with `busy`
+    /// when at least this many later frames are already buffered behind it
+    /// (0 rejects every engine query; control frames are always served).
     pub queue_depth: usize,
 }
 
@@ -75,6 +107,9 @@ impl Default for ServerConfig {
 #[derive(Debug, Default)]
 struct Counters {
     connections: AtomicU64,
+    /// Currently-open connections (accepted minus closed) — in-process
+    /// observability only, not part of the wire snapshot.
+    open: AtomicU64,
     requests: AtomicU64,
     ok: AtomicU64,
     errors: AtomicU64,
@@ -87,60 +122,34 @@ struct Counters {
     op_min_n: AtomicU64,
     op_max_eps0: AtomicU64,
     op_sweep: AtomicU64,
+    op_batch: AtomicU64,
     op_stats: AtomicU64,
+    pipelined: AtomicU64,
 }
 
-/// The engine work a job carries: one query, or a whole sweep.
-enum Work {
-    Query(Box<AmplificationQuery>),
-    Sweep {
-        template: Box<AmplificationQuery>,
-        axis: SweepAxis,
-    },
+/// One shard's hand-off point: the accept thread pushes fresh sockets here
+/// and the shard thread adopts them on its next pass (or wakes from its
+/// empty-shard park via the condvar).
+#[derive(Default)]
+struct Shard {
+    inbox: Mutex<Vec<TcpStream>>,
+    wake: Condvar,
 }
 
-/// What a worker hands back on success.
-enum WorkOutput {
-    Report(AnalysisReport),
-    Sweep {
-        axis: SweepAxis,
-        reports: Vec<std::result::Result<AnalysisReport, vr_core::error::Error>>,
-    },
-}
-
-/// A unit of engine work: the work item plus the channel its reply travels
-/// back on (the connection thread blocks on the receiver).
-struct Job {
-    work: Work,
-    reply: mpsc::Sender<Result<WorkOutput, WireError>>,
-}
-
-/// State shared by the accept loop, connection threads and workers.
+/// State shared by the accept loop and the shard threads.
 struct Inner {
     engine: AnalysisEngine,
-    queue: Mutex<VecDeque<Job>>,
-    job_ready: Condvar,
     shutdown: AtomicBool,
     stats: Counters,
-    /// Socket clones of **live** connections keyed by connection id, so
-    /// shutdown can unblock readers; each entry is removed when its
-    /// connection thread exits (a long-lived daemon must not accumulate one
-    /// duplicated fd per past connection).
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    /// Connection-id allocator.
-    next_conn: AtomicU64,
-    /// Join handles of connection threads (pushed by the accept loop,
-    /// reaped opportunistically there as connections finish, drained fully
-    /// by [`Server::join`]).
-    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    shards: Vec<Shard>,
     config: ServerConfig,
     local_addr: SocketAddr,
     started: Instant,
 }
 
 /// Take a mutex guard, recovering from poisoning — the daemon's shared
-/// structures (job queue, connection registry) stay consistent across a
-/// panicking thread because every critical section is a small push/pop.
+/// structures (shard inboxes) stay consistent across a panicking thread
+/// because every critical section is a small push/drain.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -157,6 +166,17 @@ impl Inner {
                     }
                     // Each warm grid point counts, mirroring the batch it is.
                     ReplyBody::Sweep(sweep) => sweep.cache_hits,
+                    // Each warm item counts; per-item errors do not reach
+                    // the `errors` counter (the frame as a whole succeeded),
+                    // exactly like a sweep's per-point failures.
+                    ReplyBody::Batch(replies) => replies
+                        .iter()
+                        .map(|item| match &item.outcome {
+                            Ok(ReplyBody::Scalar { meta, .. })
+                            | Ok(ReplyBody::Curve { meta, .. }) => u64::from(meta.cache_hit),
+                            _ => 0,
+                        })
+                        .sum(),
                     _ => 0,
                 };
                 if cache_hits > 0 {
@@ -190,7 +210,9 @@ impl Inner {
             op_min_n: s.op_min_n.load(Ordering::Relaxed),
             op_max_eps0: s.op_max_eps0.load(Ordering::Relaxed),
             op_sweep: s.op_sweep.load(Ordering::Relaxed),
+            op_batch: s.op_batch.load(Ordering::Relaxed),
             op_stats: s.op_stats.load(Ordering::Relaxed),
+            pipelined_frames: s.pipelined.load(Ordering::Relaxed),
             uptime_micros: self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
             workers: self.config.workers as u64,
             queue_depth: self.config.queue_depth as u64,
@@ -198,26 +220,41 @@ impl Inner {
         }
     }
 
-    /// Flip the shutdown flag and unblock every parked thread: workers (via
-    /// the condvar), the accept loop (via a loopback dial), and connection
-    /// readers (via socket shutdown). Queued-but-not-started jobs are
-    /// answered with `shutting_down` so no connection thread is left
-    /// blocked on a reply that will never come.
+    /// Admit one unit of engine work from a connection whose read buffer
+    /// still holds `pending` complete frames behind the current one, or
+    /// reject with `busy` / `shutting_down`.
+    fn admit(&self, pending: usize) -> Result<(), WireError> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(WireError::new(
+                ErrorKind::ShuttingDown,
+                "daemon is shutting down",
+            ));
+        }
+        if pending >= self.config.queue_depth {
+            return Err(WireError::new(
+                ErrorKind::Busy,
+                format!(
+                    "shard backlog full ({pending} pending, depth {}); retry later",
+                    self.config.queue_depth
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Flip the shutdown flag and unblock every parked thread: shards (via
+    /// their inbox condvars) and the accept loop (via a loopback dial).
+    /// Each shard then flushes and closes its own connections.
     fn initiate_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return; // already shutting down
         }
-        // Drain under the queue lock: `submit` checks the flag under the
-        // same lock, so a job is either rejected up front or drained here —
-        // never stranded.
-        let drained: Vec<Job> = lock(&self.queue).drain(..).collect();
-        for job in drained {
-            let _ = job.reply.send(Err(WireError::new(
-                ErrorKind::ShuttingDown,
-                "daemon is shutting down",
-            )));
+        for shard in &self.shards {
+            // Lock before notifying so a shard between its park check and
+            // its wait cannot miss the wake-up.
+            drop(lock(&shard.inbox));
+            shard.wake.notify_all();
         }
-        self.job_ready.notify_all();
         // Unblock the accept() call; errors are fine (listener may already
         // be gone or the dial may race the close). A wildcard bind
         // (0.0.0.0 / ::) is not dialable on every platform, so aim the
@@ -230,41 +267,6 @@ impl Inner {
             });
         }
         let _ = TcpStream::connect(dial);
-        for (_, conn) in lock(&self.conns).drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-    }
-
-    /// Admit a unit of work into the bounded queue, or reject with `busy`.
-    fn submit(
-        &self,
-        work: Work,
-    ) -> Result<mpsc::Receiver<Result<WorkOutput, WireError>>, WireError> {
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut queue = lock(&self.queue);
-            // Checked under the lock: pairs with the drain in
-            // `initiate_shutdown` to rule out stranded jobs.
-            if self.shutdown.load(Ordering::SeqCst) {
-                return Err(WireError::new(
-                    ErrorKind::ShuttingDown,
-                    "daemon is shutting down",
-                ));
-            }
-            if queue.len() >= self.config.queue_depth {
-                return Err(WireError::new(
-                    ErrorKind::Busy,
-                    format!(
-                        "worker queue full ({} pending, depth {}); retry later",
-                        queue.len(),
-                        self.config.queue_depth
-                    ),
-                ));
-            }
-            queue.push_back(Job { work, reply: tx });
-        }
-        self.job_ready.notify_one();
-        Ok(rx)
     }
 }
 
@@ -274,35 +276,32 @@ impl Inner {
 pub struct Server {
     inner: Arc<Inner>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind and start the daemon (accept loop + worker pool); returns once
-    /// the listener is live, with queries served on background threads.
+    /// Bind and start the daemon (accept loop + shard threads); returns
+    /// once the listener is live, with queries served on background
+    /// threads.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
         let inner = Arc::new(Inner {
             engine: AnalysisEngine::new(),
-            queue: Mutex::new(VecDeque::new()),
-            job_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: Counters::default(),
-            conns: Mutex::new(HashMap::new()),
-            next_conn: AtomicU64::new(0),
-            conn_handles: Mutex::new(Vec::new()),
+            shards: (0..workers).map(|_| Shard::default()).collect(),
             config: ServerConfig { workers, ..config },
             local_addr,
             started: Instant::now(),
         });
-        let worker_handles = (0..workers)
+        let shard_handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
-                    .name(format!("vr-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .name(format!("vr-shard-{i}"))
+                    .spawn(move || shard_loop(&inner, i))
             })
             .collect::<io::Result<Vec<_>>>()?;
         let accept = {
@@ -314,7 +313,7 @@ impl Server {
         Ok(Server {
             inner,
             accept: Some(accept),
-            workers: worker_handles,
+            shards: shard_handles,
         })
     }
 
@@ -351,16 +350,15 @@ impl Server {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
         }
-        loop {
-            let handles: Vec<_> = lock(&self.inner.conn_handles).drain(..).collect();
-            if handles.is_empty() {
-                break;
-            }
-            for h in handles {
-                let _ = h.join();
+        // Close any socket the accept loop managed to push into an inbox
+        // after its shard had already drained and exited (shutdown race).
+        for shard in &self.inner.shards {
+            for stream in lock(&shard.inbox).drain(..) {
+                let _ = stream.shutdown(Shutdown::Both);
+                self.inner.stats.open.fetch_sub(1, Ordering::Relaxed);
             }
         }
     }
@@ -374,112 +372,355 @@ impl Drop for Server {
 }
 
 fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    let mut next_shard = 0usize;
     for stream in listener.incoming() {
         if inner.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        // Reap finished connection threads so a long-lived daemon does not
-        // accumulate one join handle per past connection.
-        reap_finished_connections(inner);
         let stream = match stream {
             Ok(stream) => stream,
             Err(_) => {
                 // Transient accept failure (e.g. fd exhaustion): back off
                 // briefly instead of hot-spinning on the persistent error.
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
         };
-        inner.stats.connections.fetch_add(1, Ordering::Relaxed);
-        let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            lock(&inner.conns).insert(conn_id, clone);
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            continue; // shards require nonblocking sockets
         }
-        // Re-check *after* registering: `initiate_shutdown` sets the flag
-        // before draining `conns`, so either the drain saw our entry (and
-        // shut the socket) or we see the flag here — a connection accepted
-        // during shutdown can never be left with a reader that nothing
-        // will ever unblock (which would hang `Server::join`).
+        inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+        inner.stats.open.fetch_add(1, Ordering::Relaxed);
+        let shard = &inner.shards[next_shard % inner.shards.len()];
+        next_shard = next_shard.wrapping_add(1);
+        lock(&shard.inbox).push(stream);
+        shard.wake.notify_one();
+        // A connection pushed after a shard's final drain is picked up by
+        // `join_mut`; the flag re-check here just stops accepting sooner.
         if inner.shutdown.load(Ordering::SeqCst) {
-            let _ = stream.shutdown(Shutdown::Both);
-            lock(&inner.conns).remove(&conn_id);
             break;
         }
-        let conn_inner = Arc::clone(inner);
-        let handle = std::thread::Builder::new()
-            .name("vr-conn".into())
-            .spawn(move || {
-                serve_connection(&conn_inner, stream);
-                // Deregister: drop the duplicated fd for this connection.
-                lock(&conn_inner.conns).remove(&conn_id);
-            });
-        match handle {
-            Ok(h) => lock(&inner.conn_handles).push(h),
-            Err(_) => {
-                // Spawn failure: drop the connection and its registry entry.
-                lock(&inner.conns).remove(&conn_id);
+    }
+}
+
+/// One connection owned by a shard: its nonblocking socket plus the
+/// buffered unparsed request bytes and unflushed reply bytes that make
+/// pipelining work.
+struct Conn {
+    stream: TcpStream,
+    /// Unconsumed request bytes (may hold many complete frames).
+    rbuf: Vec<u8>,
+    /// Reply bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Prefix of `wbuf` already written.
+    wpos: usize,
+    /// Inside an oversized line: drop bytes until the next `\n`.
+    discarding: bool,
+    /// The client closed its write half; close once `wbuf` drains.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            discarding: false,
+            eof: false,
+        }
+    }
+
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    fn push_reply(&mut self, reply: &Reply) {
+        self.wbuf
+            .extend_from_slice(reply.to_json().to_string().as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    /// Write as much of `wbuf` as the socket accepts right now. Returns
+    /// whether any bytes moved; `Err` means the connection is dead.
+    fn flush(&mut self) -> io::Result<bool> {
+        let mut wrote = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.wpos += n;
+                    wrote = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos >= WBUF_HIGH_WATER {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(wrote)
+    }
+
+    /// Keep flushing until `wbuf` drains, the socket dies, or `deadline`
+    /// passes — used for the shutdown ack and shard drains, where the
+    /// reply should reach the client but must not hang the daemon.
+    fn flush_until(&mut self, deadline: Instant) {
+        while self.pending_write() > 0 && Instant::now() < deadline {
+            match self.flush() {
+                Ok(true) => {}
+                Ok(false) => std::thread::sleep(Duration::from_micros(50)),
+                Err(_) => break,
             }
         }
     }
 }
 
-/// Join every connection thread that has already finished, leaving live
-/// ones in place (bounds `conn_handles` to the number of open connections).
-fn reap_finished_connections(inner: &Inner) {
-    let mut handles = lock(&inner.conn_handles);
-    let mut live = Vec::with_capacity(handles.len());
-    for handle in handles.drain(..) {
-        if handle.is_finished() {
-            let _ = handle.join();
-        } else {
-            live.push(handle);
-        }
-    }
-    *handles = live;
+/// Why a service pass ended a connection (or didn't).
+enum ConnState {
+    Open { made_progress: bool },
+    Closed,
 }
 
-fn worker_loop(inner: &Arc<Inner>) {
+fn shard_loop(inner: &Arc<Inner>, index: usize) {
+    let shard = &inner.shards[index];
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut idle_passes: u32 = 0;
     loop {
-        let job = {
-            let mut queue = lock(&inner.queue);
-            loop {
-                if let Some(job) = queue.pop_front() {
-                    break job;
-                }
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    return; // queue drained and the daemon is stopping
-                }
-                queue = inner
-                    .job_ready
-                    .wait(queue)
+        // Adopt fresh connections; park while the shard owns nothing.
+        {
+            let mut inbox = lock(&shard.inbox);
+            while conns.is_empty() && inbox.is_empty() && !inner.shutdown.load(Ordering::SeqCst) {
+                inbox = shard
+                    .wake
+                    .wait(inbox)
                     .unwrap_or_else(PoisonError::into_inner);
             }
-        };
-        // A panic inside the engine must cost this request, not the worker:
-        // catch it, reply with a structured `internal` error, keep looping.
-        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match &job.work {
-            Work::Query(query) => inner.engine.run(query).map(WorkOutput::Report),
-            Work::Sweep { template, axis } => {
-                inner
-                    .engine
-                    .sweep(template, axis)
-                    .map(|reports| WorkOutput::Sweep {
-                        axis: axis.clone(),
-                        reports,
-                    })
+            if !inbox.is_empty() {
+                conns.extend(inbox.drain(..).map(Conn::new));
+                idle_passes = 0;
             }
-        }));
-        let message = match outcome {
-            Ok(Ok(output)) => Ok(output),
-            Ok(Err(e)) => Err(WireError::from(e)),
-            Err(panic) => Err(WireError::new(
-                ErrorKind::Internal,
-                format!("worker panicked serving the query: {}", panic_text(&panic)),
-            )),
-        };
-        // The connection may have hung up while we computed; ignore.
-        let _ = job.reply.send(message);
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            drain_shard(inner, shard, conns);
+            return;
+        }
+        let mut progressed = false;
+        let mut still = Vec::with_capacity(conns.len());
+        for mut conn in conns {
+            match service_conn(inner, &mut conn) {
+                ConnState::Open { made_progress } => {
+                    progressed |= made_progress;
+                    still.push(conn);
+                }
+                ConnState::Closed => {
+                    progressed = true;
+                    inner.stats.open.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+        conns = still;
+        if progressed {
+            idle_passes = 0;
+        } else {
+            // Nothing moved: yield a few passes (a reply is often one
+            // scheduler slice away), then sleep with a bounded ceiling so
+            // parked connections cost little CPU but wake fast.
+            idle_passes = idle_passes.saturating_add(1);
+            if idle_passes <= IDLE_YIELDS {
+                std::thread::yield_now();
+            } else {
+                let step = Duration::from_micros(10 * u64::from(idle_passes - IDLE_YIELDS));
+                std::thread::sleep(step.min(MAX_IDLE_SLEEP));
+            }
+        }
     }
+}
+
+/// Final pass of a shutting-down shard: adopt any last inbox arrivals,
+/// give every connection a bounded chance to drain its replies, and close.
+fn drain_shard(inner: &Inner, shard: &Shard, mut conns: Vec<Conn>) {
+    conns.extend(lock(&shard.inbox).drain(..).map(Conn::new));
+    let deadline = Instant::now() + DRAIN_FLUSH_DEADLINE;
+    for mut conn in conns {
+        conn.flush_until(deadline);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        inner.stats.open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One service pass over one connection: flush pending replies, read and
+/// execute whatever frames have arrived, flush again.
+fn service_conn(inner: &Arc<Inner>, conn: &mut Conn) -> ConnState {
+    let mut progress = match conn.flush() {
+        Ok(wrote) => wrote,
+        Err(_) => return ConnState::Closed,
+    };
+    let mut budget = READ_BUDGET_PER_PASS;
+    let mut chunk = [0u8; READ_CHUNK];
+    while !conn.eof && budget > 0 && conn.pending_write() < WBUF_HIGH_WATER {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                progress = true;
+            }
+            Ok(n) => {
+                progress = true;
+                budget = budget.saturating_sub(n);
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if process_rbuf(inner, conn) == FrameFlow::ShutdownAfter {
+                    shutdown_after_ack(inner, conn);
+                    return ConnState::Closed;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ConnState::Closed,
+        }
+    }
+    if conn.eof {
+        // EOF in the middle of a line: treat the remainder as a final
+        // (complete) frame — terminating it reuses the normal frame path,
+        // including oversized-line discard state.
+        if !conn.rbuf.is_empty() {
+            conn.rbuf.push(b'\n');
+            if process_rbuf(inner, conn) == FrameFlow::ShutdownAfter {
+                shutdown_after_ack(inner, conn);
+                return ConnState::Closed;
+            }
+        }
+        match conn.flush() {
+            Ok(wrote) => progress |= wrote,
+            Err(_) => return ConnState::Closed,
+        }
+        if conn.pending_write() == 0 {
+            return ConnState::Closed; // all replies delivered
+        }
+    } else {
+        match conn.flush() {
+            Ok(wrote) => progress |= wrote,
+            Err(_) => return ConnState::Closed,
+        }
+    }
+    ConnState::Open {
+        made_progress: progress,
+    }
+}
+
+/// Deliver the `shutdown` ack (bounded), then stop the daemon.
+fn shutdown_after_ack(inner: &Inner, conn: &mut Conn) {
+    conn.flush_until(Instant::now() + SHUTDOWN_FLUSH_DEADLINE);
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    inner.initiate_shutdown();
+}
+
+#[derive(PartialEq, Eq)]
+enum FrameFlow {
+    Continue,
+    ShutdownAfter,
+}
+
+fn find_newline(buf: &[u8]) -> Option<usize> {
+    buf.iter().position(|&b| b == b'\n')
+}
+
+/// Extract and execute every complete frame currently buffered on the
+/// connection, in order. Frames beyond the first in one call are the
+/// pipelining surplus counted by `pipelined_frames`.
+fn process_rbuf(inner: &Arc<Inner>, conn: &mut Conn) -> FrameFlow {
+    let mut frames = 0u64;
+    let mut flow = FrameFlow::Continue;
+    loop {
+        if conn.discarding {
+            match find_newline(&conn.rbuf) {
+                Some(pos) => {
+                    conn.rbuf.drain(..=pos);
+                    conn.discarding = false;
+                }
+                None => {
+                    conn.rbuf.clear();
+                    break;
+                }
+            }
+        }
+        match find_newline(&conn.rbuf) {
+            Some(pos) => {
+                // The line cap applies to terminated lines too, so the
+                // reply is chunking-invariant: a 70 KiB line gets the same
+                // structured `oversized` error whether its newline arrived
+                // in the same read (pipelined burst) or a later one.
+                if pos as u64 >= MAX_LINE_BYTES {
+                    conn.rbuf.drain(..=pos);
+                    frames += 1;
+                    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    let reply = Reply::err(
+                        None,
+                        WireError::malformed(format!(
+                            "request line exceeds {MAX_LINE_BYTES} bytes"
+                        )),
+                    );
+                    inner.record_outcome(&reply.outcome);
+                    conn.push_reply(&reply);
+                    continue;
+                }
+                let line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+                // Frames still buffered behind this one — the admission
+                // check's measure of this connection's backlog.
+                let pending = conn.rbuf.iter().filter(|&&b| b == b'\n').count();
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if trimmed.is_empty() {
+                    continue; // ignore blank keep-alive lines
+                }
+                frames += 1;
+                let (reply, stop_after) = handle_frame(inner, trimmed, pending);
+                conn.push_reply(&reply);
+                if stop_after {
+                    flow = FrameFlow::ShutdownAfter;
+                    break;
+                }
+            }
+            None => {
+                if conn.rbuf.len() as u64 >= MAX_LINE_BYTES {
+                    // Oversized: answer with a structured error, drop the
+                    // buffered prefix and discard until the line ends —
+                    // the next frame then starts at a clean boundary.
+                    // Counted like any other rejected frame so the stats
+                    // contract (`requests` covers all frames, `errors`
+                    // includes malformed ones) holds for monitoring
+                    // clients.
+                    frames += 1;
+                    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    let reply = Reply::err(
+                        None,
+                        WireError::malformed(format!(
+                            "request line exceeds {MAX_LINE_BYTES} bytes"
+                        )),
+                    );
+                    inner.record_outcome(&reply.outcome);
+                    conn.push_reply(&reply);
+                    conn.rbuf.clear();
+                    conn.discarding = true;
+                    continue;
+                }
+                break; // incomplete frame: wait for more bytes
+            }
+        }
+    }
+    if frames > 1 {
+        inner
+            .stats
+            .pipelined
+            .fetch_add(frames - 1, Ordering::Relaxed);
+    }
+    flow
 }
 
 fn panic_text(panic: &(dyn std::any::Any + Send)) -> &str {
@@ -490,98 +731,10 @@ fn panic_text(panic: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("<non-string panic payload>")
 }
 
-/// Read one `\n`-terminated line of at most [`MAX_LINE_BYTES`] into `buf`.
-/// Returns `Ok(true)` when a complete line was read, `Ok(false)` at EOF,
-/// and `Err` on an oversized line (after draining it, so the next read
-/// starts at a frame boundary).
-fn read_line_limited(reader: &mut BufReader<TcpStream>, buf: &mut Vec<u8>) -> io::Result<bool> {
-    buf.clear();
-    let n = (&mut *reader).take(MAX_LINE_BYTES).read_until(b'\n', buf)?;
-    if n == 0 {
-        return Ok(false);
-    }
-    if buf.last() == Some(&b'\n') {
-        return Ok(true);
-    }
-    if (n as u64) < MAX_LINE_BYTES {
-        // EOF in the middle of a line: treat as a final (complete) frame.
-        return Ok(true);
-    }
-    // Oversized: discard the rest of this line in bounded chunks.
-    // `read_until` never consumes past the newline, so pipelined frames
-    // after the oversized one stay intact in the reader — the next
-    // `read_line_limited` call picks them up at the frame boundary.
-    buf.clear();
-    let mut scratch = Vec::with_capacity(4096);
-    loop {
-        scratch.clear();
-        let read = (&mut *reader).take(4096).read_until(b'\n', &mut scratch)?;
-        if read == 0 || scratch.last() == Some(&b'\n') {
-            break; // EOF or end of the oversized line
-        }
-    }
-    Err(io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-    ))
-}
-
-fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        match read_line_limited(&mut reader, &mut line) {
-            Ok(false) => break, // client closed
-            Ok(true) => {
-                let text = String::from_utf8_lossy(&line);
-                let trimmed = text.trim();
-                if trimmed.is_empty() {
-                    continue; // ignore blank keep-alive lines
-                }
-                let (reply, stop_after) = handle_frame(inner, trimmed);
-                if write_reply(&mut writer, &reply).is_err() {
-                    break;
-                }
-                if stop_after {
-                    inner.initiate_shutdown();
-                    break;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Oversized line: answered with a structured error; the
-                // reader is already positioned at the next frame boundary.
-                // Counted like any other rejected frame so the stats
-                // contract (`requests` covers all frames, `errors` includes
-                // malformed ones) holds for monitoring clients.
-                inner.stats.requests.fetch_add(1, Ordering::Relaxed);
-                let reply = Reply::err(None, WireError::malformed(e.to_string()));
-                inner.record_outcome(&reply.outcome);
-                if write_reply(&mut writer, &reply).is_err() {
-                    break;
-                }
-            }
-            Err(_) => break, // socket error / shutdown
-        }
-        if inner.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-    }
-}
-
-fn write_reply(writer: &mut TcpStream, reply: &Reply) -> io::Result<()> {
-    let mut out = reply.to_json().to_string();
-    out.push('\n');
-    writer.write_all(out.as_bytes())?;
-    writer.flush()
-}
-
 /// Parse and execute one request line; returns the reply and whether the
-/// daemon should shut down after sending it.
-fn handle_frame(inner: &Arc<Inner>, text: &str) -> (Reply, bool) {
+/// daemon should shut down after sending it. `pending` is the number of
+/// complete frames buffered behind this one on the same connection.
+fn handle_frame(inner: &Arc<Inner>, text: &str, pending: usize) -> (Reply, bool) {
     inner.stats.requests.fetch_add(1, Ordering::Relaxed);
     let frame = match Json::parse(text) {
         Ok(frame) => frame,
@@ -609,45 +762,10 @@ fn handle_frame(inner: &Arc<Inner>, text: &str) -> (Reply, bool) {
             )
         }
         Command::Shutdown => (Reply::ok(request.id, ReplyBody::ShuttingDown), true),
-        Command::Query(_) | Command::Sweep { .. } => {
-            use vr_core::engine::QueryTarget;
-            let work = match request.command {
-                Command::Query(query) => {
-                    let op_counter = match query.target() {
-                        QueryTarget::Delta { .. } => &inner.stats.op_delta,
-                        QueryTarget::Epsilon { .. } => &inner.stats.op_epsilon,
-                        QueryTarget::Curve { .. } => &inner.stats.op_curve,
-                        QueryTarget::Composed { .. } => &inner.stats.op_composed,
-                        QueryTarget::MinPopulation { .. } => &inner.stats.op_min_n,
-                        QueryTarget::MaxLocalBudget { .. } => &inner.stats.op_max_eps0,
-                    };
-                    op_counter.fetch_add(1, Ordering::Relaxed);
-                    Work::Query(query)
-                }
-                Command::Sweep { template, axis } => {
-                    inner.stats.op_sweep.fetch_add(1, Ordering::Relaxed);
-                    Work::Sweep { template, axis }
-                }
-                _ => unreachable!("outer match narrowed the command"),
-            };
-            let outcome = inner.submit(work).and_then(|rx| {
-                rx.recv().unwrap_or_else(|_| {
-                    // Worker exited without replying (shutdown race).
-                    Err(WireError::new(
-                        ErrorKind::ShuttingDown,
-                        "daemon stopped before the query completed",
-                    ))
-                })
-            });
-            let reply = match outcome {
-                Ok(WorkOutput::Report(report)) => Reply::from_report(request.id, &report),
-                Ok(WorkOutput::Sweep { axis, reports }) => {
-                    Reply::from_sweep(request.id, &axis, &reports)
-                }
-                Err(e) => Reply::err(request.id, e),
-            };
-            (reply, false)
-        }
+        command => (
+            execute_engine_command(inner, request.id, command, pending),
+            false,
+        ),
     };
     if stop_after {
         // The ack counts as a served request.
@@ -656,6 +774,108 @@ fn handle_frame(inner: &Arc<Inner>, text: &str) -> (Reply, bool) {
         inner.record_outcome(&reply.outcome);
     }
     (reply, stop_after)
+}
+
+/// What an admitted engine command produced.
+enum ExecOutput {
+    Report(vr_core::engine::AnalysisReport),
+    Sweep {
+        axis: vr_core::engine::SweepAxis,
+        reports: Vec<std::result::Result<vr_core::engine::AnalysisReport, vr_core::error::Error>>,
+    },
+    Batch(Vec<Reply>),
+}
+
+/// Count, admit, and execute a query / sweep / batch command inline on the
+/// owning shard. A panic inside the engine costs this frame, not the
+/// shard: it is caught and mapped to a structured `internal` error.
+fn execute_engine_command(
+    inner: &Arc<Inner>,
+    id: Option<Json>,
+    command: Command,
+    pending: usize,
+) -> Reply {
+    // Op counters record demand whether or not admission succeeds (parity
+    // with the worker-pool daemon this replaced).
+    match &command {
+        Command::Query(query) => bump_op_counter(inner, query),
+        Command::Sweep { .. } => {
+            inner.stats.op_sweep.fetch_add(1, Ordering::Relaxed);
+        }
+        Command::Batch(items) => {
+            inner.stats.op_batch.fetch_add(1, Ordering::Relaxed);
+            for item in items {
+                if let Ok(query) = &item.query {
+                    bump_op_counter(inner, query);
+                }
+            }
+        }
+        Command::Stats | Command::Shutdown => unreachable!("control ops execute in handle_frame"),
+    }
+    if let Err(e) = inner.admit(pending) {
+        return Reply::err(id, e);
+    }
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match command {
+        Command::Query(query) => inner
+            .engine
+            .run(&query)
+            .map(ExecOutput::Report)
+            .map_err(WireError::from),
+        Command::Sweep { template, axis } => inner
+            .engine
+            .sweep(&template, &axis)
+            .map(|reports| ExecOutput::Sweep { axis, reports })
+            .map_err(WireError::from),
+        Command::Batch(items) => Ok(ExecOutput::Batch(run_batch_items(&inner.engine, items))),
+        Command::Stats | Command::Shutdown => unreachable!("narrowed above"),
+    }));
+    match outcome {
+        Ok(Ok(ExecOutput::Report(report))) => Reply::from_report(id, &report),
+        Ok(Ok(ExecOutput::Sweep { axis, reports })) => Reply::from_sweep(id, &axis, &reports),
+        Ok(Ok(ExecOutput::Batch(replies))) => Reply::ok(id, ReplyBody::Batch(replies)),
+        Ok(Err(e)) => Reply::err(id, e),
+        Err(panic) => Reply::err(
+            id,
+            WireError::new(
+                ErrorKind::Internal,
+                format!("worker panicked serving the query: {}", panic_text(&panic)),
+            ),
+        ),
+    }
+}
+
+fn bump_op_counter(inner: &Inner, query: &AmplificationQuery) {
+    let op_counter = match query.target() {
+        QueryTarget::Delta { .. } => &inner.stats.op_delta,
+        QueryTarget::Epsilon { .. } => &inner.stats.op_epsilon,
+        QueryTarget::Curve { .. } => &inner.stats.op_curve,
+        QueryTarget::Composed { .. } => &inner.stats.op_composed,
+        QueryTarget::MinPopulation { .. } => &inner.stats.op_min_n,
+        QueryTarget::MaxLocalBudget { .. } => &inner.stats.op_max_eps0,
+    };
+    op_counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Serve a batch's parseable items through [`AnalysisEngine::run_batch`]
+/// (one warm fan-out) and stitch the per-item replies back into submission
+/// order, error items included — one bad query yields one error entry, not
+/// a dead batch.
+fn run_batch_items(engine: &AnalysisEngine, items: Vec<BatchItem>) -> Vec<Reply> {
+    let queries: Vec<AmplificationQuery> = items
+        .iter()
+        .filter_map(|item| item.query.as_deref().ok().cloned())
+        .collect();
+    let mut reports = engine.run_batch(&queries).into_iter();
+    items
+        .into_iter()
+        .map(|item| match item.query {
+            Ok(_) => match reports.next().expect("one report per parsed query") {
+                Ok(report) => Reply::from_report(item.id, &report),
+                Err(e) => Reply::err(item.id, WireError::from(e)),
+            },
+            Err(e) => Reply::err(item.id, e),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -785,6 +1005,55 @@ mod tests {
     }
 
     #[test]
+    fn batch_frames_answer_per_item_in_submission_order() {
+        let server = test_server(1, 8);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // Item 2 is defective (missing delta); its neighbours must still
+        // serve, and the error entry keeps its slot and id.
+        let frame = concat!(
+            "{\"id\":\"B\",\"op\":\"batch\",\"queries\":[",
+            "{\"id\":\"q0\",\"op\":\"epsilon\",\"eps0\":1.0,\"n\":2000,\"delta\":1e-6,\"bound\":\"numerical\"},",
+            "{\"id\":\"q1\",\"op\":\"epsilon\",\"eps0\":1.0,\"n\":2000},",
+            "{\"id\":\"q2\",\"op\":\"epsilon\",\"eps0\":1.0,\"n\":2000,\"delta\":1e-7,\"bound\":\"numerical\"}",
+            "]}"
+        );
+        let reply = client.roundtrip_raw(frame).unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
+        let items = reply.get("batch").unwrap().as_arr().unwrap();
+        assert_eq!(items.len(), 3);
+        let direct = AnalysisEngine::new();
+        for (idx, delta) in [(0usize, 1e-6), (2, 1e-7)] {
+            let want = direct
+                .run(&epsilon_query(2_000, delta))
+                .unwrap()
+                .scalar()
+                .unwrap();
+            assert_eq!(items[idx].get("ok").unwrap().as_bool(), Some(true));
+            assert_eq!(
+                items[idx].get("id").unwrap().as_str(),
+                Some(format!("q{idx}").as_str())
+            );
+            let got = items[idx].get("value").unwrap().as_f64().unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "item {idx} drifted");
+        }
+        assert_eq!(items[1].get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(items[1].get("id").unwrap().as_str(), Some("q1"));
+        assert_eq!(
+            items[1].get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("malformed")
+        );
+        // One frame, one `ok`; per-item demand shows in the op counters;
+        // the defective item is not a frame-level error.
+        let stats = server.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.ok, 1);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.op_batch, 1);
+        assert_eq!(stats.op_epsilon, 2);
+        server.stop();
+    }
+
+    #[test]
     fn closed_connections_are_deregistered() {
         let server = test_server(1, 4);
         let addr = server.local_addr();
@@ -793,17 +1062,17 @@ mod tests {
             client.stats().unwrap();
             drop(client);
         }
-        // The reader threads notice the hangup asynchronously; poll until
-        // every per-connection socket clone has been dropped.
+        // The owning shard notices the hangup asynchronously; poll until
+        // every connection has been released.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         loop {
-            let live = lock(&server.inner.conns).len();
+            let live = server.inner.stats.open.load(Ordering::Relaxed);
             if live == 0 {
                 break;
             }
             assert!(
                 std::time::Instant::now() < deadline,
-                "{live} connection fds still registered after all clients closed"
+                "{live} connections still owned after all clients closed"
             );
             std::thread::sleep(std::time::Duration::from_millis(10));
         }

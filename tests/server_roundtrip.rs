@@ -12,7 +12,7 @@
 
 use shuffle_amplification::core::bound::names;
 use shuffle_amplification::prelude::*;
-use shuffle_amplification::server::{ClientError, ErrorKind};
+use shuffle_amplification::server::{ClientError, Command, ErrorKind, Json, Request};
 
 const N: u64 = 20_000;
 
@@ -435,6 +435,286 @@ fn graceful_shutdown_over_the_wire() {
             .is_err(),
         "daemon must not serve after shutdown"
     );
+}
+
+/// The timing-free portion of a reply frame: id, success flag, answer
+/// bits (scalar or curve), and the structured error — everything except
+/// the per-run meta (`wall_micros`, `cache_hit`), which legitimately
+/// varies between a cold and a warm pass.
+fn reply_signature(frame: &Json) -> (String, bool, Vec<u64>, Option<(String, String)>) {
+    let id = frame.get("id").map_or("null".into(), |j| j.to_string());
+    let ok = frame.get("ok").and_then(Json::as_bool).expect("ok flag");
+    let mut bits = Vec::new();
+    if let Some(v) = frame.get("value").and_then(Json::as_f64) {
+        bits.push(v.to_bits());
+    }
+    if let Some(curve) = frame.get("curve") {
+        for axis in ["eps", "delta"] {
+            for v in curve.get(axis).and_then(Json::as_arr).expect("curve axis") {
+                bits.push(v.as_f64().expect("curve point").to_bits());
+            }
+        }
+    }
+    let error = frame.get("error").map(|e| {
+        (
+            e.get("kind").and_then(Json::as_str).expect("kind").into(),
+            e.get("message")
+                .and_then(Json::as_str)
+                .expect("message")
+                .into(),
+        )
+    });
+    (id, ok, bits, error)
+}
+
+/// A query frame with an explicit numeric id, rendered to its wire line.
+fn query_frame(id: u64, query: &AmplificationQuery) -> String {
+    Request {
+        id: Some(Json::Num(id as f64)),
+        command: Command::Query(Box::new(query.clone())),
+    }
+    .to_json()
+    .to_string()
+}
+
+#[test]
+fn pipelined_mixed_burst_replies_in_order_and_matches_sequential() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_depth: 128,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // 100 frames on one connection: mostly cheap valid queries, with
+    // malformed JSON, an oversized line and an out-of-domain parameter
+    // spliced mid-stream — the pipelining path must answer every one of
+    // them in submission order without dropping the connection.
+    let cheap = |n: u64, eps: f64| {
+        AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(n)
+            .delta_at(eps)
+            .bound(names::NUMERICAL)
+            .build()
+            .unwrap()
+    };
+    let lines: Vec<String> = (0..100u64)
+        .map(|i| match i {
+            10 => "{\"op\":".into(),
+            35 => "not json at all".into(),
+            50 => "x".repeat(70_000),
+            75 => r#"{"op":"epsilon","eps0":1.0,"n":1000,"delta":2.0}"#.into(),
+            _ => query_frame(i, &cheap(2_000 + 500 * (i % 3), 0.1 + 0.01 * i as f64)),
+        })
+        .collect();
+
+    // Sequential reference: one frame at a time on its own connection.
+    let mut sequential = Client::connect(addr).expect("connect");
+    let want: Vec<_> = lines
+        .iter()
+        .map(|line| reply_signature(&sequential.roundtrip_raw(line).expect("reply")))
+        .collect();
+
+    // Pipelined run: the whole burst written before any reply is read.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut burst = lines.join("\n");
+    burst.push('\n');
+    std::io::Write::write_all(&mut stream, burst.as_bytes()).expect("write burst");
+    let mut reader = std::io::BufReader::new(stream);
+    let got: Vec<_> = (0..lines.len())
+        .map(|i| {
+            let mut reply = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut reply).expect("read reply");
+            assert!(!reply.is_empty(), "connection closed after {i} replies");
+            reply_signature(&Json::parse(reply.trim()).expect("reply frame"))
+        })
+        .collect();
+
+    assert_eq!(got, want, "pipelined replies must match sequential ones");
+    // Valid frames carry increasing ids: in-order delivery is observable.
+    let ids: Vec<&String> = got
+        .iter()
+        .filter(|(_, ok, ..)| *ok)
+        .map(|(id, ..)| id)
+        .collect();
+    assert!(ids
+        .windows(2)
+        .all(|w| w[0].parse::<f64>().unwrap() < w[1].parse::<f64>().unwrap()));
+
+    let stats = sequential.stats().expect("stats");
+    assert!(
+        stats.pipelined_frames >= 1,
+        "the burst must register pipelined frames, got {}",
+        stats.pipelined_frames
+    );
+    assert_eq!(
+        stats.busy_rejections, 0,
+        "depth 128 admits 100-frame bursts"
+    );
+    assert_eq!(stats.errors, 8, "4 bad frames, served twice");
+    server.stop();
+}
+
+#[test]
+fn shards_serve_connections_independently() {
+    // Two shards, round-robin adoption: the first connection lands on
+    // shard 0, the second on shard 1. A long-running cold query on shard 0
+    // must not stall control traffic on shard 1.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 16,
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let mut a = Client::connect(addr).expect("connect a");
+    a.stats().expect("a adopted by shard 0");
+    let mut b = Client::connect(addr).expect("connect b");
+
+    let slow = AmplificationQuery::ldp_worst_case(1.0)
+        .unwrap()
+        .population(60_000)
+        .epsilon_at(1e-8)
+        .bound(names::NUMERICAL)
+        .build()
+        .unwrap();
+    let id = a.send(&slow).expect("send slow query");
+    // While shard 0 builds the cold table, shard 1 keeps answering. Op
+    // counters bump at admission and `ok` only on completion, so a
+    // snapshot served mid-query is observable: op_epsilon = 1 with every
+    // completed op accounted for by a's earlier stats round-trip plus b's
+    // own k-1 previous ones (a stats op records *after* its snapshot is
+    // taken, so the k-th snapshot shows ok = k while the query runs).
+    let mut observed = false;
+    for k in 1..=1000u64 {
+        let s = b
+            .stats()
+            .expect("shard 1 must answer during shard 0's query");
+        if s.op_epsilon == 1 && s.ok == k {
+            observed = true;
+            break;
+        }
+        if s.ok > k {
+            break; // the slow query already completed — too late to observe
+        }
+    }
+    assert!(
+        observed,
+        "shard 1 never got a reply while shard 0's cold query was in flight"
+    );
+    let served = a.recv_report(&id).expect("slow query served");
+
+    let want = AnalysisEngine::new().run(&slow).unwrap().scalar().unwrap();
+    assert_eq!(served.scalar().unwrap().to_bits(), want.to_bits());
+    server.stop();
+}
+
+#[test]
+fn batch_frames_answer_identically_to_individual_frames() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 16,
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Five payloads: three valid (scalar, scalar, curve), one missing a
+    // required field, one out of domain — the batch must answer each slot
+    // exactly as the standalone frame does, per-item errors included.
+    let scalar_q = AmplificationQuery::ldp_worst_case(1.0)
+        .unwrap()
+        .population(3_000)
+        .delta_at(0.3)
+        .bound(names::NUMERICAL)
+        .build()
+        .unwrap();
+    let eps_q = AmplificationQuery::ldp_worst_case(1.0)
+        .unwrap()
+        .population(3_000)
+        .epsilon_at(1e-6)
+        .bound(names::NUMERICAL)
+        .build()
+        .unwrap();
+    let curve_q = AmplificationQuery::ldp_worst_case(1.0)
+        .unwrap()
+        .population(1_500)
+        .curve(1.0, 9)
+        .build()
+        .unwrap();
+    let payloads = [
+        query_frame(1, &scalar_q),
+        r#"{"id":2,"op":"epsilon","eps0":1.0,"n":1000}"#.into(),
+        query_frame(3, &eps_q),
+        r#"{"id":4,"op":"epsilon","eps0":1.0,"n":1000,"delta":2.0}"#.into(),
+        query_frame(5, &curve_q),
+    ];
+
+    let individual: Vec<_> = payloads
+        .iter()
+        .map(|line| reply_signature(&client.roundtrip_raw(line).expect("reply")))
+        .collect();
+
+    let batch_frame = format!(
+        "{{\"id\":99,\"op\":\"batch\",\"queries\":[{}]}}",
+        payloads.join(",")
+    );
+    let reply = client.roundtrip_raw(&batch_frame).expect("batch reply");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("id").and_then(Json::as_f64), Some(99.0));
+    let entries = reply
+        .get("batch")
+        .and_then(Json::as_arr)
+        .expect("batch array");
+    assert_eq!(entries.len(), payloads.len());
+    let from_batch: Vec<_> = entries.iter().map(reply_signature).collect();
+    assert_eq!(
+        from_batch, individual,
+        "batch items must answer bit-identically to standalone frames"
+    );
+
+    // Batch accounting: one frame, one ok, defective items are carried in
+    // the reply rather than bumping the error counter.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.op_batch, 1);
+    assert_eq!(stats.errors, 2, "only the standalone bad frames count");
+    server.stop();
+}
+
+#[test]
+fn client_run_batch_matches_individual_runs() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 16,
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let queries = mixed_batch();
+
+    let individual: Vec<ServedReport> = queries
+        .iter()
+        .map(|q| client.run(q).expect("served"))
+        .collect();
+    let batched = client.run_batch(&queries).expect("batch served");
+    assert_eq!(batched.len(), individual.len());
+    for ((q, one), item) in queries.iter().zip(&individual).zip(&batched) {
+        let item = item.as_ref().expect("valid queries serve in batches");
+        assert_eq!(
+            served_bits(item),
+            served_bits(one),
+            "batch answer drifted for {q:?}"
+        );
+        assert_eq!(item.bound, one.bound);
+        assert_eq!(item.certificate, one.certificate);
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.op_batch, 1);
+    assert_eq!(stats.errors, 0);
+    server.stop();
 }
 
 #[test]
