@@ -97,6 +97,25 @@ fn planner_speedup(c: &mut Criterion) {
     );
 
     // Perf trajectory artifact (results/BENCH_planner.json).
+    // Probe-path accounting (ISSUE 7): where the cold search's time went —
+    // how many evaluator tables the trajectory built, what they cost in
+    // wall time, and how many builds consumed a warm-start window hint
+    // from the previously probed candidate.
+    let build = engine.build_stats();
+    println!(
+        "probe path: {} evaluator builds ({} warm-started, {} support probes) \
+         in {:.2} ms of table-build time",
+        build.tables_built,
+        build.hinted_builds,
+        build.support_probes,
+        build.build_nanos as f64 / 1e6
+    );
+    assert!(
+        build.hinted_builds > 0,
+        "the min-n trajectory probes adjacent candidates; warm-start hints \
+         must land on some of them"
+    );
+
     let mut report = vr_bench::trajectory::BenchReport::new("planner");
     report
         .metric("eps", EPS)
@@ -106,7 +125,11 @@ fn planner_speedup(c: &mut Criterion) {
         .metric("speedup", speedup)
         .metric("min_n", min_n as f64)
         .metric("probes", cert.evaluations as f64)
-        .metric("cache_hits", cert.cache_hits as f64);
+        .metric("cache_hits", cert.cache_hits as f64)
+        .metric("evaluator_builds", build.tables_built as f64)
+        .metric("warm_started_builds", build.hinted_builds as f64)
+        .metric("support_probes", build.support_probes as f64)
+        .metric("table_build_ms", build.build_nanos as f64 / 1e6);
     report.emit();
 
     // Criterion entries: per-search costs of the two inverse paths.

@@ -628,6 +628,64 @@ fn canonical_bits(x: f64) -> u64 {
     }
 }
 
+/// Stored hint value: the population it was recorded at and the support
+/// window `(lo, hi)` built there.
+type SupportHint = (u64, (u64, u64));
+
+/// Hint-store key: a workload with the population axis erased. A planner
+/// search probes the **same** `(p, β, q, mode)` at many `n`s in sequence, so
+/// the support window found at one probe predicts the next probe's window —
+/// that prediction is what [`EvaluatorKey`] is too fine-grained to express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WorkloadKey {
+    p: u64,
+    beta: u64,
+    q: u64,
+    mode: (u8, u64),
+}
+
+impl From<&EvaluatorKey> for WorkloadKey {
+    fn from(k: &EvaluatorKey) -> Self {
+        Self {
+            p: k.p,
+            beta: k.beta,
+            q: k.q,
+            mode: k.mode,
+        }
+    }
+}
+
+/// Cumulative evaluator-construction counters of an [`AnalysisEngine`]
+/// (see [`AnalysisEngine::build_stats`]). All counts are since engine
+/// creation; monitoring deltas between two snapshots isolates one
+/// workload's probe path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Cold evaluator builds (outer-table constructions) performed.
+    pub tables_built: u64,
+    /// Cold builds that were seeded from a prior probe's support window.
+    pub hinted_builds: u64,
+    /// Total incomplete-beta probes spent locating support windows.
+    pub support_probes: u64,
+    /// Total wall-clock nanoseconds spent inside table builds.
+    pub build_nanos: u64,
+}
+
+/// Interior-mutable counters behind [`BuildStats`].
+#[derive(Debug, Default)]
+struct BuildStatCells {
+    tables_built: std::sync::atomic::AtomicU64,
+    hinted_builds: std::sync::atomic::AtomicU64,
+    support_probes: std::sync::atomic::AtomicU64,
+    build_nanos: std::sync::atomic::AtomicU64,
+}
+
+/// Bound on the warm-start hint store. One entry per distinct workload
+/// (population-erased), so even a daemon serving thousands of parameter
+/// sets stays tiny; crossing the bound clears the store — hints are pure
+/// accelerators, losing them costs probes, never correctness.
+const MAX_SUPPORT_HINTS: usize = 1024;
+
 impl EvaluatorKey {
     /// Build the key, rejecting NaN components. [`VariationRatio`] already
     /// guarantees NaN-free `(p, β, q)`, but the scan mode's `tail_mass`
@@ -670,6 +728,16 @@ pub struct AnalysisEngine {
     /// overcount under concurrent same-key builds is possible and only
     /// makes eviction earlier, never later).
     cached_entries: std::sync::atomic::AtomicUsize,
+    /// Last built support window per population-erased workload, feeding
+    /// [`DeltaEvaluator::with_support_hint`] on the next cold build of the
+    /// same workload at a nearby `n` (the planner's probe path). Values are
+    /// `(n, (lo, hi))`; the lookup mean-shifts the window to the new `n`.
+    support_hints: RwLock<HashMap<WorkloadKey, SupportHint>>,
+    /// Inverted flag so `derive(Default)` yields warm-starting **on**; see
+    /// [`AnalysisEngine::set_warm_start`].
+    warm_start_disabled: std::sync::atomic::AtomicBool,
+    /// Evaluator-construction telemetry ([`AnalysisEngine::build_stats`]).
+    build_stat_cells: BuildStatCells,
 }
 
 /// Eviction thresholds of the shared evaluator cache. A long-lived daemon
@@ -817,7 +885,10 @@ impl AnalysisEngine {
         n: u64,
         mode: ScanMode,
     ) -> Result<(Arc<DeltaEvaluator>, bool)> {
+        use std::sync::atomic::Ordering;
         let key = EvaluatorKey::new(&vr, n, mode)?;
+        let wkey = WorkloadKey::from(&key);
+        let two_r = vr.clone_probability();
         let acc = Accountant::new(vr, n)?; // validate before touching the cache
         let slot = {
             let cache = self.cache_read();
@@ -836,14 +907,33 @@ impl AnalysisEngine {
         if hit {
             // A warm serve is this slot's second chance: the next eviction
             // sweep spares it.
-            slot.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            slot.hits.fetch_add(1, Ordering::Relaxed);
         }
-        let ev = slot
-            .cell
-            .get_or_init(|| Arc::new(DeltaEvaluator::new(acc, mode)));
+        let ev = slot.cell.get_or_init(|| {
+            // Cold build: seed the support search from the last window this
+            // workload produced (mean-shifted to the new n), and account the
+            // build. Only the thread that actually builds records stats.
+            let hint = self.support_hint(&wkey, n, two_r);
+            let t0 = Instant::now();
+            let (ev, stats) = DeltaEvaluator::with_support_hint(acc, mode, hint);
+            let cells = &self.build_stat_cells;
+            cells.tables_built.fetch_add(1, Ordering::Relaxed);
+            cells
+                .build_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            cells
+                .support_probes
+                .fetch_add(u64::from(stats.support_probes), Ordering::Relaxed);
+            if stats.hinted {
+                cells.hinted_builds.fetch_add(1, Ordering::Relaxed);
+            }
+            Arc::new(ev)
+        });
         let ev = Arc::clone(ev);
         if !hit {
-            use std::sync::atomic::Ordering;
+            if let Some(window) = ev.support_window() {
+                self.store_support_hint(wkey, n, window);
+            }
             let entries = self
                 .cached_entries
                 .fetch_add(ev.table_entries(), Ordering::Relaxed)
@@ -857,6 +947,80 @@ impl AnalysisEngine {
             }
         }
         Ok((ev, hit))
+    }
+
+    /// The warm-start hint for a cold build of `wkey` at population `n`:
+    /// the workload's last built window, transported to the new outer
+    /// `Binom(n−1, 2r)`. Each stored endpoint sits a fixed number of
+    /// standard deviations from the mean (the tail-mass quantile is the
+    /// same at every `n`), so the endpoint's *deviation* is scaled by the
+    /// √Δn growth of the spread and re-anchored on the new mean — accurate
+    /// to O(1) even across the planner's doubling probes, where a mean-only
+    /// shift would be off by thousands. The window search is
+    /// hint-independent in its *answer* (the endpoints are unique roots of
+    /// monotone predicates), so a stale or poorly transported hint costs
+    /// extra probes, never correctness.
+    fn support_hint(&self, wkey: &WorkloadKey, n: u64, two_r: f64) -> Option<(u64, u64)> {
+        if self
+            .warm_start_disabled
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return None;
+        }
+        let (n_prev, (lo, hi)) = *self
+            .support_hints
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(wkey)?;
+        if n_prev == n {
+            return Some((lo, hi));
+        }
+        let mean_prev = (n_prev - 1) as f64 * two_r;
+        let mean_new = (n - 1) as f64 * two_r;
+        let spread = (((n - 1) as f64) / ((n_prev - 1).max(1) as f64)).sqrt();
+        let max = (n - 1) as f64;
+        let transport = |k: u64| {
+            (mean_new + (k as f64 - mean_prev) * spread)
+                .round()
+                .clamp(0.0, max) as u64
+        };
+        let (lo, hi) = (transport(lo), transport(hi));
+        Some((lo, hi.max(lo)))
+    }
+
+    /// Record a cold build's support window for the workload's next build.
+    fn store_support_hint(&self, wkey: WorkloadKey, n: u64, window: (u64, u64)) {
+        let mut hints = self
+            .support_hints
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        if hints.len() >= MAX_SUPPORT_HINTS && !hints.contains_key(&wkey) {
+            hints.clear();
+        }
+        hints.insert(wkey, (n, window));
+    }
+
+    /// Toggle warm-started evaluator builds (on by default). With warm
+    /// starting off, every cold build locates its support window from
+    /// scratch — the A/B switch the benchmarks use to price the probe path.
+    pub fn set_warm_start(&self, enabled: bool) {
+        self.warm_start_disabled
+            .store(!enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Snapshot of the cumulative evaluator-construction counters: cold
+    /// builds, how many were warm-started, support-search probes, and table
+    /// build wall time. Warm cache hits touch none of these, so the deltas
+    /// across a planner search expose exactly its probe path.
+    pub fn build_stats(&self) -> BuildStats {
+        use std::sync::atomic::Ordering;
+        let cells = &self.build_stat_cells;
+        BuildStats {
+            tables_built: cells.tables_built.load(Ordering::Relaxed),
+            hinted_builds: cells.hinted_builds.load(Ordering::Relaxed),
+            support_probes: cells.support_probes.load(Ordering::Relaxed),
+            build_nanos: cells.build_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// Serve one query.
@@ -1460,6 +1624,77 @@ mod tests {
         assert_eq!(engine.cached_evaluators(), 0);
         let (_, hit) = engine.evaluator(vr, 3, ScanMode::default()).unwrap();
         assert!(!hit, "clear_cache drops even hot entries");
+    }
+
+    #[test]
+    fn warm_start_cuts_probes_and_preserves_results() {
+        let vr = wc(1.0);
+        let eps = 0.5;
+        // Reference: an engine with warm starting disabled builds every
+        // window from scratch.
+        let cold = AnalysisEngine::new();
+        cold.set_warm_start(false);
+        cold.evaluator(vr, 100_000, ScanMode::default()).unwrap();
+        let s0 = cold.build_stats();
+        let (ev_cold, _) = cold.evaluator(vr, 101_000, ScanMode::default()).unwrap();
+        let cold_probes = cold.build_stats().support_probes - s0.support_probes;
+        assert_eq!(cold.build_stats().hinted_builds, 0);
+
+        // Warm-started engine: the second build of the same workload is
+        // seeded from the first build's window.
+        let warm = AnalysisEngine::new();
+        warm.evaluator(vr, 100_000, ScanMode::default()).unwrap();
+        let s0 = warm.build_stats();
+        assert_eq!(s0.hinted_builds, 0, "first build has nothing to warm from");
+        let (ev_warm, _) = warm.evaluator(vr, 101_000, ScanMode::default()).unwrap();
+        let s1 = warm.build_stats();
+        assert_eq!(s1.tables_built, 2);
+        assert_eq!(s1.hinted_builds, 1, "second build must be warm-started");
+        let warm_probes = s1.support_probes - s0.support_probes;
+        assert!(
+            warm_probes < cold_probes,
+            "hinted build should probe less: {warm_probes} vs {cold_probes}"
+        );
+        // The hint only changes the search path, never the window or the
+        // certified value.
+        assert_eq!(ev_warm.support_window(), ev_cold.support_window());
+        assert_eq!(
+            ev_warm.try_delta(eps).unwrap().to_bits(),
+            ev_cold.try_delta(eps).unwrap().to_bits()
+        );
+        // Warm cache hits are not builds: stats must not move.
+        warm.evaluator(vr, 101_000, ScanMode::default()).unwrap();
+        assert_eq!(warm.build_stats(), s1);
+    }
+
+    #[test]
+    fn planner_probe_path_is_warm_started() {
+        // A min-population search probes one workload at many n; every
+        // build after the first should be seeded from its predecessor.
+        let engine = AnalysisEngine::new();
+        let q = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .min_population(0.3, 1e-6, DEFAULT_N_HI_HINT)
+            .build()
+            .unwrap();
+        let n_star = engine.run(&q).unwrap().scalar().unwrap();
+        let stats = engine.build_stats();
+        assert!(stats.tables_built >= 2, "a search must probe repeatedly");
+        assert_eq!(
+            stats.hinted_builds,
+            stats.tables_built - 1,
+            "every probe after the first must be warm-started: {stats:?}"
+        );
+        // The warm-started search finds the same answer as a cold one.
+        let cold = AnalysisEngine::new();
+        cold.set_warm_start(false);
+        let n_cold = cold.run(&q).unwrap().scalar().unwrap();
+        assert_eq!(n_star.to_bits(), n_cold.to_bits());
+        assert_eq!(cold.build_stats().hinted_builds, 0);
+        assert!(
+            stats.support_probes < cold.build_stats().support_probes,
+            "warm-started search must spend fewer support probes"
+        );
     }
 
     #[test]

@@ -24,6 +24,130 @@ pub struct Binomial {
     p: f64,
 }
 
+/// Truncated-support bracket returned by [`Binomial::support_window`],
+/// together with the number of CDF/SF probes the search spent finding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportWindow {
+    /// Smallest retained support point.
+    pub lo: u64,
+    /// Largest retained support point.
+    pub hi: u64,
+    /// Incomplete-beta evaluations (CDF/SF calls) spent by the search.
+    pub probes: u32,
+}
+
+/// Largest `k ∈ [0, n]` with `pred(k)` true, for a predicate that is true on
+/// a prefix of the support. Gallops outward from `hint` to bracket the
+/// boundary, then bisects. Returns 0 if the predicate is false everywhere
+/// (matching the full bisection's limit).
+fn largest_true(
+    hint: u64,
+    n: u64,
+    probes: &mut u32,
+    mut pred: impl FnMut(u64, &mut u32) -> bool,
+) -> u64 {
+    let mut t; // known true
+    let mut f; // known false, t < f
+    if pred(hint, probes) {
+        t = hint;
+        let mut step = 1u64;
+        loop {
+            if t >= n {
+                return n;
+            }
+            let next = t.saturating_add(step).min(n);
+            if pred(next, probes) {
+                t = next;
+                step = step.saturating_mul(2);
+            } else {
+                f = next;
+                break;
+            }
+        }
+    } else {
+        f = hint;
+        let mut step = 1u64;
+        loop {
+            if f == 0 {
+                return 0;
+            }
+            let next = f.saturating_sub(step);
+            if pred(next, probes) {
+                t = next;
+                break;
+            }
+            f = next;
+            if f == 0 {
+                return 0;
+            }
+            step = step.saturating_mul(2);
+        }
+    }
+    while f - t > 1 {
+        let mid = t + (f - t) / 2;
+        if pred(mid, probes) {
+            t = mid;
+        } else {
+            f = mid;
+        }
+    }
+    t
+}
+
+/// Smallest `k ∈ [0, n]` with `pred(k)` true, for a predicate that is true on
+/// a suffix of the support. Gallops outward from `hint`, then bisects.
+/// Returns `n` if the predicate is false everywhere.
+fn smallest_true(
+    hint: u64,
+    n: u64,
+    probes: &mut u32,
+    mut pred: impl FnMut(u64, &mut u32) -> bool,
+) -> u64 {
+    let mut t; // known true
+    let mut f; // known false, f < t
+    if pred(hint, probes) {
+        t = hint;
+        let mut step = 1u64;
+        loop {
+            if t == 0 {
+                return 0;
+            }
+            let next = t.saturating_sub(step);
+            if pred(next, probes) {
+                t = next;
+                step = step.saturating_mul(2);
+            } else {
+                f = next;
+                break;
+            }
+        }
+    } else {
+        f = hint;
+        let mut step = 1u64;
+        loop {
+            if f >= n {
+                return n;
+            }
+            let next = f.saturating_add(step).min(n);
+            if pred(next, probes) {
+                t = next;
+                break;
+            }
+            f = next;
+            step = step.saturating_mul(2);
+        }
+    }
+    while t - f > 1 {
+        let mid = f + (t - f) / 2;
+        if pred(mid, probes) {
+            t = mid;
+        } else {
+            f = mid;
+        }
+    }
+    t
+}
+
 impl Binomial {
     /// Create `Binom(n, p)`.
     ///
@@ -35,6 +159,13 @@ impl Binomial {
             "binomial success probability must be in [0,1], got {p}"
         );
         Self { n, p }
+    }
+
+    /// The same distribution with a different number of trials, keeping `p`.
+    /// Lets hot loops validate `p` once and re-trial a single struct per
+    /// scanned `c` instead of re-running the [`Binomial::new`] assertion.
+    pub fn with_trials(&self, n: u64) -> Self {
+        Self { n, p: self.p }
     }
 
     /// Number of trials.
@@ -141,6 +272,28 @@ impl Binomial {
         reg_inc_beta(ku as f64 + 1.0, (self.n - ku) as f64, self.p)
     }
 
+    /// [`Self::sf`] through [`crate::reg_inc_beta_fast`]: within a few ulp of
+    /// the exact survival function (identical routing, vectorized quadrature
+    /// node loop for large parameters). Only for callers with an explicit
+    /// error budget — anything needing bit-identical tails must use
+    /// [`Self::sf`].
+    pub fn sf_fast(&self, k: i64) -> f64 {
+        if k < 0 {
+            return 1.0;
+        }
+        let ku = k as u64;
+        if ku >= self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0;
+        }
+        crate::reg_inc_beta_fast(ku as f64 + 1.0, (self.n - ku) as f64, self.p)
+    }
+
     /// `P[lo ≤ X ≤ hi]` with tail-aware subtraction. Returns 0 when `lo > hi`.
     pub fn range_prob(&self, lo: i64, hi: i64) -> f64 {
         if lo > hi {
@@ -186,37 +339,80 @@ impl Binomial {
     /// `P[X < lo] + P[X > hi] ≤ tail_mass`. Splitting the budget evenly
     /// between the tails; returns the full support when `tail_mass ≤ 0`.
     pub fn support_for_mass(&self, tail_mass: f64) -> (u64, u64) {
+        let w = self.support_window(tail_mass, None);
+        (w.lo, w.hi)
+    }
+
+    /// [`Binomial::support_for_mass`] with cost accounting and an optional
+    /// warm-start hint.
+    ///
+    /// The bracket endpoints are the unique answers of two monotone
+    /// predicates (largest `lo` with `P[X < lo] ≤ tail_mass/2`, smallest
+    /// `hi` with `P[X > hi] ≤ tail_mass/2`), so the returned window is
+    /// **identical** for every hint — a hint only changes how many CDF/SF
+    /// probes ([`SupportWindow::probes`]) the search spends. Without a hint
+    /// each endpoint is found by bisection over the full support
+    /// (`O(log n)` probes); with a hint near the answer — e.g. the window
+    /// of the same workload at a nearby population, as probed by the
+    /// planner's monotone searches — a galloping search brackets the
+    /// endpoint in `O(log distance)` probes instead.
+    pub fn support_window(&self, tail_mass: f64, hint: Option<(u64, u64)>) -> SupportWindow {
         if tail_mass <= 0.0 {
-            return (0, self.n);
+            return SupportWindow {
+                lo: 0,
+                hi: self.n,
+                probes: 0,
+            };
         }
         let half = tail_mass / 2.0;
-        // lo: largest k such that P[X < k] = cdf(k-1) <= half.
-        let lo = {
-            let (mut a, mut b) = (0u64, self.n);
-            while a < b {
-                let mid = a + (b - a).div_ceil(2);
-                if self.cdf(mid as i64 - 1) <= half {
-                    a = mid;
-                } else {
-                    b = mid - 1;
-                }
-            }
-            a
+        let mut probes = 0u32;
+        // lo: largest k in [0, n] such that P[X < k] = cdf(k-1) <= half
+        // (true at k = 0 since cdf(-1) = 0, monotone false past the answer).
+        let lo_pred = |k: u64, probes: &mut u32| {
+            *probes += 1;
+            self.cdf(k as i64 - 1) <= half
         };
-        // hi: smallest k such that P[X > k] = sf(k) <= half.
-        let hi = {
-            let (mut a, mut b) = (0u64, self.n);
-            while a < b {
-                let mid = a + (b - a) / 2;
-                if self.sf(mid as i64) <= half {
-                    b = mid;
-                } else {
-                    a = mid + 1;
+        let lo = match hint {
+            Some((h, _)) => largest_true(h.min(self.n), self.n, &mut probes, lo_pred),
+            None => {
+                let (mut a, mut b) = (0u64, self.n);
+                while a < b {
+                    let mid = a + (b - a).div_ceil(2);
+                    if lo_pred(mid, &mut probes) {
+                        a = mid;
+                    } else {
+                        b = mid - 1;
+                    }
                 }
+                a
             }
-            a
         };
-        (lo.min(hi), hi.max(lo))
+        // hi: smallest k in [0, n] such that P[X > k] = sf(k) <= half
+        // (true at k = n since sf(n) = 0, monotone false below the answer).
+        let hi_pred = |k: u64, probes: &mut u32| {
+            *probes += 1;
+            self.sf(k as i64) <= half
+        };
+        let hi = match hint {
+            Some((_, h)) => smallest_true(h.min(self.n), self.n, &mut probes, hi_pred),
+            None => {
+                let (mut a, mut b) = (0u64, self.n);
+                while a < b {
+                    let mid = a + (b - a) / 2;
+                    if hi_pred(mid, &mut probes) {
+                        b = mid;
+                    } else {
+                        a = mid + 1;
+                    }
+                }
+                a
+            }
+        };
+        SupportWindow {
+            lo: lo.min(hi),
+            hi: hi.max(lo),
+            probes,
+        }
     }
 
     /// Probability masses `pmf(lo), …, pmf(hi)` computed by the
@@ -342,6 +538,25 @@ mod tests {
     }
 
     #[test]
+    fn sf_fast_tracks_sf() {
+        // Small trials route through the shared continued fraction and must
+        // be bit-identical; large trials may differ by a few ulp.
+        let small = Binomial::new(100, 0.13);
+        for k in -1..=100i64 {
+            assert_eq!(small.sf_fast(k).to_bits(), small.sf(k).to_bits());
+        }
+        let big = Binomial::new(1_000_000, 0.5);
+        for k in [499_000i64, 499_900, 500_000, 500_100, 501_000] {
+            let exact = big.sf(k);
+            let fast = big.sf_fast(k);
+            assert!(
+                (fast - exact).abs() <= 1e-13 * exact.max(1.0 - exact),
+                "k={k}: fast={fast:e} exact={exact:e}"
+            );
+        }
+    }
+
+    #[test]
     fn range_prob_consistency() {
         let b = Binomial::new(60, 0.45);
         for lo in [-3i64, 0, 10, 27, 40] {
@@ -404,6 +619,76 @@ mod tests {
                 assert!(hi - lo < n, "bracket is the whole support");
             }
         }
+    }
+
+    #[test]
+    fn support_window_matches_support_for_mass_for_any_hint() {
+        // The bracket endpoints are unique answers of monotone predicates, so
+        // every hint — including adversarially wrong ones — must return the
+        // exact same window as the full bisection.
+        for &(n, p, tau) in &[
+            (1_000u64, 0.5, 1e-9),
+            (1_000, 0.01, 1e-12),
+            (100_000, 0.001, 1e-10),
+            (50, 0.9, 1e-6),
+            (1, 0.5, 1e-9),
+            (0, 0.5, 1e-9),
+        ] {
+            let b = Binomial::new(n, p);
+            let plain = b.support_window(tau, None);
+            assert_eq!((plain.lo, plain.hi), b.support_for_mass(tau));
+            let hints = [
+                (0, 0),
+                (n, n),
+                (plain.lo, plain.hi),
+                (plain.lo + 1, plain.hi.saturating_sub(1)),
+                (plain.lo.saturating_sub(7), plain.hi + 7),
+                (n / 2, n / 2),
+                (plain.hi, plain.lo), // crossed hint
+                (n + 100, n + 100),   // out-of-range hint is clamped
+            ];
+            for &hint in &hints {
+                let hinted = b.support_window(tau, Some(hint));
+                assert_eq!(
+                    (hinted.lo, hinted.hi),
+                    (plain.lo, plain.hi),
+                    "hinted window diverged: n={n} p={p} tau={tau:e} hint={hint:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn support_window_near_hint_probes_less() {
+        let b = Binomial::new(1_000_000, 0.23);
+        let plain = b.support_window(1e-14, None);
+        let exact = b.support_window(1e-14, Some((plain.lo, plain.hi)));
+        let near = b.support_window(1e-14, Some((plain.lo + 13, plain.hi - 13)));
+        assert!(
+            exact.probes < plain.probes && near.probes < plain.probes,
+            "hinted search should probe less: plain={} exact-hint={} near-hint={}",
+            plain.probes,
+            exact.probes,
+            near.probes
+        );
+        // A dead-on hint needs only boundary confirmation probes.
+        assert!(exact.probes <= 6, "exact hint probes: {}", exact.probes);
+    }
+
+    #[test]
+    fn support_window_zero_mass_is_full_support() {
+        let b = Binomial::new(42, 0.5);
+        let w = b.support_window(0.0, Some((10, 20)));
+        assert_eq!((w.lo, w.hi, w.probes), (0, 42, 0));
+    }
+
+    #[test]
+    fn with_trials_matches_new() {
+        let base = Binomial::new(10, 0.37);
+        let re = base.with_trials(1234);
+        assert_eq!(re, Binomial::new(1234, 0.37));
+        assert_eq!(re.n(), 1234);
+        assert_eq!(re.p(), 0.37);
     }
 
     #[test]

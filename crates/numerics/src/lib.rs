@@ -42,9 +42,10 @@ pub mod gamma;
 pub mod par;
 pub mod quadrature;
 pub mod search;
+pub mod vecmath;
 
-pub use beta::reg_inc_beta;
-pub use binomial::Binomial;
+pub use beta::{reg_inc_beta, reg_inc_beta_fast};
+pub use binomial::{Binomial, SupportWindow};
 pub use erf::{erf, erfc, normal_cdf};
 pub use float::{is_close, is_close_abs};
 pub use gamma::{ln_binomial, ln_factorial, ln_gamma};

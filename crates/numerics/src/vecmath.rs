@@ -1,0 +1,174 @@
+//! Lane-parallel polynomial kernels for batched evaluation loops.
+//!
+//! `libm` calls (`exp`, `ln_1p`) are opaque to the autovectorizer: a loop
+//! containing one stays scalar no matter how its surroundings are staged.
+//! The fast-scan anchor batch of the accountant evaluates dozens of
+//! sharply-peaked beta integrals per scan, each a 64-node quadrature whose
+//! cost is almost entirely those two calls. This module provides branch-free
+//! polynomial replacements, valid on the restricted domains the quadrature
+//! actually uses, that LLVM turns into straight-line SIMD:
+//!
+//! * [`ln1p_small`] — `ln(1+u)` for `|u| ≤ 0.125` by a truncated alternating
+//!   series factored as `u + u²·P(u)` (the leading term stays exact, so the
+//!   relative error is `≲ 2` ulp over the whole domain);
+//! * [`exp_no_overflow`] — `e^x` for `x ≤ 0` (and any non-overflowing `x`)
+//!   by Cody–Waite range reduction and a degree-13 Taylor kernel, with the
+//!   `2^k` reconstruction done in exponent bits; inputs below the normal
+//!   range flush to `0.0`.
+//!
+//! These are **not** bit-identical to their `libm` counterparts — they are
+//! a few ulp off — so they must only feed paths with an explicit error
+//! budget (the fast scan's certified pad), never the exact reference
+//! kernels. Accuracy is pinned against `libm` by the tests below.
+//!
+//! Implementation constraint: the workspace builds for baseline `x86-64`
+//! (no `target-cpu` override), where `f64::mul_add` lowers to a libm `fma`
+//! **call** and `f64::round` has no SIMD lowering — either one in the loop
+//! body forfeits both vectorization and scalar speed. So the polynomials
+//! use plain multiply/add Horner steps and the nearest-integer split uses
+//! the classic add-a-big-constant trick, keeping the whole dependency graph
+//! in instructions every x86-64 target can vectorize.
+
+/// `ln(1 + u)` for `|u| ≤ 0.125`, within a few ulp of [`f64::ln_1p`].
+///
+/// Truncated alternating series through `u¹⁷`; the truncation term at the
+/// domain edge is `u¹⁸/18 ≈ 3.5e-17` relative to `ln1p(±0.125) ≈ 0.118`.
+/// Written as `u + u²·P(u)` so tiny `|u|` keeps full relative precision.
+///
+/// The domain is **not** checked: callers guard it (the caller's fallback
+/// for wider arguments is the exact `libm` path).
+#[inline(always)]
+pub fn ln1p_small(u: f64) -> f64 {
+    // P(u) = Σ_{k=2}^{17} (−1)^{k+1} u^{k−2} / k, Horner form.
+    let mut p: f64 = -1.0 / 17.0;
+    p = p * u + 1.0 / 16.0;
+    p = p * u - 1.0 / 15.0;
+    p = p * u + 1.0 / 14.0;
+    p = p * u - 1.0 / 13.0;
+    p = p * u + 1.0 / 12.0;
+    p = p * u - 1.0 / 11.0;
+    p = p * u + 1.0 / 10.0;
+    p = p * u - 1.0 / 9.0;
+    p = p * u + 1.0 / 8.0;
+    p = p * u - 1.0 / 7.0;
+    p = p * u + 1.0 / 6.0;
+    p = p * u - 1.0 / 5.0;
+    p = p * u + 1.0 / 4.0;
+    p = p * u - 1.0 / 3.0;
+    p = p * u + 1.0 / 2.0;
+    u - (u * u) * p
+}
+
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+/// `ln 2` split for Cody–Waite reduction: `LN2_HI` carries the leading bits
+/// exactly, so `x − k·LN2_HI` is exact for `|k| ≤ 2^16`.
+const LN2_HI: f64 = 0.693_147_180_369_123_8;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+
+/// `e^x` for non-overflowing arguments (`x ≲ 709`; the accountant feeds it
+/// `x ≤ 0`), within a few ulp of [`f64::exp`]. Arguments below the normal
+/// range (`x ≲ −708`) flush to `0.0` instead of producing subnormals.
+///
+/// `1.5 · 2^52`: adding it forces rounding to the nearest integer (ties to
+/// even) while the sum stays inside `[2^52, 2^53)`, so subtracting it back
+/// recovers that integer exactly and the integer itself sits in the low
+/// mantissa bits — nearest-integer without `round()`, in two adds.
+const SHIFT: f64 = 6_755_399_441_055_744.0;
+
+/// Branch-free: range reduction `x = k·ln2 + r`, a degree-13 Taylor kernel
+/// for `e^r` on `|r| ≤ ln2/2` (truncation `r¹⁴/14! ≤ 4e-18`), and bit-level
+/// `2^k` reconstruction, so loops over arrays of arguments autovectorize.
+#[inline(always)]
+pub fn exp_no_overflow(x: f64) -> f64 {
+    let kk = x * LOG2_E + SHIFT;
+    let k = kk - SHIFT; // nearest integer to x·log2(e), exactly
+    let r = (x - k * LN2_HI) - k * LN2_LO;
+    // e^r = 1 + r + r²·Q(r), Q(r) = Σ_{j=2}^{13} r^{j−2}/j!.
+    let mut q: f64 = 1.0 / 6_227_020_800.0;
+    q = q * r + 1.0 / 479_001_600.0;
+    q = q * r + 1.0 / 39_916_800.0;
+    q = q * r + 1.0 / 3_628_800.0;
+    q = q * r + 1.0 / 362_880.0;
+    q = q * r + 1.0 / 40_320.0;
+    q = q * r + 1.0 / 5_040.0;
+    q = q * r + 1.0 / 720.0;
+    q = q * r + 1.0 / 120.0;
+    q = q * r + 1.0 / 24.0;
+    q = q * r + 1.0 / 6.0;
+    q = q * r + 1.0 / 2.0;
+    let er = ((r * r) * q + r) + 1.0;
+    // 2^k through the exponent field. `kk` and `SHIFT` share a binade, so
+    // their bit patterns differ by exactly k; biased exponents clamped at 0
+    // flush to +0.0, the correct limit for deeply negative x. Staying in
+    // i32 keeps the int side in SIMD-friendly ops on every x86-64 target.
+    let ki = kk.to_bits().wrapping_sub(SHIFT.to_bits()) as i32;
+    let biased = (ki + 1023).max(0) as u64;
+    let two_k = f64::from_bits(biased << 52);
+    er * two_k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Units in the last place between two finite f64s of the same sign.
+    fn ulp_diff(a: f64, b: f64) -> u64 {
+        (a.to_bits() as i64 - b.to_bits() as i64).unsigned_abs()
+    }
+
+    #[test]
+    fn ln1p_small_matches_libm_across_domain() {
+        let mut worst = 0u64;
+        for i in -1000..=1000 {
+            let u = i as f64 * 1.25e-4; // covers [−0.125, 0.125]
+            let got = ln1p_small(u);
+            let want = u.ln_1p();
+            if u == 0.0 {
+                assert_eq!(got, 0.0);
+                continue;
+            }
+            worst = worst.max(ulp_diff(got, want));
+        }
+        assert!(worst <= 4, "ln1p_small worst ulp error: {worst}");
+    }
+
+    #[test]
+    fn ln1p_small_tiny_arguments_keep_relative_precision() {
+        for &u in &[1e-30, -1e-30, 1e-16, -1e-16, 1e-9, -1e-9] {
+            let got = ln1p_small(u);
+            let want = u.ln_1p();
+            assert!(
+                ulp_diff(got, want) <= 1,
+                "tiny u={u:e}: {got:e} vs {want:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_no_overflow_matches_libm() {
+        let mut worst = 0u64;
+        for i in 0..=70_000 {
+            let x = -(i as f64) * 0.01; // [−700, 0]
+            let got = exp_no_overflow(x);
+            let want = x.exp();
+            worst = worst.max(ulp_diff(got, want));
+        }
+        assert!(worst <= 4, "exp_no_overflow worst ulp error: {worst}");
+        // Moderate positive arguments are in-domain too.
+        for i in 0..=7_000 {
+            let x = i as f64 * 0.01;
+            assert!(ulp_diff(exp_no_overflow(x), x.exp()) <= 4, "x={x}");
+        }
+    }
+
+    #[test]
+    fn exp_no_overflow_edge_cases() {
+        assert_eq!(exp_no_overflow(0.0), 1.0);
+        // Below the normal range: flush to zero rather than subnormal.
+        assert_eq!(exp_no_overflow(-760.0), 0.0);
+        assert_eq!(exp_no_overflow(-10_000.0), 0.0);
+        // Near the subnormal boundary the result must stay finite and tiny.
+        let v = exp_no_overflow(-700.0);
+        assert!(v > 0.0 && v < 1e-300, "exp(-700) ≈ {v:e}");
+    }
+}
