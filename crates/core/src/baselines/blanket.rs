@@ -233,6 +233,7 @@ impl BlanketProfile {
         let omega: Vec<f64> = min_row.iter().map(|&v| v / gamma).collect();
         // The loss variables are only bounded when ω covers the victim pair.
         for (i, &w) in omega.iter().enumerate() {
+            // vr-lint: allow(float-eq) — exact support test: only a literal-zero envelope entry fails to cover
             if w == 0.0 && (rows[x0][i] > 0.0 || rows[x1][i] > 0.0) {
                 return Err(Error::NotApplicable(
                     "victim pair has mass outside the blanket support".into(),
@@ -271,6 +272,7 @@ impl BlanketProfile {
                     "envelope must lower-bound both victim distributions".into(),
                 ));
             }
+            // vr-lint: allow(float-eq) — exact support test mirroring the constructor's coverage check
             if e == 0.0 && (a > 0.0 || b > 0.0) {
                 return Err(Error::NotApplicable(
                     "victim pair has mass outside the blanket support".into(),
@@ -299,6 +301,7 @@ impl BlanketProfile {
         let mut zmax = f64::NEG_INFINITY;
         let mut m2 = 0.0;
         for ((&p0, &p1), &w) in self.p0.iter().zip(&self.p1).zip(&self.omega) {
+            // vr-lint: allow(float-eq) — exact zero-weight skip over the validated envelope
             if w == 0.0 {
                 continue;
             }
@@ -329,6 +332,7 @@ fn delta_div_specific(
     }
     let drift = eps.exp() - 1.0;
     let hoeffding = || {
+        // vr-lint: allow(float-eq) — exact degenerate-interval guard before dividing by width²
         if width == 0.0 {
             return 0.0;
         }

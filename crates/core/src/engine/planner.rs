@@ -258,8 +258,13 @@ pub(super) fn min_population(
                 ))
             })?;
         let lo = largest_fail.get().unwrap_or(1);
-        bisect_monotone_u64(&mut probe, lo, hi)?
-            .expect("the bracketing step evaluated `hi` feasible")
+        bisect_monotone_u64(&mut probe, lo, hi)?.ok_or_else(|| {
+            Error::Internal(
+                "population bisection found no feasible point although the bracketing step \
+                 evaluated `hi` feasible"
+                    .into(),
+            )
+        })?
     };
     let mut at_min = query.clone();
     at_min.n = bracket.first_feasible;
@@ -284,9 +289,11 @@ pub(super) fn max_local_budget(
     delta: f64,
     n: u64,
 ) -> Result<PlanValueParts> {
-    let ceiling = query
-        .eps0
-        .expect("max_local_budget queries record their ceiling at build()");
+    let ceiling = query.eps0.ok_or_else(|| {
+        Error::Internal(
+            "max_local_budget query carries no ε₀ ceiling despite build() recording one".into(),
+        )
+    })?;
     let mut cache_use = CacheUse::default();
     let mut evaluations = 0u32;
     let (failing, passing) = {

@@ -13,6 +13,11 @@ pub enum Error {
     /// The requested `(ε, δ)` point is unachievable, e.g. `δ` is below the
     /// irreducible failure mass of a multi-message protocol with `p = ∞`.
     Unachievable(String),
+    /// An internal invariant broke. The panic-freedom contract (enforced
+    /// by `vr-lint`) forbids `unreachable!`-style aborts in result-serving
+    /// paths, so "cannot happen" states surface as this error instead of
+    /// taking down a worker; seeing one is always a bug worth reporting.
+    Internal(String),
 }
 
 impl fmt::Display for Error {
@@ -21,6 +26,7 @@ impl fmt::Display for Error {
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             Error::NotApplicable(msg) => write!(f, "bound not applicable: {msg}"),
             Error::Unachievable(msg) => write!(f, "target not achievable: {msg}"),
+            Error::Internal(msg) => write!(f, "internal invariant broken: {msg}"),
         }
     }
 }

@@ -59,6 +59,16 @@ impl RenyiBound {
                 "need at least one Rényi order".into(),
             ));
         }
+        // Reject bad orders here, where the grid enters, instead of letting
+        // a NaN or λ ≤ 1 surface later as a confusing per-order error (or,
+        // worse, poison a comparison) deep inside `epsilon`.
+        for &lambda in &lambdas {
+            if !lambda.is_finite() || lambda <= 1.0 {
+                return Err(Error::InvalidParameter(format!(
+                    "every Rényi order must be finite and > 1, got {lambda}"
+                )));
+            }
+        }
         if n == 0 {
             return Err(Error::InvalidParameter("population n must be >= 1".into()));
         }
@@ -132,6 +142,7 @@ pub fn renyi_divergence(vr: &VariationRatio, n: u64, lambda: f64) -> Result<f64>
     let mut moment = 0.0;
     let mut covered_q = 0.0;
     for (i, &wc) in outer_w.iter().enumerate() {
+        // vr-lint: allow(float-eq) — exact zero-weight skip; `weights_in` emits literal 0.0 outside the support
         if wc == 0.0 {
             continue;
         }
@@ -187,7 +198,7 @@ pub fn composed_epsilon(
 pub fn default_lambda_grid() -> Vec<f64> {
     let mut v: Vec<f64> = (2..=16).map(f64::from).collect();
     v.extend([1.25, 1.5, 1.75, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0]);
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     v
 }
 
@@ -232,6 +243,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn nan_and_out_of_domain_orders_are_rejected_not_sorted() {
+        // Regression: the best-order selection sorts candidate (ε, λ) pairs
+        // with `f64::total_cmp`, but a NaN λ used to reach it and panic in
+        // the old `partial_cmp(..).unwrap()` comparator. Bad orders must be
+        // rejected at grid entry as an error — never a panic, and never a
+        // NaN silently "winning" the sort.
+        let vr = VariationRatio::ldp_worst_case(1.0).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.0, 0.5, -2.0] {
+            let r = RenyiBound::with_lambdas(vr, 1_000, 1, vec![2.0, bad, 4.0]);
+            assert!(r.is_err(), "λ = {bad} must be rejected at construction");
+            let r = composed_epsilon(&vr, 1_000, 1, 1e-8, &[bad]);
+            assert!(
+                r.is_err(),
+                "λ = {bad} must be rejected via composed_epsilon"
+            );
+        }
+        // An all-valid grid in scrambled order still works.
+        let eps = composed_epsilon(&vr, 1_000, 1, 1e-8, &[16.0, 1.5, 8.0, 2.0]).unwrap();
+        assert!(eps.is_finite() && eps > 0.0);
     }
 
     #[test]

@@ -1,0 +1,742 @@
+//! The rule engine: token-pattern rules, inline waivers, and the matching
+//! pass that turns a lexed file into findings.
+//!
+//! # Rules
+//!
+//! | Rule id | Policy | Fires on |
+//! |---|---|---|
+//! | `unwrap-call` | panic-freedom | `.unwrap(` on any expression |
+//! | `expect-call` | panic-freedom | `.expect(` on any expression |
+//! | `panic-macro` | panic-freedom | `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
+//! | `slice-index` | panic-freedom | `expr[…]` indexing/slicing (can panic on out-of-bounds) |
+//! | `float-eq` | float-discipline | `==` / `!=` with a float literal or `f32`/`f64` path on either side |
+//! | `nondeterminism` | determinism | `Instant::now`, `SystemTime`, `thread_rng` |
+//! | `lock-unwrap` | poison-discipline | `.lock()/.read()/.write()` followed by `.unwrap()`/`.expect()` (use the `into_inner` recovery idiom) |
+//! | `narrowing-cast` | cast-audit | `as <numeric-type>` in wire-facing code |
+//!
+//! `float-eq` is deliberately literal-anchored: without type inference a
+//! lexer cannot know every float-typed binding, so the rule fires when a
+//! comparison operand *textually* involves a float literal or an `f32`/
+//! `f64` path — the reviewable, waiverable subset. Bit-pattern idioms
+//! (`a.to_bits() == b.to_bits()`) stay silent by design.
+//!
+//! # Waivers
+//!
+//! ```text
+//! // vr-lint: allow(rule-a, rule-b) — <reason>
+//! // vr-lint: allow-fn(rule-a) — <reason>
+//! ```
+//!
+//! `allow` covers its own source line (trailing comment) or, when the
+//! comment stands alone, the next token-bearing line. `allow-fn` covers
+//! the entire next item (fn / impl / const …). Every waiver **must**
+//! carry a reason after an `—`/`--`/`:` separator; a reasonless waiver,
+//! an unknown rule id, and a waiver that suppresses nothing are all
+//! findings themselves (policy `waiver-hygiene`).
+
+use crate::lexer::{Comment, Lexed, Span, Tok, TokKind};
+use crate::policy::{item_end, Zone};
+
+/// Every enforceable rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    UnwrapCall,
+    ExpectCall,
+    PanicMacro,
+    SliceIndex,
+    FloatEq,
+    Nondeterminism,
+    LockUnwrap,
+    NarrowingCast,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 8] = [
+        RuleId::UnwrapCall,
+        RuleId::ExpectCall,
+        RuleId::PanicMacro,
+        RuleId::SliceIndex,
+        RuleId::FloatEq,
+        RuleId::Nondeterminism,
+        RuleId::LockUnwrap,
+        RuleId::NarrowingCast,
+    ];
+
+    /// Stable kebab-case id used in waivers, diagnostics, and the report.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::UnwrapCall => "unwrap-call",
+            RuleId::ExpectCall => "expect-call",
+            RuleId::PanicMacro => "panic-macro",
+            RuleId::SliceIndex => "slice-index",
+            RuleId::FloatEq => "float-eq",
+            RuleId::Nondeterminism => "nondeterminism",
+            RuleId::LockUnwrap => "lock-unwrap",
+            RuleId::NarrowingCast => "narrowing-cast",
+        }
+    }
+
+    /// The house policy this rule enforces.
+    pub fn policy(self) -> &'static str {
+        match self {
+            RuleId::UnwrapCall | RuleId::ExpectCall | RuleId::PanicMacro | RuleId::SliceIndex => {
+                "panic-freedom"
+            }
+            RuleId::FloatEq => "float-discipline",
+            RuleId::Nondeterminism => "determinism",
+            RuleId::LockUnwrap => "poison-discipline",
+            RuleId::NarrowingCast => "cast-audit",
+        }
+    }
+
+    pub fn from_id(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.id() == s)
+    }
+}
+
+/// One finding: a rule violation (possibly waived) or a waiver-hygiene
+/// defect.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Kebab-case rule id (`unwrap-call`, …) or a `waiver-*` hygiene id.
+    pub rule: String,
+    /// Policy name the rule belongs to.
+    pub policy: String,
+    pub span: Span,
+    pub message: String,
+    /// True when an inline waiver covers this finding.
+    pub waived: bool,
+}
+
+/// A parsed waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub rules: Vec<RuleId>,
+    pub reason: String,
+    pub span: Span,
+    /// Inclusive line range the waiver covers.
+    pub lines: (u32, u32),
+    /// Whole-item (`allow-fn`) or line (`allow`) scope.
+    pub fn_scope: bool,
+    /// How many findings this waiver suppressed.
+    pub used: u32,
+}
+
+/// Everything the matcher produced for one file.
+#[derive(Debug, Default)]
+pub struct FileMatch {
+    pub findings: Vec<Finding>,
+    pub waivers: Vec<Waiver>,
+}
+
+/// Run every zone rule over a lexed file and resolve waivers.
+pub fn run(lexed: &Lexed, exempt: &[bool], zone: Zone) -> FileMatch {
+    let tokens = &lexed.tokens;
+    let mut raw: Vec<(RuleId, Span, String)> = Vec::new();
+
+    // Poison-discipline first: its matches suppress the generic
+    // unwrap/expect rules at the same site (one finding per defect).
+    let mut lock_sites: Vec<usize> = Vec::new();
+    if zone.rules().contains(&RuleId::LockUnwrap) {
+        for i in 0..tokens.len() {
+            if exempt[i] {
+                continue;
+            }
+            let is_guard = tokens[i].kind == TokKind::Ident
+                && matches!(tokens[i].text.as_str(), "lock" | "read" | "write");
+            if is_guard
+                && punct_at(tokens, i + 1, "(")
+                && punct_at(tokens, i + 2, ")")
+                && punct_at(tokens, i + 3, ".")
+                && tokens.get(i + 4).is_some_and(|t| {
+                    t.kind == TokKind::Ident && matches!(t.text.as_str(), "unwrap" | "expect")
+                })
+            {
+                lock_sites.push(i + 4);
+                raw.push((
+                    RuleId::LockUnwrap,
+                    tokens[i + 4].span,
+                    format!(
+                        "`.{}().{}(…)` aborts on a poisoned guard; recover with \
+                         `unwrap_or_else(PoisonError::into_inner)`",
+                        tokens[i].text,
+                        tokens[i + 4].text
+                    ),
+                ));
+            }
+        }
+    }
+
+    for &rule in zone.rules() {
+        match rule {
+            RuleId::UnwrapCall | RuleId::ExpectCall => {
+                let name = if rule == RuleId::UnwrapCall {
+                    "unwrap"
+                } else {
+                    "expect"
+                };
+                for i in 0..tokens.len() {
+                    if exempt[i] || lock_sites.contains(&i) {
+                        continue;
+                    }
+                    if tokens[i].kind == TokKind::Ident
+                        && tokens[i].text == name
+                        && i > 0
+                        && punct_at(tokens, i - 1, ".")
+                        && punct_at(tokens, i + 1, "(")
+                    {
+                        raw.push((
+                            rule,
+                            tokens[i].span,
+                            format!("`.{name}(…)` can panic; return an error instead"),
+                        ));
+                    }
+                }
+            }
+            RuleId::PanicMacro => {
+                for i in 0..tokens.len() {
+                    if exempt[i] {
+                        continue;
+                    }
+                    if tokens[i].kind == TokKind::Ident
+                        && matches!(
+                            tokens[i].text.as_str(),
+                            "panic" | "unreachable" | "todo" | "unimplemented"
+                        )
+                        && punct_at(tokens, i + 1, "!")
+                    {
+                        raw.push((
+                            rule,
+                            tokens[i].span,
+                            format!("`{}!` in a panic-free zone", tokens[i].text),
+                        ));
+                    }
+                }
+            }
+            RuleId::SliceIndex => {
+                for i in 0..tokens.len() {
+                    if exempt[i] || !tokens[i].is_punct("[") || i == 0 {
+                        continue;
+                    }
+                    let prev = &tokens[i - 1];
+                    let indexes = (prev.kind == TokKind::Ident
+                        && !keyword_before_array_literal(prev.text.as_str()))
+                        || (prev.kind == TokKind::Punct
+                            && matches!(prev.text.as_str(), ")" | "]" | "?"));
+                    if indexes {
+                        raw.push((
+                            rule,
+                            tokens[i].span,
+                            "slice/array indexing can panic; use `.get(…)` or waive with the \
+                             bounding invariant"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+            RuleId::FloatEq => {
+                for i in 0..tokens.len() {
+                    if exempt[i] {
+                        continue;
+                    }
+                    if tokens[i].kind == TokKind::Punct
+                        && (tokens[i].text == "==" || tokens[i].text == "!=")
+                        && (side_has_float(tokens, i, true) || side_has_float(tokens, i, false))
+                    {
+                        raw.push((
+                            rule,
+                            tokens[i].span,
+                            format!(
+                                "`{}` on a float expression; compare with a tolerance, \
+                                 `total_cmp`, or `to_bits`, or waive the exactness guard",
+                                tokens[i].text
+                            ),
+                        ));
+                    }
+                }
+            }
+            RuleId::Nondeterminism => {
+                for i in 0..tokens.len() {
+                    if exempt[i] || tokens[i].kind != TokKind::Ident {
+                        continue;
+                    }
+                    let hit = match tokens[i].text.as_str() {
+                        "SystemTime" | "thread_rng" => true,
+                        "Instant" => {
+                            punct_at(tokens, i + 1, "::")
+                                && tokens.get(i + 2).is_some_and(|t| t.is_ident("now"))
+                        }
+                        _ => false,
+                    };
+                    if hit {
+                        raw.push((
+                            rule,
+                            tokens[i].span,
+                            format!(
+                                "`{}` makes a result-producing path nondeterministic",
+                                tokens[i].text
+                            ),
+                        ));
+                    }
+                }
+            }
+            RuleId::NarrowingCast => {
+                for i in 0..tokens.len() {
+                    if exempt[i] {
+                        continue;
+                    }
+                    if tokens[i].is_ident("as")
+                        && tokens.get(i + 1).is_some_and(|t| {
+                            t.kind == TokKind::Ident
+                                && matches!(
+                                    t.text.as_str(),
+                                    "u8" | "u16"
+                                        | "u32"
+                                        | "u64"
+                                        | "u128"
+                                        | "usize"
+                                        | "i8"
+                                        | "i16"
+                                        | "i32"
+                                        | "i64"
+                                        | "i128"
+                                        | "isize"
+                                        | "f32"
+                                        | "f64"
+                                )
+                        })
+                    {
+                        raw.push((
+                            rule,
+                            tokens[i + 1].span,
+                            format!(
+                                "`as {}` cast on the wire path; use `try_from`/`from` or waive \
+                                 with the range argument",
+                                tokens[i + 1].text
+                            ),
+                        ));
+                    }
+                }
+            }
+            RuleId::LockUnwrap => {} // handled above
+        }
+    }
+    raw.sort_by_key(|(_, s, _)| (s.line, s.col));
+
+    // Parse waivers from comments.
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in &lexed.comments {
+        match parse_waiver(c, tokens) {
+            WaiverParse::NotAWaiver => {}
+            WaiverParse::Waiver(w) => waivers.push(w),
+            WaiverParse::Defect { rule, message } => findings.push(Finding {
+                rule: rule.into(),
+                policy: "waiver-hygiene".into(),
+                span: c.span,
+                message,
+                waived: false,
+            }),
+        }
+    }
+
+    // Resolve: a finding is waived when a waiver covering its line names
+    // its rule.
+    for (rule, span, message) in raw {
+        let waived = waivers.iter_mut().any(|w| {
+            if w.rules.contains(&rule) && (w.lines.0..=w.lines.1).contains(&span.line) {
+                w.used += 1;
+                true
+            } else {
+                false
+            }
+        });
+        findings.push(Finding {
+            rule: rule.id().into(),
+            policy: rule.policy().into(),
+            span,
+            message,
+            waived,
+        });
+    }
+
+    // A waiver that suppressed nothing is dead weight — flag it so the
+    // inventory can never silently rot.
+    for w in &waivers {
+        if w.used == 0 {
+            findings.push(Finding {
+                rule: "waiver-unused".into(),
+                policy: "waiver-hygiene".into(),
+                span: w.span,
+                message: format!(
+                    "waiver for {} suppresses nothing; remove it",
+                    w.rules
+                        .iter()
+                        .map(|r| r.id())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                waived: false,
+            });
+        }
+    }
+    findings.sort_by_key(|f| (f.span.line, f.span.col));
+
+    FileMatch { findings, waivers }
+}
+
+fn punct_at(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.is_punct(text))
+}
+
+/// Keywords after which a `[` opens an array literal (`for x in [...]`,
+/// `return [...]`), never an indexing bracket.
+fn keyword_before_array_literal(s: &str) -> bool {
+    matches!(
+        s,
+        "in" | "return"
+            | "break"
+            | "else"
+            | "match"
+            | "if"
+            | "while"
+            | "loop"
+            | "move"
+            | "mut"
+            | "ref"
+            | "dyn"
+            | "let"
+            | "const"
+            | "static"
+            | "unsafe"
+            | "where"
+            | "yield"
+            | "as"
+    )
+}
+
+/// Does the expression on one side of the comparison at `i` textually
+/// involve a float literal or an `f32`/`f64` path? Walks outward from the
+/// operator, stopping at expression boundaries (`&&`, `||`, `,`, `;`,
+/// braces, another comparison) at bracket depth 0, capped at 24 tokens.
+fn side_has_float(tokens: &[Tok], i: usize, left: bool) -> bool {
+    let mut depth = 0i32;
+    let mut steps = 0;
+    let mut j = i;
+    loop {
+        if left {
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        } else {
+            j += 1;
+            if j >= tokens.len() {
+                return false;
+            }
+        }
+        steps += 1;
+        if steps > 24 {
+            return false;
+        }
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct {
+            let (open, close) = if left { (")", "(") } else { ("(", ")") };
+            match t.text.as_str() {
+                x if x == open => depth += 1,
+                x if x == close => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                "]" if !left => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                "[" if !left => depth += 1,
+                "[" if left => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                "]" if left => depth += 1,
+                "&&" | "||" | "," | ";" | "{" | "}" | "==" | "!=" | "=>" | "=" if depth == 0 => {
+                    return false
+                }
+                _ => {}
+            }
+        }
+        if t.kind == TokKind::Float {
+            return true;
+        }
+        if t.kind == TokKind::Ident && (t.text == "f32" || t.text == "f64") {
+            return true;
+        }
+    }
+}
+
+enum WaiverParse {
+    NotAWaiver,
+    Waiver(Waiver),
+    Defect { rule: &'static str, message: String },
+}
+
+/// Parse one comment as a waiver if it carries the `vr-lint:` marker.
+///
+/// Only plain `//` line comments can waive: doc comments (`///`, `//!`)
+/// and block comments are documentation, so syntax examples in rustdoc
+/// never act as live waivers.
+fn parse_waiver(c: &Comment, tokens: &[Tok]) -> WaiverParse {
+    let Some(after_slashes) = c.text.trim_start().strip_prefix("//") else {
+        return WaiverParse::NotAWaiver; // block comment
+    };
+    if after_slashes.starts_with('/') || after_slashes.starts_with('!') {
+        return WaiverParse::NotAWaiver; // doc comment
+    }
+    let marker = after_slashes.trim_start();
+    let Some(at) = marker.find("vr-lint:") else {
+        return WaiverParse::NotAWaiver;
+    };
+    let body = marker[at + "vr-lint:".len()..].trim_start();
+    let (fn_scope, rest) = if let Some(r) = body.strip_prefix("allow-fn(") {
+        (true, r)
+    } else if let Some(r) = body.strip_prefix("allow(") {
+        (false, r)
+    } else {
+        return WaiverParse::Defect {
+            rule: "waiver-malformed",
+            message: "vr-lint marker without `allow(…)`/`allow-fn(…)`".into(),
+        };
+    };
+    let Some(close) = rest.find(')') else {
+        return WaiverParse::Defect {
+            rule: "waiver-malformed",
+            message: "unclosed rule list in waiver".into(),
+        };
+    };
+    let mut rules = Vec::new();
+    for part in rest[..close].split(',') {
+        let part = part.trim();
+        match RuleId::from_id(part) {
+            Some(r) => rules.push(r),
+            None => {
+                return WaiverParse::Defect {
+                    rule: "waiver-unknown-rule",
+                    message: format!("waiver names unknown rule `{part}`"),
+                }
+            }
+        }
+    }
+    if rules.is_empty() {
+        return WaiverParse::Defect {
+            rule: "waiver-malformed",
+            message: "waiver names no rules".into(),
+        };
+    }
+    // The reason: everything after the separator.
+    let tail = rest[close + 1..].trim_start();
+    let reason = ["—", "--", "-", ":"]
+        .iter()
+        .find_map(|sep| tail.strip_prefix(sep))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.len() < 3 {
+        return WaiverParse::Defect {
+            rule: "waiver-missing-reason",
+            message: "every waiver must say *why* (`vr-lint: allow(rule) — reason`)".into(),
+        };
+    }
+
+    // Scope.
+    let lines = if fn_scope {
+        let Some(first) = tokens
+            .iter()
+            .position(|t| (t.span.line, t.span.col) > (c.span.line, c.span.col))
+        else {
+            return WaiverParse::Defect {
+                rule: "waiver-malformed",
+                message: "allow-fn at end of file covers nothing".into(),
+            };
+        };
+        let end = item_end(tokens, first);
+        (tokens[first].span.line, tokens[end].span.line)
+    } else {
+        // Same line if it has tokens (trailing comment), else next
+        // token-bearing line.
+        let on_line = tokens.iter().any(|t| t.span.line == c.span.line);
+        if on_line {
+            (c.span.line, c.span.line)
+        } else {
+            match tokens.iter().find(|t| t.span.line > c.span.line) {
+                Some(t) => (t.span.line, t.span.line),
+                None => (c.span.line, c.span.line),
+            }
+        }
+    };
+    WaiverParse::Waiver(Waiver {
+        rules,
+        reason: reason.to_string(),
+        span: c.span,
+        lines,
+        fn_scope,
+        used: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::policy::exempt_mask;
+
+    fn check(src: &str, zone: Zone) -> FileMatch {
+        let lexed = lex(src).expect("fixture lexes");
+        let exempt = exempt_mask(&lexed.tokens);
+        run(&lexed, &exempt, zone)
+    }
+
+    fn live(m: &FileMatch) -> Vec<(String, u32, u32)> {
+        m.findings
+            .iter()
+            .filter(|f| !f.waived)
+            .map(|f| (f.rule.clone(), f.span.line, f.span.col))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_expect_and_macros_fire_with_exact_spans() {
+        let m = check(
+            "fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n    unreachable!(\"no\");\n}",
+            Zone::CoreKernel,
+        );
+        assert_eq!(
+            live(&m),
+            vec![
+                ("unwrap-call".into(), 2, 7),
+                ("expect-call".into(), 3, 7),
+                ("panic-macro".into(), 4, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn method_named_like_unwrap_does_not_fire_without_dot() {
+        // A *definition* `fn unwrap(` has no preceding dot; a call through
+        // a path `Foo::unwrap(x)` likewise stays silent (not a method call
+        // on a Result in the house style).
+        let m = check("fn unwrap() {}\nfn g() { Self::unwrap(); }", Zone::Numerics);
+        assert!(live(&m).is_empty());
+    }
+
+    #[test]
+    fn slice_index_fires_on_indexing_not_attributes_or_types() {
+        let m = check(
+            "#[derive(Clone)]\nfn f(w: &[f64]) -> [u8; 4] { let a = w[0]; b()[1]; c[i + 1] }",
+            Zone::Numerics,
+        );
+        let rules: Vec<&str> = m
+            .findings
+            .iter()
+            .filter(|f| !f.waived)
+            .map(|f| f.rule.as_str())
+            .collect();
+        assert_eq!(rules, vec!["slice-index", "slice-index", "slice-index"]);
+    }
+
+    #[test]
+    fn float_eq_heuristic_fires_on_literals_not_ints_or_bits() {
+        let m = check(
+            "fn f() {\n if w == 0.0 {}\n if n == 0 {}\n if a.to_bits() == b.to_bits() {}\n \
+             if x == f64::INFINITY {}\n if i == 0 && y > 0.0 {}\n}",
+            Zone::CoreLib,
+        );
+        assert_eq!(
+            live(&m),
+            vec![("float-eq".into(), 2, 7), ("float-eq".into(), 5, 7)]
+        );
+    }
+
+    #[test]
+    fn nondeterminism_and_poison_rules() {
+        let m = check(
+            "fn f() {\n let t = Instant::now();\n let g = m.lock().unwrap();\n \
+             let r = rw.read().unwrap();\n let h = rw.read().unwrap_or_else(PoisonError::into_inner);\n}",
+            Zone::CoreKernel,
+        );
+        let rules: Vec<&str> = m
+            .findings
+            .iter()
+            .filter(|f| !f.waived)
+            .map(|f| f.rule.as_str())
+            .collect();
+        // lock-unwrap absorbs the unwrap-call at the same site; the
+        // into_inner recovery idiom is clean.
+        assert_eq!(rules, vec!["nondeterminism", "lock-unwrap", "lock-unwrap"]);
+    }
+
+    #[test]
+    fn narrowing_casts_fire_only_in_the_server_zone() {
+        let src = "fn f(x: u64) -> usize { x as usize }";
+        assert_eq!(live(&check(src, Zone::ServerWire)).len(), 1);
+        assert!(live(&check(src, Zone::Numerics)).is_empty());
+    }
+
+    #[test]
+    fn waivers_suppress_and_demand_reasons() {
+        // Trailing waiver on the same line.
+        let m = check(
+            "fn f() { if w == 0.0 {} } // vr-lint: allow(float-eq) — exact sentinel guard",
+            Zone::CoreLib,
+        );
+        assert!(live(&m).is_empty());
+        assert_eq!(m.findings.len(), 1);
+        assert!(m.findings[0].waived);
+
+        // Standalone waiver covers the next line.
+        let m = check(
+            "fn f() {\n // vr-lint: allow(float-eq) — exact sentinel guard\n if w == 0.0 {}\n}",
+            Zone::CoreLib,
+        );
+        assert!(live(&m).is_empty());
+
+        // Reasonless waiver is itself a finding and suppresses nothing.
+        let m = check(
+            "fn f() { if w == 0.0 {} } // vr-lint: allow(float-eq)",
+            Zone::CoreLib,
+        );
+        let found = live(&m);
+        let rules: Vec<&str> = found.iter().map(|(r, _, _)| r.as_str()).collect();
+        assert!(rules.contains(&"waiver-missing-reason"));
+        assert!(rules.contains(&"float-eq"));
+
+        // Unknown rule id is a finding.
+        let m = check(
+            "fn f() {} // vr-lint: allow(no-such-rule) — whatever reason",
+            Zone::CoreLib,
+        );
+        assert_eq!(live(&m)[0].0, "waiver-unknown-rule");
+    }
+
+    #[test]
+    fn allow_fn_covers_the_whole_next_item_and_unused_waivers_fire() {
+        let m = check(
+            "// vr-lint: allow-fn(slice-index) — indices bounded by the planned window\n\
+             fn f(w: &[f64]) {\n let a = w[0];\n let b = w[1];\n}\n\
+             fn g(w: &[f64]) { let c = w[2]; }",
+            Zone::Numerics,
+        );
+        let livef = live(&m);
+        // f's two sites are waived; g's is not.
+        assert_eq!(livef, vec![("slice-index".into(), 6, 28)]);
+
+        let m = check(
+            "// vr-lint: allow(unwrap-call) — never fires here\nfn f() {}",
+            Zone::Numerics,
+        );
+        assert_eq!(live(&m)[0].0, "waiver-unused");
+    }
+}

@@ -1,0 +1,245 @@
+//! Golden tests: one fixture per rule, with the exact findings (and for
+//! the kitchen-sink fixture the exact rustc-style rendering) pinned.
+//! These freeze the *user-visible* contract of each rule — span positions,
+//! waiver interaction, zone routing — so a lexer or matcher refactor that
+//! shifts any of it fails loudly here rather than surfacing as a surprise
+//! diff in `lint_waivers.txt`.
+
+use std::collections::BTreeMap;
+
+use vr_lint::lint_source;
+use vr_lint::report::RunReport;
+
+/// Lint `src` as if it lived at `rel`, returning `(rule, line, col, waived)`
+/// for every finding (hygiene findings included).
+fn findings(rel: &str, src: &str) -> Vec<(String, u32, u32, bool)> {
+    let report = lint_source(rel, src)
+        .expect("fixtures must lex")
+        .expect("fixture path must be in a policy zone");
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.span.line, f.span.col, f.waived))
+        .collect()
+}
+
+/// Shorthand for asserting on unwaivered findings only.
+fn violations(rel: &str, src: &str) -> Vec<(String, u32, u32)> {
+    findings(rel, src)
+        .into_iter()
+        .filter(|(_, _, _, waived)| !waived)
+        .map(|(r, l, c, _)| (r, l, c))
+        .collect()
+}
+
+const SERVER: &str = "crates/server/src/fixture.rs";
+const NUMERICS: &str = "crates/numerics/src/fixture.rs";
+const KERNEL: &str = "crates/core/src/accountant.rs";
+const LIBRARY: &str = "crates/ldp/src/fixture.rs";
+
+#[test]
+fn golden_unwrap_and_expect() {
+    let src = "fn f(x: Option<u8>) -> u8 {\n    let y = x.unwrap();\n    y.checked_add(1).expect(\"overflow\")\n}\n";
+    assert_eq!(
+        violations(SERVER, src),
+        vec![
+            ("unwrap-call".to_string(), 2, 15),
+            ("expect-call".to_string(), 3, 22),
+        ]
+    );
+    // `unwrap_or` / `unwrap_or_else` / `try_from(...).ok()` stay silent.
+    let ok = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(u8::try_from(300).unwrap_or(9)) }\n";
+    assert_eq!(violations(SERVER, ok), vec![]);
+}
+
+#[test]
+fn golden_panic_macros() {
+    let src = "fn f(k: u8) {\n    match k {\n        0 => panic!(\"no\"),\n        1 => unreachable!(),\n        2 => todo!(),\n        _ => unimplemented!(),\n    }\n}\n";
+    assert_eq!(
+        violations(KERNEL, src),
+        vec![
+            ("panic-macro".to_string(), 3, 14),
+            ("panic-macro".to_string(), 4, 14),
+            ("panic-macro".to_string(), 5, 14),
+            ("panic-macro".to_string(), 6, 14),
+        ]
+    );
+}
+
+#[test]
+fn golden_slice_index() {
+    let src = "fn f(v: &[u8], i: usize) -> u8 {\n    let x = v[i];\n    x + v[0]\n}\n";
+    assert_eq!(
+        violations(NUMERICS, src),
+        vec![
+            ("slice-index".to_string(), 2, 14),
+            ("slice-index".to_string(), 3, 10),
+        ]
+    );
+    // Array literals after keywords are not indexing; `.get(i)` is the fix.
+    let ok = "fn f(v: &[u8], i: usize) -> u8 {\n    for x in [1u8, 2] { let _ = x; }\n    *v.get(i).unwrap_or(&0)\n}\n";
+    assert_eq!(violations(NUMERICS, ok), vec![]);
+}
+
+#[test]
+fn golden_float_eq() {
+    let src = "fn f(w: f64, k: u64) -> bool {\n    if w == 0.0 { return true; }\n    if k == 0 { return false; }\n    w != f64::INFINITY\n}\n";
+    // Integer comparison on line 3 must stay silent; both float comparisons fire.
+    assert_eq!(
+        violations(LIBRARY, src),
+        vec![
+            ("float-eq".to_string(), 2, 10),
+            ("float-eq".to_string(), 4, 7),
+        ]
+    );
+    // Bit-pattern equality is the endorsed idiom and is not flagged.
+    let ok = "fn f(a: f64, b: f64) -> bool { a.to_bits() == b.to_bits() }\n";
+    assert_eq!(violations(LIBRARY, ok), vec![]);
+}
+
+#[test]
+fn golden_nondeterminism() {
+    let src = "fn f() {\n    let t = std::time::Instant::now();\n    let s = std::time::SystemTime::now();\n    let _ = (t, s);\n}\n";
+    assert_eq!(
+        violations(NUMERICS, src),
+        vec![
+            ("nondeterminism".to_string(), 2, 24),
+            ("nondeterminism".to_string(), 3, 24),
+        ]
+    );
+    // `Instant` as a type name (no `::now`) is fine — report plumbing
+    // carries `Instant`s it did not create.
+    let ok = "fn f(t: std::time::Instant) -> std::time::Instant { t }\n";
+    assert_eq!(violations(NUMERICS, ok), vec![]);
+}
+
+#[test]
+fn golden_lock_unwrap() {
+    let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n    *m.lock().unwrap()\n}\n";
+    assert_eq!(
+        violations(LIBRARY, src),
+        vec![("lock-unwrap".to_string(), 2, 15)]
+    );
+    // The endorsed recovery reads the guard through PoisonError::into_inner.
+    let ok = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)\n}\n";
+    assert_eq!(violations(LIBRARY, ok), vec![]);
+}
+
+#[test]
+fn golden_narrowing_cast_is_server_only() {
+    let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+    assert_eq!(
+        violations(SERVER, src),
+        vec![("narrowing-cast".to_string(), 1, 28)]
+    );
+    // The same cast outside the wire zone is not the cast-audit's business.
+    assert_eq!(violations(NUMERICS, src), vec![]);
+    assert_eq!(violations(KERNEL, src), vec![]);
+}
+
+#[test]
+fn golden_waiver_scopes() {
+    // Trailing waiver covers its own line; standalone covers the next
+    // token-bearing line; allow-fn covers the whole next item.
+    let src = "\
+fn f(w: f64) -> bool { w == 0.0 } // vr-lint: allow(float-eq) — exact sentinel
+// vr-lint: allow(float-eq) — exact sentinel on the next line
+fn g(w: f64) -> bool { w == 0.0 }
+// vr-lint: allow-fn(float-eq) — every comparison in h is an exactness guard
+fn h(a: f64, b: f64) -> bool {
+    a == 0.0 && b == 1.0
+}
+fn unwaived(w: f64) -> bool { w == 0.0 }
+";
+    let all = findings(LIBRARY, src);
+    let waived: Vec<u32> = all.iter().filter(|f| f.3).map(|f| f.1).collect();
+    let open: Vec<u32> = all.iter().filter(|f| !f.3).map(|f| f.1).collect();
+    assert_eq!(waived, vec![1, 3, 6, 6], "waiver-covered lines");
+    assert_eq!(open, vec![8], "line 8 has no waiver and must stay open");
+}
+
+#[test]
+fn golden_waiver_hygiene() {
+    // A reasonless waiver, an unknown rule, and an unused waiver are all
+    // findings themselves.
+    let no_reason = "fn f(w: f64) -> bool { w == 0.0 } // vr-lint: allow(float-eq)\n";
+    let rules: Vec<String> = findings(LIBRARY, no_reason)
+        .iter()
+        .map(|f| f.0.clone())
+        .collect();
+    assert!(
+        rules.iter().any(|r| r == "waiver-missing-reason"),
+        "reasonless waiver must be flagged, got {rules:?}"
+    );
+
+    let unknown = "fn f() {} // vr-lint: allow(no-such-rule) — because\n";
+    let rules: Vec<String> = findings(LIBRARY, unknown)
+        .iter()
+        .map(|f| f.0.clone())
+        .collect();
+    assert!(
+        rules.iter().any(|r| r == "waiver-unknown-rule"),
+        "unknown rule id must be flagged, got {rules:?}"
+    );
+
+    let unused = "// vr-lint: allow(float-eq) — covers nothing\nfn f() {}\n";
+    let rules: Vec<String> = findings(LIBRARY, unused)
+        .iter()
+        .map(|f| f.0.clone())
+        .collect();
+    assert!(
+        rules.iter().any(|r| r == "waiver-unused"),
+        "unused waiver must be flagged, got {rules:?}"
+    );
+
+    // Doc comments are documentation, not waivers: a waiver-shaped doc
+    // line neither suppresses findings nor trips hygiene.
+    let doc =
+        "/// vr-lint: allow(float-eq) — not a real waiver\nfn f(w: f64) -> bool { w == 0.0 }\n";
+    assert_eq!(
+        violations(LIBRARY, doc),
+        vec![("float-eq".to_string(), 2, 26)]
+    );
+}
+
+#[test]
+fn golden_test_code_is_exempt() {
+    // `#[cfg(test)]` modules and `#[test]` functions may panic freely.
+    let src = "\
+fn prod(x: Option<u8>) -> Option<u8> { x }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::prod(Some(1)).unwrap();
+        panic!(\"asserts are fine here\");
+    }
+}
+";
+    assert_eq!(violations(SERVER, src), vec![]);
+}
+
+#[test]
+fn golden_rendered_diagnostics() {
+    // The kitchen-sink fixture pins the exact rustc-style rendering.
+    let rel = "crates/server/src/fixture.rs";
+    let src = "fn f(x: Option<u64>) -> u32 {\n    x.unwrap() as u32\n}\n";
+    let file = lint_source(rel, src).unwrap().unwrap();
+    let report = RunReport {
+        files: vec![file],
+        skipped: 0,
+    };
+    let mut sources = BTreeMap::new();
+    sources.insert(rel.to_string(), src.to_string());
+    let expected = "\
+error[panic-freedom/unwrap-call]: `.unwrap(…)` can panic; return an error instead
+  --> crates/server/src/fixture.rs:2:7
+   |     x.unwrap() as u32
+   |       ^
+error[cast-audit/narrowing-cast]: `as u32` cast on the wire path; use `try_from`/`from` or waive with the range argument
+  --> crates/server/src/fixture.rs:2:19
+   |     x.unwrap() as u32
+   |                   ^
+";
+    assert_eq!(report.render_diagnostics(&sources), expected);
+}

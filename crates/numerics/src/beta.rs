@@ -36,9 +36,11 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
         (0.0..=1.0).contains(&x),
         "reg_inc_beta requires x in [0,1], got {x}"
     );
+    // vr-lint: allow(float-eq) — exact endpoint: I_0 = 0 by definition
     if x == 0.0 {
         return 0.0;
     }
+    // vr-lint: allow(float-eq) — exact endpoint: I_1 = 1 by definition
     if x == 1.0 {
         return 1.0;
     }
@@ -204,9 +206,11 @@ pub fn reg_inc_beta_fast(a: f64, b: f64, x: f64) -> f64 {
         (0.0..=1.0).contains(&x),
         "reg_inc_beta_fast requires x in [0,1], got {x}"
     );
+    // vr-lint: allow(float-eq) — exact endpoint: I_0 = 0 by definition
     if x == 0.0 {
         return 0.0;
     }
+    // vr-lint: allow(float-eq) — exact endpoint: I_1 = 1 by definition
     if x == 1.0 {
         return 1.0;
     }
@@ -255,8 +259,10 @@ fn beta_quadrature_fast(a: f64, b: f64, x: f64) -> f64 {
     let mut lanes = [0.0f64; L];
     for (yc, wc) in ys.chunks_exact(L).zip(ws.chunks_exact(L)) {
         for l in 0..L {
+            // vr-lint: allow(slice-index) — l < L and chunks_exact(L) yields exactly-L slices
             let dt = dx + span * yc[l];
             let g = a1 * ln1p_small(dt * inv_mu) + b1 * ln1p_small(dt * ninv_om);
+            // vr-lint: allow(slice-index) — l < L bounds both the accumulator array and the chunk
             lanes[l] += wc[l] * exp_no_overflow(g);
         }
     }

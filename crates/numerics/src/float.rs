@@ -17,9 +17,11 @@ pub fn is_close_abs(a: f64, b: f64, tol: f64) -> bool {
 
 /// `log(exp(a) + exp(b))` without overflow.
 pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    // vr-lint: allow(float-eq) — exact NEG_INFINITY sentinel: the log-space empty operand
     if a == f64::NEG_INFINITY {
         return b;
     }
+    // vr-lint: allow(float-eq) — exact NEG_INFINITY sentinel: the log-space empty operand
     if b == f64::NEG_INFINITY {
         return a;
     }
@@ -36,6 +38,7 @@ pub fn log_sub_exp(a: f64, b: f64) -> f64 {
     if a == b {
         return f64::NEG_INFINITY;
     }
+    // vr-lint: allow(float-eq) — exact NEG_INFINITY sentinel: the log-space empty operand
     if b == f64::NEG_INFINITY {
         return a;
     }
@@ -45,6 +48,7 @@ pub fn log_sub_exp(a: f64, b: f64) -> f64 {
 /// Numerically stable `log(Σ exp(xs))`.
 pub fn log_sum_exp(xs: &[f64]) -> f64 {
     let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // vr-lint: allow(float-eq) — exact NEG_INFINITY sentinel: the log-space empty operand
     if max == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }

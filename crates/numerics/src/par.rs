@@ -62,7 +62,12 @@ where
             .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
             .collect();
         for h in handles {
-            out.extend(h.join().expect("par_map worker panicked"));
+            match h.join() {
+                Ok(part) => out.extend(part),
+                // Re-raise the worker's panic on the caller's thread with its
+                // original payload instead of a second, vaguer panic here.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     out

@@ -170,6 +170,7 @@ impl Client {
 
     fn fresh_id(&mut self) -> Json {
         self.next_id += 1;
+        // vr-lint: allow(narrowing-cast) — session-local id counter stays far below 2⁵³, so u64 → f64 is exact
         Json::Num(self.next_id as f64)
     }
 

@@ -107,7 +107,9 @@ impl Json {
         // integer, so a literal like 2^53 + 1 would have silently rounded
         // to exactly 2^53 during parsing — reject rather than serve a
         // different count than the one requested.
+        // vr-lint: allow(float-eq) — `fract() == 0.0` is the exact-integer test this accessor is defined by
         if x.fract() == 0.0 && (0.0..9_007_199_254_740_992.0).contains(&x) {
+            // vr-lint: allow(narrowing-cast) — guarded above: non-negative integer < 2^53 converts exactly
             Some(x as u64)
         } else {
             None
@@ -203,6 +205,7 @@ impl fmt::Display for Json {
 fn write_num(x: f64, out: &mut String) {
     if !x.is_finite() {
         out.push_str("null");
+        // vr-lint: allow(float-eq) — exact-integer test selecting the `{x:.0}` print form
     } else if x.fract() == 0.0 && x.abs() <= 9_007_199_254_740_992.0 {
         out.push_str(&format!("{x:.0}"));
     } else {
@@ -221,6 +224,7 @@ fn write_str(s: &str, out: &mut String) {
             '\t' => out.push_str("\\t"),
             '\u{08}' => out.push_str("\\b"),
             '\u{0c}' => out.push_str("\\f"),
+            // vr-lint: allow(narrowing-cast) — char → u32 code point is lossless by definition
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
         }
@@ -248,7 +252,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -261,7 +265,8 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+        let rest = self.bytes.get(self.pos..).unwrap_or(&[]);
+        if rest.starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(value)
         } else {
@@ -290,7 +295,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -313,7 +318,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         // Hashed key set: duplicate detection stays O(1) per key even for a
         // hostile frame packed with thousands of members.
@@ -337,7 +342,7 @@ impl Parser<'_> {
                 ));
             }
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             members.push((key, value));
@@ -354,7 +359,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -366,7 +371,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
             if self.pos > start {
-                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                let raw = self.bytes.get(start..self.pos).unwrap_or(&[]);
+                let chunk = std::str::from_utf8(raw)
                     .map_err(|_| JsonError::new("invalid UTF-8 in string", start))?;
                 out.push_str(chunk);
             }
@@ -405,7 +411,7 @@ impl Parser<'_> {
                     // Surrogate pair: require a trailing \uXXXX low half.
                     if self.peek() == Some(b'\\') {
                         self.pos += 1;
-                        self.expect(b'u')?;
+                        self.expect_byte(b'u')?;
                         let lo = self.hex4()?;
                         if !(0xdc00..0xe000).contains(&lo) {
                             return Err(JsonError::new("invalid low surrogate", at));
@@ -455,8 +461,9 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII by construction");
+        let raw = self.bytes.get(start..self.pos).unwrap_or(&[]);
+        let text =
+            std::str::from_utf8(raw).map_err(|_| JsonError::new("invalid number bytes", start))?;
         let value: f64 = text
             .parse()
             .map_err(|_| JsonError::new(format!("invalid number `{text}`"), start))?;

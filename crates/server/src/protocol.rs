@@ -165,10 +165,14 @@ impl From<Error> for WireError {
             Error::InvalidParameter(_) => ErrorKind::InvalidParameter,
             Error::NotApplicable(_) => ErrorKind::NotApplicable,
             Error::Unachievable(_) => ErrorKind::Unachievable,
+            Error::Internal(_) => ErrorKind::Internal,
         };
         // The core Display forms repeat the category; keep the payload.
         let message = match e {
-            Error::InvalidParameter(m) | Error::NotApplicable(m) | Error::Unachievable(m) => m,
+            Error::InvalidParameter(m)
+            | Error::NotApplicable(m)
+            | Error::Unachievable(m)
+            | Error::Internal(m) => m,
         };
         Self::new(kind, message)
     }
@@ -393,6 +397,16 @@ fn query_op(q: &AmplificationQuery) -> &'static str {
     }
 }
 
+/// A count as a JSON number. Wire-ingested counts are already validated to
+/// the f64-exact integer range ([`Json::as_u64`] rejects anything ≥ 2⁵³),
+/// so the conversion is exact for every value the daemon round-trips; an
+/// in-process count beyond 2⁵³ rounds to the nearest representable f64
+/// instead of panicking.
+fn json_count(x: u64) -> Json {
+    // vr-lint: allow(narrowing-cast) — u64 → f64 count: exact below 2⁵³ (the wire range), rounds above
+    Json::Num(x as f64)
+}
+
 /// Serialize a query's source, population, target and selection fields (the
 /// `op` key itself is written by the caller, so query and sweep frames can
 /// share one definition of the field layout).
@@ -417,17 +431,20 @@ fn push_query_fields(members: &mut Vec<(String, Json)>, q: &AmplificationQuery) 
         q.target(),
         QueryTarget::MinPopulation { .. } | QueryTarget::MaxLocalBudget { .. }
     ) {
-        members.push(("n".into(), Json::Num(q.population() as f64)));
+        members.push(("n".into(), json_count(q.population())));
     }
     match *q.target() {
         QueryTarget::Delta { eps } => members.push(("eps".into(), Json::Num(eps))),
         QueryTarget::Epsilon { delta } => members.push(("delta".into(), Json::Num(delta))),
         QueryTarget::Curve { eps_max, points } => {
             members.push(("eps_max".into(), Json::Num(eps_max)));
-            members.push(("points".into(), Json::Num(points as f64)));
+            members.push((
+                "points".into(),
+                json_count(u64::try_from(points).unwrap_or(u64::MAX)),
+            ));
         }
         QueryTarget::Composed { rounds, delta } => {
-            members.push(("rounds".into(), Json::Num(rounds as f64)));
+            members.push(("rounds".into(), json_count(u64::from(rounds))));
             members.push(("delta".into(), Json::Num(delta)));
         }
         QueryTarget::MinPopulation {
@@ -437,12 +454,12 @@ fn push_query_fields(members: &mut Vec<(String, Json)>, q: &AmplificationQuery) 
         } => {
             members.push(("eps".into(), Json::Num(eps)));
             members.push(("delta".into(), Json::Num(delta)));
-            members.push(("n_hi".into(), Json::Num(n_hi_hint as f64)));
+            members.push(("n_hi".into(), json_count(n_hi_hint)));
         }
         QueryTarget::MaxLocalBudget { eps, delta, n } => {
             members.push(("eps".into(), Json::Num(eps)));
             members.push(("delta".into(), Json::Num(delta)));
-            members.push(("n".into(), Json::Num(n as f64)));
+            members.push(("n".into(), json_count(n)));
         }
     }
     match q.selection() {
@@ -475,7 +492,14 @@ fn parse_query(frame: &Json, op: &str) -> Result<AmplificationQuery, WireError> 
             Some(v) => v.as_f64().ok_or_else(|| {
                 WireError::malformed(format!("`p` must be a number or \"{P_INFINITY}\""))
             })?,
-            None => unreachable!("guarded by explicit_p"),
+            None => {
+                // Guarded by `explicit_p` above; a panic-free zone reports
+                // the impossible instead of aborting the worker.
+                return Err(WireError::new(
+                    ErrorKind::Internal,
+                    "`p` vanished between the presence check and the read",
+                ));
+            }
         };
         let beta = field_f64(frame, "beta")?;
         let q = field_f64(frame, "q")?;
@@ -527,7 +551,12 @@ fn parse_query(frame: &Json, op: &str) -> Result<AmplificationQuery, WireError> 
             field_f64(frame, "delta")?,
             field_u64(frame, "n")?,
         ),
-        _ => unreachable!("op was validated by the caller"),
+        other => {
+            return Err(WireError::new(
+                ErrorKind::Internal,
+                format!("op `{other}` has no query handler despite passing dispatch"),
+            ))
+        }
     };
     if let Some(bound) = frame.get("bound") {
         let name = bound
@@ -607,10 +636,18 @@ fn parse_sweep(frame: &Json) -> Result<Command, WireError> {
         frame.clone()
     } else {
         let Json::Obj(members) = frame else {
-            unreachable!("caller verified the frame is an object");
+            // The dispatcher only routes object frames here; report the
+            // broken invariant instead of aborting the worker.
+            return Err(WireError::new(
+                ErrorKind::Internal,
+                "sweep template frame is not an object",
+            ));
         };
         let mut members = members.clone();
-        members.push((axis_key.to_string(), Json::Num(axis.grid_values()[0])));
+        let seed = axis.grid_values().first().copied().ok_or_else(|| {
+            WireError::new(ErrorKind::Internal, "sweep grid emptied after validation")
+        })?;
+        members.push((axis_key.to_string(), Json::Num(seed)));
         Json::Obj(members)
     };
     let template = parse_query(&template_frame, target)?;
@@ -724,7 +761,7 @@ impl StatsSnapshot {
             Self::FIELDS
                 .iter()
                 .zip(self.values())
-                .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
+                .map(|(k, v)| (k.to_string(), json_count(v)))
                 .collect(),
         )
     }
@@ -867,7 +904,7 @@ impl Reply {
             eps_ceiling: report.validity.eps_ceiling,
             conditional: report.validity.conditional,
             cache_hit: report.cache_hit,
-            wall_micros: report.wall.as_micros().min(u128::from(u64::MAX)) as u64,
+            wall_micros: u64::try_from(report.wall.as_micros()).unwrap_or(u64::MAX),
             certificate: report.certificate,
         };
         let body = match &report.value {
@@ -898,13 +935,16 @@ impl Reply {
         for report in reports {
             match report {
                 Ok(r) => {
-                    outcome
-                        .values
-                        .push(Some(r.scalar().expect("sweeps serve scalar targets")));
+                    // Sweeps serve scalar targets, so `scalar()` is always
+                    // `Some`; a curve report slipping through serializes as
+                    // `null` for that grid point rather than panicking.
+                    outcome.values.push(r.scalar());
                     outcome.bounds.push(Some(r.bound.clone()));
                     outcome.errors.push(None);
                     outcome.cache_hits += u64::from(r.cache_hit);
-                    outcome.wall_micros += r.wall.as_micros().min(u128::from(u64::MAX)) as u64;
+                    outcome.wall_micros = outcome
+                        .wall_micros
+                        .saturating_add(u64::try_from(r.wall.as_micros()).unwrap_or(u64::MAX));
                 }
                 Err(e) => {
                     outcome.values.push(None);
@@ -970,8 +1010,8 @@ impl Reply {
                                 ("value", opt_num(&sweep.values)),
                                 ("bound", opt_str(&sweep.bounds)),
                                 ("error", opt_str(&sweep.errors)),
-                                ("cache_hits", Json::Num(sweep.cache_hits as f64)),
-                                ("wall_micros", Json::Num(sweep.wall_micros as f64)),
+                                ("cache_hits", json_count(sweep.cache_hits)),
+                                ("wall_micros", json_count(sweep.wall_micros)),
                             ]),
                         ));
                     }
@@ -1145,7 +1185,7 @@ fn push_meta(members: &mut Vec<(String, Json)>, meta: &ReplyMeta) {
     ));
     members.push(("conditional".into(), Json::Bool(meta.conditional)));
     members.push(("cache_hit".into(), Json::Bool(meta.cache_hit)));
-    members.push(("wall_micros".into(), Json::Num(meta.wall_micros as f64)));
+    members.push(("wall_micros".into(), json_count(meta.wall_micros)));
     if let Some(cert) = &meta.certificate {
         members.push((
             "certificate".into(),

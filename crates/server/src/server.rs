@@ -213,10 +213,10 @@ impl Inner {
             op_batch: s.op_batch.load(Ordering::Relaxed),
             op_stats: s.op_stats.load(Ordering::Relaxed),
             pipelined_frames: s.pipelined.load(Ordering::Relaxed),
-            uptime_micros: self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
-            workers: self.config.workers as u64,
-            queue_depth: self.config.queue_depth as u64,
-            cached_evaluators: self.engine.cached_evaluators() as u64,
+            uptime_micros: u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            workers: u64::try_from(self.config.workers).unwrap_or(u64::MAX),
+            queue_depth: u64::try_from(self.config.queue_depth).unwrap_or(u64::MAX),
+            cached_evaluators: u64::try_from(self.engine.cached_evaluators()).unwrap_or(u64::MAX),
         }
     }
 
@@ -392,6 +392,7 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
         }
         inner.stats.connections.fetch_add(1, Ordering::Relaxed);
         inner.stats.open.fetch_add(1, Ordering::Relaxed);
+        // vr-lint: allow(slice-index) — index is reduced modulo the shard count on the same line
         let shard = &inner.shards[next_shard % inner.shards.len()];
         next_shard = next_shard.wrapping_add(1);
         lock(&shard.inbox).push(stream);
@@ -448,6 +449,7 @@ impl Conn {
     fn flush(&mut self) -> io::Result<bool> {
         let mut wrote = false;
         while self.wpos < self.wbuf.len() {
+            // vr-lint: allow(slice-index) — `wpos < wbuf.len()` is the loop guard one line up
             match self.stream.write(&self.wbuf[self.wpos..]) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(n) => {
@@ -490,6 +492,7 @@ enum ConnState {
 }
 
 fn shard_loop(inner: &Arc<Inner>, index: usize) {
+    // vr-lint: allow(slice-index) — one shard_loop is spawned per shards[] entry; index < len by construction
     let shard = &inner.shards[index];
     let mut conns: Vec<Conn> = Vec::new();
     let mut idle_passes: u32 = 0;
@@ -574,6 +577,7 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn) -> ConnState {
             Ok(n) => {
                 progress = true;
                 budget = budget.saturating_sub(n);
+                // vr-lint: allow(slice-index) — `read` returns n ≤ chunk.len()
                 conn.rbuf.extend_from_slice(&chunk[..n]);
                 if process_rbuf(inner, conn) == FrameFlow::ShutdownAfter {
                     shutdown_after_ack(inner, conn);
@@ -656,7 +660,7 @@ fn process_rbuf(inner: &Arc<Inner>, conn: &mut Conn) -> FrameFlow {
                 // reply is chunking-invariant: a 70 KiB line gets the same
                 // structured `oversized` error whether its newline arrived
                 // in the same read (pipelined burst) or a later one.
-                if pos as u64 >= MAX_LINE_BYTES {
+                if u64::try_from(pos).unwrap_or(u64::MAX) >= MAX_LINE_BYTES {
                     conn.rbuf.drain(..=pos);
                     frames += 1;
                     inner.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -688,7 +692,7 @@ fn process_rbuf(inner: &Arc<Inner>, conn: &mut Conn) -> FrameFlow {
                 }
             }
             None => {
-                if conn.rbuf.len() as u64 >= MAX_LINE_BYTES {
+                if u64::try_from(conn.rbuf.len()).unwrap_or(u64::MAX) >= MAX_LINE_BYTES {
                     // Oversized: answer with a structured error, drop the
                     // buffered prefix and discard until the line ends —
                     // the next frame then starts at a clean boundary.
@@ -810,7 +814,9 @@ fn execute_engine_command(
                 }
             }
         }
-        Command::Stats | Command::Shutdown => unreachable!("control ops execute in handle_frame"),
+        // Control ops execute in handle_frame and never reach this path;
+        // nothing to count for them here.
+        Command::Stats | Command::Shutdown => {}
     }
     if let Err(e) = inner.admit(pending) {
         return Reply::err(id, e);
@@ -827,7 +833,12 @@ fn execute_engine_command(
             .map(|reports| ExecOutput::Sweep { axis, reports })
             .map_err(WireError::from),
         Command::Batch(items) => Ok(ExecOutput::Batch(run_batch_items(&inner.engine, items))),
-        Command::Stats | Command::Shutdown => unreachable!("narrowed above"),
+        // Narrowed above; report the broken invariant instead of panicking
+        // inside the worker's catch_unwind.
+        Command::Stats | Command::Shutdown => Err(WireError::new(
+            ErrorKind::Internal,
+            "control op reached the execution path",
+        )),
     }));
     match outcome {
         Ok(Ok(ExecOutput::Report(report))) => Reply::from_report(id, &report),
@@ -869,9 +880,18 @@ fn run_batch_items(engine: &AnalysisEngine, items: Vec<BatchItem>) -> Vec<Reply>
     items
         .into_iter()
         .map(|item| match item.query {
-            Ok(_) => match reports.next().expect("one report per parsed query") {
-                Ok(report) => Reply::from_report(item.id, &report),
-                Err(e) => Reply::err(item.id, WireError::from(e)),
+            Ok(_) => match reports.next() {
+                Some(Ok(report)) => Reply::from_report(item.id, &report),
+                Some(Err(e)) => Reply::err(item.id, WireError::from(e)),
+                // run_batch returns one report per query by contract; a
+                // shortfall is answered per-item instead of panicking.
+                None => Reply::err(
+                    item.id,
+                    WireError::new(
+                        ErrorKind::Internal,
+                        "batch executor returned fewer reports than queries",
+                    ),
+                ),
             },
             Err(e) => Reply::err(item.id, e),
         })
