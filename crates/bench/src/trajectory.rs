@@ -4,19 +4,29 @@
 //! one flat object per bench —
 //!
 //! ```json
-//! {"bench":"server_load","metrics":{"throughput_rps":123.4,"p50_micros":87.0}}
+//! {"schema":1,"bench":"server_load","metrics":{"throughput_rps":123.4,"p50_micros":87.0}}
 //! ```
 //!
-//! — deliberately schema-light: metric names are chosen by the bench, CI
-//! only checks that the file parses, and humans diff the numbers across
-//! commits. Non-finite values serialize as `null` (JSON has no `inf`/
-//! `NaN`), so a degenerate run still produces a parseable artifact.
+//! — deliberately schema-light past the header: the `schema` version and
+//! `bench` name are mandatory (so tooling can tell artifacts apart and
+//! reject stale layouts), metric names are chosen by the bench, CI checks
+//! that each file parses and that the whole trajectory merges (see
+//! [`merge_reports`]: unique bench names, one schema), and humans diff the
+//! numbers across commits. Non-finite values serialize as `null` (JSON has
+//! no `inf`/`NaN`), so a degenerate run still produces a parseable
+//! artifact.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
 use crate::output::results_dir;
+
+/// Version of the `BENCH_*.json` artifact layout. Bumped when the shape
+/// changes incompatibly; [`merge_reports`] rejects artifacts written under
+/// any other version so a stale committed file fails loudly instead of
+/// silently skewing a cross-commit diff.
+pub const SCHEMA_VERSION: u64 = 1;
 
 /// One bench run's headline metrics, serialized to
 /// `results/BENCH_<name>.json` by [`BenchReport::emit`].
@@ -45,7 +55,7 @@ impl BenchReport {
     /// The JSON serialization. Floats are formatted round-trip-exact via
     /// `{:?}`; non-finite values become `null`.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"bench\":");
+        let mut out = format!("{{\"schema\":{SCHEMA_VERSION},\"bench\":");
         push_json_string(&mut out, &self.name);
         out.push_str(",\"metrics\":{");
         let mut first = true;
@@ -89,6 +99,228 @@ impl BenchReport {
         let path = dir.join(format!("BENCH_{}.json", self.name));
         fs::write(&path, self.to_json())?;
         Ok(path)
+    }
+}
+
+/// A `BENCH_*.json` artifact read back: the header plus the metrics in
+/// file order (`None` where the bench wrote a non-finite value as `null`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedReport {
+    /// Artifact layout version (the `schema` header field).
+    pub schema: u64,
+    /// Bench name (the `bench` header field / artifact stem).
+    pub bench: String,
+    /// `(name, value)` metrics; `None` marks a `null` (non-finite) value.
+    pub metrics: Vec<(String, Option<f64>)>,
+}
+
+impl ParsedReport {
+    /// Parse one artifact. This is the hand-rolled inverse of
+    /// [`BenchReport::to_json`] (this crate sits below `vr-server`, so it
+    /// cannot borrow that crate's JSON parser without a dependency cycle):
+    /// a strict reader of the flat trajectory shape — a top-level object
+    /// with a numeric `schema`, a string `bench`, and a `metrics` object
+    /// of numbers or `null`s — tolerant of inter-token whitespace only.
+    ///
+    /// # Errors
+    ///
+    /// A `String` describing the first structural problem: non-object
+    /// input, missing/mistyped header fields, trailing bytes, or a metric
+    /// value that is neither a number nor `null`.
+    pub fn parse(text: &str) -> Result<ParsedReport, String> {
+        let mut p = Scanner::new(text);
+        p.expect('{')?;
+        let mut schema: Option<u64> = None;
+        let mut bench: Option<String> = None;
+        let mut metrics: Option<Vec<(String, Option<f64>)>> = None;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "schema" => {
+                    let raw = p.number()?.ok_or("`schema` must not be null")?;
+                    if !(raw.is_finite() && raw >= 0.0 && raw.fract() == 0.0) {
+                        return Err(format!(
+                            "`schema` must be a non-negative integer, got {raw}"
+                        ));
+                    }
+                    // A finite integral f64 in the artifact always fits u64
+                    // far below 2^53; the fallback is unreachable.
+                    schema = Some(if raw <= u64::MAX as f64 {
+                        raw as u64
+                    } else {
+                        u64::MAX
+                    });
+                }
+                "bench" => bench = Some(p.string()?),
+                "metrics" => {
+                    let mut list = Vec::new();
+                    p.expect('{')?;
+                    if p.peek() == Some('}') {
+                        p.expect('}')?;
+                    } else {
+                        loop {
+                            let name = p.string()?;
+                            p.expect(':')?;
+                            list.push((name, p.number()?));
+                            if p.peek() == Some(',') {
+                                p.expect(',')?;
+                            } else {
+                                p.expect('}')?;
+                                break;
+                            }
+                        }
+                    }
+                    metrics = Some(list);
+                }
+                other => return Err(format!("unknown trajectory field `{other}`")),
+            }
+            if p.peek() == Some(',') {
+                p.expect(',')?;
+            } else {
+                p.expect('}')?;
+                break;
+            }
+        }
+        p.end()?;
+        Ok(ParsedReport {
+            schema: schema.ok_or("artifact is missing the `schema` header")?,
+            bench: bench.ok_or("artifact is missing the `bench` header")?,
+            metrics: metrics.ok_or("artifact is missing the `metrics` object")?,
+        })
+    }
+}
+
+/// Parse and merge a set of trajectory artifacts into one list, enforcing
+/// the cross-file invariants a perf trail needs: every artifact carries
+/// the current [`SCHEMA_VERSION`] and no two artifacts claim the same
+/// bench name. CI runs this over every committed `results/BENCH_*.json`.
+///
+/// # Errors
+///
+/// The first parse failure, version mismatch, or duplicate bench name,
+/// described with enough context to name the offending artifact.
+pub fn merge_reports<'a, I>(texts: I) -> Result<Vec<ParsedReport>, String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut merged: Vec<ParsedReport> = Vec::new();
+    for (i, text) in texts.into_iter().enumerate() {
+        let report = ParsedReport::parse(text).map_err(|e| format!("artifact {i}: {e}"))?;
+        if report.schema != SCHEMA_VERSION {
+            return Err(format!(
+                "artifact {i} (`{}`) has schema {}, this tree writes {SCHEMA_VERSION}",
+                report.bench, report.schema
+            ));
+        }
+        if merged.iter().any(|r| r.bench == report.bench) {
+            return Err(format!(
+                "duplicate bench name `{}` in the trajectory",
+                report.bench
+            ));
+        }
+        merged.push(report);
+    }
+    Ok(merged)
+}
+
+/// Character scanner behind [`ParsedReport::parse`]: tracks a position,
+/// skips whitespace between tokens, and reads the three token kinds the
+/// trajectory format uses (strings, numbers/null, punctuation).
+struct Scanner<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { rest: text }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest.chars().next()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.rest.strip_prefix(c) {
+            Some(rest) => {
+                self.rest = rest;
+                Ok(())
+            }
+            None => Err(format!(
+                "expected `{c}` at `{}`",
+                &self.rest[..self.rest.len().min(20)]
+            )),
+        }
+    }
+
+    /// A JSON string literal; understands exactly the escapes
+    /// [`push_json_string`] writes.
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.rest = self.rest.get(i + 1..).unwrap_or("");
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let hex: String = (&mut chars).take(4).map(|(_, c)| c).collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape {other:?} in string")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    /// A JSON number, or `null` (how the writer spells a non-finite
+    /// value) as `None`.
+    fn number(&mut self) -> Result<Option<f64>, String> {
+        self.skip_ws();
+        if let Some(rest) = self.rest.strip_prefix("null") {
+            self.rest = rest;
+            return Ok(None);
+        }
+        let len = self
+            .rest
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(self.rest.len());
+        let (token, rest) = self.rest.split_at(len);
+        let value: f64 = token
+            .parse()
+            .map_err(|_| format!("bad number token `{token}`"))?;
+        self.rest = rest;
+        Ok(Some(value))
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "trailing bytes after the artifact: `{}`",
+                self.rest
+            ))
+        }
     }
 }
 
@@ -137,9 +369,75 @@ mod tests {
             .metric("degenerate", f64::INFINITY);
         assert_eq!(
             r.to_json(),
-            "{\"bench\":\"unit_test\",\"metrics\":{\"throughput_rps\":1234.5,\
+            "{\"schema\":1,\"bench\":\"unit_test\",\"metrics\":{\"throughput_rps\":1234.5,\
              \"p50_micros\":87.0,\"degenerate\":null}}"
         );
+    }
+
+    #[test]
+    fn written_artifacts_parse_back_exactly() {
+        let mut r = BenchReport::new("round_trip");
+        r.metric("a", 0.1 + 0.2)
+            .metric("b", -3.0)
+            .metric("deg", f64::NAN);
+        let parsed = ParsedReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed.schema, SCHEMA_VERSION);
+        assert_eq!(parsed.bench, "round_trip");
+        assert_eq!(
+            parsed.metrics,
+            vec![
+                ("a".to_string(), Some(0.30000000000000004)),
+                ("b".to_string(), Some(-3.0)),
+                ("deg".to_string(), None),
+            ]
+        );
+        // Whitespace between tokens is tolerated (hand-edited artifacts).
+        let spaced = "{ \"schema\" : 1 , \"bench\" : \"x\" , \"metrics\" : { } }";
+        assert_eq!(ParsedReport::parse(spaced).unwrap().metrics, vec![]);
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected_with_context() {
+        for (text, needle) in [
+            ("", "expected `{`"),
+            ("{\"bench\":\"x\",\"metrics\":{}}", "missing the `schema`"),
+            ("{\"schema\":1,\"metrics\":{}}", "missing the `bench`"),
+            ("{\"schema\":1,\"bench\":\"x\"}", "missing the `metrics`"),
+            ("{\"schema\":1.5,\"bench\":\"x\",\"metrics\":{}}", "integer"),
+            (
+                "{\"schema\":1,\"bench\":\"x\",\"metrics\":{\"m\":\"oops\"}}",
+                "bad number",
+            ),
+            (
+                "{\"schema\":1,\"bench\":\"x\",\"metrics\":{}}trailing",
+                "trailing bytes",
+            ),
+            (
+                "{\"schema\":1,\"bench\":\"x\",\"surprise\":1,\"metrics\":{}}",
+                "unknown trajectory field",
+            ),
+        ] {
+            let err = ParsedReport::parse(text).unwrap_err();
+            assert!(err.contains(needle), "`{text}`: `{err}` lacks `{needle}`");
+        }
+    }
+
+    #[test]
+    fn merge_enforces_schema_and_unique_names() {
+        let a = BenchReport::new("alpha").to_json();
+        let mut with_metric = BenchReport::new("beta");
+        with_metric.metric("m", 1.0);
+        let b = with_metric.to_json();
+        let merged = merge_reports([a.as_str(), b.as_str()]).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[1].metrics.len(), 1);
+
+        let dup = merge_reports([a.as_str(), a.as_str()]).unwrap_err();
+        assert!(dup.contains("duplicate bench name `alpha`"), "{dup}");
+
+        let stale = "{\"schema\":0,\"bench\":\"old\",\"metrics\":{}}";
+        let err = merge_reports([stale]).unwrap_err();
+        assert!(err.contains("schema 0"), "{err}");
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! `tests/property_based.rs`:
 //!
 //! * [`Strategy`] with `prop_filter_map` / `prop_filter` / `prop_map`,
-//! * range strategies (`1.05f64..50.0`, `2u64..20_000`, ...) and tuples of
-//!   strategies,
+//! * range strategies (`1.05f64..50.0`, `2u64..20_000`, ...), tuples of
+//!   strategies, and `prop::collection::vec`,
 //! * the [`proptest!`] macro (with `#![proptest_config(...)]`) and
 //!   [`prop_assert!`] / [`prop_assert_eq!`],
 //! * [`ProptestConfig::with_cases`].
@@ -29,7 +29,38 @@ use rand::{RngExt, SampleRange, SeedableRng};
 
 /// Everything a property-test file needs, mirroring `proptest::prelude`.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Collection strategies, mirroring `proptest::collection` (reached as
+/// `prop::collection::…` through the prelude).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// Strategy produced by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of `size` elements, each drawn from `element` (uniform
+    /// length over the half-open range, like the range strategies).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
 }
 
 /// Per-`proptest!` block configuration.

@@ -67,12 +67,16 @@
 //! ```
 
 pub mod planner;
+pub mod spend;
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 pub use planner::{PlanCertificate, SweepAxis, DEFAULT_N_HI_HINT, MAX_PLANNER_POPULATION};
+pub use spend::{
+    affordable_rounds, composed_epsilon_over, Affordability, RoundSpend, SpendKey, SpendTerm,
+};
 
 use crate::accountant::{Accountant, DeltaEvaluator, NumericalBound, ScanMode, SearchOptions};
 use crate::analytic::AnalyticBound;
@@ -580,9 +584,11 @@ pub struct AnalysisReport {
     pub bound: String,
     /// Validity domain advertised by the answering bound.
     pub validity: Validity,
-    /// Whether this query touched the evaluator cache **and** every
-    /// lookup was warm (`false` for cold lookups and for queries — closed
-    /// forms, Rényi composition — that use no cached evaluator at all).
+    /// Whether this query touched the engine's memoized state **and**
+    /// every lookup was warm: the evaluator cache for numerical targets,
+    /// the per-round spend cache ([`spend`]) for composed targets
+    /// (`false` for cold lookups and for closed forms, which use no
+    /// cached state at all).
     pub cache_hit: bool,
     /// Search certificate of an inverse ([`planner`]) query: the candidate
     /// pair actually evaluated on each side of the feasibility threshold,
@@ -734,6 +740,15 @@ pub struct AnalysisEngine {
     /// same workload at a nearby `n` (the planner's probe path). Values are
     /// `(n, (lo, hi))`; the lookup mean-shifts the window to the new `n`.
     support_hints: RwLock<HashMap<WorkloadKey, SupportHint>>,
+    /// Memoized per-round Rényi spend vectors, one per `(p, β, q, n)`
+    /// workload — the continual-accounting seam ([`spend`]): composed
+    /// queries and budget-ledger charges price rounds from this shared
+    /// state instead of re-deriving the order grid per call. Like the
+    /// evaluator cache, each slot admits exactly one builder: a cold grid
+    /// evaluation is O(√n·√n) terms per order, so a connection-sharded
+    /// daemon flooding one cold workload must wait on the first pricing,
+    /// not duplicate it per connection.
+    spends: RwLock<HashMap<spend::SpendKey, Arc<SpendSlot>>>,
     /// Inverted flag so `derive(Default)` yields warm-starting **on**; see
     /// [`AnalysisEngine::set_warm_start`].
     warm_start_disabled: std::sync::atomic::AtomicBool,
@@ -757,6 +772,11 @@ pub struct AnalysisEngine {
 const MAX_CACHED_EVALUATORS: usize = 4096;
 /// See [`MAX_CACHED_EVALUATORS`].
 const MAX_CACHED_TABLE_ENTRIES: usize = 1 << 26;
+/// Bound on the per-round spend-vector cache ([`AnalysisEngine::round_spend`]):
+/// entries are ~200 bytes, so this is generous; crossing it clears the map
+/// (spends rebuild on demand — a lost entry costs one grid evaluation,
+/// never correctness).
+const MAX_CACHED_SPENDS: usize = 1 << 16;
 
 /// One evaluator-cache slot: the build-once cell plus the slot's
 /// second-chance hit counter. Warm lookups bump the counter; an eviction
@@ -766,6 +786,18 @@ const MAX_CACHED_TABLE_ENTRIES: usize = 1 << 26;
 struct CacheSlot {
     cell: OnceLock<Arc<DeltaEvaluator>>,
     hits: std::sync::atomic::AtomicU64,
+}
+
+/// One spend-cache slot ([`AnalysisEngine::round_spend`]): the build lock
+/// holds `None` until the first caller finishes pricing the workload's
+/// order grid. Concurrent cold callers for the same key block on the slot
+/// (not the map), so exactly one pays the grid evaluation; a failed build
+/// leaves the slot empty and the next caller retries. Mirrors
+/// [`CacheSlot`]'s single-builder contract with a `Mutex` instead of a
+/// [`OnceLock`] because construction is fallible.
+#[derive(Debug, Default)]
+struct SpendSlot {
+    built: Mutex<Option<Arc<spend::RoundSpend>>>,
 }
 
 /// Per-query tally of evaluator-cache lookups, aggregated into
@@ -835,6 +867,72 @@ impl AnalysisEngine {
         cache.clear();
         self.cached_entries
             .store(0, std::sync::atomic::Ordering::Relaxed);
+        drop(cache);
+        self.spends
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Number of distinct `(params, n)` workloads whose per-round Rényi
+    /// spend vector is currently memoized (see [`spend`]); in-flight
+    /// builds are not counted until they finish.
+    pub fn cached_spends(&self) -> usize {
+        self.spends
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .filter(|slot| {
+                slot.built
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .is_some()
+            })
+            .count()
+    }
+
+    /// The memoized per-round Rényi spend vector for a workload — the
+    /// continual-accounting seam shared by [`QueryTarget::Composed`]
+    /// execution and budget-ledger charges. Returns the shared spend and
+    /// whether it was already cached. Memoization cannot change answers:
+    /// [`renyi_divergence`](crate::renyi::renyi_divergence) is
+    /// deterministic, so a cached vector is bit-identical to a rebuilt one.
+    pub fn round_spend(
+        &self,
+        vr: VariationRatio,
+        n: u64,
+    ) -> Result<(Arc<spend::RoundSpend>, bool)> {
+        let key = spend::SpendKey::new(&vr, n);
+        let slot = {
+            let spends = self.spends.read().unwrap_or_else(PoisonError::into_inner);
+            spends.get(&key).map(Arc::clone)
+        };
+        let slot = match slot {
+            Some(slot) => slot,
+            None => {
+                let mut spends = self.spends.write().unwrap_or_else(PoisonError::into_inner);
+                // Spend vectors are tiny (one f64 per Rényi order), but a
+                // daemon fed adversarial workloads must still stay bounded:
+                // past the cap, start over — spends rebuild on demand,
+                // losing them costs one grid evaluation, never correctness.
+                if spends.len() >= MAX_CACHED_SPENDS && !spends.contains_key(&key) {
+                    spends.clear();
+                }
+                Arc::clone(spends.entry(key).or_default())
+            }
+        };
+        // Exactly one caller pays the grid evaluation; concurrent cold
+        // callers for the same key wait on the slot lock instead of
+        // duplicating the work. A build error leaves the slot empty, so a
+        // later (possibly corrected) caller retries rather than caching
+        // the failure.
+        let mut built = slot.built.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(s) = &*built {
+            return Ok((Arc::clone(s), true));
+        }
+        let s = Arc::new(spend::RoundSpend::new(vr, n)?);
+        *built = Some(Arc::clone(&s));
+        Ok((s, false))
     }
 
     /// Second-chance eviction sweep, run when the cache crosses
@@ -1098,13 +1196,19 @@ impl AnalysisEngine {
                     )))
                 }
             }
-            let bound = RenyiBound::new(query.vr, query.n, rounds)?;
-            let v = bound.epsilon(delta)?;
+            // Served through the continual-accounting seam: the per-round
+            // spend vector is memoized engine-wide ([`spend`]), and
+            // [`spend::RoundSpend::epsilon`] reproduces
+            // `RenyiBound::new(vr, n, rounds)?.epsilon(delta)` bit for bit
+            // — budget-ledger charges and forward composed queries share
+            // this one state.
+            let (round_spend, warm) = self.round_spend(query.vr, query.n)?;
+            let v = round_spend.epsilon(rounds, delta);
             return Ok((
                 QueryValue::Scalar(v),
                 names::RENYI.to_string(),
-                bound.validity(),
-                false,
+                round_spend.validity(),
+                warm,
                 None,
             ));
         }

@@ -1,0 +1,127 @@
+//! The ledger's CSV row schema — the bulk import/export wire currency.
+//!
+//! Two layouts are accepted, distinguished by field count:
+//!
+//! | layout | fields | source |
+//! |---|---|---|
+//! | worst-case LDP | `user,eps0,n,rounds` | [`VariationRatio::ldp_worst_case`] |
+//! | explicit | `user,p,beta,q,n,rounds` | [`VariationRatio::new`] |
+//!
+//! Export always emits the explicit layout with Rust's shortest
+//! round-trip-exact float formatting (`{:?}`), so `parse_row(format_row(…))`
+//! reconstructs the identical workload — every `remaining` answer of a
+//! restored ledger matches the original bit for bit. Fields are strict:
+//! no whitespace, no quoting, no empty fields (user ids and counts are
+//! plain decimal `u64`/`u32`, floats are anything `f64::from_str` accepts,
+//! `inf` included for multi-message workloads).
+
+use vr_core::error::{Error, Result};
+use vr_core::params::VariationRatio;
+
+/// Format one `(user, workload, rounds)` record as an explicit-layout row.
+pub fn format_row(user: u64, vr: &VariationRatio, n: u64, rounds: u32) -> String {
+    format!(
+        "{user},{:?},{:?},{:?},{n},{rounds}",
+        vr.p(),
+        vr.beta(),
+        vr.q()
+    )
+}
+
+/// Parse one row in either accepted layout.
+///
+/// # Errors
+///
+/// Rejects field counts other than 4 or 6, malformed numbers, and
+/// workload parameters [`VariationRatio`] itself rejects.
+pub fn parse_row(row: &str) -> Result<(u64, VariationRatio, u64, u32)> {
+    let fields: Vec<&str> = row.split(',').collect();
+    let parse_u64 = |field: Option<&&str>, what: &str| -> Result<u64> {
+        field
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| Error::InvalidParameter(format!("bad {what} in ledger row `{row}`")))
+    };
+    let parse_u32 = |field: Option<&&str>, what: &str| -> Result<u32> {
+        field
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| Error::InvalidParameter(format!("bad {what} in ledger row `{row}`")))
+    };
+    let parse_f64 = |field: Option<&&str>, what: &str| -> Result<f64> {
+        field
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| Error::InvalidParameter(format!("bad {what} in ledger row `{row}`")))
+    };
+    match fields.len() {
+        4 => {
+            let user = parse_u64(fields.first(), "user id")?;
+            let eps0 = parse_f64(fields.get(1), "eps0")?;
+            let n = parse_u64(fields.get(2), "population n")?;
+            let rounds = parse_u32(fields.get(3), "round count")?;
+            Ok((user, VariationRatio::ldp_worst_case(eps0)?, n, rounds))
+        }
+        6 => {
+            let user = parse_u64(fields.first(), "user id")?;
+            let p = parse_f64(fields.get(1), "p")?;
+            let beta = parse_f64(fields.get(2), "beta")?;
+            let q = parse_f64(fields.get(3), "q")?;
+            let n = parse_u64(fields.get(4), "population n")?;
+            let rounds = parse_u32(fields.get(5), "round count")?;
+            Ok((user, VariationRatio::new(p, beta, q)?, n, rounds))
+        }
+        other => Err(Error::InvalidParameter(format!(
+            "ledger row must have 4 (user,eps0,n,rounds) or 6 (user,p,beta,q,n,rounds) \
+             fields, got {other}: `{row}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_layout_round_trips_exactly() {
+        let vr = VariationRatio::ldp_worst_case(1.37).unwrap();
+        let row = format_row(9, &vr, 123_456, 17);
+        let (user, parsed, n, rounds) = parse_row(&row).unwrap();
+        assert_eq!(user, 9);
+        assert_eq!(n, 123_456);
+        assert_eq!(rounds, 17);
+        assert_eq!(parsed.p().to_bits(), vr.p().to_bits());
+        assert_eq!(parsed.beta().to_bits(), vr.beta().to_bits());
+        assert_eq!(parsed.q().to_bits(), vr.q().to_bits());
+    }
+
+    #[test]
+    fn worst_case_layout_parses() {
+        let (user, vr, n, rounds) = parse_row("3,2.0,1000,5").unwrap();
+        assert_eq!((user, n, rounds), (3, 1000, 5));
+        let reference = VariationRatio::ldp_worst_case(2.0).unwrap();
+        assert_eq!(vr.p().to_bits(), reference.p().to_bits());
+    }
+
+    #[test]
+    fn multi_message_infinity_round_trips() {
+        let vr = VariationRatio::new(f64::INFINITY, 1.0, 4.0).unwrap();
+        let row = format_row(1, &vr, 500, 2);
+        let (_, parsed, _, _) = parse_row(&row).unwrap();
+        assert!(parsed.p().is_infinite());
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
+        for bad in [
+            "",
+            "1,2,3",
+            "1,1.0,1000,5,extra",
+            "x,1.0,1000,5",
+            "1,nope,1000,5",
+            "1,1.0,-4,5",
+            "1,1.0,1000,-5",
+            "1, 1.0,1000,5",         // embedded space: fields are strict
+            "1,1.0,1000,4294967296", // rounds past u32
+        ] {
+            assert!(parse_row(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+}

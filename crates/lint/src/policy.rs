@@ -28,6 +28,12 @@ pub enum Zone {
     /// `vr-ldp`, `vr-protocols`, the root facade: float-discipline +
     /// poison-discipline.
     Library,
+    /// `vr-ledger`: shared accounting state a hostile wire client reaches
+    /// through the daemon, holding certified spend totals. Full serving
+    /// contract — panic-freedom + float-discipline + poison-discipline +
+    /// cast-audit — plus determinism, because charge receipts and
+    /// `remaining` answers must be bit-replayable.
+    Ledger,
 }
 
 impl Zone {
@@ -39,6 +45,7 @@ impl Zone {
             Zone::CoreKernel => "core-kernel",
             Zone::CoreLib => "core-lib",
             Zone::Library => "library",
+            Zone::Ledger => "ledger",
         }
     }
 
@@ -66,6 +73,16 @@ impl Zone {
             ],
             Zone::CoreLib => &[FloatEq, LockUnwrap, Nondeterminism],
             Zone::Library => &[FloatEq, LockUnwrap],
+            Zone::Ledger => &[
+                UnwrapCall,
+                ExpectCall,
+                PanicMacro,
+                SliceIndex,
+                FloatEq,
+                LockUnwrap,
+                NarrowingCast,
+                Nondeterminism,
+            ],
         }
     }
 }
@@ -94,6 +111,9 @@ pub fn classify(rel: &str) -> Result<Zone, Skip> {
     }
     if rel.starts_with("crates/server/src/") {
         return Ok(Zone::ServerWire);
+    }
+    if rel.starts_with("crates/ledger/src/") {
+        return Ok(Zone::Ledger);
     }
     if rel.starts_with("crates/numerics/src/") {
         return Ok(Zone::Numerics);
@@ -262,6 +282,8 @@ mod tests {
         );
         assert_eq!(classify("crates/core/src/bound.rs"), Ok(Zone::CoreKernel));
         assert_eq!(classify("crates/core/src/renyi.rs"), Ok(Zone::CoreLib));
+        assert_eq!(classify("crates/ledger/src/lib.rs"), Ok(Zone::Ledger));
+        assert_eq!(classify("crates/ledger/src/csv.rs"), Ok(Zone::Ledger));
         assert_eq!(classify("crates/ldp/src/grr.rs"), Ok(Zone::Library));
         assert_eq!(classify("src/lib.rs"), Ok(Zone::Library));
         assert_eq!(classify("tests/planner.rs"), Err(Skip::TestSurface));

@@ -28,6 +28,13 @@
 //! use plain multiply/add Horner steps and the nearest-integer split uses
 //! the classic add-a-big-constant trick, keeping the whole dependency graph
 //! in instructions every x86-64 target can vectorize.
+//!
+//! On the baseline target the cost model still refuses to vectorize some
+//! of these loops (SSE2 lacks the cheap shuffles the reduction wants);
+//! building with the host's full ISA unlocks them — see the opt-in
+//! `native` profile in the workspace `Cargo.toml` and README "Native
+//! builds" (`RUSTFLAGS="-C target-cpu=native" cargo build --profile
+//! native`, compile-checked in CI).
 
 /// `ln(1 + u)` for `|u| ≤ 0.125`, within a few ulp of [`f64::ln_1p`].
 ///

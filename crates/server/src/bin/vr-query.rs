@@ -9,6 +9,12 @@
 //!          --delta 1e-8 --n 100000
 //! vr-query --addr HOST:PORT --op sweep --axis n --grid 1000,10000,100000 \
 //!          --target epsilon --eps0 1.0 --delta 1e-8
+//! vr-query --addr HOST:PORT --op charge --user 7 --eps0 1.0 --n 100000 --rounds 3
+//! vr-query --addr HOST:PORT --op remaining --user 7 --eps 2.0 --delta 1e-8
+//! vr-query --addr HOST:PORT --op affordable_rounds --user 7 --eps0 1.0 \
+//!          --n 100000 --eps 2.0 --delta 1e-8 --cap 4096
+//! vr-query --addr HOST:PORT --op ledger_import --rows '7,1.0,100000,2;8,0.5,50000,1'
+//! vr-query --addr HOST:PORT --op ledger_export --users 7,8
 //! vr-query --addr HOST:PORT --json '{"op":"stats"}'
 //! vr-query --addr HOST:PORT --stats
 //! vr-query --addr HOST:PORT --shutdown
@@ -40,9 +46,11 @@ fn usage() -> ! {
          vr-query --addr HOST:PORT --stats | --shutdown\n\
          \n\
          ops: delta | epsilon | curve | composed | min_n | max_eps0 | sweep | stats | shutdown\n\
+         ledger ops: charge | remaining | affordable_rounds | ledger_import | ledger_export\n\
          source: --eps0 E (worst-case LDP)  or  --p P --beta B --q Q [--eps0 E]\n\
          fields: --n N  --eps X  --delta X  --eps-max X  --points K  --rounds R  --n-hi N\n\
          sweep:  --axis n|eps0  --grid V1,V2,...  --target OP\n\
+         ledger: --user ID  --cap R  --rows 'ROW;ROW;...' (ledger CSV)  --users ID1,ID2,...\n\
          selection: --bound NAME | --bound best-of (default: registry portfolio)"
     );
     std::process::exit(2);
@@ -64,6 +72,8 @@ fn frame_from_flags(op: &str, fields: &HashMap<String, String>) -> Result<Json, 
         ("points", "points"),
         ("rounds", "rounds"),
         ("n-hi", "n_hi"),
+        ("user", "user"),
+        ("cap", "cap"),
     ] {
         if let Some(text) = fields.get(flag) {
             if flag == "p" && text == "inf" {
@@ -92,6 +102,29 @@ fn frame_from_flags(op: &str, fields: &HashMap<String, String>) -> Result<Json, 
     }
     if let Some(target) = fields.get("target") {
         members.push(("target".to_string(), Json::Str(target.clone())));
+    }
+    if let Some(rows) = fields.get("rows") {
+        // Ledger CSV rows use commas internally, so the shell flag packs
+        // them with semicolons.
+        let values = rows
+            .split(';')
+            .map(str::trim)
+            .filter(|row| !row.is_empty())
+            .map(|row| Json::Str(row.to_string()))
+            .collect();
+        members.push(("rows".to_string(), Json::Arr(values)));
+    }
+    if let Some(users) = fields.get("users") {
+        let values = users
+            .split(',')
+            .map(|item| {
+                item.trim()
+                    .parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| format!("--users expects comma-separated user ids, got `{item}`"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        members.push(("users".to_string(), Json::Arr(values)));
     }
     if let Some(bound) = fields.get("bound") {
         members.push(("bound".to_string(), Json::Str(bound.clone())));

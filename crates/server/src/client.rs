@@ -18,10 +18,12 @@ use std::time::Duration;
 
 use crate::json::Json;
 use crate::protocol::{
-    BatchItem, Command, Reply, ReplyBody, ReplyMeta, Request, StatsSnapshot, SweepOutcome,
-    WireError,
+    BatchItem, Command, LedgerOp, Reply, ReplyBody, ReplyMeta, Request, StatsSnapshot,
+    SweepOutcome, WireError, DEFAULT_AFFORD_CAP,
 };
 use vr_core::engine::{AmplificationQuery, PlanCertificate, SweepAxis};
+use vr_core::params::VariationRatio;
+use vr_ledger::{AffordabilityReport, BudgetStatus, ChargeReceipt, ImportReceipt};
 
 /// A failure while talking to the daemon.
 #[derive(Debug)]
@@ -370,6 +372,172 @@ impl Client {
                 "expected a sweep reply, got {other:?}"
             ))),
             Err(e) => Err(ClientError::Wire(e)),
+        }
+    }
+
+    /// Write one arbitrary command frame **without waiting for the reply**
+    /// — the generic send half of pipelining (ledger ops included).
+    /// Collect the reply later with [`Client::recv_reply`], in send order.
+    pub fn send_command(&mut self, command: Command) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        let request = Request {
+            id: Some(id.clone()),
+            command,
+        };
+        let mut line = request.to_json().to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(id)
+    }
+
+    /// Write **every** command frame in one burst (a single `write`
+    /// syscall) without reading any reply — [`Client::send_burst`]
+    /// generalized to arbitrary commands. Collect the replies with
+    /// [`Client::recv_reply`] in the returned id order.
+    pub fn send_command_burst(&mut self, commands: Vec<Command>) -> Result<Vec<Json>, ClientError> {
+        let mut burst = String::new();
+        let mut ids = Vec::with_capacity(commands.len());
+        for command in commands {
+            let id = self.fresh_id();
+            let request = Request {
+                id: Some(id.clone()),
+                command,
+            };
+            burst.push_str(&request.to_json().to_string());
+            burst.push('\n');
+            ids.push(id);
+        }
+        self.writer.write_all(burst.as_bytes())?;
+        self.writer.flush()?;
+        Ok(ids)
+    }
+
+    /// Read the next reply frame, check that it answers `id`, and return
+    /// its body — the generic receive half of pipelining. Wire-level
+    /// failures surface as [`ClientError::Wire`]; the connection stays
+    /// usable and later replies stay readable in order.
+    pub fn recv_reply(&mut self, id: &Json) -> Result<ReplyBody, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let frame = Json::parse(line.trim())
+            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))?;
+        let reply = Reply::from_json(&frame)
+            .map_err(|e| ClientError::Protocol(format!("bad reply frame: {e}")))?;
+        if reply.id.as_ref() != Some(id) {
+            return Err(ClientError::Protocol(format!(
+                "reply out of order: expected id {id}, got {:?}",
+                reply.id
+            )));
+        }
+        reply.outcome.map_err(ClientError::Wire)
+    }
+
+    /// Charge `rounds` rounds of the `(vr, n)` workload to `user`'s
+    /// account on the daemon's shared ledger (`{"op":"charge"}`).
+    pub fn charge(
+        &mut self,
+        user: u64,
+        vr: &VariationRatio,
+        n: u64,
+        rounds: u32,
+    ) -> Result<ChargeReceipt, ClientError> {
+        let id = self.send_command(Command::Ledger(LedgerOp::Charge {
+            user,
+            vr: *vr,
+            n,
+            rounds,
+        }))?;
+        self.writer.flush()?;
+        match self.recv_reply(&id)? {
+            ReplyBody::Charge(receipt) => Ok(receipt),
+            other => Err(ClientError::Protocol(format!(
+                "expected a charge receipt, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask how much of a `(eps, delta)` budget `user` has left
+    /// (`{"op":"remaining"}`). The daemon composes the account's recorded
+    /// spends through the same seam as a forward `composed` query, so the
+    /// answer is bit-identical to recomputing from scratch.
+    pub fn remaining(
+        &mut self,
+        user: u64,
+        eps: f64,
+        delta: f64,
+    ) -> Result<BudgetStatus, ClientError> {
+        let id = self.send_command(Command::Ledger(LedgerOp::Remaining { user, eps, delta }))?;
+        self.writer.flush()?;
+        match self.recv_reply(&id)? {
+            ReplyBody::Budget(status) => Ok(status),
+            other => Err(ClientError::Protocol(format!(
+                "expected a budget status, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask how many further rounds of `(vr, n)` the `user` can afford
+    /// before exceeding `(eps, delta)` (`{"op":"affordable_rounds"}`),
+    /// searching up to `cap` rounds (`None` uses the daemon's default
+    /// cap). The answer carries the planner's bracketing certificate.
+    pub fn affordable_rounds(
+        &mut self,
+        user: u64,
+        vr: &VariationRatio,
+        n: u64,
+        eps: f64,
+        delta: f64,
+        cap: Option<u32>,
+    ) -> Result<AffordabilityReport, ClientError> {
+        let id = self.send_command(Command::Ledger(LedgerOp::AffordableRounds {
+            user,
+            vr: *vr,
+            n,
+            eps,
+            delta,
+            cap: cap.unwrap_or(DEFAULT_AFFORD_CAP),
+        }))?;
+        self.writer.flush()?;
+        match self.recv_reply(&id)? {
+            ReplyBody::Affordable(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected an affordability report, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Bulk-charge CSV rows (the [`vr_ledger`] row schema) in one
+    /// frame-atomic `{"op":"ledger_import"}`: either every row lands or
+    /// none does. Mind the daemon's 64 KiB line cap — chunk large loads
+    /// over several frames (pipelined via [`Client::send_command_burst`]).
+    pub fn ledger_import(&mut self, rows: Vec<String>) -> Result<ImportReceipt, ClientError> {
+        let id = self.send_command(Command::Ledger(LedgerOp::Import(rows)))?;
+        self.writer.flush()?;
+        match self.recv_reply(&id)? {
+            ReplyBody::Imported(receipt) => Ok(receipt),
+            other => Err(ClientError::Protocol(format!(
+                "expected an import receipt, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Export the named users' accounts as CSV rows
+    /// (`{"op":"ledger_export"}`) — round-trip-exact: importing the rows
+    /// into a fresh daemon reproduces every `remaining` answer bit for
+    /// bit.
+    pub fn ledger_export(&mut self, users: &[u64]) -> Result<Vec<String>, ClientError> {
+        let id = self.send_command(Command::Ledger(LedgerOp::Export(users.to_vec())))?;
+        self.writer.flush()?;
+        match self.recv_reply(&id)? {
+            ReplyBody::LedgerRows(rows) => Ok(rows),
+            other => Err(ClientError::Protocol(format!(
+                "expected ledger rows, got {other:?}"
+            ))),
         }
     }
 

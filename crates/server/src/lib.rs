@@ -20,9 +20,15 @@
 //!   the typed [`protocol::Request`]/[`protocol::Reply`] frames shared by
 //!   both ends, including the `{"op":"batch"}` frame that carries a whole
 //!   query array through one parse/reply cycle with per-item errors.
+//!   PR 9 added the **continual-accounting ops** — `charge`, `remaining`,
+//!   `affordable_rounds`, `ledger_import`, `ledger_export` — served
+//!   against one shared [`vr_ledger::BudgetLedger`] priced through the
+//!   same engine seam as forward `composed` queries (bit-identical
+//!   answers).
 //! * [`client`] — the blocking client library behind the `vr-query` binary
-//!   and the round-trip tests, with batch ([`Client::run_batch`]) and
-//!   pipelined ([`Client::run_pipelined`]) modes.
+//!   and the round-trip tests, with batch ([`Client::run_batch`]),
+//!   pipelined ([`Client::run_pipelined`]) and ledger
+//!   ([`Client::charge`], [`Client::remaining`], …) modes.
 //! * [`json`] — the hand-rolled JSON subset (the build environment has no
 //!   registry access), with round-trip-exact `f64` formatting: a value
 //!   served over the wire equals the in-process answer **bit for bit**.
@@ -63,7 +69,7 @@ pub mod server;
 pub use client::{Client, ClientError, ServedReport, ServedValue};
 pub use json::Json;
 pub use protocol::{
-    BatchItem, Command, ErrorKind, Reply, ReplyBody, Request, StatsSnapshot, SweepOutcome,
-    WireError,
+    BatchItem, BatchPayload, Command, ErrorKind, LedgerOp, Reply, ReplyBody, Request,
+    StatsSnapshot, SweepOutcome, WireError, DEFAULT_AFFORD_CAP,
 };
 pub use server::{Server, ServerConfig};

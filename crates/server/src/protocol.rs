@@ -8,7 +8,7 @@
 //!
 //! | Field | Type | Meaning |
 //! |---|---|---|
-//! | `op` | string | `"delta"`, `"epsilon"`, `"curve"`, `"composed"`, `"min_n"`, `"max_eps0"`, `"sweep"`, `"batch"`, `"stats"`, `"shutdown"` |
+//! | `op` | string | `"delta"`, `"epsilon"`, `"curve"`, `"composed"`, `"min_n"`, `"max_eps0"`, `"sweep"`, `"batch"`, `"charge"`, `"remaining"`, `"affordable_rounds"`, `"ledger_import"`, `"ledger_export"`, `"stats"`, `"shutdown"` |
 //! | `id` | string/number | optional; echoed verbatim in the reply |
 //! | `eps0` | number | worst-case `ε₀`-LDP source (alone), or the baseline budget (with `p`/`beta`/`q`); for `max_eps0` the search *ceiling* |
 //! | `p`, `beta`, `q` | number | explicit variation-ratio source (`p` may be the string `"inf"`; rejected for `max_eps0`) |
@@ -19,8 +19,18 @@
 //! | `rounds` | integer | `composed` op: adaptive shuffle rounds |
 //! | `n_hi` | integer | `min_n` op: optional bracketing hint (default 2²⁰) |
 //! | `axis`, `grid`, `target` | string, array, string | `sweep` op: `"n"`/`"eps0"`, the grid values, and the op fanned out per grid point |
-//! | `queries` | array | `batch` op: up to [`MAX_BATCH_QUERIES`] query frames (each with its own `op`/`id`/fields) served through one parse/reply cycle |
+//! | `queries` | array | `batch` op: up to [`MAX_BATCH_QUERIES`] query or scalar ledger frames (each with its own `op`/`id`/fields) served through one parse/reply cycle |
 //! | `bound` | string | registry bound name, `"best-of"`, or omitted for the default portfolio |
+//! | `user` | integer | `charge` / `remaining` / `affordable_rounds`: the ledger user id (`< 2⁵³` on the wire) |
+//! | `eps`, `delta` | number | `remaining` / `affordable_rounds`: the budget level probed against the user's composed spend |
+//! | `cap` | integer | `affordable_rounds`: search ceiling on additional rounds (default [`DEFAULT_AFFORD_CAP`]) |
+//! | `rows` | array of strings | `ledger_import`: CSV rows ([`vr_ledger::csv`]), applied frame-atomically |
+//! | `users` | array of integers | `ledger_export`: users whose entries to export as CSV rows |
+//!
+//! The ledger ops `charge` and `affordable_rounds` name their workload
+//! exactly like a query frame names its source: `eps0` (worst-case LDP) or
+//! explicit `p`/`beta`/`q`, plus the population `n`; `charge` adds the
+//! `rounds` count composed onto the user's entry.
 //!
 //! # Reply schema
 //!
@@ -35,19 +45,28 @@
 //! `"batch"` array of one full reply frame per submitted query, **in
 //! submission order**, each bit-identical to the frame the same query would
 //! get on its own (one bad query yields one error entry, never a dead
-//! batch); `stats` replies carry a `"stats"` object (including the
-//! `op_batch` and `pipelined_frames` counters the sharded daemon maintains)
-//! and `shutdown` acknowledges with `{"ok":true,"shutting_down":true}`.
+//! batch); ledger replies carry a `"charge"` object (`user`,
+//! `workload_rounds`, `total_rounds`, `workloads`), a `"budget"` object
+//! (`user`, `spent`, `remaining`, `rounds`, `workloads` — `spent` is
+//! bit-identical to the forward `composed` answer), an `"affordable"`
+//! object (`user`, `rounds`, `spent`, `saturated`, optional
+//! `certificate`), an `"imported"` object (`rows`), or a `"rows"` string
+//! array (`ledger_export`); `stats` replies carry a `"stats"` object
+//! (including the `op_batch` and `pipelined_frames` counters the sharded
+//! daemon maintains plus the per-ledger-op counters and `ledger_users` /
+//! `ledger_workloads` gauges) and `shutdown` acknowledges with
+//! `{"ok":true,"shutting_down":true}`.
 //! Failure: `{"id":…,"ok":false,"error":{"kind":…,"message":…}}` — and the
 //! connection stays open.
 
 use crate::json::Json;
 use vr_core::engine::{
-    AmplificationQuery, AnalysisReport, BoundSelection, PlanCertificate, QueryTarget, QueryValue,
-    SweepAxis, DEFAULT_N_HI_HINT,
+    Affordability, AmplificationQuery, AnalysisReport, BoundSelection, PlanCertificate,
+    QueryTarget, QueryValue, SweepAxis, DEFAULT_N_HI_HINT,
 };
 use vr_core::error::Error;
 use vr_core::params::VariationRatio;
+use vr_ledger::{AffordabilityReport, BudgetStatus, ChargeReceipt, ImportReceipt};
 
 /// Wire spelling of the `best-of` portfolio selection (distinct from every
 /// registry bound name).
@@ -62,6 +81,12 @@ pub const P_INFINITY: &str = "inf";
 /// keeps a degenerate frame of thousands of empty items from ballooning the
 /// reply.
 pub const MAX_BATCH_QUERIES: usize = 1024;
+
+/// Default `cap` of an `affordable_rounds` frame that omits the field: the
+/// certified search probes at most this many additional rounds. Wide enough
+/// for any realistic deployment schedule while keeping a hostile frame from
+/// driving the exponential bracket into astronomically priced probes.
+pub const DEFAULT_AFFORD_CAP: u32 = 1 << 20;
 
 /// Machine-readable error category of a wire error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +222,8 @@ pub enum Command {
     /// cycle. Items that failed to parse ride along as error entries so the
     /// reply stays positionally aligned with the request.
     Batch(Vec<BatchItem>),
+    /// Execute one operation against the daemon's shared budget ledger.
+    Ledger(LedgerOp),
     /// Report the daemon's aggregate counters.
     Stats,
     /// Begin a graceful shutdown (acknowledged before the daemon stops
@@ -204,8 +231,83 @@ pub enum Command {
     Shutdown,
 }
 
+/// One operation against the daemon's shared [`vr_ledger::BudgetLedger`].
+/// The scalar ops (`charge` / `remaining` / `affordable_rounds`) may also
+/// ride inside a `batch` frame, where they execute **in submission order**
+/// relative to each other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerOp {
+    /// Compose `rounds` more rounds of the workload onto the user's entry
+    /// (`{"op":"charge"}`).
+    Charge {
+        /// The charged user.
+        user: u64,
+        /// The charged workload.
+        vr: VariationRatio,
+        /// Population size of the charged workload.
+        n: u64,
+        /// Rounds composed by this charge (≥ 1).
+        rounds: u32,
+    },
+    /// Report the user's composed spend and headroom against `(eps, delta)`
+    /// (`{"op":"remaining"}`).
+    Remaining {
+        /// The queried user.
+        user: u64,
+        /// The budget level.
+        eps: f64,
+        /// The failure probability.
+        delta: f64,
+    },
+    /// Certified count of additional affordable rounds of the workload
+    /// (`{"op":"affordable_rounds"}`).
+    AffordableRounds {
+        /// The probed user (a cohort's representative).
+        user: u64,
+        /// The workload whose rounds are probed.
+        vr: VariationRatio,
+        /// Population size of the probed workload.
+        n: u64,
+        /// The budget level.
+        eps: f64,
+        /// The failure probability.
+        delta: f64,
+        /// Search ceiling on additional rounds.
+        cap: u32,
+    },
+    /// Frame-atomic bulk load of CSV rows (`{"op":"ledger_import"}`).
+    Import(Vec<String>),
+    /// Export the named users' entries as CSV rows
+    /// (`{"op":"ledger_export"}`).
+    Export(Vec<u64>),
+}
+
+impl LedgerOp {
+    /// The wire `op` spelling.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            LedgerOp::Charge { .. } => "charge",
+            LedgerOp::Remaining { .. } => "remaining",
+            LedgerOp::AffordableRounds { .. } => "affordable_rounds",
+            LedgerOp::Import(_) => "ledger_import",
+            LedgerOp::Export(_) => "ledger_export",
+        }
+    }
+}
+
+/// What one entry of a `batch` request asks for: an engine query (fanned
+/// out through the warm batch path) or a scalar ledger op (executed in
+/// submission order relative to other ledger items of the same frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchPayload {
+    /// An engine query.
+    Query(Box<AmplificationQuery>),
+    /// A scalar ledger op (`charge` / `remaining` / `affordable_rounds`).
+    Ledger(LedgerOp),
+}
+
 /// One entry of a `batch` request: the item's own correlation id (echoed in
-/// its entry of the batch reply) plus either the parsed query or the
+/// its entry of the batch reply) plus either the parsed payload or the
 /// structured parse error that will answer it — one bad item never fails
 /// its neighbours.
 #[derive(Debug, Clone, PartialEq)]
@@ -213,16 +315,24 @@ pub struct BatchItem {
     /// Per-item correlation id (string or number), echoed in the item's
     /// reply entry.
     pub id: Option<Json>,
-    /// The parsed query, or the error its reply entry will carry.
-    pub query: std::result::Result<Box<AmplificationQuery>, WireError>,
+    /// The parsed payload, or the error its reply entry will carry.
+    pub payload: std::result::Result<BatchPayload, WireError>,
 }
 
 impl BatchItem {
-    /// A well-formed item without a correlation id.
+    /// A well-formed query item without a correlation id.
     pub fn query(query: AmplificationQuery) -> Self {
         Self {
             id: None,
-            query: Ok(Box::new(query)),
+            payload: Ok(BatchPayload::Query(Box::new(query))),
+        }
+    }
+
+    /// A well-formed ledger item without a correlation id.
+    pub fn ledger(op: LedgerOp) -> Self {
+        Self {
+            id: None,
+            payload: Ok(BatchPayload::Ledger(op)),
         }
     }
 }
@@ -280,10 +390,14 @@ impl Request {
             }
             "sweep" => parse_sweep(frame)?,
             "batch" => parse_batch(frame)?,
+            "charge" | "remaining" | "affordable_rounds" | "ledger_import" | "ledger_export" => {
+                Command::Ledger(parse_ledger(frame, op)?)
+            }
             other => {
                 return Err(WireError::malformed(format!(
                     "unknown op `{other}` (expected delta/epsilon/curve/composed/min_n/\
-                     max_eps0/sweep/batch/stats/shutdown)"
+                     max_eps0/sweep/batch/charge/remaining/affordable_rounds/ledger_import/\
+                     ledger_export/stats/shutdown)"
                 )))
             }
         };
@@ -317,14 +431,19 @@ impl Request {
                 members.push(("op".into(), Json::Str("batch".into())));
                 let queries = items
                     .iter()
-                    .map(|item| match &item.query {
-                        Ok(q) => {
+                    .map(|item| match &item.payload {
+                        Ok(payload) => {
                             let mut fields: Vec<(String, Json)> = Vec::new();
                             if let Some(id) = &item.id {
                                 fields.push(("id".into(), id.clone()));
                             }
-                            fields.push(("op".into(), Json::Str(query_op(q).into())));
-                            push_query_fields(&mut fields, q);
+                            match payload {
+                                BatchPayload::Query(q) => {
+                                    fields.push(("op".into(), Json::Str(query_op(q).into())));
+                                    push_query_fields(&mut fields, q);
+                                }
+                                BatchPayload::Ledger(op) => push_ledger_fields(&mut fields, op),
+                            }
                             Json::Obj(fields)
                         }
                         // A parse-failed item has no faithful wire form left;
@@ -335,6 +454,7 @@ impl Request {
                     .collect();
                 members.push(("queries".into(), Json::Arr(queries)));
             }
+            Command::Ledger(op) => push_ledger_fields(&mut members, op),
         }
         Json::Obj(members)
     }
@@ -365,7 +485,7 @@ fn parse_batch(frame: &Json) -> Result<Command, WireError> {
 /// own error entry instead of failing the batch.
 fn parse_batch_item(item: &Json) -> BatchItem {
     let id = extract_id(item);
-    let query = (|| {
+    let payload = (|| {
         if !matches!(item, Json::Obj(_)) {
             return Err(WireError::malformed("batch item must be a JSON object"));
         }
@@ -375,14 +495,202 @@ fn parse_batch_item(item: &Json) -> BatchItem {
             .ok_or_else(|| WireError::malformed("batch item needs a string `op` field"))?;
         match op {
             "delta" | "epsilon" | "curve" | "composed" | "min_n" | "max_eps0" => {
-                parse_query(item, op).map(Box::new)
+                parse_query(item, op).map(|q| BatchPayload::Query(Box::new(q)))
+            }
+            "charge" | "remaining" | "affordable_rounds" => {
+                parse_ledger(item, op).map(BatchPayload::Ledger)
             }
             other => Err(WireError::malformed(format!(
-                "batch items must be query ops (got `{other}`)"
+                "batch items must be query ops or scalar ledger ops (got `{other}`)"
             ))),
         }
     })();
-    BatchItem { id, query }
+    BatchItem { id, payload }
+}
+
+/// Parse a workload source the way ledger ops name one: `eps0` (worst-case
+/// LDP) or explicit `p`/`beta`/`q` — the same spellings a query frame uses.
+fn parse_source(frame: &Json) -> Result<VariationRatio, WireError> {
+    if frame.get("p").is_some() {
+        let p = match frame.get("p") {
+            Some(Json::Str(s)) if s == P_INFINITY => f64::INFINITY,
+            Some(v) => v.as_f64().ok_or_else(|| {
+                WireError::malformed(format!("`p` must be a number or \"{P_INFINITY}\""))
+            })?,
+            None => {
+                // Guarded by the presence check above; report the impossible
+                // instead of panicking in a serving thread.
+                return Err(WireError::new(
+                    ErrorKind::Internal,
+                    "`p` vanished between the presence check and the read",
+                ));
+            }
+        };
+        let beta = field_f64(frame, "beta")?;
+        let q = field_f64(frame, "q")?;
+        VariationRatio::new(p, beta, q).map_err(WireError::from)
+    } else if frame.get("eps0").is_some() {
+        VariationRatio::ldp_worst_case(field_f64(frame, "eps0")?).map_err(WireError::from)
+    } else {
+        Err(WireError::malformed(
+            "ledger op needs a workload source: `eps0` (worst-case LDP) or explicit \
+             `p`/`beta`/`q`",
+        ))
+    }
+}
+
+/// Parse a ledger op frame (standalone or as a batch item).
+fn parse_ledger(frame: &Json, op: &str) -> Result<LedgerOp, WireError> {
+    match op {
+        "charge" => {
+            let user = field_u64(frame, "user")?;
+            let vr = parse_source(frame)?;
+            let n = field_u64(frame, "n")?;
+            let rounds = u32::try_from(field_u64(frame, "rounds")?)
+                .map_err(|_| WireError::malformed("`rounds` is out of range"))?;
+            Ok(LedgerOp::Charge {
+                user,
+                vr,
+                n,
+                rounds,
+            })
+        }
+        "remaining" => Ok(LedgerOp::Remaining {
+            user: field_u64(frame, "user")?,
+            eps: field_f64(frame, "eps")?,
+            delta: field_f64(frame, "delta")?,
+        }),
+        "affordable_rounds" => {
+            let user = field_u64(frame, "user")?;
+            let vr = parse_source(frame)?;
+            let n = field_u64(frame, "n")?;
+            let eps = field_f64(frame, "eps")?;
+            let delta = field_f64(frame, "delta")?;
+            let cap = match frame.get("cap") {
+                None => DEFAULT_AFFORD_CAP,
+                Some(v) => v
+                    .as_u64()
+                    .and_then(|x| u32::try_from(x).ok())
+                    .ok_or_else(|| WireError::malformed("`cap` is out of range"))?,
+            };
+            Ok(LedgerOp::AffordableRounds {
+                user,
+                vr,
+                n,
+                eps,
+                delta,
+                cap,
+            })
+        }
+        "ledger_import" => {
+            let rows = frame
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError::malformed("ledger_import needs a `rows` array"))?;
+            if rows.is_empty() {
+                return Err(WireError::malformed(
+                    "ledger_import `rows` must be non-empty",
+                ));
+            }
+            let rows = rows
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| WireError::malformed("`rows` entries must be CSV strings"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(LedgerOp::Import(rows))
+        }
+        "ledger_export" => {
+            let users = frame
+                .get("users")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError::malformed("ledger_export needs a `users` array"))?;
+            if users.is_empty() {
+                return Err(WireError::malformed(
+                    "ledger_export `users` must be non-empty",
+                ));
+            }
+            let users = users
+                .iter()
+                .map(|v| {
+                    v.as_u64().ok_or_else(|| {
+                        WireError::malformed("`users` entries must be non-negative integers")
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(LedgerOp::Export(users))
+        }
+        other => Err(WireError::new(
+            ErrorKind::Internal,
+            format!("op `{other}` has no ledger handler despite passing dispatch"),
+        )),
+    }
+}
+
+/// Serialize a workload source as explicit `p`/`beta`/`q` (round-trip-exact:
+/// [`VariationRatio::new`] stores the fields verbatim, so re-parsing
+/// reconstructs the identical workload whatever constructor built it).
+fn push_source(members: &mut Vec<(String, Json)>, vr: &VariationRatio) {
+    if vr.p().is_finite() {
+        members.push(("p".into(), Json::Num(vr.p())));
+    } else {
+        members.push(("p".into(), Json::Str(P_INFINITY.into())));
+    }
+    members.push(("beta".into(), Json::Num(vr.beta())));
+    members.push(("q".into(), Json::Num(vr.q())));
+}
+
+/// Serialize a ledger op's `op` key and fields (shared by standalone frames
+/// and batch items).
+fn push_ledger_fields(members: &mut Vec<(String, Json)>, op: &LedgerOp) {
+    members.push(("op".into(), Json::Str(op.op_name().into())));
+    match op {
+        LedgerOp::Charge {
+            user,
+            vr,
+            n,
+            rounds,
+        } => {
+            members.push(("user".into(), json_count(*user)));
+            push_source(members, vr);
+            members.push(("n".into(), json_count(*n)));
+            members.push(("rounds".into(), json_count(u64::from(*rounds))));
+        }
+        LedgerOp::Remaining { user, eps, delta } => {
+            members.push(("user".into(), json_count(*user)));
+            members.push(("eps".into(), Json::Num(*eps)));
+            members.push(("delta".into(), Json::Num(*delta)));
+        }
+        LedgerOp::AffordableRounds {
+            user,
+            vr,
+            n,
+            eps,
+            delta,
+            cap,
+        } => {
+            members.push(("user".into(), json_count(*user)));
+            push_source(members, vr);
+            members.push(("n".into(), json_count(*n)));
+            members.push(("eps".into(), Json::Num(*eps)));
+            members.push(("delta".into(), Json::Num(*delta)));
+            members.push(("cap".into(), json_count(u64::from(*cap))));
+        }
+        LedgerOp::Import(rows) => {
+            members.push((
+                "rows".into(),
+                Json::Arr(rows.iter().map(|r| Json::Str(r.clone())).collect()),
+            ));
+        }
+        LedgerOp::Export(users) => {
+            members.push((
+                "users".into(),
+                Json::Arr(users.iter().map(|&u| json_count(u)).collect()),
+            ));
+        }
+    }
 }
 
 /// The wire op of a query's target.
@@ -693,6 +1001,17 @@ pub struct StatsSnapshot {
     pub op_batch: u64,
     /// `stats` requests served.
     pub op_stats: u64,
+    /// `charge` ledger ops served or attempted (batch items included).
+    pub op_charge: u64,
+    /// `remaining` ledger ops served or attempted (batch items included).
+    pub op_remaining: u64,
+    /// `affordable_rounds` ledger ops served or attempted (batch items
+    /// included).
+    pub op_affordable: u64,
+    /// `ledger_import` frames served or attempted.
+    pub op_ledger_import: u64,
+    /// `ledger_export` frames served or attempted.
+    pub op_ledger_export: u64,
     /// Frames that arrived already queued behind another frame of the same
     /// connection read (i.e. every frame of a burst beyond its first) — the
     /// observable signal that clients are pipelining.
@@ -705,10 +1024,14 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     /// Distinct workloads memoized in the engine's evaluator cache.
     pub cached_evaluators: u64,
+    /// Users currently holding at least one charged round in the ledger.
+    pub ledger_users: u64,
+    /// Distinct workloads priced by the ledger so far.
+    pub ledger_workloads: u64,
 }
 
 impl StatsSnapshot {
-    const FIELDS: [&'static str; 20] = [
+    const FIELDS: [&'static str; 27] = [
         "connections",
         "requests",
         "ok",
@@ -724,14 +1047,21 @@ impl StatsSnapshot {
         "op_sweep",
         "op_batch",
         "op_stats",
+        "op_charge",
+        "op_remaining",
+        "op_affordable",
+        "op_ledger_import",
+        "op_ledger_export",
         "pipelined_frames",
         "uptime_micros",
         "workers",
         "queue_depth",
         "cached_evaluators",
+        "ledger_users",
+        "ledger_workloads",
     ];
 
-    fn values(&self) -> [u64; 20] {
+    fn values(&self) -> [u64; 27] {
         [
             self.connections,
             self.requests,
@@ -748,11 +1078,18 @@ impl StatsSnapshot {
             self.op_sweep,
             self.op_batch,
             self.op_stats,
+            self.op_charge,
+            self.op_remaining,
+            self.op_affordable,
+            self.op_ledger_import,
+            self.op_ledger_export,
             self.pipelined_frames,
             self.uptime_micros,
             self.workers,
             self.queue_depth,
             self.cached_evaluators,
+            self.ledger_users,
+            self.ledger_workloads,
         ]
     }
 
@@ -768,7 +1105,7 @@ impl StatsSnapshot {
 
     fn from_json(v: &Json) -> Option<Self> {
         let mut out = Self::default();
-        let slots: [&mut u64; 20] = [
+        let slots: [&mut u64; 27] = [
             &mut out.connections,
             &mut out.requests,
             &mut out.ok,
@@ -784,11 +1121,18 @@ impl StatsSnapshot {
             &mut out.op_sweep,
             &mut out.op_batch,
             &mut out.op_stats,
+            &mut out.op_charge,
+            &mut out.op_remaining,
+            &mut out.op_affordable,
+            &mut out.op_ledger_import,
+            &mut out.op_ledger_export,
             &mut out.pipelined_frames,
             &mut out.uptime_micros,
             &mut out.workers,
             &mut out.queue_depth,
             &mut out.cached_evaluators,
+            &mut out.ledger_users,
+            &mut out.ledger_workloads,
         ];
         for (key, slot) in Self::FIELDS.iter().zip(slots) {
             *slot = v.get(key)?.as_u64()?;
@@ -864,6 +1208,16 @@ pub enum ReplyBody {
     /// item's standalone frame would be (bit-identical values, same
     /// per-item errors).
     Batch(Vec<Reply>),
+    /// A charge receipt (`charge` op).
+    Charge(ChargeReceipt),
+    /// A budget position (`remaining` op).
+    Budget(BudgetStatus),
+    /// A certified affordability report (`affordable_rounds` op).
+    Affordable(AffordabilityReport),
+    /// Exported CSV rows (`ledger_export` op).
+    LedgerRows(Vec<String>),
+    /// A bulk-import receipt (`ledger_import` op).
+    Imported(ImportReceipt),
     /// Daemon counters (`stats` op).
     Stats(StatsSnapshot),
     /// Shutdown acknowledgement.
@@ -1021,6 +1375,57 @@ impl Reply {
                             Json::Arr(replies.iter().map(Reply::to_json).collect()),
                         ));
                     }
+                    ReplyBody::Charge(receipt) => {
+                        members.push((
+                            "charge".into(),
+                            Json::obj(vec![
+                                ("user", json_count(receipt.user)),
+                                (
+                                    "workload_rounds",
+                                    json_count(u64::from(receipt.workload_rounds)),
+                                ),
+                                ("total_rounds", json_count(receipt.total_rounds)),
+                                ("workloads", json_count(receipt.workloads)),
+                            ]),
+                        ));
+                    }
+                    ReplyBody::Budget(status) => {
+                        members.push((
+                            "budget".into(),
+                            Json::obj(vec![
+                                ("user", json_count(status.user)),
+                                ("spent", Json::Num(status.spent)),
+                                ("remaining", Json::Num(status.remaining)),
+                                ("rounds", json_count(status.rounds)),
+                                ("workloads", json_count(status.workloads)),
+                            ]),
+                        ));
+                    }
+                    ReplyBody::Affordable(report) => {
+                        let a = &report.affordability;
+                        let mut fields = vec![
+                            ("user", json_count(report.user)),
+                            ("rounds", json_count(u64::from(a.rounds))),
+                            ("spent", Json::Num(a.spent)),
+                            ("saturated", Json::Bool(a.saturated)),
+                        ];
+                        if let Some(cert) = &a.certificate {
+                            fields.push(("certificate", cert_to_json(cert)));
+                        }
+                        members.push(("affordable".into(), Json::obj(fields)));
+                    }
+                    ReplyBody::LedgerRows(rows) => {
+                        members.push((
+                            "rows".into(),
+                            Json::Arr(rows.iter().map(|r| Json::Str(r.clone())).collect()),
+                        ));
+                    }
+                    ReplyBody::Imported(receipt) => {
+                        members.push((
+                            "imported".into(),
+                            Json::obj(vec![("rows", json_count(receipt.rows))]),
+                        ));
+                    }
                     ReplyBody::Stats(stats) => {
                         members.push(("stats".into(), stats.to_json()));
                     }
@@ -1088,6 +1493,78 @@ impl Reply {
                     .map(Reply::from_json)
                     .collect::<Result<Vec<_>, _>>()?,
             )
+        } else if let Some(charge) = frame.get("charge") {
+            let count = |k: &str| -> Result<u64, WireError> {
+                charge
+                    .get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| WireError::malformed(format!("charge reply missing `{k}`")))
+            };
+            ReplyBody::Charge(ChargeReceipt {
+                user: count("user")?,
+                workload_rounds: u32::try_from(count("workload_rounds")?)
+                    .map_err(|_| WireError::malformed("`workload_rounds` is out of range"))?,
+                total_rounds: count("total_rounds")?,
+                workloads: count("workloads")?,
+            })
+        } else if let Some(budget) = frame.get("budget") {
+            let count = |k: &str| -> Result<u64, WireError> {
+                budget
+                    .get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| WireError::malformed(format!("budget reply missing `{k}`")))
+            };
+            ReplyBody::Budget(BudgetStatus {
+                user: count("user")?,
+                spent: wire_f64(budget, "spent", f64::INFINITY)?,
+                remaining: wire_f64(budget, "remaining", f64::NEG_INFINITY)?,
+                rounds: count("rounds")?,
+                workloads: count("workloads")?,
+            })
+        } else if let Some(afford) = frame.get("affordable") {
+            let missing = |k: &str| WireError::malformed(format!("affordable reply missing `{k}`"));
+            ReplyBody::Affordable(AffordabilityReport {
+                user: afford
+                    .get("user")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| missing("user"))?,
+                affordability: Affordability {
+                    rounds: afford
+                        .get("rounds")
+                        .and_then(Json::as_u64)
+                        .and_then(|x| u32::try_from(x).ok())
+                        .ok_or_else(|| missing("rounds"))?,
+                    spent: wire_f64(afford, "spent", f64::INFINITY)?,
+                    saturated: afford
+                        .get("saturated")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| missing("saturated"))?,
+                    certificate: match afford.get("certificate") {
+                        None => None,
+                        Some(cert) => Some(cert_from_json(cert)?),
+                    },
+                },
+            })
+        } else if let Some(rows) = frame.get("rows") {
+            let rows = rows
+                .as_arr()
+                .ok_or_else(|| WireError::malformed("`rows` must be an array"))?;
+            ReplyBody::LedgerRows(
+                rows.iter()
+                    .map(|v| {
+                        v.as_str().map(str::to_string).ok_or_else(|| {
+                            WireError::malformed("`rows` entries must be CSV strings")
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        } else if let Some(imported) = frame.get("imported") {
+            ReplyBody::Imported(ImportReceipt {
+                rows: imported
+                    .get("rows")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| WireError::malformed("imported reply missing `rows`"))?,
+            })
         } else if let Some(stats) = frame.get("stats") {
             ReplyBody::Stats(
                 StatsSnapshot::from_json(stats)
@@ -1097,12 +1574,58 @@ impl Reply {
             ReplyBody::ShuttingDown
         } else {
             return Err(WireError::malformed(
-                "success reply needs `value`, `curve`, `sweep`, `batch`, `stats` or \
-                 `shutting_down`",
+                "success reply needs `value`, `curve`, `sweep`, `batch`, `charge`, `budget`, \
+                 `affordable`, `rows`, `imported`, `stats` or `shutting_down`",
             ));
         };
         Ok(Reply::ok(id, body))
     }
+}
+
+/// Read a required float field of a reply object, decoding the `null` that
+/// [`Json`] writes for non-finite values back to `non_finite` (the sign the
+/// field's domain implies: spends saturate to `+∞`, remainders to `-∞`).
+fn wire_f64(obj: &Json, key: &str, non_finite: f64) -> Result<f64, WireError> {
+    match obj.get(key) {
+        Some(Json::Null) => Ok(non_finite),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| WireError::malformed(format!("`{key}` must be a number or null"))),
+        None => Err(WireError::malformed(format!("reply missing `{key}`"))),
+    }
+}
+
+/// Wire form of a planner/affordability certificate.
+fn cert_to_json(cert: &PlanCertificate) -> Json {
+    Json::obj(vec![
+        ("failing", cert.failing.map_or(Json::Null, Json::Num)),
+        ("passing", Json::Num(cert.passing)),
+        ("evaluations", Json::Num(f64::from(cert.evaluations))),
+        ("cache_hits", Json::Num(f64::from(cert.cache_hits))),
+    ])
+}
+
+/// Parse a certificate object (shared by query meta and ledger replies).
+fn cert_from_json(cert: &Json) -> Result<PlanCertificate, WireError> {
+    let missing = |k: &str| WireError::malformed(format!("certificate missing `{k}`"));
+    let counter = |k: &str| -> Result<u32, WireError> {
+        cert.get(k)
+            .and_then(Json::as_u64)
+            .and_then(|x| u32::try_from(x).ok())
+            .ok_or_else(|| missing(k))
+    };
+    Ok(PlanCertificate {
+        failing: match cert.get("failing") {
+            Some(Json::Null) | None => None,
+            Some(v) => Some(v.as_f64().ok_or_else(|| missing("failing"))?),
+        },
+        passing: cert
+            .get("passing")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| missing("passing"))?,
+        evaluations: counter("evaluations")?,
+        cache_hits: counter("cache_hits")?,
+    })
 }
 
 /// Parse the `"sweep"` object of a sweep reply (parallel nullable arrays).
@@ -1187,15 +1710,7 @@ fn push_meta(members: &mut Vec<(String, Json)>, meta: &ReplyMeta) {
     members.push(("cache_hit".into(), Json::Bool(meta.cache_hit)));
     members.push(("wall_micros".into(), json_count(meta.wall_micros)));
     if let Some(cert) = &meta.certificate {
-        members.push((
-            "certificate".into(),
-            Json::obj(vec![
-                ("failing", cert.failing.map_or(Json::Null, Json::Num)),
-                ("passing", Json::Num(cert.passing)),
-                ("evaluations", Json::Num(f64::from(cert.evaluations))),
-                ("cache_hits", Json::Num(f64::from(cert.cache_hits))),
-            ]),
-        ));
+        members.push(("certificate".into(), cert_to_json(cert)));
     }
 }
 
@@ -1226,26 +1741,7 @@ fn parse_meta(frame: &Json) -> Result<ReplyMeta, WireError> {
             .ok_or_else(|| missing("wall_micros"))?,
         certificate: match frame.get("certificate") {
             None => None,
-            Some(cert) => {
-                let counter = |k: &str| -> Result<u32, WireError> {
-                    cert.get(k)
-                        .and_then(Json::as_u64)
-                        .and_then(|x| u32::try_from(x).ok())
-                        .ok_or_else(|| missing(k))
-                };
-                Some(PlanCertificate {
-                    failing: match cert.get("failing") {
-                        Some(Json::Null) | None => None,
-                        Some(v) => Some(v.as_f64().ok_or_else(|| missing("failing"))?),
-                    },
-                    passing: cert
-                        .get("passing")
-                        .and_then(Json::as_f64)
-                        .ok_or_else(|| missing("passing"))?,
-                    evaluations: counter("evaluations")?,
-                    cache_hits: counter("cache_hits")?,
-                })
-            }
+            Some(cert) => Some(cert_from_json(cert)?),
         },
     })
 }
@@ -1532,7 +2028,7 @@ mod tests {
         let items = vec![
             BatchItem {
                 id: Some(Json::Str("a".into())),
-                query: Ok(Box::new(worst_case_query())),
+                payload: Ok(BatchPayload::Query(Box::new(worst_case_query()))),
             },
             BatchItem::query(
                 AmplificationQuery::ldp_worst_case(2.0)
@@ -1545,14 +2041,28 @@ mod tests {
             ),
             BatchItem {
                 id: Some(Json::Num(7.0)),
-                query: Ok(Box::new(
+                payload: Ok(BatchPayload::Query(Box::new(
                     AmplificationQuery::ldp_worst_case(1.0)
                         .unwrap()
                         .min_population(0.25, 1e-8, 1 << 14)
                         .build()
                         .unwrap(),
-                )),
+                ))),
             },
+            BatchItem {
+                id: Some(Json::Str("c".into())),
+                payload: Ok(BatchPayload::Ledger(LedgerOp::Charge {
+                    user: 42,
+                    vr: VariationRatio::ldp_worst_case(1.5).unwrap(),
+                    n: 10_000,
+                    rounds: 3,
+                })),
+            },
+            BatchItem::ledger(LedgerOp::Remaining {
+                user: 42,
+                eps: 2.0,
+                delta: 1e-8,
+            }),
         ];
         let req = Request {
             id: Some(Json::Str("b1".into())),
@@ -1584,17 +2094,17 @@ mod tests {
             other => panic!("wrong command: {other:?}"),
         };
         assert_eq!(items.len(), 5);
-        assert!(items[0].query.is_ok());
+        assert!(items[0].payload.is_ok());
         assert_eq!(items[0].id, Some(Json::Str("good".into())));
         // Field defects carry the same message an individual frame would get.
-        let e = items[1].query.as_ref().unwrap_err();
+        let e = items[1].payload.as_ref().unwrap_err();
         assert_eq!(e.kind, ErrorKind::Malformed);
         assert!(e.message.contains("`delta`"), "{}", e.message);
         assert_eq!(items[1].id, Some(Json::Str("bad".into())));
         // Non-query ops (including a nested batch) and non-objects are
         // per-item errors, positionally preserved.
         for (idx, needle) in [(2, "query ops"), (3, "object"), (4, "query ops")] {
-            let e = items[idx].query.as_ref().unwrap_err();
+            let e = items[idx].payload.as_ref().unwrap_err();
             assert_eq!(e.kind, ErrorKind::Malformed, "item {idx}");
             assert!(e.message.contains(needle), "item {idx}: {}", e.message);
         }
@@ -1781,6 +2291,166 @@ mod tests {
                 Some(Json::Str("x".into())),
                 WireError::new(ErrorKind::Busy, "queue full (depth 64)"),
             ),
+        ];
+        for reply in replies {
+            let wire = reply.to_json().to_string();
+            let back = Reply::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(back, reply, "wire: {wire}");
+        }
+    }
+
+    #[test]
+    fn ledger_requests_roundtrip_exactly() {
+        let mm = VariationRatio::new(f64::INFINITY, 0.8, 4.0).unwrap();
+        let ops = [
+            LedgerOp::Charge {
+                user: 7,
+                vr: VariationRatio::ldp_worst_case(1.25).unwrap(),
+                n: 50_000,
+                rounds: 12,
+            },
+            LedgerOp::Charge {
+                user: u64::MAX >> 12,
+                vr: mm,
+                n: 1_000,
+                rounds: 1,
+            },
+            LedgerOp::Remaining {
+                user: 7,
+                eps: 2.5,
+                delta: 1e-9,
+            },
+            LedgerOp::AffordableRounds {
+                user: 7,
+                vr: VariationRatio::ldp_worst_case(0.5).unwrap(),
+                n: 123_456,
+                eps: 1.0,
+                delta: 1e-8,
+                cap: 4_096,
+            },
+            LedgerOp::Import(vec!["1,1.0,1000,2".into(), "2,0.5,500,7".into()]),
+            LedgerOp::Export(vec![1, 2, 99]),
+        ];
+        for op in ops {
+            let req = Request {
+                id: Some(Json::Str("L".into())),
+                command: Command::Ledger(op.clone()),
+            };
+            let wire = req.to_json().to_string();
+            let back = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(back.id, Some(Json::Str("L".into())));
+            match back.command {
+                Command::Ledger(back_op) => assert_eq!(back_op, op, "wire: {wire}"),
+                other => panic!("wrong command: {other:?}"),
+            }
+        }
+        // A terse hand-written frame parses; the affordability cap defaults.
+        let frame = Json::parse(
+            r#"{"op":"affordable_rounds","user":3,"eps0":1.0,"n":1000,"eps":0.5,"delta":1e-8}"#,
+        )
+        .unwrap();
+        match Request::from_json(&frame).unwrap().command {
+            Command::Ledger(LedgerOp::AffordableRounds { cap, .. }) => {
+                assert_eq!(cap, DEFAULT_AFFORD_CAP);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ledger_malformed_frames_are_typed() {
+        for (text, needle) in [
+            (r#"{"op":"charge","eps0":1.0,"n":10,"rounds":1}"#, "`user`"),
+            (r#"{"op":"charge","user":1,"n":10,"rounds":1}"#, "source"),
+            (r#"{"op":"charge","user":1,"eps0":1.0,"rounds":1}"#, "`n`"),
+            (r#"{"op":"charge","user":1,"eps0":1.0,"n":10}"#, "`rounds`"),
+            (
+                r#"{"op":"charge","user":1,"eps0":1.0,"n":10,"rounds":4294967296}"#,
+                "`rounds`",
+            ),
+            (r#"{"op":"remaining","user":1,"delta":1e-8}"#, "`eps`"),
+            (
+                r#"{"op":"affordable_rounds","user":1,"eps0":1.0,"n":10,"eps":0.5,"delta":1e-8,"cap":1.5}"#,
+                "`cap`",
+            ),
+            (r#"{"op":"ledger_import"}"#, "`rows`"),
+            (r#"{"op":"ledger_import","rows":[]}"#, "non-empty"),
+            (r#"{"op":"ledger_import","rows":[7]}"#, "CSV strings"),
+            (r#"{"op":"ledger_export","users":[]}"#, "non-empty"),
+            (r#"{"op":"ledger_export","users":["x"]}"#, "integers"),
+        ] {
+            let err = Request::from_json(&Json::parse(text).unwrap()).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Malformed, "{text}");
+            assert!(
+                err.message.contains(needle),
+                "{text}: `{}` lacks `{needle}`",
+                err.message
+            );
+        }
+        // Workload domain violations surface as invalid_parameter.
+        let err = Request::from_json(
+            &Json::parse(r#"{"op":"charge","user":1,"eps0":-1.0,"n":10,"rounds":1}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidParameter);
+    }
+
+    #[test]
+    fn ledger_replies_roundtrip() {
+        let replies = [
+            Reply::ok(
+                Some(Json::Str("c".into())),
+                ReplyBody::Charge(ChargeReceipt {
+                    user: 9,
+                    workload_rounds: 4,
+                    total_rounds: 17,
+                    workloads: 2,
+                }),
+            ),
+            Reply::ok(
+                None,
+                ReplyBody::Budget(BudgetStatus {
+                    user: 9,
+                    spent: 0.123_456_789,
+                    remaining: -0.023_456_789,
+                    rounds: 17,
+                    workloads: 2,
+                }),
+            ),
+            Reply::ok(
+                None,
+                ReplyBody::Affordable(AffordabilityReport {
+                    user: 9,
+                    affordability: Affordability {
+                        rounds: 41,
+                        spent: 0.25,
+                        saturated: false,
+                        certificate: Some(PlanCertificate {
+                            failing: Some(42.0),
+                            passing: 41.0,
+                            evaluations: 13,
+                            cache_hits: 0,
+                        }),
+                    },
+                }),
+            ),
+            Reply::ok(
+                None,
+                ReplyBody::Affordable(AffordabilityReport {
+                    user: 1,
+                    affordability: Affordability {
+                        rounds: 0,
+                        spent: 3.0,
+                        saturated: false,
+                        certificate: None,
+                    },
+                }),
+            ),
+            Reply::ok(
+                None,
+                ReplyBody::LedgerRows(vec!["1,1.0,0.5,1.0,1000,2".into()]),
+            ),
+            Reply::ok(None, ReplyBody::Imported(ImportReceipt { rows: 1_000_000 })),
         ];
         for reply in replies {
             let wire = reply.to_json().to_string();

@@ -1,7 +1,8 @@
 //! The `vr-server` daemon: a sharded TCP server that parses
-//! newline-delimited JSON frames into [`AmplificationQuery`]s and serves
-//! them through **one shared [`AnalysisEngine`]**, so every connection and
-//! every shard reuses the same memoized evaluator cache.
+//! newline-delimited JSON frames into [`AmplificationQuery`]s and ledger
+//! ops, serving them through **one shared [`AnalysisEngine`]** and **one
+//! shared [`BudgetLedger`]**, so every connection and every shard reuses
+//! the same memoized evaluator cache and the same priced per-user accounts.
 //!
 //! # Architecture
 //!
@@ -42,9 +43,11 @@ use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::protocol::{
-    extract_id, BatchItem, Command, ErrorKind, Reply, ReplyBody, Request, StatsSnapshot, WireError,
+    extract_id, BatchItem, BatchPayload, Command, ErrorKind, LedgerOp, Reply, ReplyBody, Request,
+    StatsSnapshot, WireError,
 };
 use vr_core::engine::{AmplificationQuery, AnalysisEngine, QueryTarget};
+use vr_ledger::BudgetLedger;
 
 /// Longest request line accepted, in bytes (64 KiB — a curve query is a few
 /// hundred bytes; anything bigger is hostile). Longer lines are answered
@@ -124,6 +127,11 @@ struct Counters {
     op_sweep: AtomicU64,
     op_batch: AtomicU64,
     op_stats: AtomicU64,
+    op_charge: AtomicU64,
+    op_remaining: AtomicU64,
+    op_affordable: AtomicU64,
+    op_ledger_import: AtomicU64,
+    op_ledger_export: AtomicU64,
     pipelined: AtomicU64,
 }
 
@@ -139,6 +147,7 @@ struct Shard {
 /// State shared by the accept loop and the shard threads.
 struct Inner {
     engine: AnalysisEngine,
+    ledger: BudgetLedger,
     shutdown: AtomicBool,
     stats: Counters,
     shards: Vec<Shard>,
@@ -212,11 +221,18 @@ impl Inner {
             op_sweep: s.op_sweep.load(Ordering::Relaxed),
             op_batch: s.op_batch.load(Ordering::Relaxed),
             op_stats: s.op_stats.load(Ordering::Relaxed),
+            op_charge: s.op_charge.load(Ordering::Relaxed),
+            op_remaining: s.op_remaining.load(Ordering::Relaxed),
+            op_affordable: s.op_affordable.load(Ordering::Relaxed),
+            op_ledger_import: s.op_ledger_import.load(Ordering::Relaxed),
+            op_ledger_export: s.op_ledger_export.load(Ordering::Relaxed),
             pipelined_frames: s.pipelined.load(Ordering::Relaxed),
             uptime_micros: u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX),
             workers: u64::try_from(self.config.workers).unwrap_or(u64::MAX),
             queue_depth: u64::try_from(self.config.queue_depth).unwrap_or(u64::MAX),
             cached_evaluators: u64::try_from(self.engine.cached_evaluators()).unwrap_or(u64::MAX),
+            ledger_users: self.ledger.users(),
+            ledger_workloads: self.ledger.workloads(),
         }
     }
 
@@ -289,6 +305,7 @@ impl Server {
         let workers = config.workers.max(1);
         let inner = Arc::new(Inner {
             engine: AnalysisEngine::new(),
+            ledger: BudgetLedger::new(),
             shutdown: AtomicBool::new(false),
             stats: Counters::default(),
             shards: (0..workers).map(|_| Shard::default()).collect(),
@@ -326,6 +343,12 @@ impl Server {
     /// opening the doors to traffic).
     pub fn engine(&self) -> &AnalysisEngine {
         &self.inner.engine
+    }
+
+    /// The shared per-user budget ledger (e.g. to seed accounts in-process
+    /// before serving, or to audit state after a load run).
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.inner.ledger
     }
 
     /// A point-in-time counters snapshot (the in-process form of the
@@ -788,6 +811,7 @@ enum ExecOutput {
         reports: Vec<std::result::Result<vr_core::engine::AnalysisReport, vr_core::error::Error>>,
     },
     Batch(Vec<Reply>),
+    Ledger(ReplyBody),
 }
 
 /// Count, admit, and execute a query / sweep / batch command inline on the
@@ -809,11 +833,14 @@ fn execute_engine_command(
         Command::Batch(items) => {
             inner.stats.op_batch.fetch_add(1, Ordering::Relaxed);
             for item in items {
-                if let Ok(query) = &item.query {
-                    bump_op_counter(inner, query);
+                match &item.payload {
+                    Ok(BatchPayload::Query(query)) => bump_op_counter(inner, query),
+                    Ok(BatchPayload::Ledger(op)) => bump_ledger_op_counter(inner, op),
+                    Err(_) => {}
                 }
             }
         }
+        Command::Ledger(op) => bump_ledger_op_counter(inner, op),
         // Control ops execute in handle_frame and never reach this path;
         // nothing to count for them here.
         Command::Stats | Command::Shutdown => {}
@@ -832,7 +859,14 @@ fn execute_engine_command(
             .sweep(&template, &axis)
             .map(|reports| ExecOutput::Sweep { axis, reports })
             .map_err(WireError::from),
-        Command::Batch(items) => Ok(ExecOutput::Batch(run_batch_items(&inner.engine, items))),
+        Command::Batch(items) => Ok(ExecOutput::Batch(run_batch_items(
+            &inner.engine,
+            &inner.ledger,
+            items,
+        ))),
+        Command::Ledger(op) => {
+            run_ledger_op(&inner.engine, &inner.ledger, op).map(ExecOutput::Ledger)
+        }
         // Narrowed above; report the broken invariant instead of panicking
         // inside the worker's catch_unwind.
         Command::Stats | Command::Shutdown => Err(WireError::new(
@@ -844,6 +878,7 @@ fn execute_engine_command(
         Ok(Ok(ExecOutput::Report(report))) => Reply::from_report(id, &report),
         Ok(Ok(ExecOutput::Sweep { axis, reports })) => Reply::from_sweep(id, &axis, &reports),
         Ok(Ok(ExecOutput::Batch(replies))) => Reply::ok(id, ReplyBody::Batch(replies)),
+        Ok(Ok(ExecOutput::Ledger(body))) => Reply::ok(id, body),
         Ok(Err(e)) => Reply::err(id, e),
         Err(panic) => Reply::err(
             id,
@@ -867,20 +902,85 @@ fn bump_op_counter(inner: &Inner, query: &AmplificationQuery) {
     op_counter.fetch_add(1, Ordering::Relaxed);
 }
 
-/// Serve a batch's parseable items through [`AnalysisEngine::run_batch`]
-/// (one warm fan-out) and stitch the per-item replies back into submission
-/// order, error items included — one bad query yields one error entry, not
-/// a dead batch.
-fn run_batch_items(engine: &AnalysisEngine, items: Vec<BatchItem>) -> Vec<Reply> {
+fn bump_ledger_op_counter(inner: &Inner, op: &LedgerOp) {
+    let op_counter = match op {
+        LedgerOp::Charge { .. } => &inner.stats.op_charge,
+        LedgerOp::Remaining { .. } => &inner.stats.op_remaining,
+        LedgerOp::AffordableRounds { .. } => &inner.stats.op_affordable,
+        LedgerOp::Import(_) => &inner.stats.op_ledger_import,
+        LedgerOp::Export(_) => &inner.stats.op_ledger_export,
+    };
+    op_counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Execute one ledger op against the daemon's shared ledger. Charges and
+/// affordability probes price workloads through the shared engine's
+/// memoized spend seam, so ledger answers and forward `composed` queries
+/// served on the same daemon agree bit for bit.
+fn run_ledger_op(
+    engine: &AnalysisEngine,
+    ledger: &BudgetLedger,
+    op: LedgerOp,
+) -> Result<ReplyBody, WireError> {
+    match op {
+        LedgerOp::Charge {
+            user,
+            vr,
+            n,
+            rounds,
+        } => ledger
+            .charge(engine, user, vr, n, rounds)
+            .map(ReplyBody::Charge)
+            .map_err(WireError::from),
+        LedgerOp::Remaining { user, eps, delta } => ledger
+            .remaining(user, eps, delta)
+            .map(ReplyBody::Budget)
+            .map_err(WireError::from),
+        LedgerOp::AffordableRounds {
+            user,
+            vr,
+            n,
+            eps,
+            delta,
+            cap,
+        } => ledger
+            .affordable_rounds(engine, user, vr, n, eps, delta, cap)
+            .map(ReplyBody::Affordable)
+            .map_err(WireError::from),
+        LedgerOp::Import(rows) => ledger
+            .import_rows(engine, rows.iter().map(String::as_str))
+            .map(ReplyBody::Imported)
+            .map_err(WireError::from),
+        LedgerOp::Export(users) => ledger
+            .export_users(&users)
+            .map(ReplyBody::LedgerRows)
+            .map_err(WireError::from),
+    }
+}
+
+/// Serve a batch's parseable query items through
+/// [`AnalysisEngine::run_batch`] (one warm fan-out) and stitch the per-item
+/// replies back into submission order, error items included — one bad item
+/// yields one error entry, not a dead batch. Scalar ledger items execute
+/// inline during the stitch, so a batch's charges land in submission order
+/// relative to its `remaining` probes.
+fn run_batch_items(
+    engine: &AnalysisEngine,
+    ledger: &BudgetLedger,
+    items: Vec<BatchItem>,
+) -> Vec<Reply> {
     let queries: Vec<AmplificationQuery> = items
         .iter()
-        .filter_map(|item| item.query.as_deref().ok().cloned())
+        .filter_map(|item| match &item.payload {
+            Ok(BatchPayload::Query(query)) => Some((**query).clone()),
+            _ => None,
+        })
         .collect();
     let mut reports = engine.run_batch(&queries).into_iter();
     items
         .into_iter()
-        .map(|item| match item.query {
-            Ok(_) => match reports.next() {
+        .map(|item| match item.payload {
+            Ok(BatchPayload::Query(_)) => match reports.next() {
                 Some(Ok(report)) => Reply::from_report(item.id, &report),
                 Some(Err(e)) => Reply::err(item.id, WireError::from(e)),
                 // run_batch returns one report per query by contract; a
@@ -892,6 +992,10 @@ fn run_batch_items(engine: &AnalysisEngine, items: Vec<BatchItem>) -> Vec<Reply>
                         "batch executor returned fewer reports than queries",
                     ),
                 ),
+            },
+            Ok(BatchPayload::Ledger(op)) => match run_ledger_op(engine, ledger, op) {
+                Ok(body) => Reply::ok(item.id, body),
+                Err(e) => Reply::err(item.id, e),
             },
             Err(e) => Reply::err(item.id, e),
         })
@@ -1070,6 +1174,96 @@ mod tests {
         assert_eq!(stats.errors, 0);
         assert_eq!(stats.op_batch, 1);
         assert_eq!(stats.op_epsilon, 2);
+        server.stop();
+    }
+
+    #[test]
+    fn ledger_ops_over_the_wire_match_in_process_composition() {
+        use vr_core::params::VariationRatio;
+        let server = test_server(2, 16);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let vr = VariationRatio::ldp_worst_case(1.0).unwrap();
+
+        let receipt = client.charge(7, &vr, 5_000, 2).unwrap();
+        assert_eq!(
+            (receipt.user, receipt.workload_rounds, receipt.total_rounds),
+            (7, 2, 2)
+        );
+        let receipt = client.charge(7, &vr, 5_000, 1).unwrap();
+        assert_eq!(receipt.total_rounds, 3);
+
+        // `remaining` over the wire is bit-identical to the forward
+        // composed query served by the same daemon.
+        let composed = AmplificationQuery::ldp_worst_case(1.0)
+            .unwrap()
+            .population(5_000)
+            .composed(3, 1e-6)
+            .build()
+            .unwrap();
+        let want = client.run(&composed).unwrap().scalar().unwrap();
+        let status = client.remaining(7, 2.0, 1e-6).unwrap();
+        assert_eq!(status.spent.to_bits(), want.to_bits());
+        assert_eq!(status.remaining.to_bits(), (2.0 - want).to_bits());
+        assert_eq!(status.rounds, 3);
+
+        // Affordability probes run the certified search server-side.
+        let report = client
+            .affordable_rounds(7, &vr, 5_000, 2.0, 1e-6, Some(64))
+            .unwrap();
+        assert_eq!(report.user, 7);
+        assert!(report.affordability.certificate.is_some());
+
+        // Export → import into a fresh daemon restores the spend bit for
+        // bit.
+        let rows = client.ledger_export(&[7]).unwrap();
+        assert_eq!(rows.len(), 1, "one workload, one row");
+        let server2 = test_server(1, 8);
+        let mut client2 = Client::connect(server2.local_addr()).unwrap();
+        let imported = client2.ledger_import(rows).unwrap();
+        assert_eq!(imported.rows, 1);
+        let restored = client2.remaining(7, 2.0, 1e-6).unwrap();
+        assert_eq!(restored.spent.to_bits(), status.spent.to_bits());
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.op_charge, 2);
+        assert_eq!(stats.op_remaining, 1);
+        assert_eq!(stats.op_affordable, 1);
+        assert_eq!(stats.op_ledger_export, 1);
+        assert_eq!(stats.ledger_users, 1);
+        assert_eq!(stats.ledger_workloads, 1);
+        server2.stop();
+        server.stop();
+    }
+
+    #[test]
+    fn batch_frames_mix_queries_and_scalar_ledger_ops_in_order() {
+        let server = test_server(1, 8);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // A charge, an engine query, then a probe of the charged account:
+        // ledger items execute in submission order relative to each other,
+        // so the probe must observe the charge from the same frame.
+        let frame = concat!(
+            "{\"id\":\"B\",\"op\":\"batch\",\"queries\":[",
+            "{\"id\":\"c0\",\"op\":\"charge\",\"user\":9,\"eps0\":1.0,\"n\":2000,\"rounds\":2},",
+            "{\"id\":\"q0\",\"op\":\"epsilon\",\"eps0\":1.0,\"n\":2000,\"delta\":1e-6,\"bound\":\"numerical\"},",
+            "{\"id\":\"r0\",\"op\":\"remaining\",\"user\":9,\"eps\":1.0,\"delta\":1e-6}",
+            "]}"
+        );
+        let reply = client.roundtrip_raw(frame).unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
+        let items = reply.get("batch").unwrap().as_arr().unwrap();
+        assert_eq!(items.len(), 3);
+        for (idx, id) in [("c0", 0usize), ("q0", 1), ("r0", 2)].map(|(a, b)| (b, a)) {
+            assert_eq!(items[idx].get("ok").unwrap().as_bool(), Some(true));
+            assert_eq!(items[idx].get("id").unwrap().as_str(), Some(id));
+        }
+        let budget = items[2].get("budget").unwrap();
+        assert_eq!(budget.get("rounds").unwrap().as_f64(), Some(2.0));
+        let stats = server.stats();
+        assert_eq!(stats.op_batch, 1);
+        assert_eq!(stats.op_charge, 1);
+        assert_eq!(stats.op_remaining, 1);
+        assert_eq!(stats.op_epsilon, 1);
         server.stop();
     }
 

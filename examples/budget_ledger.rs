@@ -1,0 +1,104 @@
+//! Continual accounting end to end: boot a `vr-server` on an ephemeral
+//! port and walk a user budget through its whole lifecycle over the wire —
+//! bulk-import a small cohort from CSV rows, charge a user a few more
+//! rounds, ask what is left of an `(ε, δ)` budget, ask how many rounds the
+//! budget still affords (with the planner-style witness certificate), and
+//! export the account back out as CSV.
+//!
+//! The ledger's core contract is on display at the end: the served
+//! `remaining` answer equals the equivalent *forward* `composed` query —
+//! the one you would run if you re-derived the composition from scratch —
+//! **bit for bit**, because both routes price rounds through the engine's
+//! one memoized spend seam.
+//!
+//! The same conversation works from the shipped binaries:
+//! `vr-serve --addr 127.0.0.1:7878` in one terminal and
+//! `vr-query --addr 127.0.0.1:7878 --op charge --user 7 --eps0 1.0
+//! --n 50000 --rounds 2` in another.
+//!
+//! Run with: `cargo run --release --example budget_ledger`
+
+use shuffle_amplification::prelude::*;
+
+fn main() {
+    let daemon = Server::bind(ServerConfig::default()).expect("bind ephemeral port");
+    let addr = daemon.local_addr();
+    println!("daemon listening on {addr}\n");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let (eps_budget, delta) = (1.0, 1e-8);
+    let n = 50_000u64;
+    let vr = VariationRatio::ldp_worst_case(1.0).expect("valid eps0");
+
+    // Seed a small cohort in one frame. Rows are plain CSV:
+    // `user,eps0,n,rounds` (worst-case LDP) or `user,p,beta,q,n,rounds`.
+    let cohort: Vec<String> = (0..5u64)
+        .map(|u| format!("{u},1.0,{n},{}", u + 1))
+        .collect();
+    let receipt = client.ledger_import(cohort).expect("bulk import");
+    println!("imported {} accounts", receipt.rows);
+
+    // Charge user 3 two more rounds; the receipt echoes the running totals.
+    let receipt = client.charge(3, &vr, n, 2).expect("charge");
+    println!(
+        "user 3 charged: {} rounds on this workload, {} total",
+        receipt.workload_rounds, receipt.total_rounds
+    );
+
+    // What is left of a (1.0, 1e-8) budget?
+    let status = client.remaining(3, eps_budget, delta).expect("remaining");
+    println!(
+        "user 3 after {} rounds: spent eps = {:.4}, remaining = {:.4}",
+        status.rounds, status.spent, status.remaining
+    );
+
+    // How many MORE rounds does the budget afford? The answer carries the
+    // same witness-pair certificate the inverse planner queries do: the
+    // last affordable count and the first unaffordable one.
+    let afford = client
+        .affordable_rounds(3, &vr, n, eps_budget, delta, None)
+        .expect("affordable_rounds");
+    println!(
+        "budget affords {} more rounds (certified: passes at {}, fails at {:?})",
+        afford.affordability.rounds,
+        afford
+            .affordability
+            .certificate
+            .as_ref()
+            .map_or(0.0, |c| c.passing),
+        afford
+            .affordability
+            .certificate
+            .as_ref()
+            .and_then(|c| c.failing),
+    );
+
+    // Accounts round-trip as CSV (export always emits the explicit
+    // `user,p,beta,q,n,rounds` layout with round-trip-exact floats).
+    let rows = client.ledger_export(&[3]).expect("export");
+    println!("exported: {}", rows.join(" | "));
+
+    // The contract: the ledger's `remaining` is bit-identical to the
+    // forward `composed` query over the same rounds.
+    let forward = AmplificationQuery::ldp_worst_case(1.0)
+        .expect("valid eps0")
+        .population(n)
+        .composed(u32::try_from(status.rounds).expect("rounds fit"), delta)
+        .build()
+        .expect("valid query");
+    let direct = AnalysisEngine::new();
+    let want = direct
+        .run(&forward)
+        .expect("forward run")
+        .scalar()
+        .expect("scalar");
+    assert_eq!(
+        status.spent.to_bits(),
+        want.to_bits(),
+        "ledger accounting must never drift from forward composition"
+    );
+    println!("\nledger spent == forward composed epsilon, bit for bit: {want:.6}");
+
+    client.shutdown_server().expect("graceful shutdown");
+    daemon.join();
+}

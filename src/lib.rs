@@ -69,6 +69,11 @@
 //!   newline-delimited JSON protocol (bounded worker pool, backpressure,
 //!   graceful shutdown, stats), plus the client library behind the
 //!   `vr-serve` / `vr-query` binaries.
+//! * [`ledger`] (re-export of `vr-ledger`) — continual accounting: the
+//!   sharded in-memory per-user budget ledger the daemon serves
+//!   (`charge` / `remaining` / `affordable_rounds` / CSV bulk
+//!   import-export), every answer bit-identical to the equivalent forward
+//!   `composed` query.
 //!
 //! ## Serving over the network
 //!
@@ -94,6 +99,7 @@
 
 pub use vr_core as core;
 pub use vr_ldp as ldp;
+pub use vr_ledger as ledger;
 pub use vr_numerics as numerics;
 pub use vr_protocols as protocols;
 pub use vr_server as server;
@@ -123,6 +129,7 @@ pub mod prelude {
         AmplifiableMechanism, BinaryRr, BoundedLaplace, FrequencyMechanism, Grr, HadamardResponse,
         KSubset, Olh, PlanarLaplace, Report,
     };
+    pub use vr_ledger::{BudgetLedger, BudgetStatus, ChargeReceipt};
     pub use vr_numerics::par::{par_map, par_map_with};
     #[allow(deprecated)] // kept for migration; prefer AnalysisEngine queries
     pub use vr_protocols::amplified_epsilon;

@@ -11,6 +11,7 @@ use std::process::Command;
 const EXAMPLES: &[&str] = &[
     "quickstart",
     "best_of",
+    "budget_ledger",
     "deployment_planner",
     "frequency_estimation",
     "metric_location",

@@ -1,0 +1,57 @@
+//! The committed perf trajectory stays coherent: every
+//! `results/BENCH_*.json` artifact parses under the current schema and the
+//! whole set merges (unique bench names, one schema version). This is the
+//! tier-1 guard behind CI's per-file parse checks — a bench that starts
+//! writing a stale or colliding artifact fails here, in `cargo test`,
+//! before any workflow runs.
+
+use vr_bench::trajectory::{merge_reports, ParsedReport, SCHEMA_VERSION};
+
+/// Repo-relative `results/` (tests run with the workspace root as cwd).
+fn artifact_texts() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results");
+    let mut texts = Vec::new();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(_) => return texts, // a fresh clone without artifacts is fine
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            let text = std::fs::read_to_string(entry.path())
+                .unwrap_or_else(|e| panic!("cannot read {name}: {e}"));
+            texts.push((name, text));
+        }
+    }
+    texts.sort();
+    texts
+}
+
+#[test]
+fn committed_bench_artifacts_parse_under_the_current_schema() {
+    for (name, text) in artifact_texts() {
+        let report =
+            ParsedReport::parse(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+        assert_eq!(
+            report.schema, SCHEMA_VERSION,
+            "{name} was written under schema {}, tree is at {SCHEMA_VERSION}",
+            report.schema
+        );
+        // The header name must match the file stem so a copied artifact
+        // cannot masquerade as a different bench.
+        let stem = name.trim_start_matches("BENCH_").trim_end_matches(".json");
+        assert_eq!(report.bench, stem, "{name} claims bench `{}`", report.bench);
+        assert!(
+            !report.metrics.is_empty(),
+            "{name} records no metrics — an empty artifact hides a broken emit path"
+        );
+    }
+}
+
+#[test]
+fn committed_bench_artifacts_merge_into_one_trajectory() {
+    let texts = artifact_texts();
+    let merged = merge_reports(texts.iter().map(|(_, text)| text.as_str()))
+        .unwrap_or_else(|e| panic!("trajectory does not merge: {e}"));
+    assert_eq!(merged.len(), texts.len());
+}
