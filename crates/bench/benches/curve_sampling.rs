@@ -1,7 +1,7 @@
 //! Before/after benchmark of δ(ε) curve sampling (the ISSUE-2 tentpole):
 //! a 256-point grid at `n = 10^6`, comparing
 //!
-//! 1. the **naive per-point path** — `Accountant::delta` per grid point,
+//! 1. the **naive per-point path** — `Accountant::try_delta` per grid point,
 //!    rebuilding the outer binomial table and paying two incomplete-beta
 //!    tail calls per scanned `c` at every point (the pre-engine behaviour);
 //! 2. the **memoized evaluator** — one `NumericalBound` (table built once)
@@ -34,7 +34,7 @@ fn grid() -> Vec<f64> {
 fn naive_curve(acc: &Accountant) -> Vec<f64> {
     grid()
         .iter()
-        .map(|&e| acc.delta(e, ScanMode::default()))
+        .map(|&e| acc.try_delta(e, ScanMode::default()).unwrap())
         .collect()
 }
 
@@ -119,7 +119,7 @@ fn speedup_report(c: &mut Criterion) {
         b.iter(|| bound.evaluator().delta_fast(black_box(0.12)).unwrap())
     });
     g.bench_function("naive_single_point", |b| {
-        b.iter(|| acc.delta(black_box(0.12), ScanMode::default()))
+        b.iter(|| acc.try_delta(black_box(0.12), ScanMode::default()).unwrap())
     });
     g.finish();
 }

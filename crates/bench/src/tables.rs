@@ -127,7 +127,10 @@ pub fn table4() -> ResultTable {
         "Balcer et al. coin p=0.25",
         mm::balcer_cheu_biased(0.25).unwrap(),
     );
-    push("Balcer et al. uniform coin", mm::balcer_cheu_uniform());
+    push(
+        "Balcer et al. uniform coin",
+        mm::balcer_cheu_uniform().unwrap(),
+    );
     let cz = mm::CheuZhilyaev {
         n_users: 0,
         messages_per_user: 2,

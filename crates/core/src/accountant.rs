@@ -40,14 +40,14 @@
 //! pmf table **once** and reuses them across every query it answers — the
 //! Algorithm-1 binary search ([`DeltaEvaluator::epsilon`]) and whole
 //! privacy-curve grids ([`crate::PrivacyCurve`]) — where the one-shot
-//! [`Accountant::delta`] path rebuilds them per call.
+//! [`Accountant::try_delta`] path rebuilds them per call.
 //!
 //! The memoized table is a function of `(p, β, q, n, ScanMode)`: the scan
 //! mode fixes which outer support is enumerated (`Full` memoizes the whole
 //! f64-representable support; `Truncated { tail_mass }` the `1 − tail_mass`
 //! bracket) and how much neglected mass is credited back. An evaluator is
 //! thus **bound to the mode it was built with** — querying a different mode
-//! requires a new evaluator; [`Accountant::delta`] keeps accepting a mode
+//! requires a new evaluator; [`Accountant::try_delta`] keeps accepting a mode
 //! per call by constructing an ephemeral evaluator internally. For one fixed
 //! mode the memoized exact scan is bit-identical to the one-shot path
 //! (identical table values, identical kernel).
@@ -179,20 +179,10 @@ impl Accountant {
 
     /// Upper bound on `D_{e^ε}(S∘R(X) ‖ S∘R(X'))` — Theorem 4.8 evaluated in
     /// the requested scan mode. By the symmetry of the dominating pair this
-    /// simultaneously bounds both divergence directions.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `eps` is negative or NaN; use [`Accountant::try_delta`] to
-    /// get an [`Error`] instead when `eps` comes from user input.
-    pub fn delta(&self, eps: f64, mode: ScanMode) -> f64 {
-        self.try_delta(eps, mode)
-            // vr-lint: allow(expect-call) — documented `# Panics` API; `try_delta` is the fallible twin for wire input
-            .expect("epsilon must be non-negative")
-    }
-
-    /// Fallible form of [`Accountant::delta`]: rejects negative or NaN `eps`
-    /// with [`Error::InvalidParameter`] instead of panicking.
+    /// simultaneously bounds both divergence directions. Rejects negative or
+    /// NaN `eps` with [`Error::InvalidParameter`]; there is deliberately no
+    /// panicking twin — every caller sits on a wire-reachable path, and the
+    /// panic-reach lint pass treats "documented `# Panics`" as an outage.
     ///
     /// One-shot path: builds the outer table per call. Amortize repeated
     /// queries with a [`DeltaEvaluator`] (bit-identical results).
@@ -402,7 +392,9 @@ impl DeltaEvaluator {
     /// resolution) with `Delta(ε) ≤ δ`. Identical results to
     /// [`Accountant::epsilon`], minus the per-iteration table rebuilds.
     pub fn epsilon(&self, delta: f64, iterations: usize) -> Result<f64> {
-        self.epsilon_search(delta, iterations, |e| self.delta_unchecked(e) <= delta)
+        self.epsilon_search(delta, iterations, |table, e| {
+            scan_exact(&self.acc, table, e) <= delta
+        })
     }
 
     /// The Algorithm-1 search skeleton shared by [`DeltaEvaluator::epsilon`]
@@ -411,20 +403,24 @@ impl DeltaEvaluator {
     /// exponential bracket, and the bisection. Parameterizing only the
     /// feasibility predicate keeps the two searches structurally identical —
     /// which is what the amortized path's bit-identity contract rests on.
+    /// The predicate receives the memoized table by reference, so a
+    /// degenerate evaluator (no table) short-circuits here and the
+    /// predicates stay total.
     fn epsilon_search(
         &self,
         delta: f64,
         iterations: usize,
-        mut feasible: impl FnMut(f64) -> bool,
+        mut feasible: impl FnMut(&OuterTable, f64) -> bool,
     ) -> Result<f64> {
         if !(0.0..=1.0).contains(&delta) {
             return Err(Error::InvalidParameter(format!(
                 "delta must be in [0,1], got {delta}"
             )));
         }
-        if self.table.is_none() {
+        let Some(table) = &self.table else {
             return Ok(0.0);
-        }
+        };
+        let mut feasible = |e: f64| feasible(table, e);
         if feasible(0.0) {
             return Ok(0.0);
         }
@@ -469,10 +465,7 @@ impl DeltaEvaluator {
         // scan alone, so the O(table) scratch shouldn't cost warm queries
         // that never hit the exact fallback.
         let mut scratch: Option<ExactScanScratch> = None;
-        self.epsilon_search(delta, iterations, |e| {
-            // The skeleton only probes feasibility once the table exists.
-            // vr-lint: allow(expect-call) — the search predicate is infallible by signature; epsilon_search builds the table before probing
-            let table = self.table.as_ref().expect("predicate needs a table");
+        self.epsilon_search(delta, iterations, |table, e| {
             let fast = scan_fast(&self.acc, table, e);
             if fast <= delta {
                 true // fast dominates exact, so exact ≤ δ too.
@@ -1170,7 +1163,7 @@ mod tests {
                 for eps_i in 0..8 {
                     let eps = 0.25 * eps_i as f64;
                     let exact = exact_delta(params, n, eps);
-                    let formula = acc.delta(eps, ScanMode::Full);
+                    let formula = acc.try_delta(eps, ScanMode::Full).unwrap();
                     assert!(
                         vr_numerics::is_close_abs(formula, exact, 1e-9),
                         "n={n} eps={eps} p={} beta={} q={}: formula={formula:e} exact={exact:e}",
@@ -1192,7 +1185,7 @@ mod tests {
             for eps_i in 0..6 {
                 let eps = 0.4 * eps_i as f64;
                 let exact = exact_delta(params, n, eps);
-                let formula = acc.delta(eps, ScanMode::Full);
+                let formula = acc.try_delta(eps, ScanMode::Full).unwrap();
                 assert!(
                     vr_numerics::is_close_abs(formula, exact, 1e-9),
                     "n={n} eps={eps}: {formula:e} vs {exact:e}"
@@ -1207,7 +1200,7 @@ mod tests {
         let mut prev = f64::INFINITY;
         for i in 0..=32 {
             let eps = 0.05 * i as f64;
-            let d = acc.delta(eps, ScanMode::default());
+            let d = acc.try_delta(eps, ScanMode::default()).unwrap();
             assert!(d <= prev + 1e-12, "delta not monotone at eps={eps}");
             prev = d;
         }
@@ -1221,7 +1214,8 @@ mod tests {
         for n in [10u64, 100, 1_000, 10_000, 100_000] {
             let d = Accountant::new(params, n)
                 .unwrap()
-                .delta(eps, ScanMode::default());
+                .try_delta(eps, ScanMode::default())
+                .unwrap();
             assert!(d < prev, "delta not decreasing at n={n}: {d} vs {prev}");
             prev = d;
         }
@@ -1235,7 +1229,7 @@ mod tests {
         for i in 1..=8 {
             let beta = 0.05 * i as f64;
             let acc = Accountant::new(vr(3.0, beta, 3.0), 5_000).unwrap();
-            let d = acc.delta(eps, ScanMode::default());
+            let d = acc.try_delta(eps, ScanMode::default()).unwrap();
             assert!(d >= prev - 1e-14, "not monotone in beta at {beta}");
             prev = d;
         }
@@ -1246,8 +1240,10 @@ mod tests {
         let params = vr(4.0, 0.35, 4.0);
         let acc = Accountant::new(params, 20_000).unwrap();
         for eps in [0.0, 0.1, 0.3, 0.7] {
-            let full = acc.delta(eps, ScanMode::Full);
-            let trunc = acc.delta(eps, ScanMode::Truncated { tail_mass: 1e-12 });
+            let full = acc.try_delta(eps, ScanMode::Full).unwrap();
+            let trunc = acc
+                .try_delta(eps, ScanMode::Truncated { tail_mass: 1e-12 })
+                .unwrap();
             assert!(
                 trunc >= full - 1e-15,
                 "truncated not an upper bound at eps={eps}"
@@ -1264,7 +1260,10 @@ mod tests {
     fn epsilon_at_ln_p_is_free() {
         let params = vr(3.0, 0.45, 3.0);
         let acc = Accountant::new(params, 10).unwrap();
-        assert_eq!(acc.delta(3.0f64.ln() + 1e-9, ScanMode::Full), 0.0);
+        assert_eq!(
+            acc.try_delta(3.0f64.ln() + 1e-9, ScanMode::Full).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -1275,9 +1274,9 @@ mod tests {
         let eps = acc.epsilon_default(delta).unwrap();
         assert!(eps > 0.0 && eps < 5.0f64.ln());
         // Feasibility: the returned ε must actually achieve δ.
-        assert!(acc.delta(eps, ScanMode::default()) <= delta);
+        assert!(acc.try_delta(eps, ScanMode::default()).unwrap() <= delta);
         // Near-tightness: a slightly smaller ε must violate δ.
-        assert!(acc.delta(eps * 0.98, ScanMode::default()) > delta);
+        assert!(acc.try_delta(eps * 0.98, ScanMode::default()).unwrap() > delta);
     }
 
     #[test]
@@ -1298,7 +1297,7 @@ mod tests {
     #[test]
     fn degenerate_beta_gives_zero() {
         let acc = Accountant::new(vr(3.0, 0.0, 3.0), 100).unwrap();
-        assert_eq!(acc.delta(0.0, ScanMode::Full), 0.0);
+        assert_eq!(acc.try_delta(0.0, ScanMode::Full).unwrap(), 0.0);
         assert_eq!(acc.epsilon_default(1e-9).unwrap(), 0.0);
     }
 
@@ -1309,9 +1308,9 @@ mod tests {
         // against enumeration (covered above), here we check the endpoints.
         let params = vr(3.0, 0.45, 3.0);
         let acc = Accountant::new(params, 1).unwrap();
-        let d0 = acc.delta(0.0, ScanMode::Full);
+        let d0 = acc.try_delta(0.0, ScanMode::Full).unwrap();
         assert!(vr_numerics::is_close(d0, 0.45, 1e-12), "TV at eps=0: {d0}");
-        assert_eq!(acc.delta(3.0f64.ln(), ScanMode::Full), 0.0);
+        assert_eq!(acc.try_delta(3.0f64.ln(), ScanMode::Full).unwrap(), 0.0);
     }
 
     #[test]
@@ -1495,7 +1494,7 @@ mod tests {
             assert!(matches!(err, Error::InvalidParameter(_)), "eps={bad}");
         }
         let ok = acc.try_delta(0.3, ScanMode::default()).unwrap();
-        assert_eq!(ok, acc.delta(0.3, ScanMode::default()));
+        assert_eq!(ok, acc.try_delta(0.3, ScanMode::default()).unwrap());
         // +inf epsilon is a valid (if useless) query: divergence is 0.
         assert_eq!(acc.try_delta(f64::INFINITY, ScanMode::Full).unwrap(), 0.0);
     }

@@ -194,7 +194,8 @@ mod tests {
                     Ok(eps) => {
                         let num = Accountant::new(vr, n)
                             .unwrap()
-                            .delta(eps, ScanMode::default());
+                            .try_delta(eps, ScanMode::default())
+                            .unwrap();
                         assert!(
                             num <= delta * 1.0001,
                             "analytic eps={eps} not feasible: Delta={num:e} > {delta:e} \

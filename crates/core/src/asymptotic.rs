@@ -141,7 +141,8 @@ mod tests {
             let eps = asymptotic_epsilon(&vr, n, delta).unwrap();
             let d = Accountant::new(vr, n)
                 .unwrap()
-                .delta(eps, ScanMode::default());
+                .try_delta(eps, ScanMode::default())
+                .unwrap();
             assert!(
                 d <= delta * 1.0001,
                 "eps0={eps0}: Delta({eps}) = {d:e} > {delta:e}"

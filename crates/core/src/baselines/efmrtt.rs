@@ -69,9 +69,9 @@ impl AmplificationBound for EfmrttBound {
 #[deprecated(note = "use AnalysisEngine (vr_core::engine) or EfmrttBound directly")]
 pub fn efmrtt_epsilon(eps0: f64, n: u64, delta: f64) -> f64 {
     assert!(eps0 > 0.0 && n > 0 && (0.0..1.0).contains(&delta) && delta > 0.0);
-    EfmrttBound::new(eps0, n)
-        .and_then(|b| b.epsilon(delta))
-        .expect("arguments validated by the assert above")
+    // Same expression as `EfmrttBound::epsilon`; inlined so this wrapper
+    // carries no Result to re-panic on (the tests pin the two equal).
+    eps0 * (144.0 * (1.0 / delta).ln() / n as f64).sqrt()
 }
 
 /// Whether the original theorem's premises hold for these inputs

@@ -169,8 +169,8 @@ pub fn balcer_cheu_biased(coin: f64) -> Result<VariationRatio> {
 
 /// Balcer et al. binary summation with a uniform blanket coin (Table 4 row
 /// 2): `p = +∞`, `β = 1`, `q = 2` — the extreme `r = 1/2` configuration.
-pub fn balcer_cheu_uniform() -> VariationRatio {
-    VariationRatio::new(f64::INFINITY, 1.0, 2.0).expect("static parameters are valid")
+pub fn balcer_cheu_uniform() -> Result<VariationRatio> {
+    VariationRatio::new(f64::INFINITY, 1.0, 2.0)
 }
 
 /// pureDUMP (Li et al.): each blanket message is a uniform bin in `[d]`:
@@ -273,7 +273,7 @@ mod tests {
 
     #[test]
     fn balcer_cheu_rows() {
-        let u = balcer_cheu_uniform();
+        let u = balcer_cheu_uniform().unwrap();
         assert_eq!(u.q(), 2.0);
         assert!(is_close(u.r(), 0.5, 1e-15));
         let b = balcer_cheu_biased(0.25).unwrap();

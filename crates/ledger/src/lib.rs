@@ -202,19 +202,21 @@ impl BudgetLedger {
     /// The stripe owning `user`. User ids are mixed through SplitMix64
     /// before masking so sequential ids (the common assignment scheme)
     /// spread across stripes instead of marching through them in lockstep.
-    fn shard_of(&self, user: u64) -> &Mutex<HashMap<u64, Entry>> {
+    fn shard_of(&self, user: u64) -> Result<&Mutex<HashMap<u64, Entry>>> {
         let mut z = user.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         let idx = usize::try_from(z & self.mask).unwrap_or(0);
-        // The mask keeps idx < shards.len(); `.get()` keeps the bounds
-        // check honest without an indexing panic path.
-        match self.shards.get(idx) {
-            Some(stripe) => stripe,
-            // vr-lint: allow(slice-index) — shards is non-empty by construction (with_shards rejects 0) and this arm needs mask > len, which with_shards also forbids
-            None => &self.shards[0],
-        }
+        // The mask keeps idx < shards.len() (with_shards rejects zero
+        // shards and derives the mask from the count); a miss here is a
+        // broken invariant, reported instead of indexed around.
+        self.shards.get(idx).ok_or_else(|| {
+            Error::Internal(format!(
+                "stripe index {idx} out of range for {} ledger shards",
+                self.shards.len()
+            ))
+        })
     }
 
     /// Users currently holding at least one charged round.
@@ -316,7 +318,7 @@ impl BudgetLedger {
         }
         let id = self.workload_id(engine, vr, n)?;
         let mut guard = self
-            .shard_of(user)
+            .shard_of(user)?
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let entry = guard.entry(user).or_default();
@@ -367,7 +369,7 @@ impl BudgetLedger {
                 "budget delta must be in (0, 1) (got {delta})"
             )));
         }
-        let terms = self.entry_snapshot(user);
+        let terms = self.entry_snapshot(user)?;
         let resolved = self.resolve_terms(&terms)?;
         let spent = Self::epsilon_of(&resolved, delta)?;
         let rounds = terms
@@ -406,7 +408,7 @@ impl BudgetLedger {
         cap: u32,
     ) -> Result<AffordabilityReport> {
         let id = self.workload_id(engine, vr, n)?;
-        let terms = self.entry_snapshot(user);
+        let terms = self.entry_snapshot(user)?;
         let mut resolved = self.resolve_terms(&terms)?;
         // The probed workload's slot: its existing term, or a fresh zero-
         // round term appended exactly where a real charge would append it.
@@ -459,12 +461,12 @@ impl BudgetLedger {
     }
 
     /// Snapshot a user's `(workload id, rounds)` terms (empty if absent).
-    fn entry_snapshot(&self, user: u64) -> Entry {
+    fn entry_snapshot(&self, user: u64) -> Result<Entry> {
         let guard = self
-            .shard_of(user)
+            .shard_of(user)?
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        guard.get(&user).cloned().unwrap_or_default()
+        Ok(guard.get(&user).cloned().unwrap_or_default())
     }
 
     /// Export CSV rows (see [`csv`]) for `users`, one row per charged
@@ -474,7 +476,7 @@ impl BudgetLedger {
     pub fn export_users(&self, users: &[u64]) -> Result<Vec<String>> {
         let mut rows = Vec::new();
         for &user in users {
-            let terms = self.entry_snapshot(user);
+            let terms = self.entry_snapshot(user)?;
             let resolved = {
                 let table = self.table.read().unwrap_or_else(PoisonError::into_inner);
                 terms

@@ -47,13 +47,16 @@
 //! [`check_waiver_lockfile`] fails when the tree and the lockfile
 //! disagree, so the waiver set can only grow through a reviewed diff.
 
+pub mod graph;
 pub mod lexer;
+pub mod passes;
 pub mod policy;
 pub mod report;
 pub mod rules;
 
+use graph::FileUnit;
 use policy::{classify, crate_of, exempt_mask};
-use report::{FileReport, RunReport};
+use report::{FileReport, PassFinding, RunReport};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -70,9 +73,9 @@ impl std::fmt::Display for ToolError {
 
 impl std::error::Error for ToolError {}
 
-/// Lint one in-memory source file classified at `rel` path. The unit the
-/// golden-file tests drive directly.
-pub fn lint_source(rel: &str, source: &str) -> Result<Option<FileReport>, ToolError> {
+/// Scan one in-memory source file: token rules plus the retained
+/// token-stream unit the graph passes consume.
+fn scan_source(rel: &str, source: &str) -> Result<Option<(FileUnit, FileReport)>, ToolError> {
     let zone = match classify(rel) {
         Ok(z) => z,
         Err(_) => return Ok(None),
@@ -80,18 +83,52 @@ pub fn lint_source(rel: &str, source: &str) -> Result<Option<FileReport>, ToolEr
     let lexed = lexer::lex(source).map_err(|e| ToolError(format!("{rel}: lex error: {e}")))?;
     let exempt = exempt_mask(&lexed.tokens);
     let matched = rules::run(&lexed, &exempt, zone);
-    Ok(Some(FileReport {
+    let file_report = FileReport {
         path: rel.to_string(),
         krate: crate_of(rel).to_string(),
         zone: zone.name().to_string(),
         findings: matched.findings,
         waivers: matched.waivers,
-    }))
+    };
+    let unit = FileUnit {
+        rel: rel.to_string(),
+        krate: crate_of(rel).to_string(),
+        zone,
+        lexed,
+        exempt,
+    };
+    Ok(Some((unit, file_report)))
 }
 
-/// Walk the workspace at `root` and lint every `.rs` file in a policy
-/// zone. Returns the run report plus each scanned file's source (for
-/// diagnostics rendering).
+/// Lint one in-memory source file classified at `rel` path (token rules
+/// only). The unit the golden-file tests drive directly.
+pub fn lint_source(rel: &str, source: &str) -> Result<Option<FileReport>, ToolError> {
+    Ok(scan_source(rel, source)?.map(|(_, r)| r))
+}
+
+/// Run the graph passes (call-graph build + panic-reach + lock-order +
+/// wire-schema) over a set of in-memory sources keyed by
+/// workspace-relative path. `readme` is the root `README.md` body (empty
+/// string disables the README surface check). The entry the pass golden
+/// tests drive with fixture mini-workspaces.
+pub fn analyze_sources(
+    sources: &BTreeMap<String, String>,
+    readme: &str,
+) -> Result<(Vec<PassFinding>, report::GraphStats), ToolError> {
+    let mut units = Vec::new();
+    let mut reports = Vec::new();
+    for (rel, source) in sources {
+        if let Some((unit, file_report)) = scan_source(rel, source)? {
+            units.push(unit);
+            reports.push(file_report);
+        }
+    }
+    Ok(passes::run_all(&units, &reports, readme))
+}
+
+/// Walk the workspace at `root`, lint every `.rs` file in a policy zone,
+/// then run the graph passes over the retained token streams. Returns the
+/// run report plus each scanned file's source (for diagnostics rendering).
 pub fn lint_workspace(root: &Path) -> Result<(RunReport, BTreeMap<String, String>), ToolError> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)
@@ -100,18 +137,25 @@ pub fn lint_workspace(root: &Path) -> Result<(RunReport, BTreeMap<String, String
 
     let mut report = RunReport::default();
     let mut sources = BTreeMap::new();
+    let mut units = Vec::new();
     for rel in files {
         let full = root.join(&rel);
         let source = fs::read_to_string(&full)
             .map_err(|e| ToolError(format!("reading {}: {e}", full.display())))?;
-        match lint_source(&rel, &source)? {
-            Some(file_report) => {
+        match scan_source(&rel, &source)? {
+            Some((unit, file_report)) => {
                 sources.insert(rel, source);
+                units.push(unit);
                 report.files.push(file_report);
             }
             None => report.skipped += 1,
         }
     }
+    // `units` and `report.files` are parallel by construction above.
+    let readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    let (graph_findings, stats) = passes::run_all(&units, &report.files, &readme);
+    report.graph = graph_findings;
+    report.graph_stats = stats;
     Ok((report, sources))
 }
 
@@ -228,7 +272,7 @@ mod tests {
         .expect("in zone");
         let report = RunReport {
             files: vec![r],
-            skipped: 0,
+            ..RunReport::default()
         };
         let dir = std::env::temp_dir().join("vr-lint-test-lockfile");
         std::fs::create_dir_all(&dir).expect("tmp dir");

@@ -49,6 +49,17 @@ fn main() -> ExitCode {
                 r.policy()
             );
         }
+        println!(
+            "{:<16} {:<18} graph passes (see `vr_lint::passes` rustdoc)",
+            "—", "—"
+        );
+        for (pass, rules) in [
+            ("panic-reach", "reachable-panic"),
+            ("lock-order", "lock-inversion, lock-double-acquire"),
+            ("wire-schema", "missing-op, undeclared-op"),
+        ] {
+            println!("{:<16} {:<18} {rules}", pass, "graph");
+        }
         return ExitCode::SUCCESS;
     }
     if !workspace {
@@ -121,12 +132,23 @@ fn main() -> ExitCode {
         eprint!("{}", report.render_diagnostics(&sources));
     }
     if !quiet {
+        let passes = report
+            .pass_counts()
+            .iter()
+            .map(|(p, n)| format!("{p} {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         println!(
-            "vr-lint: {} files scanned ({} exempt), {} violations, {} waivers ({})",
+            "vr-lint: {} files scanned ({} exempt), {} violations, {} waivers; \
+             graph {} fns / {} edges / {} unresolved; passes: {} ({})",
             report.files.len(),
             report.skipped,
             violations,
             report.waiver_count(),
+            report.graph_stats.functions,
+            report.graph_stats.edges,
+            report.graph_stats.unresolved,
+            passes,
             report_path.display()
         );
     }

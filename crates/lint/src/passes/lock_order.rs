@@ -1,0 +1,462 @@
+//! Lock-order analysis: extract lock/stripe acquisition sites and check
+//! them against the declared partial order in
+//! [`crate::policy::LockClass`].
+//!
+//! ## What counts as an acquisition
+//!
+//! * `receiver.lock()` / `receiver.read()` / `receiver.write()` with
+//!   **empty** argument lists (`stream.read(&mut buf)` is I/O, not a
+//!   lock). The receiver path's identifiers are matched against the
+//!   marker table in [`LockClass::of_marker`].
+//! * A call to the free `lock(…)` helper (`vr_server::server`): the
+//!   argument's identifiers classify the lock.
+//! * A call to a **guard-returning helper** — a workspace fn whose
+//!   signature mentions `MutexGuard`/`RwLockReadGuard`/`RwLockWriteGuard`
+//!   (`AnalysisEngine::cache_read`, …). The call site inherits the class
+//!   of the helper's own acquisition; the helper's body is otherwise
+//!   skipped (its guard is its return value, not a held lock).
+//!
+//! ## Guard scopes
+//!
+//! A `let`-bound guard lives to its enclosing block's `}` — or to an
+//! explicit `drop(name)`, which the engine's `clear_cache` relies on. An
+//! unbound acquisition lives to the end of its statement (`;` at the same
+//! depth).
+//!
+//! ## Findings
+//!
+//! While a guard of class `H` is live, acquiring class `A` directly *or
+//! through any resolved callee's transitive lock set* yields:
+//! `lock-inversion` when `rank(A) < rank(H)`, and `lock-double-acquire`
+//! when `A == H` (two FNV stripe picks can collide or cross-invert, so
+//! nesting the same class is banned outright).
+
+use crate::graph::{CallGraph, FileUnit};
+use crate::lexer::{Tok, TokKind};
+use crate::policy::LockClass;
+use crate::report::PassFinding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Receiver/argument idents that name a known non-workspace lock (std I/O
+/// handles): recognized so they don't look like classification gaps.
+fn benign_marker(ident: &str) -> bool {
+    matches!(ident, "stdout" | "stderr" | "stdin")
+}
+
+/// One acquisition event inside a function body.
+struct Acq {
+    /// Token index of the `lock`/`read`/`write`/helper-name ident.
+    tok: usize,
+    class: LockClass,
+    /// Last token index (inclusive) the guard is live through.
+    scope_end: usize,
+}
+
+/// Walk backwards over a receiver chain ending at `dot` (the `.` before
+/// the lock method) and collect its path identifiers, skipping balanced
+/// `(…)`/`[…]` groups (`self.shard_of(user).lock()`, `self.shards[0]`).
+fn receiver_idents(tokens: &[Tok], dot: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut i = dot; // points at `.`
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = i - 1;
+        let t = &tokens[prev];
+        if t.kind == TokKind::Ident {
+            idents.push(t.text.clone());
+            i = prev;
+            // Chain continues only through `.` or `::`.
+            if i == 0 || !(tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("::")) {
+                break;
+            }
+            i -= 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            let close = t.text.clone();
+            let open = if close == ")" { "(" } else { "[" };
+            let mut depth = 0i64;
+            let mut j = prev;
+            loop {
+                let tt = &tokens[j];
+                if tt.is_punct(&close) {
+                    depth += 1;
+                } else if tt.is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            i = j;
+        } else {
+            break;
+        }
+    }
+    idents
+}
+
+/// Classify by the first (innermost) marker in a receiver chain.
+fn classify_idents<'a>(idents: impl Iterator<Item = &'a str>) -> Option<LockClass> {
+    for id in idents {
+        if let Some(c) = LockClass::of_marker(id) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Scope end for a guard acquired at `site` (token index of the
+/// acquisition ident).
+///
+/// * `let`-bound: to the enclosing block's `}`, or an explicit
+///   `drop(name)` (the engine's `clear_cache` depends on this).
+/// * Unbound: to the end of the owning temporary's life. A `;` at
+///   statement depth ends it; so does a control-flow `{` at paren depth 0
+///   (an `if`/`while` condition's temporaries die before the block) —
+///   *except* for `match`, whose scrutinee temporaries live through the
+///   whole match block. Closure braces sit at paren depth > 0 and keep
+///   the temporary alive (`spends.read()…filter(|s| s.built.lock()…)`).
+fn scope_end(
+    tokens: &[Tok],
+    body_hi: usize,
+    site: usize,
+    bound: Option<&str>,
+    stmt_is_match: bool,
+) -> usize {
+    let hi = body_hi.min(tokens.len().saturating_sub(1));
+    if let Some(name) = bound {
+        let mut depth = 0i64;
+        let mut j = site;
+        while j <= hi {
+            let t = &tokens[j];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            } else if t.is_ident("drop")
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct("("))
+                && tokens.get(j + 2).is_some_and(|n| n.is_ident(name))
+                && tokens.get(j + 3).is_some_and(|n| n.is_punct(")"))
+            {
+                return j;
+            }
+            j += 1;
+        }
+        return hi;
+    }
+    let mut paren = 0i64;
+    let mut brace = 0i64;
+    let mut j = site;
+    while j <= hi {
+        let t = &tokens[j];
+        if t.is_punct("(") || t.is_punct("[") {
+            paren += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            paren -= 1;
+        } else if t.is_punct("{") {
+            if paren == 0 && brace == 0 {
+                if !stmt_is_match {
+                    return j;
+                }
+                // Match scrutinee: live to the match block's `}`.
+                let mut depth = 0i64;
+                let mut k = j;
+                while k <= hi {
+                    if tokens[k].is_punct("{") {
+                        depth += 1;
+                    } else if tokens[k].is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            return k;
+                        }
+                    }
+                    k += 1;
+                }
+                return hi;
+            }
+            brace += 1;
+        } else if t.is_punct("}") {
+            brace -= 1;
+            if brace < 0 {
+                return j;
+            }
+        } else if t.is_punct(";") && paren == 0 && brace == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// Token index where the statement containing `site` starts (after the
+/// previous `;`/`{`/`}`).
+fn stmt_start(tokens: &[Tok], body_lo: usize, site: usize) -> usize {
+    let mut j = site;
+    while j > body_lo {
+        let t = &tokens[j - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// The `let`-bound name for the statement starting at `start`, if any.
+fn bound_name(tokens: &[Tok], start: usize, site: usize) -> Option<String> {
+    let stmt = &tokens[start..site];
+    let let_pos = stmt.iter().position(|t| t.is_ident("let"))?;
+    stmt[let_pos + 1..]
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut"))
+        .map(|t| t.text.clone())
+}
+
+/// Does this fn signature (tokens between the name and the body `{`)
+/// return a guard type?
+fn returns_guard(tokens: &[Tok], name_idx: usize, body_lo: usize) -> bool {
+    tokens[name_idx..body_lo].iter().any(|t| {
+        t.is_ident("MutexGuard") || t.is_ident("RwLockReadGuard") || t.is_ident("RwLockWriteGuard")
+    })
+}
+
+/// Direct acquisition sites in one fn body (guard-returning-helper call
+/// sites are added by the caller, which owns the helper map).
+fn direct_acqs(unit: &FileUnit, lo: usize, hi: usize) -> Vec<(usize, Option<LockClass>)> {
+    let tokens = &unit.lexed.tokens;
+    let mut out = Vec::new();
+    for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let lockish = matches!(t.text.as_str(), "lock" | "read" | "write");
+        if !lockish {
+            continue;
+        }
+        let open_paren = tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if !open_paren {
+            continue;
+        }
+        let empty = tokens.get(i + 2).is_some_and(|n| n.is_punct(")"));
+        let method = i > 0 && tokens[i - 1].is_punct(".");
+        if method && empty {
+            // `receiver.lock()` / `.read()` / `.write()`.
+            let idents = receiver_idents(tokens, i - 1);
+            let class = classify_idents(idents.iter().map(String::as_str));
+            if class.is_none() && idents.iter().any(|s| benign_marker(s)) {
+                continue;
+            }
+            out.push((i, class));
+        } else if !method && t.text == "lock" && !empty {
+            // Free `lock(&shard.inbox)` helper call: classify by the
+            // argument's idents (scan to the matching `)`).
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            let mut arg_idents: Vec<&str> = Vec::new();
+            while j <= hi && j < tokens.len() {
+                let tt = &tokens[j];
+                if tt.is_punct("(") {
+                    depth += 1;
+                } else if tt.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tt.kind == TokKind::Ident {
+                    arg_idents.push(&tt.text);
+                }
+                j += 1;
+            }
+            out.push((i, classify_idents(arg_idents.into_iter())));
+        }
+    }
+    out
+}
+
+pub fn run(files: &[FileUnit], graph: &CallGraph) -> Vec<PassFinding> {
+    // Guard-returning helpers and their classes.
+    let mut helper_class: BTreeMap<usize, LockClass> = BTreeMap::new();
+    let mut is_helper: Vec<bool> = vec![false; graph.fns.len()];
+    for (fx, item) in graph.fns.iter().enumerate() {
+        let Some((lo, _hi)) = item.body else { continue };
+        let unit = &files[item.file];
+        let tokens = &unit.lexed.tokens;
+        // The fn name token precedes the signature; find its index from
+        // the span by scanning near `lo` backwards is fragile, so use the
+        // whole signature window: from the body start back to the `fn`
+        // keyword.
+        let mut name_idx = lo;
+        while name_idx > 0 && !tokens[name_idx].is_ident("fn") {
+            name_idx -= 1;
+        }
+        if !returns_guard(tokens, name_idx, lo) {
+            continue;
+        }
+        is_helper[fx] = true;
+        if let Some((body_lo, body_hi)) = item.body {
+            if let Some(class) = direct_acqs(unit, body_lo, body_hi)
+                .into_iter()
+                .find_map(|(_, c)| c)
+            {
+                helper_class.insert(fx, class);
+            }
+        }
+    }
+
+    // Per-fn acquisition events (direct + helper calls), and per-fn direct
+    // lock-class sets for the transitive closure.
+    let mut acqs: Vec<Vec<Acq>> = (0..graph.fns.len()).map(|_| Vec::new()).collect();
+    let mut classes: Vec<BTreeSet<LockClass>> = vec![BTreeSet::new(); graph.fns.len()];
+    for (fx, item) in graph.fns.iter().enumerate() {
+        let Some((lo, hi)) = item.body else { continue };
+        let unit = &files[item.file];
+        let tokens = &unit.lexed.tokens;
+        let mut events: Vec<(usize, LockClass)> = Vec::new();
+        for (tok, class) in direct_acqs(unit, lo, hi) {
+            if let Some(class) = class {
+                events.push((tok, class));
+            }
+        }
+        for site in &graph.calls[fx] {
+            for &target in &site.targets {
+                if let Some(&class) = helper_class.get(&target) {
+                    events.push((site.tok, class));
+                }
+            }
+        }
+        events.sort();
+        events.dedup();
+        for &(_, class) in &events {
+            classes[fx].insert(class);
+        }
+        // A guard-returning helper's own acquisition is its return value,
+        // not a held lock: it contributes to `classes` (callers do hold
+        // it) but opens no scope inside the helper.
+        if is_helper[fx] {
+            continue;
+        }
+        for (tok, class) in events {
+            let start = stmt_start(tokens, lo, tok);
+            let bound = bound_name(tokens, start, tok);
+            let is_match = tokens[start..tok].iter().any(|t| t.is_ident("match"));
+            let end = scope_end(tokens, hi, tok, bound.as_deref(), is_match);
+            acqs[fx].push(Acq {
+                tok,
+                class,
+                scope_end: end,
+            });
+        }
+    }
+
+    // Transitive lock-class sets: fixpoint over resolved edges (iterative,
+    // so cycles converge).
+    loop {
+        let mut changed = false;
+        for fx in 0..graph.fns.len() {
+            let mut add: BTreeSet<LockClass> = BTreeSet::new();
+            for site in &graph.calls[fx] {
+                for &t in &site.targets {
+                    for &c in &classes[t] {
+                        if !classes[fx].contains(&c) {
+                            add.insert(c);
+                        }
+                    }
+                }
+            }
+            if !add.is_empty() {
+                classes[fx].extend(add);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Check every live-guard window.
+    let mut findings = Vec::new();
+    for (fx, item) in graph.fns.iter().enumerate() {
+        if item.exempt {
+            continue;
+        }
+        let unit = &files[item.file];
+        let tokens = &unit.lexed.tokens;
+        let mut emit = |tok: usize, held: LockClass, acquired: LockClass, via: Option<&str>| {
+            let (rule, verdict) = if acquired == held {
+                ("lock-double-acquire", "re-acquires")
+            } else if acquired.rank() < held.rank() {
+                ("lock-inversion", "inverts the declared order against")
+            } else {
+                return;
+            };
+            let via = via.map(|v| format!(" via `{v}(…)`")).unwrap_or_default();
+            findings.push(PassFinding {
+                file: unit.rel.clone(),
+                pass: "lock-order",
+                rule,
+                span: tokens[tok].span,
+                message: format!(
+                    "`{}` acquires `{}`{via} while holding `{}` — {} `{}` (declared order: {})",
+                    item.qualified(),
+                    acquired.name(),
+                    held.name(),
+                    verdict,
+                    acquired.name(),
+                    LockClass::ORDER
+                        .iter()
+                        .map(|c| c.name())
+                        .collect::<Vec<_>>()
+                        .join(" < ")
+                ),
+            });
+        };
+        for a in &acqs[fx] {
+            // Direct acquisitions inside the live window.
+            for b in &acqs[fx] {
+                if b.tok > a.tok && b.tok <= a.scope_end {
+                    emit(b.tok, a.class, b.class, None);
+                }
+            }
+            // Calls inside the live window: everything the callee's
+            // transitive closure can lock is acquired while `a` is held.
+            for site in &graph.calls[fx] {
+                if site.tok <= a.tok || site.tok > a.scope_end {
+                    continue;
+                }
+                for &t in &site.targets {
+                    // Helper calls already appear as direct acquisitions.
+                    if helper_class.contains_key(&t) {
+                        continue;
+                    }
+                    for &c in &classes[t] {
+                        emit(site.tok, a.class, c, Some(&graph.fns[t].name));
+                    }
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.span.line, a.span.col, a.rule).cmp(&(
+            b.file.as_str(),
+            b.span.line,
+            b.span.col,
+            b.rule,
+        ))
+    });
+    findings.dedup_by(|a, b| {
+        a.file == b.file
+            && a.span.line == b.span.line
+            && a.span.col == b.span.col
+            && a.rule == b.rule
+    });
+    findings
+}

@@ -1,0 +1,126 @@
+//! Panic-reachability: seed the call graph at the wire entry points and
+//! report every path that reaches a panicking construct.
+//!
+//! Seeds are all non-exempt functions in `server-wire` zone files — the
+//! protocol dispatch, the shard event loops, the client/CLI surface: the
+//! set a hostile peer can drive. Two kinds of finding come out:
+//!
+//! 1. A reachable function in a zone **without** token-level
+//!    panic-freedom (`core-lib`, `library`) whose body contains
+//!    `.unwrap(…)`, `.expect(…)` or a panic macro. The per-file rules are
+//!    blind there by design; reachability closes the blindspot.
+//! 2. A reachable function in any zone containing a **waived**
+//!    `unwrap-call`/`expect-call` site. A waiver vouches for a local
+//!    invariant, but a hostile request stream ending at that site is an
+//!    outage path — the waiver does not transfer across the graph.
+//!    (Waived `slice-index`/`panic-macro` sites stay honored: those
+//!    waivers state bounding/unreachability invariants that hold for any
+//!    caller.)
+
+use crate::graph::{CallGraph, FileUnit};
+use crate::lexer::TokKind;
+use crate::report::{FileReport, PassFinding};
+use crate::rules::RuleId;
+
+/// Does this zone already enforce token-level panic-freedom?
+fn zone_has_panic_rules(zone: crate::policy::Zone) -> bool {
+    zone.rules().contains(&RuleId::UnwrapCall)
+}
+
+pub fn run(files: &[FileUnit], graph: &CallGraph, reports: &[FileReport]) -> Vec<PassFinding> {
+    let seeds: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            !f.exempt && files[f.file].zone == crate::policy::Zone::ServerWire && f.body.is_some()
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let parents = graph.reach_parents(&seeds);
+
+    let mut findings = Vec::new();
+    for &fx in parents.keys() {
+        let item = &graph.fns[fx];
+        let unit = &files[item.file];
+        let Some((lo, hi)) = item.body else { continue };
+        let tokens = &unit.lexed.tokens;
+        let body_first_line = tokens[lo].span.line;
+        let body_last_line = tokens[hi].span.line;
+
+        // Kind 1: direct panicking constructs in zones the token rules
+        // leave alone.
+        if !zone_has_panic_rules(unit.zone) {
+            for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+                if unit.exempt.get(i).copied().unwrap_or(false) {
+                    continue;
+                }
+                let t = &tokens[i];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let method_call = i > 0
+                    && tokens[i - 1].is_punct(".")
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    && (t.text == "unwrap" || t.text == "expect");
+                let panic_macro = tokens.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                    && matches!(
+                        t.text.as_str(),
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                    );
+                if method_call || panic_macro {
+                    let construct = if panic_macro {
+                        format!("{}!", t.text)
+                    } else {
+                        format!(".{}(…)", t.text)
+                    };
+                    findings.push(PassFinding {
+                        file: unit.rel.clone(),
+                        pass: "panic-reach",
+                        rule: "reachable-panic",
+                        span: t.span,
+                        message: format!(
+                            "`{construct}` in `{}` is wire-reachable: {}",
+                            item.qualified(),
+                            graph.path_to(&parents, fx)
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Kind 2: waived unwrap/expect findings inside a reachable body.
+        let Some(report) = reports.get(item.file) else {
+            continue;
+        };
+        for f in &report.findings {
+            let waived_panic = f.waived
+                && (f.rule == RuleId::UnwrapCall.id() || f.rule == RuleId::ExpectCall.id());
+            if waived_panic && f.span.line >= body_first_line && f.span.line <= body_last_line {
+                findings.push(PassFinding {
+                    file: unit.rel.clone(),
+                    pass: "panic-reach",
+                    rule: "reachable-panic",
+                    span: f.span,
+                    message: format!(
+                        "waived `{}` in `{}` is wire-reachable (a waiver does not cross the \
+                         call graph): {}",
+                        f.rule,
+                        item.qualified(),
+                        graph.path_to(&parents, fx)
+                    ),
+                });
+            }
+        }
+    }
+
+    // A helper can be reached through several seeds/paths; keep one
+    // finding per site.
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.span.line, a.span.col).cmp(&(b.file.as_str(), b.span.line, b.span.col))
+    });
+    findings.dedup_by(|a, b| {
+        a.file == b.file && a.span.line == b.span.line && a.span.col == b.span.col
+    });
+    findings
+}

@@ -1,0 +1,249 @@
+//! Wire-schema consistency: the op set must agree four ways — the
+//! `protocol.rs` dispatch arms, the `Client` verbs, the `vr-query` CLI
+//! surface, and the README op tables — all anchored to the declared table
+//! in [`crate::policy::WIRE_OPS`]. A new op that ships on fewer than all
+//! four surfaces is a finding on the surface that missed it; an op
+//! dispatched but absent from the declared table is `undeclared-op`.
+
+use crate::graph::FileUnit;
+use crate::lexer::{Span, Tok, TokKind};
+use crate::policy::WIRE_OPS;
+use crate::report::PassFinding;
+use std::collections::BTreeMap;
+
+const PROTOCOL: &str = "crates/server/src/protocol.rs";
+const CLIENT: &str = "crates/server/src/client.rs";
+const QUERY_CLI: &str = "crates/server/src/bin/vr-query.rs";
+const README: &str = "README.md";
+
+/// Strip the quotes off a string-literal token's text (`"stats"` →
+/// `stats`; op names never carry escapes).
+fn str_body(text: &str) -> &str {
+    text.trim_start_matches(['b', 'r', '#'])
+        .trim_matches('#')
+        .trim_matches('"')
+}
+
+/// The dispatch arm heads of `Request::from_json`: every string literal in
+/// a `"a" | "b" | … =>` chain inside the fn body. The file carries several
+/// `from_json` impls (replies, enums), so the search is anchored to the
+/// `impl Request` block first.
+fn dispatch_ops(tokens: &[Tok]) -> Vec<(String, Span)> {
+    // Locate the `impl Request { … }` block.
+    let mut window = (0usize, tokens.len());
+    for i in 0..tokens.len().saturating_sub(1) {
+        if tokens[i].is_ident("impl") && tokens[i + 1].is_ident("Request") {
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct("{") {
+                j += 1;
+            }
+            let mut depth = 0i64;
+            let mut k = j;
+            while k < tokens.len() {
+                if tokens[k].is_punct("{") {
+                    depth += 1;
+                } else if tokens[k].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            window = (j, k.min(tokens.len()));
+            break;
+        }
+    }
+    // Locate `fn from_json` and its body inside that window.
+    let mut body: Option<(usize, usize)> = None;
+    for i in window.0..window.1.min(tokens.len()).saturating_sub(1) {
+        if tokens[i].is_ident("fn") && tokens[i + 1].is_ident("from_json") {
+            let mut j = i + 2;
+            while j < tokens.len() && !tokens[j].is_punct("{") {
+                j += 1;
+            }
+            let mut depth = 0i64;
+            let mut k = j;
+            while k < tokens.len() {
+                if tokens[k].is_punct("{") {
+                    depth += 1;
+                } else if tokens[k].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            body = Some((j, k.min(tokens.len().saturating_sub(1))));
+            break;
+        }
+    }
+    let Some((lo, hi)) = body else {
+        return Vec::new();
+    };
+
+    let mut ops = Vec::new();
+    let mut i = lo;
+    while i <= hi {
+        if tokens[i].kind != TokKind::Str {
+            i += 1;
+            continue;
+        }
+        // Walk a `"x" | "y" | … ` chain and see whether it ends in `=>`.
+        let mut chain = vec![i];
+        let mut j = i + 1;
+        while j < hi && tokens[j].is_punct("|") && tokens[j + 1].kind == TokKind::Str {
+            chain.push(j + 1);
+            j += 2;
+        }
+        if tokens.get(j).is_some_and(|t| t.is_punct("=>")) {
+            for &c in &chain {
+                ops.push((str_body(&tokens[c].text).to_string(), tokens[c].span));
+            }
+        }
+        i = j.max(i + 1);
+    }
+    ops
+}
+
+/// The `pub fn` names of a file (the `Client` verb surface).
+fn pub_fn_names(tokens: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..tokens.len().saturating_sub(1) {
+        if tokens[i].is_ident("fn") && tokens[i + 1].kind == TokKind::Ident {
+            names.push(tokens[i + 1].text.clone());
+        }
+    }
+    names
+}
+
+/// Word-bounded occurrence check: `name` appears in `text` not embedded in
+/// a longer identifier (`min_n` must not match inside `min_next`).
+fn mentions(text: &str, name: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        let before_ok = start == 0 || {
+            let c = bytes[start - 1];
+            !(c.is_ascii_alphanumeric() || c == b'_')
+        };
+        let after_ok = end == text.len() || {
+            let c = bytes[end];
+            !(c.is_ascii_alphanumeric() || c == b'_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// `sources` maps workspace-relative paths to raw file bodies (for the
+/// text surfaces); `files` carries the token streams.
+pub fn run(files: &[FileUnit], readme: &str) -> Vec<PassFinding> {
+    let by_rel: BTreeMap<&str, &FileUnit> = files.iter().map(|u| (u.rel.as_str(), u)).collect();
+    let mut findings = Vec::new();
+    let origin = Span { line: 1, col: 1 };
+
+    // Surface 1: protocol dispatch vs the declared table, both directions.
+    if let Some(protocol) = by_rel.get(PROTOCOL) {
+        let dispatched = dispatch_ops(&protocol.lexed.tokens);
+        for (op, span) in &dispatched {
+            if !WIRE_OPS.iter().any(|w| w.name == op) {
+                findings.push(PassFinding {
+                    file: PROTOCOL.to_string(),
+                    pass: "wire-schema",
+                    rule: "undeclared-op",
+                    span: *span,
+                    message: format!(
+                        "dispatch arm `\"{op}\"` has no entry in `policy::WIRE_OPS` — declare \
+                         the op (and its client verb) before wiring it"
+                    ),
+                });
+            }
+        }
+        for w in WIRE_OPS {
+            if !dispatched.iter().any(|(op, _)| op == w.name) {
+                findings.push(PassFinding {
+                    file: PROTOCOL.to_string(),
+                    pass: "wire-schema",
+                    rule: "missing-op",
+                    span: origin,
+                    message: format!(
+                        "declared op `\"{}\"` has no dispatch arm in `Request::from_json`",
+                        w.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Surface 2: dedicated Client verbs.
+    if let Some(client) = by_rel.get(CLIENT) {
+        let verbs = pub_fn_names(&client.lexed.tokens);
+        for w in WIRE_OPS {
+            let Some(verb) = w.client_verb else { continue };
+            if !verbs.iter().any(|v| v == verb) {
+                findings.push(PassFinding {
+                    file: CLIENT.to_string(),
+                    pass: "wire-schema",
+                    rule: "missing-op",
+                    span: origin,
+                    message: format!(
+                        "op `\"{}\"` declares client verb `{verb}` but `Client` has no such \
+                         method",
+                        w.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Surfaces 3 and 4: the vr-query CLI and the README op tables mention
+    // every op by name (word-bounded).
+    let cli_text: Option<String> = by_rel.get(QUERY_CLI).map(|u| {
+        // Reconstruct a searchable text from tokens *and* comments: the
+        // CLI documents ops in its usage string and doc comments alike.
+        let mut text = String::new();
+        for t in &u.lexed.tokens {
+            text.push_str(&t.text);
+            text.push(' ');
+        }
+        for c in &u.lexed.comments {
+            text.push_str(&c.text);
+            text.push(' ');
+        }
+        text
+    });
+    for w in WIRE_OPS {
+        if let Some(cli) = &cli_text {
+            if !mentions(cli, w.name) {
+                findings.push(PassFinding {
+                    file: QUERY_CLI.to_string(),
+                    pass: "wire-schema",
+                    rule: "missing-op",
+                    span: origin,
+                    message: format!(
+                        "op `\"{}\"` is absent from the `vr-query` CLI surface (usage text \
+                         and flags)",
+                        w.name
+                    ),
+                });
+            }
+        }
+        if !readme.is_empty() && !mentions(readme, w.name) {
+            findings.push(PassFinding {
+                file: README.to_string(),
+                pass: "wire-schema",
+                rule: "missing-op",
+                span: origin,
+                message: format!("op `\"{}\"` is absent from the README op tables", w.name),
+            });
+        }
+    }
+    findings
+}

@@ -195,6 +195,164 @@ pub fn exempt_mask(tokens: &[Tok]) -> Vec<bool> {
     exempt
 }
 
+/// The lock classes the lock-order pass tracks, in declared acquisition
+/// order: a thread holding a class may only acquire classes of *higher*
+/// rank. The order mirrors how the serving stack nests today — a shard
+/// loop services connections (inbox first), ledger ops pick a stripe and
+/// then consult the workload table, and engine evaluation takes the spends
+/// map before a spend slot's builder mutex; the evaluator cache and the
+/// support-hint cache are leaves that never hold anything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockClass {
+    /// `vr_server::Shard.inbox` (`Mutex<Vec<TcpStream>>`).
+    ShardInbox,
+    /// One of the ledger's FNV-picked per-user stripes
+    /// (`Mutex<HashMap<u64, Entry>>`).
+    LedgerStripe,
+    /// The ledger's workload interner (`RwLock<WorkloadTable>`).
+    LedgerTable,
+    /// The engine's spend-slot map (`RwLock<HashMap<SpendKey, …>>`).
+    EngineSpends,
+    /// A single spend slot's builder mutex (`SpendSlot.built`).
+    SpendSlot,
+    /// The engine's evaluator cache (`RwLock<HashMap<EvaluatorKey, …>>`).
+    EngineCache,
+    /// The engine's support-hint cache (`RwLock<…>`).
+    SupportHints,
+}
+
+impl LockClass {
+    /// Every class, ascending by declared rank.
+    pub const ORDER: [LockClass; 7] = [
+        LockClass::ShardInbox,
+        LockClass::LedgerStripe,
+        LockClass::LedgerTable,
+        LockClass::EngineSpends,
+        LockClass::SpendSlot,
+        LockClass::EngineCache,
+        LockClass::SupportHints,
+    ];
+
+    /// Position in the declared order (lower acquires first).
+    pub fn rank(self) -> usize {
+        Self::ORDER
+            .iter()
+            .position(|&c| c == self)
+            .unwrap_or(Self::ORDER.len())
+    }
+
+    /// Stable name for diagnostics and the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockClass::ShardInbox => "shard-inbox",
+            LockClass::LedgerStripe => "ledger-stripe",
+            LockClass::LedgerTable => "ledger-table",
+            LockClass::EngineSpends => "engine-spends",
+            LockClass::SpendSlot => "spend-slot",
+            LockClass::EngineCache => "engine-cache",
+            LockClass::SupportHints => "support-hints",
+        }
+    }
+
+    /// Classify an acquisition by the identifiers naming the lock at the
+    /// call site (receiver path components, or the argument of the free
+    /// `lock(…)` helper). Field names are unique across the workspace's
+    /// lock-bearing structs, so name matching is exact here — a new lock
+    /// field either gets a marker added below or the pass reports it as
+    /// unclassified.
+    pub fn of_marker(ident: &str) -> Option<LockClass> {
+        match ident {
+            "inbox" => Some(LockClass::ShardInbox),
+            "shards" | "shard_of" | "stripe" => Some(LockClass::LedgerStripe),
+            "table" => Some(LockClass::LedgerTable),
+            "spends" => Some(LockClass::EngineSpends),
+            "built" => Some(LockClass::SpendSlot),
+            "cache" => Some(LockClass::EngineCache),
+            "support_hints" => Some(LockClass::SupportHints),
+            _ => None,
+        }
+    }
+}
+
+/// One wire op as the protocol must expose it on every surface.
+#[derive(Debug, Clone, Copy)]
+pub struct WireOp {
+    /// The `"op"` string a request frame carries.
+    pub name: &'static str,
+    /// The dedicated `Client` method for this op, when one must exist.
+    /// Query-family ops (`delta`, `epsilon`, …) route through the typed
+    /// `AmplificationQuery` builder instead of per-op verbs, so they
+    /// declare `None` here.
+    pub client_verb: Option<&'static str>,
+}
+
+/// The declared op set: `protocol.rs` dispatch, `Client` verbs, `vr-query`
+/// usage, and the README op tables are all checked against this table (and
+/// the dispatch set is checked back against it), so a new op cannot ship
+/// half-wired.
+pub const WIRE_OPS: &[WireOp] = &[
+    WireOp {
+        name: "stats",
+        client_verb: Some("stats"),
+    },
+    WireOp {
+        name: "shutdown",
+        client_verb: Some("shutdown_server"),
+    },
+    WireOp {
+        name: "delta",
+        client_verb: None,
+    },
+    WireOp {
+        name: "epsilon",
+        client_verb: None,
+    },
+    WireOp {
+        name: "curve",
+        client_verb: None,
+    },
+    WireOp {
+        name: "composed",
+        client_verb: None,
+    },
+    WireOp {
+        name: "min_n",
+        client_verb: None,
+    },
+    WireOp {
+        name: "max_eps0",
+        client_verb: None,
+    },
+    WireOp {
+        name: "sweep",
+        client_verb: Some("sweep"),
+    },
+    WireOp {
+        name: "batch",
+        client_verb: Some("run_batch"),
+    },
+    WireOp {
+        name: "charge",
+        client_verb: Some("charge"),
+    },
+    WireOp {
+        name: "remaining",
+        client_verb: Some("remaining"),
+    },
+    WireOp {
+        name: "affordable_rounds",
+        client_verb: Some("affordable_rounds"),
+    },
+    WireOp {
+        name: "ledger_import",
+        client_verb: Some("ledger_import"),
+    },
+    WireOp {
+        name: "ledger_export",
+        client_verb: Some("ledger_export"),
+    },
+];
+
 /// Index of the `]` matching the `[` at `open`.
 fn matching_bracket(tokens: &[Tok], open: usize) -> Option<usize> {
     let mut depth = 0i32;

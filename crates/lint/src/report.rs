@@ -2,9 +2,37 @@
 //! artifact (hand-rolled writer — this crate is dependency-free, so it
 //! carries its own ~40-line JSON emitter in the `vr_server::json` spirit).
 
+use crate::lexer::Span;
 use crate::rules::{Finding, Waiver};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// One finding from a graph pass (panic-reach, lock-order, wire-schema).
+/// Unlike token-rule findings, pass findings are **never waivable**: they
+/// assert cross-file invariants, and a per-site comment cannot vouch for a
+/// property of the whole call graph.
+#[derive(Debug, Clone)]
+pub struct PassFinding {
+    /// Workspace-relative path the finding anchors to.
+    pub file: String,
+    /// The pass that produced it (`panic-reach`, `lock-order`,
+    /// `wire-schema`).
+    pub pass: &'static str,
+    /// Stable finding id (`reachable-panic`, `lock-inversion`,
+    /// `lock-double-acquire`, `missing-op`, `undeclared-op`, …).
+    pub rule: &'static str,
+    pub span: Span,
+    pub message: String,
+}
+
+/// Call-graph size summary for the report artifact: the unresolved count
+/// keeps "the graph proved nothing here" visible instead of silent.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GraphStats {
+    pub functions: usize,
+    pub edges: usize,
+    pub unresolved: usize,
+}
 
 /// Everything one linted file contributed.
 #[derive(Debug)]
@@ -24,6 +52,9 @@ pub struct FileReport {
 pub struct RunReport {
     pub files: Vec<FileReport>,
     pub skipped: usize,
+    /// Findings from the graph passes (cross-file; never waivable).
+    pub graph: Vec<PassFinding>,
+    pub graph_stats: GraphStats,
 }
 
 impl RunReport {
@@ -35,7 +66,20 @@ impl RunReport {
     }
 
     pub fn violation_count(&self) -> usize {
-        self.violations().count()
+        self.violations().count() + self.graph.len()
+    }
+
+    /// Pass-finding counts keyed by pass name (every pass present, even
+    /// when clean, so "zero" is an asserted value rather than an absence).
+    pub fn pass_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for pass in ["panic-reach", "lock-order", "wire-schema"] {
+            counts.insert(pass, 0);
+        }
+        for f in &self.graph {
+            *counts.entry(f.pass).or_insert(0) += 1;
+        }
+        counts
     }
 
     pub fn waiver_count(&self) -> usize {
@@ -57,6 +101,15 @@ impl RunReport {
                         .map(|c| if c == '\t' { '\t' } else { ' ' })
                         .collect();
                     let _ = writeln!(out, "   | {pad}^");
+                }
+            }
+        }
+        for f in &self.graph {
+            let _ = writeln!(out, "error[{}/{}]: {}", f.pass, f.rule, f.message);
+            let _ = writeln!(out, "  --> {}:{}:{}", f.file, f.span.line, f.span.col);
+            if let Some(src) = sources.get(&f.file) {
+                if let Some(line) = src.lines().nth(f.span.line as usize - 1) {
+                    let _ = writeln!(out, "   | {line}");
                 }
             }
         }
@@ -86,7 +139,9 @@ impl RunReport {
         }
 
         let mut out = String::new();
-        out.push_str("{\"tool\":\"vr-lint\",\"schema_version\":1,");
+        // Same `{"tool":…,"schema":1}` header convention as the
+        // `results/BENCH_*.json` artifacts.
+        out.push_str("{\"tool\":\"vr-lint\",\"schema\":1,");
         let _ = write!(
             out,
             "\"files_scanned\":{},\"files_skipped\":{},\"violations\":{},\"waivers\":{},",
@@ -95,6 +150,35 @@ impl RunReport {
             self.violation_count(),
             self.waiver_count()
         );
+        let _ = write!(
+            out,
+            "\"call_graph\":{{\"functions\":{},\"edges\":{},\"unresolved\":{}}},",
+            self.graph_stats.functions, self.graph_stats.edges, self.graph_stats.unresolved
+        );
+        out.push_str("\"passes\":{");
+        for (i, (pass, count)) in self.pass_counts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{count}", json_str(pass));
+        }
+        out.push_str("},\"pass_findings\":[");
+        for (i, f) in self.graph.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":{},\"line\":{},\"col\":{},\"pass\":{},\"rule\":{},\"message\":{}}}",
+                json_str(&f.file),
+                f.span.line,
+                f.span.col,
+                json_str(f.pass),
+                json_str(f.rule),
+                json_str(&f.message)
+            );
+        }
+        out.push_str("],");
         out.push_str("\"rules\":{");
         for (i, ((rule, policy), (viol, waived))) in per_rule.iter().enumerate() {
             if i > 0 {
@@ -248,10 +332,13 @@ mod tests {
                 },
             ])],
             skipped: 2,
+            ..RunReport::default()
         };
         let json = report.to_json();
+        assert!(json.contains("\"tool\":\"vr-lint\",\"schema\":1,"));
         assert!(json.contains("\"violations\":1"));
         assert!(json.contains("\"files_skipped\":2"));
+        assert!(json.contains("\"passes\":{\"lock-order\":0,\"panic-reach\":0,\"wire-schema\":0}"));
         assert!(json.contains(
             "\"float-eq\":{\"policy\":\"float-discipline\",\"violations\":1,\"waived\":1}"
         ));
@@ -274,6 +361,7 @@ mod tests {
                 waived: false,
             }])],
             skipped: 0,
+            ..RunReport::default()
         };
         let text = report.render_diagnostics(&sources);
         assert!(text.contains("error[float-discipline/float-eq]: float compare"));

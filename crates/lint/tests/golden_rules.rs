@@ -227,7 +227,7 @@ fn golden_rendered_diagnostics() {
     let file = lint_source(rel, src).unwrap().unwrap();
     let report = RunReport {
         files: vec![file],
-        skipped: 0,
+        ..RunReport::default()
     };
     let mut sources = BTreeMap::new();
     sources.insert(rel.to_string(), src.to_string());

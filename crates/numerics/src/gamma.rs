@@ -36,8 +36,9 @@ pub fn ln_gamma(z: f64) -> f64 {
         return (pi / (pi * z).sin()).ln() - ln_gamma(1.0 - z);
     }
     let z = z - 1.0;
-    // vr-lint: allow(slice-index) — LANCZOS_COEF is a non-empty const table
-    let mut x = LANCZOS_COEF[0];
+    // LANCZOS_COEF is a non-empty const table; `first` keeps that fact a
+    // value-level default instead of a panic path.
+    let mut x = LANCZOS_COEF.first().copied().unwrap_or(0.0);
     for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
         x += c / (z + i as f64);
     }

